@@ -1,0 +1,96 @@
+"""Ablation — linear heap allocator vs buddy allocator (§3.1).
+
+The paper mentions both strategies for subdividing the global segment.
+This bench contrasts their throughput and fragmentation behaviour on a
+mixed alloc/free workload, and verifies both preserve the symmetric-
+offset determinism the PGAS translation depends on.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.bench.report import Table
+from repro.core.allocator import BuddyAllocator, LinearAllocator
+from repro.util.units import KiB, MiB
+
+
+def _churn(allocator, ops=2000, seed=7):
+    """Mixed allocate/free workload; returns live-set stats."""
+    rng = random.Random(seed)
+    live = []
+    peak_live_bytes = 0
+    for _ in range(ops):
+        if live and rng.random() < 0.45:
+            allocator.free(live.pop(rng.randrange(len(live))))
+        else:
+            size = rng.choice([256, 1024, 4 * KiB, 64 * KiB, 1 * MiB])
+            try:
+                live.append(allocator.alloc(size))
+            except Exception:
+                if not live:
+                    raise
+                allocator.free(live.pop(0))
+        peak_live_bytes = max(peak_live_bytes, allocator.allocated_bytes)
+    for off in live:
+        allocator.free(off)
+    return peak_live_bytes
+
+
+def _run():
+    out = {}
+    for kind, factory in (
+        ("linear", lambda: LinearAllocator(256 * MiB)),
+        ("buddy", lambda: BuddyAllocator(256 * MiB)),
+    ):
+        alloc = factory()
+        peak = _churn(alloc)
+        out[kind] = {
+            "peak_bytes": peak,
+            "free_after": alloc.free_bytes,
+            "live_after": alloc.live_allocations,
+        }
+    return out
+
+
+def test_ablation_allocators(benchmark):
+    data = run_once(benchmark, _run)
+    table = Table(
+        "Ablation - segment allocators under churn (2000 mixed ops)",
+        ["allocator", "peak allocated", "free after drain", "leaks"],
+    )
+    for kind, stats in data.items():
+        table.add_row(kind, stats["peak_bytes"], stats["free_after"], stats["live_after"])
+    table.print()
+    for kind, stats in data.items():
+        assert stats["live_after"] == 0, kind
+        assert stats["free_after"] in (256 * MiB, 2 ** (256 * MiB).bit_length() // 2)
+    # Buddy rounds sizes up: its peak footprint is at least linear's.
+    assert data["buddy"]["peak_bytes"] >= data["linear"]["peak_bytes"]
+
+
+def test_ablation_symmetric_determinism(benchmark):
+    """Identical call sequences give identical offsets for both kinds —
+    the invariant symmetric allocation rests on."""
+
+    def run():
+        seqs = {}
+        for kind, factory in (
+            ("linear", lambda: LinearAllocator(64 * MiB)),
+            ("buddy", lambda: BuddyAllocator(64 * MiB)),
+        ):
+            offsets = []
+            for _replica in range(2):
+                alloc = factory()
+                trace = []
+                for size in (300, 4096, 1024, 65536, 128):
+                    trace.append(alloc.alloc(size))
+                alloc.free(trace[1])
+                trace.append(alloc.alloc(2048))
+                offsets.append(tuple(trace))
+            seqs[kind] = offsets
+        return seqs
+
+    data = run_once(benchmark, run)
+    for kind, (a, b) in data.items():
+        assert a == b, kind

@@ -1,0 +1,40 @@
+"""Ablation — communication/computation overlap in Minimod.
+
+The synchronous halo exchange (Listing 1) pays comm + compute in
+series; the overlap variant hides the exchange under the interior
+stencil update.  The benefit grows with the communication share, so we
+measure a comm-heavy configuration (thin slabs across nodes).
+"""
+
+from conftest import run_once
+
+from repro.apps import MinimodConfig, run_minimod
+from repro.bench.report import Table
+from repro.cluster import World
+from repro.hardware import platform_a
+
+
+def _time(impl: str) -> float:
+    cfg = MinimodConfig(nx=480, ny=480, nz=480, steps=5, execute=False)
+    world = World(platform_a(with_quirk=False), num_nodes=2)
+    res = run_minimod(world, cfg, impl=impl)
+    return max(r["elapsed"] for r in res.results)
+
+
+def _run():
+    return {impl: _time(impl) for impl in ("mpi", "diomp", "diomp-overlap")}
+
+
+def test_ablation_halo_overlap(benchmark):
+    data = run_once(benchmark, _run)
+    table = Table(
+        "Ablation - Minimod 480^3, 5 steps, 8 GPUs / 2 nodes",
+        ["variant", "elapsed (ms)", "vs MPI"],
+    )
+    for impl in ("mpi", "diomp", "diomp-overlap"):
+        table.add_row(
+            impl, f"{data[impl] * 1e3:.3f}", f"{data['mpi'] / data[impl]:.2f}x"
+        )
+    table.print()
+    assert data["diomp"] < data["mpi"]
+    assert data["diomp-overlap"] <= data["diomp"] * 1.001

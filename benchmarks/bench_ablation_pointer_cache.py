@@ -1,0 +1,60 @@
+"""Ablation — the remote pointer cache for asymmetric access (§3.2).
+
+Asymmetric buffers need a two-step remote access (fetch the
+second-level pointer, then move the data).  The cache removes the
+first step after the first access; this bench quantifies the saving.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.bench.report import Table
+from repro.cluster import MemRef, World, run_spmd
+from repro.core import DiompParams, DiompRuntime
+from repro.hardware import platform_a
+from repro.util.units import KiB
+
+
+def _access_time(pointer_cache: bool, accesses: int = 16) -> dict:
+    world = World(platform_a(with_quirk=False), num_nodes=2)
+    runtime = DiompRuntime(world, DiompParams(pointer_cache=pointer_cache))
+    out = {}
+
+    def prog(ctx):
+        abuf = ctx.diomp.alloc_asymmetric((ctx.rank + 1) * 4 * KiB, virtual=True)
+        ctx.diomp.barrier()
+        if ctx.rank == 0:
+            ref = MemRef.device(ctx.device.malloc(4 * KiB, virtual=True))
+            t0 = ctx.sim.now
+            for _ in range(accesses):
+                ctx.diomp.get(5, abuf, ref)
+                ctx.diomp.fence()
+            out["per_access"] = (ctx.sim.now - t0) / accesses
+            out["fetches"] = ctx.diomp.rma.pointer_fetches
+        ctx.diomp.barrier()
+
+    run_spmd(world, prog)
+    return out
+
+
+def _run():
+    return {
+        "cache_on": _access_time(True),
+        "cache_off": _access_time(False),
+    }
+
+
+def test_ablation_pointer_cache(benchmark):
+    data = run_once(benchmark, _run)
+    table = Table(
+        "Ablation - remote pointer cache (16 asymmetric gets of 4 KiB)",
+        ["config", "avg access (us)", "pointer fetches"],
+    )
+    for name, stats in data.items():
+        table.add_row(name, f"{stats['per_access'] * 1e6:.2f}", stats["fetches"])
+    table.print()
+    assert data["cache_on"]["fetches"] == 1
+    assert data["cache_off"]["fetches"] == 16
+    # Dropping 15 pointer round-trips must show up in latency.
+    assert data["cache_on"]["per_access"] < data["cache_off"]["per_access"]

@@ -1,0 +1,26 @@
+"""Fig. 1 ablation — unified vs duplicated memory registration.
+
+The architectural claim of §3.1: the MPI+libomptarget baseline manages
+every communicated device buffer twice (mapping table + per-window NIC
+registration); DiOMP registers the global segment once at startup and
+all OpenMP mappings land inside it.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+
+N_BUFFERS = 16
+
+
+def test_fig1_registration_bookkeeping(benchmark):
+    data = run_once(benchmark, figures.fig1, n_buffers=N_BUFFERS)
+    figures.print_fig1(data)
+    baseline, diomp = data["baseline"], data["diomp"]
+    # One window registration per communicated buffer vs one total.
+    assert baseline.registrations == N_BUFFERS
+    assert diomp.registrations == 1
+    # Both keep a present-table entry per mapping (that part is shared).
+    assert baseline.mapping_entries == diomp.mapping_entries == N_BUFFERS
+    # The duplicated registrations cost real setup time.
+    assert diomp.setup_time < baseline.setup_time

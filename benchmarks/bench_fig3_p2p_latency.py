@@ -1,0 +1,22 @@
+"""Fig. 3 — point-to-point latency, DiOMP vs MPI RMA (4 B–8 KiB).
+
+Expected shape (paper §4.2): DiOMP outperforms MPI in both put and get
+latency on every platform and at every size in this range.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+
+
+def test_fig3_p2p_latency(benchmark):
+    data = run_once(benchmark, figures.fig3, fast=True)
+    figures.print_fig3(data)
+    for platform, curves in data.items():
+        for size_idx in range(len(curves["diomp_put"])):
+            size, diomp_put = curves["diomp_put"][size_idx]
+            _, diomp_get = curves["diomp_get"][size_idx]
+            _, mpi_put = curves["mpi_put"][size_idx]
+            _, mpi_get = curves["mpi_get"][size_idx]
+            assert diomp_put < mpi_put, (platform, size)
+            assert diomp_get < mpi_get, (platform, size)

@@ -1,0 +1,30 @@
+"""Fig. 4 — point-to-point bandwidth, DiOMP vs MPI RMA (to 64 MiB).
+
+Expected shape (paper §4.2): DiOMP wins everywhere **except** DiOMP
+Put on Slingshot+A100, where the vendor-confirmed NIC/driver anomaly
+degrades it well below MPI — reproduced by the NIC quirk model.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+from repro.util.units import MiB
+
+
+def test_fig4_p2p_bandwidth(benchmark):
+    data = run_once(benchmark, figures.fig4, fast=True)
+    figures.print_fig4(data)
+    # Healthy paths: DiOMP above MPI at large sizes.
+    for platform, curves in data.items():
+        for idx, (size, diomp_get) in enumerate(curves["diomp_get"]):
+            if size >= 1 * MiB:
+                assert diomp_get > curves["mpi_get"][idx][1], (platform, size)
+    ib = data["infiniband+GH200"]
+    for idx, (size, diomp_put) in enumerate(ib["diomp_put"]):
+        if size >= 1 * MiB:
+            assert diomp_put > ib["mpi_put"][idx][1]
+    # The anomaly: DiOMP put collapses on Slingshot+A100 only.
+    ss = data["slingshot+A100"]
+    for idx, (size, diomp_put) in enumerate(ss["diomp_put"]):
+        if size >= 1 * MiB:
+            assert diomp_put < 0.5 * ss["mpi_put"][idx][1], size

@@ -1,0 +1,23 @@
+"""Fig. 5 — GASNet-EX vs GPI-2 bandwidth over NDR InfiniBand.
+
+Expected shape (paper §4.2): "GPI-2 outperforms GASNet-EX Put in
+certain scenarios" — small/medium messages — while GASNet-EX pipelines
+the largest transfers at least as well.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+from repro.util.units import KiB, MiB
+
+
+def test_fig5_conduit_bandwidth(benchmark):
+    data = run_once(benchmark, figures.fig5, fast=True)
+    figures.print_fig5(data)
+    by_size = {name: dict(points) for name, points in data.items()}
+    # GPI-2 wins the mid-size range...
+    for size in (64 * KiB, 256 * KiB, 1 * MiB):
+        assert by_size["gpi2_put"][size] > by_size["gasnet_put"][size], size
+    # ...GASNet-EX wins the very large range.
+    for size in (16 * MiB, 64 * MiB):
+        assert by_size["gasnet_put"][size] >= by_size["gpi2_put"][size], size

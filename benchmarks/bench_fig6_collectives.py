@@ -1,0 +1,37 @@
+"""Fig. 6 — collective latency ratio heatmap, log10(MPI/DiOMP).
+
+Configurations from §4.3: A = 16 nodes x 4 A100 (64 GPUs), B = 8 nodes
+x 8 GCDs (64 devices), C = 16 GH200 nodes.
+
+Expected shape: MPI wins small messages (OMPCCL launch/init overhead →
+negative cells); DiOMP wins large messages on the NCCL platforms A and
+C; on RCCL platform B the broadcast advantage concentrates at medium
+sizes and large AllReduce lands near parity.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+from repro.util.units import KiB, MiB
+
+
+def test_fig6_collective_ratio(benchmark):
+    heatmap = run_once(benchmark, figures.fig6, fast=True)
+    figures.print_fig6(heatmap)
+    cells = {key: dict(points) for key, points in heatmap.items()}
+    small, medium, large = 128 * KiB, 2 * MiB, 64 * MiB
+    # MPI wins (or at worst ties) small messages: OMPCCL launch/init
+    # overheads dominate there.
+    for key, by_size in cells.items():
+        assert by_size[small] < 0.1, key
+    assert sum(1 for b in cells.values() if b[small] < 0) >= 4
+    # DiOMP ahead at 64 MiB on the NCCL platforms, strongly on A where
+    # NCCL's channels aggregate all four NICs.
+    for op in ("bcast", "allreduce"):
+        assert cells[("A", op)][large] > 0.3, op
+        assert cells[("C", op)][large] > 0.1, op
+    # RCCL platform B: broadcast advantage at medium size...
+    assert cells[("B", "bcast")][medium] > 0.2
+    # ...and large AllReduce much closer to MPI than on NCCL platform A.
+    assert cells[("B", "allreduce")][large] < cells[("A", "allreduce")][large]
+    assert cells[("B", "allreduce")][large] < 0.3

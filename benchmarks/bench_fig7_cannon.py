@@ -1,0 +1,31 @@
+"""Fig. 7 — Cannon matrix multiplication strong scaling (N = 30240).
+
+Expected shape: DiOMP at or above MPI+OpenMP at every GPU count, with
+the gap widening as nodes are added (MPI pays host-staged intra-node
+hops inside the ring while DiOMP rides NVLink/xGMI via IPC).
+
+Documented deviation (see EXPERIMENTS.md): the paper reports
+*superlinear* speedups; our roofline GEMM model yields near-linear
+scaling in the compute-bound regime that flattens once the ring
+becomes NIC-bound.  The winner and the widening factor are preserved.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+
+
+def test_fig7_cannon_scaling(benchmark):
+    data = run_once(benchmark, figures.fig7, fast=True)
+    figures.print_fig7(data)
+    for platform, curves in data.items():
+        diomp = dict(curves["diomp"])
+        mpi = dict(curves["mpi"])
+        for gpus, speedup in diomp.items():
+            assert speedup >= mpi[gpus] * 0.999, (platform, gpus)
+        # DiOMP keeps scaling beyond one node.
+        gpu_counts = sorted(diomp)
+        assert diomp[gpu_counts[-1]] > diomp[gpu_counts[0]]
+        # The DiOMP/MPI gap widens with node count.
+        gaps = [diomp[g] / mpi[g] for g in gpu_counts]
+        assert gaps[-1] > gaps[0]

@@ -1,0 +1,22 @@
+"""Listings 1/2 — halo-exchange programmability comparison.
+
+The paper: "DiOMP significantly reduces programming complexity,
+requiring approximately half the lines of code to achieve equivalent
+data transfers."  We measure the effective SLOC and communication API
+calls of the per-step halo-exchange blocks of our two executable
+Minimod variants.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+
+
+def test_listings_halo_exchange_complexity(benchmark):
+    data = run_once(benchmark, figures.listings)
+    figures.print_listings(data)
+    diomp, mpi = data["diomp"], data["mpi"]
+    # Roughly half the code...
+    assert diomp.sloc <= 0.65 * mpi.sloc
+    # ...and fewer communication API calls.
+    assert diomp.api_calls < mpi.api_calls

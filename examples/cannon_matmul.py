@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Distributed matrix multiplication with ring exchange (paper §4.4).
+
+Runs the Cannon-style 1-D stripe algorithm twice on a 2-node Platform-A
+cluster — once with the DiOMP one-sided runtime, once with the
+MPI+OpenMP-target baseline — verifies both against numpy, and compares
+their simulated execution time at a paper-scale problem.
+
+Run:  python examples/cannon_matmul.py
+"""
+
+import numpy as np
+
+from repro.apps import CannonConfig, cannon_reference, run_cannon
+from repro.cluster import World
+from repro.hardware import platform_a
+from repro.util.units import format_time
+
+
+def correctness_pass() -> None:
+    print("== correctness (N=64, real numerics on simulated devices) ==")
+    for impl in ("diomp", "mpi"):
+        world = World(platform_a(with_quirk=False), num_nodes=2)
+        cfg = CannonConfig(n=64, execute=True)
+        res = run_cannon(world, cfg, impl=impl)
+        c = np.concatenate(
+            [r["C"] for r in sorted(res.results, key=lambda r: r["rank"])]
+        )
+        np.testing.assert_allclose(c, cannon_reference(cfg, world.nranks))
+        print(f"  {impl:>5}: C == A @ B verified on {world.nranks} GPUs "
+              f"(virtual time {format_time(res.elapsed)})")
+
+
+def performance_pass() -> None:
+    print("\n== performance (N=30240, virtual memory + cost models) ==")
+    times = {}
+    for impl in ("diomp", "mpi"):
+        world = World(platform_a(with_quirk=False), num_nodes=2)
+        cfg = CannonConfig(n=30240, execute=False)
+        res = run_cannon(world, cfg, impl=impl)
+        times[impl] = max(r["elapsed"] for r in res.results)
+        print(f"  {impl:>5}: {format_time(times[impl])} on 8 A100s")
+    print(f"  DiOMP is {times['mpi'] / times['diomp']:.2f}x faster "
+          "(one-sided stripe forwarding + NVLink IPC intra-node)")
+
+
+if __name__ == "__main__":
+    correctness_pass()
+    performance_pass()

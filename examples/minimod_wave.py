@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Minimod wave propagation with DiOMP halo exchange (paper §4.5).
+
+Propagates an acoustic wave from a point source on a distributed grid,
+exchanging stencil halos with one-sided ``ompx_put`` (the paper's
+Listing 1 pattern), and verifies the distributed field against a
+single-domain reference.  Then compares DiOMP vs MPI halo exchange at
+a larger (timing-only) grid on one node — the configuration where the
+paper's intra-node advantage is largest.
+
+Run:  python examples/minimod_wave.py
+"""
+
+import numpy as np
+
+from repro.apps import MinimodConfig, minimod_reference, run_minimod
+from repro.cluster import World
+from repro.hardware import platform_a
+from repro.util.units import format_time
+
+
+def correctness_pass() -> None:
+    print("== correctness (32x12x12 grid, 6 steps, 8 ranks / 2 nodes) ==")
+    cfg = MinimodConfig(nx=32, ny=12, nz=12, steps=6)
+    world = World(platform_a(with_quirk=False), num_nodes=2)
+    res = run_minimod(world, cfg, impl="diomp")
+    u = np.concatenate(
+        [r["u"] for r in sorted(res.results, key=lambda r: r["rank"])]
+    )
+    ref = minimod_reference(cfg)
+    np.testing.assert_allclose(u, ref, rtol=1e-5, atol=1e-7)
+    wavefront = np.count_nonzero(np.abs(u) > 1e-12)
+    print(f"  wavefield matches the single-domain reference "
+          f"({wavefront} active cells after {cfg.steps} steps)")
+
+
+def performance_pass() -> None:
+    print("\n== performance (480^3 grid, 10 steps, single node, 4 GPUs) ==")
+    times = {}
+    for impl in ("diomp", "mpi"):
+        world = World(platform_a(with_quirk=False), num_nodes=1)
+        cfg = MinimodConfig(nx=480, ny=480, nz=480, steps=10, execute=False)
+        res = run_minimod(world, cfg, impl=impl)
+        times[impl] = max(r["elapsed"] for r in res.results)
+        print(f"  {impl:>5}: {format_time(times[impl])}")
+    print(f"  DiOMP is {times['mpi'] / times['diomp']:.2f}x faster intra-node "
+          "(IPC halo puts vs host-staged MPI messages)")
+
+
+if __name__ == "__main__":
+    correctness_pass()
+    performance_pass()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Deferred target tasks: the paper's §5 task-parallel extension.
+
+Builds a four-stage pipeline of ``target nowait depend(...)`` tasks on
+each rank — produce → two independent filters → join — and shows that
+
+* the dependence graph orders execution correctly (results verified),
+* the two independent middle stages overlap on separate device
+  streams (hidden helper threads), and
+* the per-rank join results feed a DiOMP allreduce, composing the
+  task extension with the PGAS core.
+
+Run:  python examples/target_tasks.py
+"""
+
+import numpy as np
+
+from repro.cluster import World, run_spmd
+from repro.core import DiompRuntime
+from repro.device.kernel import KernelCost
+from repro.hardware import platform_a
+from repro.omptarget import Map, MapType, TargetTaskQueue
+from repro.util.units import format_time
+
+
+def main() -> None:
+    world = World(platform_a(with_quirk=False), num_nodes=1)
+    DiompRuntime(world)
+    heavy = KernelCost(flops=2e9, bytes_moved=0)  # ~0.25 ms each
+
+    def program(ctx):
+        diomp = ctx.diomp
+        q = TargetTaskQueue(diomp.omp)
+        src = np.zeros(16)
+        left = np.zeros(16)
+        right = np.zeros(16)
+        joined = np.zeros(16)
+
+        t0 = ctx.sim.now
+        q.submit(
+            "produce",
+            heavy,
+            maps=[Map(src, MapType.TOFROM)],
+            body=lambda v: v.__iadd__(ctx.rank + 1),
+            depends_out=[src],
+        )
+        # Two independent consumers: they overlap on distinct streams.
+        q.submit(
+            "filter-left",
+            heavy,
+            maps=[Map(src, MapType.TO), Map(left, MapType.FROM)],
+            body=lambda s, l: l.__iadd__(s * 10),
+            depends_in=[src],
+            depends_out=[left],
+        )
+        q.submit(
+            "filter-right",
+            heavy,
+            maps=[Map(src, MapType.TO), Map(right, MapType.FROM)],
+            body=lambda s, r: r.__iadd__(s * 100),
+            depends_in=[src],
+            depends_out=[right],
+        )
+        q.submit(
+            "join",
+            heavy,
+            maps=[
+                Map(left, MapType.TO),
+                Map(right, MapType.TO),
+                Map(joined, MapType.FROM),
+            ],
+            body=lambda l, r, j: j.__iadd__(l + r),
+            depends_in=[left, right],
+            depends_out=[joined],
+        )
+        q.taskwait()
+        pipeline_time = ctx.sim.now - t0
+
+        # Compose with the PGAS core: reduce the join results.
+        send, recv = diomp.alloc(8), diomp.alloc(8)
+        send.typed(np.float64)[:] = joined[0]
+        diomp.barrier()
+        diomp.allreduce(send, recv)
+        return ctx.rank, joined[0], recv.typed(np.float64)[0], pipeline_time
+
+    results = run_spmd(world, program).results
+    one_kernel = heavy.duration_on(platform_a().node.gpu)
+    print("rank  joined  allreduce  pipeline time")
+    for rank, joined, total, t in results:
+        print(f"{rank:>4}  {joined:>6.0f}  {total:>9.0f}  {format_time(t)}")
+    expected = sum(110 * (r + 1) for r in range(world.nranks))
+    assert all(total == expected for _r, _j, total, _t in results)
+    t = results[0][3]
+    print(f"\n4-task diamond ran in ~{t / one_kernel:.1f} kernel times "
+          "(3 levels; the two filters overlapped).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""DiOMP-Offloading reproduction.
+
+A full implementation of the system described in *DiOMP-Offloading:
+Toward Portable Distributed Heterogeneous OpenMP* (Shan, Araya-Polo,
+Chapman — SC 2025), built on a deterministic discrete-event cluster
+simulator: PGAS global device memory over GASNet-EX/GPI-2-like
+conduits, `ompx_*` one-sided RMA with hierarchical path selection,
+OMPCCL collectives over NCCL/RCCL models, DiOMP groups, a
+libomptarget layer with the DiOMP allocator plugin, a mini-MPI
+baseline, and the paper's two evaluation applications.
+
+Typical entry points::
+
+    from repro.cluster import World, run_spmd
+    from repro.core import DiompRuntime
+    from repro.hardware import platform_a
+
+    world = World(platform_a(), num_nodes=2)
+    DiompRuntime(world)
+    run_spmd(world, program)
+
+See README.md for a tour, DESIGN.md for the architecture and
+substitution table, EXPERIMENTS.md for paper-vs-measured results, and
+``python -m repro.bench`` to regenerate the evaluation figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "bench",
+    "cluster",
+    "core",
+    "device",
+    "gasnet",
+    "gpi2",
+    "hardware",
+    "mpi",
+    "network",
+    "omptarget",
+    "sim",
+    "util",
+    "xccl",
+]

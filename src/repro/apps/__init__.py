@@ -1,0 +1,26 @@
+"""Evaluation applications (paper §4.4–§4.5).
+
+* :mod:`repro.apps.cannon` — the ring-exchange matrix multiplication
+  (Cannon-style 1-D stripe algorithm) with compute/communication
+  overlap, in DiOMP and MPI+OpenMP-target variants (Fig. 7),
+* :mod:`repro.apps.minimod` — the Minimod acoustic-isotropic
+  finite-difference proxy app with halo exchange, in DiOMP
+  (Listing 1) and MPI (Listing 2) variants (Fig. 8).
+
+Both apps are dual-mode: ``execute=True`` runs real numpy numerics on
+small problems (the correctness tests), ``execute=False`` uses virtual
+device memory and calibrated kernel cost models at paper scale (the
+benchmarks).
+"""
+
+from repro.apps.cannon import CannonConfig, run_cannon, cannon_reference
+from repro.apps.minimod import MinimodConfig, run_minimod, minimod_reference
+
+__all__ = [
+    "CannonConfig",
+    "run_cannon",
+    "cannon_reference",
+    "MinimodConfig",
+    "run_minimod",
+    "minimod_reference",
+]

@@ -1,0 +1,25 @@
+"""Benchmark harness: regenerates every figure of the paper's §4.
+
+Each ``figN()`` function in :mod:`repro.bench.figures` runs the
+corresponding experiment on the simulated platforms and returns a
+structured result; ``print_figN(result)`` renders the same rows/series
+the paper reports.  The pytest-benchmark wrappers live in the
+top-level ``benchmarks/`` directory.
+
+Sub-modules:
+
+* :mod:`repro.bench.report` — plain-text tables/series renderers,
+* :mod:`repro.bench.microbench` — point-to-point latency/bandwidth
+  (Figs. 3–5),
+* :mod:`repro.bench.collective` — collective latency ratios (Fig. 6),
+* :mod:`repro.bench.appbench` — Cannon and Minimod sweeps (Figs. 7–8),
+* :mod:`repro.bench.programmability` — the Listing 1 vs Listing 2
+  lines-of-code comparison,
+* :mod:`repro.bench.registration` — the Fig. 1 unified-vs-duplicated
+  registration ablation.
+"""
+
+from repro.bench.report import Table, Series
+from repro.bench import figures
+
+__all__ = ["Table", "Series", "figures"]

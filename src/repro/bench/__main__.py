@@ -1,0 +1,61 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.bench                 # every figure, fast mode
+    python -m repro.bench fig4 fig6       # a subset
+    python -m repro.bench --full fig3     # full repetitions/sweeps
+
+Fast mode trims repetitions and sweep points; the simulator is
+deterministic, so values are identical where coverage overlaps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import figures
+
+_RUNNERS = {
+    "fig1": (lambda fast: figures.fig1(), figures.print_fig1),
+    "fig3": (lambda fast: figures.fig3(fast=fast), figures.print_fig3),
+    "fig4": (lambda fast: figures.fig4(fast=fast), figures.print_fig4),
+    "fig5": (lambda fast: figures.fig5(fast=fast), figures.print_fig5),
+    "fig6": (lambda fast: figures.fig6(fast=fast), figures.print_fig6),
+    "fig7": (lambda fast: figures.fig7(fast=fast), figures.print_fig7),
+    "fig8": (lambda fast: figures.fig8(fast=fast), figures.print_fig8),
+    "listings": (lambda fast: figures.listings(), figures.print_listings),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the DiOMP-Offloading evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        choices=[*sorted(_RUNNERS), []],
+        help="which figures to run (default: all)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full repetitions and sweep points (slower)",
+    )
+    args = parser.parse_args(argv)
+    chosen = args.figures or sorted(_RUNNERS)
+    for name in chosen:
+        run, show = _RUNNERS[name]
+        start = time.time()
+        result = run(not args.full)
+        show(result)
+        print(f"[{name} regenerated in {time.time() - start:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

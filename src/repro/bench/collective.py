@@ -1,0 +1,134 @@
+"""Collective microbenchmarks (Fig. 6).
+
+For each platform configuration of §4.3 — A: 16 nodes x 4 A100 (64
+GPUs), B: 8 nodes x 8 GCD (64 devices), C: 16 GH200 nodes — measure
+Broadcast and AllReduce latency for 128 KiB..64 MiB on both stacks:
+
+* **DiOMP** — OMPCCL over the platform's vendor library (NCCL/RCCL),
+* **MPI** — the device-aware collectives of the mini-MPI baseline.
+
+The reported quantity is the paper's heatmap cell:
+``log10(t_mpi / t_diomp)`` — positive means DiOMP is faster.
+
+Methodology follows the paper: warm-up iterations first (this also
+absorbs the one-time OMPCCL channel setup, which the paper calls out
+as the small-message penalty), then the average of ``reps`` timed
+iterations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.memref import MemRef
+from repro.cluster.spmd import run_spmd
+from repro.cluster.world import World
+from repro.core.runtime import DiompParams, DiompRuntime
+from repro.hardware.platforms import PlatformSpec, get_platform
+from repro.mpi import MpiWorld
+from repro.mpi import collectives as mpi_coll
+from repro.util.errors import ConfigurationError
+from repro.util.units import KiB, MiB
+
+#: Fig. 6 message sizes (128 KiB .. 64 MiB)
+COLLECTIVE_SIZES = [128 * KiB, 512 * KiB, 2 * MiB, 8 * MiB, 32 * MiB, 64 * MiB]
+
+#: §4.3 cluster configurations: platform -> number of nodes
+FIG6_NODES = {"A": 16, "B": 8, "C": 16}
+
+
+def diomp_collective_latency(
+    platform: PlatformSpec,
+    num_nodes: int,
+    op: str,
+    size: int,
+    reps: int = 3,
+    warmup: int = 1,
+) -> float:
+    """Average latency of one OMPCCL collective at one message size."""
+    if op not in ("bcast", "allreduce"):
+        raise ConfigurationError(f"op must be bcast|allreduce, got {op!r}")
+    world = World(platform, num_nodes=num_nodes)
+    runtime = DiompRuntime(world, DiompParams(segment_size=4 * size + (1 << 20)))
+
+    def prog(ctx):
+        send = ctx.diomp.alloc(size, virtual=True)
+        recv = ctx.diomp.alloc(size, virtual=True)
+        ctx.diomp.barrier()
+        for _ in range(warmup):
+            if op == "bcast":
+                ctx.diomp.bcast(send, root_rank=0)
+            else:
+                ctx.diomp.allreduce(send, recv)
+        ctx.diomp.barrier()
+        t0 = ctx.sim.now
+        for _ in range(reps):
+            if op == "bcast":
+                ctx.diomp.bcast(send, root_rank=0)
+            else:
+                ctx.diomp.allreduce(send, recv)
+        return (ctx.sim.now - t0) / reps
+
+    res = run_spmd(world, prog)
+    return max(res.results)
+
+
+def mpi_collective_latency(
+    platform: PlatformSpec,
+    num_nodes: int,
+    op: str,
+    size: int,
+    reps: int = 3,
+    warmup: int = 1,
+) -> float:
+    """Average latency of one MPI collective on device buffers."""
+    if op not in ("bcast", "allreduce"):
+        raise ConfigurationError(f"op must be bcast|allreduce, got {op!r}")
+    world = World(platform, num_nodes=num_nodes)
+    mpi = MpiWorld(world)
+
+    def prog(ctx):
+        comm = mpi.comm_world(ctx.rank)
+        send = MemRef.device(ctx.device.malloc(size, virtual=True))
+        recv = MemRef.device(ctx.device.malloc(size, virtual=True))
+
+        def one() -> None:
+            if op == "bcast":
+                mpi_coll.bcast(comm, send, root=0)
+            else:
+                mpi_coll.allreduce(comm, send, recv, np.float64)
+
+        for _ in range(warmup):
+            one()
+        mpi_coll.barrier(comm)
+        t0 = ctx.sim.now
+        for _ in range(reps):
+            one()
+        return (ctx.sim.now - t0) / reps
+
+    res = run_spmd(world, prog)
+    return max(res.results)
+
+
+def ratio_heatmap(
+    platforms: Sequence[str] = ("A", "B", "C"),
+    ops: Sequence[str] = ("bcast", "allreduce"),
+    sizes: Sequence[int] = tuple(COLLECTIVE_SIZES),
+    reps: int = 3,
+) -> Dict[Tuple[str, str], List[Tuple[int, float]]]:
+    """The full Fig. 6 grid: (platform, op) -> [(size, log10 ratio)]."""
+    heatmap: Dict[Tuple[str, str], List[Tuple[int, float]]] = {}
+    for letter in platforms:
+        spec = get_platform(letter)
+        nodes = FIG6_NODES[letter]
+        for op in ops:
+            cells = []
+            for size in sizes:
+                t_diomp = diomp_collective_latency(spec, nodes, op, size, reps=reps)
+                t_mpi = mpi_collective_latency(spec, nodes, op, size, reps=reps)
+                cells.append((size, math.log10(t_mpi / t_diomp)))
+            heatmap[(letter, op)] = cells
+    return heatmap

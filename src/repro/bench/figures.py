@@ -1,0 +1,256 @@
+"""Per-figure reproduction entry points.
+
+Each ``figN()`` returns the figure's data; each ``print_figN`` renders
+it in the paper's terms.  The ``fast=`` flag trims repetitions and
+sweep points so the whole set runs in minutes; the shapes (who wins,
+crossovers) are unaffected because the simulator is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench import appbench, collective, microbench, programmability, registration
+from repro.bench.report import Series, Table, fmt_gbs, fmt_ratio, fmt_speedup, fmt_us, series_table
+from repro.hardware.platforms import get_platform
+from repro.util.units import KiB, MiB, format_bytes
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — point-to-point latency
+# ---------------------------------------------------------------------------
+
+
+def fig3(fast: bool = True) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """Latency of DiOMP vs MPI put/get, 4 B–8 KiB, on the Slingshot+A100
+    and InfiniBand+GH200 platforms."""
+    reps = 3 if fast else 10
+    return {
+        "slingshot+A100": microbench.latency_sweep(get_platform("A"), reps=reps),
+        "infiniband+GH200": microbench.latency_sweep(get_platform("C"), reps=reps),
+    }
+
+
+def print_fig3(data) -> None:
+    for platform, curves in data.items():
+        sizes = [s for s, _ in next(iter(curves.values()))]
+        series = [
+            Series(name, sizes, [t * 1e6 for _s, t in pts])
+            for name, pts in curves.items()
+        ]
+        series_table(
+            f"Fig. 3 - P2P latency on {platform} (us, lower is better)",
+            "size",
+            format_bytes,
+            series,
+            y_format=lambda v: f"{v:.2f}",
+        ).print()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — point-to-point bandwidth
+# ---------------------------------------------------------------------------
+
+
+def fig4(fast: bool = True) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """Bandwidth of DiOMP vs MPI put/get across sizes.  Platform A
+    carries the documented NIC put anomaly."""
+    reps = 2 if fast else 5
+    window = 16 if fast else microbench.BW_WINDOW
+    return {
+        "slingshot+A100": microbench.bandwidth_sweep(
+            get_platform("A"), reps=reps, window=window
+        ),
+        "infiniband+GH200": microbench.bandwidth_sweep(
+            get_platform("C"), reps=reps, window=window
+        ),
+    }
+
+
+def print_fig4(data) -> None:
+    for platform, curves in data.items():
+        sizes = [s for s, _ in next(iter(curves.values()))]
+        series = [
+            Series(name, sizes, [bw for _s, bw in pts])
+            for name, pts in curves.items()
+        ]
+        series_table(
+            f"Fig. 4 - P2P bandwidth on {platform} (GB/s, higher is better)",
+            "size",
+            format_bytes,
+            series,
+            y_format=fmt_gbs,
+        ).print()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — GASNet-EX vs GPI-2
+# ---------------------------------------------------------------------------
+
+
+def fig5(fast: bool = True) -> Dict[str, List[Tuple[int, float]]]:
+    """Conduit comparison over NDR InfiniBand (platform C)."""
+    reps = 2 if fast else 5
+    window = 16 if fast else microbench.BW_WINDOW
+    return microbench.conduit_bandwidth_sweep(
+        get_platform("C"), reps=reps, window=window
+    )
+
+
+def print_fig5(data) -> None:
+    sizes = [s for s, _ in next(iter(data.values()))]
+    series = [
+        Series(name, sizes, [bw for _s, bw in pts]) for name, pts in data.items()
+    ]
+    series_table(
+        "Fig. 5 - DiOMP conduit bandwidth over NDR InfiniBand (GB/s)",
+        "size",
+        format_bytes,
+        series,
+        y_format=fmt_gbs,
+    ).print()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — collective latency ratio heatmap
+# ---------------------------------------------------------------------------
+
+
+def fig6(fast: bool = True, platforms: Sequence[str] = ("A", "B", "C")):
+    """log10(MPI/DiOMP) collective latency per platform/op/size."""
+    sizes = (
+        [128 * KiB, 2 * MiB, 64 * MiB] if fast else collective.COLLECTIVE_SIZES
+    )
+    return collective.ratio_heatmap(
+        platforms=platforms, sizes=sizes, reps=2 if fast else 3
+    )
+
+
+def print_fig6(heatmap) -> None:
+    keys = sorted(heatmap.keys())
+    sizes = [s for s, _ in heatmap[keys[0]]]
+    table = Table(
+        "Fig. 6 - log10(MPI / DiOMP) collective latency "
+        "(positive -> DiOMP faster)",
+        ["platform/op"] + [format_bytes(s) for s in sizes],
+    )
+    for key in keys:
+        letter, op = key
+        table.add_row(
+            f"{letter}/{op}", *(fmt_ratio(v) for _s, v in heatmap[key])
+        )
+    table.print()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — Cannon matrix multiplication scaling
+# ---------------------------------------------------------------------------
+
+
+def fig7(fast: bool = True) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """Strong-scaling speedups for N=30240 on platforms A and B."""
+    sweeps = (
+        {"A": (1, 2, 4), "B": (1, 2, 4)} if fast else appbench.CANNON_NODES
+    )
+    return {
+        letter: appbench.cannon_speedups(letter, nodes_sweep=sweeps[letter])
+        for letter in sweeps
+    }
+
+
+def print_fig7(data) -> None:
+    for letter, curves in data.items():
+        gpus = [g for g, _ in curves["diomp"]]
+        series = [
+            Series(impl, gpus, [s for _g, s in pts]) for impl, pts in curves.items()
+        ]
+        series_table(
+            f"Fig. 7 - Cannon matmul speedup on platform {letter} "
+            "(vs single-node baseline, higher is better)",
+            "GPUs",
+            str,
+            series,
+            y_format=fmt_speedup,
+        ).print()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — Minimod scaling
+# ---------------------------------------------------------------------------
+
+
+def fig8(fast: bool = True) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """Minimod speedups (grid 1200^3) vs the MPI single-node time."""
+    if fast:
+        sweeps = {"A": (1, 2, 4), "C": (1, 2, 4)}
+        steps = 4
+    else:
+        sweeps = appbench.MINIMOD_NODES
+        steps = appbench.MINIMOD_MEASURED_STEPS
+    return {
+        letter: appbench.minimod_speedups(letter, nodes_sweep=sweep, steps=steps)
+        for letter, sweep in sweeps.items()
+    }
+
+
+def print_fig8(data) -> None:
+    for letter, curves in data.items():
+        gpus = [g for g, _ in curves["diomp"]]
+        series = [
+            Series(impl, gpus, [s for _g, s in pts]) for impl, pts in curves.items()
+        ]
+        series_table(
+            f"Fig. 8 - Minimod speedup on platform {letter} "
+            "(vs MPI single-node, higher is better)",
+            "GPUs",
+            str,
+            series,
+            y_format=fmt_speedup,
+        ).print()
+
+
+# ---------------------------------------------------------------------------
+# Listings 1/2 — programmability
+# ---------------------------------------------------------------------------
+
+
+def listings() -> Dict[str, programmability.HaloExchangeComplexity]:
+    """Halo-exchange code-complexity comparison."""
+    return programmability.measure_halo_exchange()
+
+
+def print_listings(data) -> None:
+    table = Table(
+        "Listings 1/2 - Minimod halo exchange complexity",
+        ["variant", "SLOC", "communication API calls"],
+    )
+    for name, c in sorted(data.items()):
+        table.add_row(name, c.sloc, c.api_calls)
+    table.print()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — registration ablation
+# ---------------------------------------------------------------------------
+
+
+def fig1(n_buffers: int = 16):
+    """Unified vs duplicated registration bookkeeping."""
+    return registration.compare(n_buffers=n_buffers)
+
+
+def print_fig1(data) -> None:
+    table = Table(
+        "Fig. 1 - memory registration bookkeeping (16 mapped buffers)",
+        ["workflow", "registrations", "mapping entries", "setup time"],
+    )
+    from repro.util.units import format_time
+
+    for name, stats in sorted(data.items()):
+        table.add_row(
+            stats.workflow,
+            stats.registrations,
+            stats.mapping_entries,
+            format_time(stats.setup_time),
+        )
+    table.print()

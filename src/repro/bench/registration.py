@@ -1,0 +1,111 @@
+"""Fig. 1 ablation: unified vs duplicated memory management.
+
+The paper's architectural argument (Fig. 1): under MPI+libomptarget,
+every communicated device buffer is managed **twice** — once by the
+OpenMP mapping table, once by MPI window registration — with separate
+synchronization.  Under DiOMP the global-segment registration is paid
+once at startup and every OpenMP mapping lands inside it.
+
+This bench maps ``n_buffers`` arrays and makes each remotely
+accessible under both workflows, reporting registration counts and the
+virtual time spent on registration/window management.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from repro.cluster.memref import MemRef
+from repro.cluster.spmd import run_spmd
+from repro.cluster.world import World
+from repro.core.runtime import DiompParams, DiompRuntime
+from repro.hardware.platforms import get_platform
+from repro.mpi import MpiWorld, Window
+from repro.omptarget import Map, MapType, OmpTargetRuntime, VirtualArray
+from repro.util.units import KiB
+
+
+@dataclasses.dataclass(frozen=True)
+class RegistrationStats:
+    """One workflow's bookkeeping for n communicated buffers."""
+
+    workflow: str
+    registrations: int
+    mapping_entries: int
+    setup_time: float
+
+
+def baseline_workflow(n_buffers: int = 16, size: int = 256 * KiB) -> RegistrationStats:
+    """MPI + stock libomptarget (Fig. 1a): map each buffer, then
+    register each mapped device pointer into its own MPI window."""
+    world = World(get_platform("A"), num_nodes=2)
+    mpi = MpiWorld(world)
+    stats = {}
+
+    def prog(ctx):
+        rt = OmpTargetRuntime(ctx)
+        comm = mpi.comm_world(ctx.rank)
+        t0 = ctx.sim.now
+        arrays = [VirtualArray(size, name=f"buf{i}") for i in range(n_buffers)]
+        windows = []
+        for i, arr in enumerate(arrays):
+            rt.target_enter_data([Map(arr, MapType.ALLOC)])
+            dev_buf = rt.table().lookup(arr).device_buffer
+            # Second, independent registration: the MPI window.
+            windows.append(
+                Window.create(comm, MemRef.device(dev_buf), win_key=i)
+            )
+        if ctx.rank == 0:
+            stats["registrations"] = n_buffers  # one window per buffer
+            stats["mapping_entries"] = rt.table().live_entries
+            stats["setup_time"] = ctx.sim.now - t0
+        ctx.world.global_barrier.wait()
+
+    run_spmd(world, prog)
+    return RegistrationStats(
+        "mpi+libomptarget",
+        stats["registrations"],
+        stats["mapping_entries"],
+        stats["setup_time"],
+    )
+
+
+def diomp_workflow(n_buffers: int = 16, size: int = 256 * KiB) -> RegistrationStats:
+    """DiOMP (Fig. 1b): the plugin places every mapping inside the
+    once-registered global segment — zero per-buffer registrations."""
+    world = World(get_platform("A"), num_nodes=2)
+    runtime = DiompRuntime(
+        world, DiompParams(segment_size=4 * n_buffers * size + (1 << 20))
+    )
+    stats = {}
+
+    def prog(ctx):
+        t0 = ctx.sim.now
+        arrays = [VirtualArray(size, name=f"buf{i}") for i in range(n_buffers)]
+        for arr in arrays:
+            ctx.diomp.omp.target_enter_data([Map(arr, MapType.ALLOC)])
+        if ctx.rank == 0:
+            seg = ctx.diomp.segment(0)
+            stats["registrations"] = seg.registrations  # exactly one
+            stats["mapping_entries"] = ctx.diomp.omp.table().live_entries
+            stats["setup_time"] = ctx.sim.now - t0
+        ctx.world.global_barrier.wait()
+
+    run_spmd(world, prog)
+    return RegistrationStats(
+        "diomp",
+        stats["registrations"],
+        stats["mapping_entries"],
+        stats["setup_time"],
+    )
+
+
+def compare(n_buffers: int = 16, size: int = 256 * KiB) -> Dict[str, RegistrationStats]:
+    """Run both workflows with identical buffer sets."""
+    return {
+        "baseline": baseline_workflow(n_buffers, size),
+        "diomp": diomp_workflow(n_buffers, size),
+    }

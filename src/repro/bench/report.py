@@ -1,0 +1,87 @@
+"""Plain-text rendering of benchmark results.
+
+The harness prints the same quantities the paper's figures plot —
+latency in µs per message size, bandwidth in GB/s, log10 time ratios,
+speedups per GPU count — as aligned text tables, so ``pytest
+benchmarks/ -s`` reads like the evaluation section.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.util.units import format_bandwidth, format_bytes, format_time
+
+
+@dataclasses.dataclass
+class Series:
+    """One plotted line: (x, y) pairs plus labels."""
+
+    name: str
+    x: List[object]
+    y: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name}: x/y length mismatch")
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(h), *(len(r[i]) for r in self.rows)) if self.rows else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+def series_table(title: str, x_header: str, x_format: Callable, series: Sequence[Series], y_format: Callable = str) -> Table:
+    """Lay several series out as one table keyed by the shared x axis."""
+    table = Table(title, [x_header] + [s.name for s in series])
+    xs = series[0].x
+    for s in series:
+        if s.x != xs:
+            raise ValueError(f"series {s.name} has a different x axis")
+    for i, x in enumerate(xs):
+        table.add_row(x_format(x), *(y_format(s.y[i]) for s in series))
+    return table
+
+
+def fmt_us(seconds: float) -> str:
+    return f"{seconds * 1e6:.2f}"
+
+
+def fmt_gbs(bytes_per_second: float) -> str:
+    return f"{bytes_per_second / 1e9:.2f}"
+
+
+def fmt_ratio(value: float) -> str:
+    return f"{value:+.3f}"
+
+
+def fmt_speedup(value: float) -> str:
+    return f"{value:.2f}x"

@@ -1,0 +1,20 @@
+"""Cluster world and SPMD launch harness.
+
+:class:`~repro.cluster.world.World` instantiates everything a run
+needs — simulator, topology, fabric, one :class:`~repro.device.Device`
+per GPU, peer-access manager, tracer — and places *ranks* on nodes.
+:func:`~repro.cluster.spmd.run_spmd` is the ``mpiexec`` analogue: it
+spawns one simulated task per rank, runs the program to completion and
+returns results plus the elapsed virtual time.
+
+The paper's deployment flexibility (§3.3) maps to the launch
+parameters: ``ranks_per_node`` and ``devices_per_rank`` express both
+the conventional one-GPU-per-rank model and DiOMP's single-process
+multi-GPU model.
+"""
+
+from repro.cluster.world import World, RankContext
+from repro.cluster.spmd import run_spmd, SpmdResult
+from repro.cluster.memref import MemRef
+
+__all__ = ["World", "RankContext", "run_spmd", "SpmdResult", "MemRef"]

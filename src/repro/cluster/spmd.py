@@ -1,0 +1,46 @@
+"""The ``mpiexec`` analogue: run one program on every rank.
+
+``run_spmd(world, program, *args)`` spawns ``program(ctx, *args)`` as a
+simulated task per rank, drives the simulation to completion, and
+returns per-rank results together with the elapsed virtual time — the
+number every benchmark reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List
+
+from repro.cluster.world import RankContext, World
+
+
+@dataclasses.dataclass
+class SpmdResult:
+    """Outcome of one SPMD run."""
+
+    #: per-rank return values, indexed by rank
+    results: List[Any]
+    #: virtual seconds from launch to the last rank finishing
+    elapsed: float
+    #: the world, for post-run inspection (fabric stats, traces)
+    world: World
+
+
+def run_spmd(
+    world: World,
+    program: Callable[..., Any],
+    *args: Any,
+    name: str = "rank",
+) -> SpmdResult:
+    """Run ``program(ctx, *args)`` on every rank of ``world``.
+
+    The program receives its :class:`RankContext` first.  Any exception
+    in any rank aborts the run and propagates to the caller.  The world
+    is single-use (its simulator cannot restart).
+    """
+    tasks = [
+        world.sim.spawn(program, ctx, *args, name=f"{name}{ctx.rank}")
+        for ctx in world.ranks
+    ]
+    elapsed = world.sim.run()
+    return SpmdResult(results=[t.result for t in tasks], elapsed=elapsed, world=world)

@@ -1,0 +1,136 @@
+"""World construction and rank placement."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.device import Device, PeerAccessManager
+from repro.hardware.platforms import PlatformSpec
+from repro.hardware.topology import ClusterTopology, DeviceId
+from repro.network import Fabric
+from repro.sim import Barrier, Simulator, Tracer
+from repro.util.errors import ConfigurationError
+
+
+class RankContext:
+    """Everything one rank sees: its placement and its devices.
+
+    Communication layers attach their per-rank endpoints onto this
+    object at world construction (``ctx.mpi``, ``ctx.diomp``, ...), so
+    application code receives a single handle.
+    """
+
+    def __init__(self, world: "World", rank: int, node: int, devices: List[Device]) -> None:
+        self.world = world
+        self.rank = rank
+        self.node = node
+        self.devices = devices
+        #: populated by the communication layers when installed
+        self.mpi = None
+        self.diomp = None
+
+    @property
+    def nranks(self) -> int:
+        return len(self.world.ranks)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.world.sim
+
+    @property
+    def device(self) -> Device:
+        """The rank's primary device (first bound GPU)."""
+        return self.devices[0]
+
+    @property
+    def host(self) -> DeviceId:
+        return self.world.topology.host(self.node)
+
+    @property
+    def host_threads(self) -> int:
+        """CPU threads this rank's process may use (the node's cores
+        split across its ranks — §3.3's deployment trade-off)."""
+        cores = self.world.platform.node.cpu.cores
+        return max(1, cores // self.world.ranks_per_node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        devs = ",".join(str(d.device_id) for d in self.devices)
+        return f"<RankContext rank={self.rank} node={self.node} devices=[{devs}]>"
+
+
+class World:
+    """A fully wired simulated cluster plus rank placement.
+
+    ``ranks_per_node`` ranks are placed on each node; each rank is
+    bound to ``devices_per_rank`` consecutive GPUs.  The product must
+    not exceed the node's GPU count — exactly the constraint a real
+    job launcher enforces.
+    """
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        num_nodes: int,
+        ranks_per_node: Optional[int] = None,
+        devices_per_rank: int = 1,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if devices_per_rank <= 0:
+            raise ConfigurationError("devices_per_rank must be positive")
+        gpn = platform.gpus_per_node
+        if ranks_per_node is None:
+            ranks_per_node = gpn // devices_per_rank
+        if ranks_per_node <= 0:
+            raise ConfigurationError("ranks_per_node must be positive")
+        if ranks_per_node * devices_per_rank > gpn:
+            raise ConfigurationError(
+                f"{ranks_per_node} ranks x {devices_per_rank} devices "
+                f"exceed {gpn} GPUs per node"
+            )
+        self.platform = platform
+        self.sim = Simulator()
+        # Note: `tracer or Tracer()` would discard a provided-but-empty
+        # tracer (Tracer defines __len__), so test identity explicitly.
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.tracer.bind_clock(lambda: self.sim.now)
+        self.topology: ClusterTopology = platform.cluster(num_nodes)
+        self.fabric = Fabric(self.sim, self.topology, tracer=self.tracer)
+        self.peer_access = PeerAccessManager(self.topology)
+        #: one Device per physical GPU, keyed by DeviceId
+        self.devices: Dict[DeviceId, Device] = {
+            dev_id: Device(self.sim, dev_id, platform.node.gpu, tracer=self.tracer)
+            for dev_id in self.topology.all_gpus()
+        }
+        self.ranks_per_node = ranks_per_node
+        self.devices_per_rank = devices_per_rank
+        self.ranks: List[RankContext] = []
+        for node in range(num_nodes):
+            for lr in range(ranks_per_node):
+                first = lr * devices_per_rank
+                bound = [
+                    self.devices[self.topology.gpu(node, first + d)]
+                    for d in range(devices_per_rank)
+                ]
+                self.ranks.append(RankContext(self, len(self.ranks), node, bound))
+        #: world-wide rendezvous used by runtimes for init/teardown
+        self.global_barrier = Barrier(self.sim, len(self.ranks), name="world-barrier")
+
+    @property
+    def nranks(self) -> int:
+        return len(self.ranks)
+
+    def device_owner(self, dev_id: DeviceId) -> RankContext:
+        """The rank a GPU is bound to (for IPC-path bookkeeping)."""
+        for ctx in self.ranks:
+            if any(d.device_id == dev_id for d in ctx.devices):
+                return ctx
+        raise ConfigurationError(f"device {dev_id} is not bound to any rank")
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        return self.ranks[rank_a].node == self.ranks[rank_b].node
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<World platform={self.platform.name} nodes={self.topology.num_nodes} "
+            f"ranks={self.nranks} devices_per_rank={self.devices_per_rank}>"
+        )

@@ -1,0 +1,63 @@
+"""DiOMP-Offloading: the paper's primary contribution.
+
+The runtime that unifies PGAS global memory, OpenMP target offloading
+and collective communication over heterogeneous clusters:
+
+* :mod:`repro.core.allocator` — the linear-heap and buddy allocators
+  that subdivide the global segment (§3.1),
+* :mod:`repro.core.globalmem` — per-device global segments, symmetric
+  offset-translated allocation, base-address exchange (§3.2),
+* :mod:`repro.core.asymmetric` — second-level pointers and the remote
+  pointer cache for asymmetric allocation (§3.2, Fig. 2),
+* :mod:`repro.core.streams` — the stream pool: lazy allocation, reuse,
+  bounded concurrency with partial synchronization, hybrid event
+  polling (§3.2),
+* :mod:`repro.core.rma` — ``ompx_put``/``ompx_get``/``ompx_fence``
+  with topology-aware hierarchical path selection (§3.2),
+* :mod:`repro.core.group` — DiOMP Groups (``ompx_group_t``): create,
+  merge, split; group-scoped synchronization (§3.3),
+* :mod:`repro.core.ompccl` — OMPCCL, the portable collective layer
+  over NCCL/RCCL (§3.3),
+* :mod:`repro.core.plugin` — the libomptarget plugin that redirects
+  OpenMP device allocations into the global segment (Fig. 1b),
+* :mod:`repro.core.runtime` — :class:`DiompRuntime` /
+  :class:`Diomp`: the user-facing ``ompx_*`` API,
+* :mod:`repro.core.directives` — the ``#pragma ompx`` prototype
+  front-end.
+"""
+
+from repro.core.allocator import LinearAllocator, BuddyAllocator
+from repro.core.globalmem import (
+    GlobalSegment,
+    GlobalBuffer,
+    HostSegment,
+    HostGlobalBuffer,
+)
+from repro.core.asymmetric import AsymmetricBuffer, RemotePointerCache
+from repro.core.streams import StreamPool, StreamPoolParams
+from repro.core.group import DiompGroup
+from repro.core.ompccl import Ompccl
+from repro.core.plugin import DiompPlugin
+from repro.core.runtime import DiompRuntime, Diomp, DiompParams
+from repro.core.directives import parse_pragma, execute_pragma
+
+__all__ = [
+    "LinearAllocator",
+    "BuddyAllocator",
+    "GlobalSegment",
+    "GlobalBuffer",
+    "HostSegment",
+    "HostGlobalBuffer",
+    "AsymmetricBuffer",
+    "RemotePointerCache",
+    "StreamPool",
+    "StreamPoolParams",
+    "DiompGroup",
+    "Ompccl",
+    "DiompPlugin",
+    "DiompRuntime",
+    "Diomp",
+    "DiompParams",
+    "parse_pragma",
+    "execute_pragma",
+]

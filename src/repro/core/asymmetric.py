@@ -1,0 +1,118 @@
+"""Asymmetric allocation: second-level pointers and the remote cache.
+
+When ranks allocate *different* sizes (§3.2, Fig. 2 "as-1"), the
+offset-translation invariant breaks.  DiOMP's solution:
+
+* a **second-level pointer** — a 32-byte wrapper allocated
+  *symmetrically* (so its offset translates) whose value is the device
+  address of the rank's actual, non-uniform data block;
+* remote access becomes two steps — fetch the remote wrapper's value,
+  then move the data — so DiOMP adds a **remote pointer cache**
+  mapping ``(buffer, target_rank) → data address``.  Because
+  allocation and deallocation are centrally managed, a cache entry is
+  valid for the lifetime of the allocation; the runtime drops entries
+  at free time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.memref import MemRef
+from repro.device.memory import DeviceBuffer
+from repro.util.errors import AllocationError
+
+#: size of the uniformly allocated pointer wrapper (paper: 32 bytes)
+SECOND_LEVEL_POINTER_BYTES = 32
+
+_handle_ids = itertools.count()
+
+
+class AsymmetricBuffer:
+    """One rank's handle on an asymmetric global allocation."""
+
+    def __init__(
+        self,
+        rank: int,
+        device_num: int,
+        slot_offset: int,
+        sizes: Tuple[int, ...],
+        data: Optional[DeviceBuffer],
+        data_addresses: Tuple[int, ...],
+        handle_id: Optional[int] = None,
+    ) -> None:
+        self.rank = rank
+        self.device_num = device_num
+        #: symmetric offset of the 32-byte second-level pointer slot
+        self.slot_offset = slot_offset
+        #: per-rank data sizes (asymmetric by definition)
+        self.sizes = sizes
+        #: this rank's data block (None when it allocated zero bytes)
+        self.data = data
+        #: per-rank device addresses of the data blocks (exchanged at
+        #: allocation time by the runtime's central bookkeeping)
+        self.data_addresses = data_addresses
+        self.handle_id = next(_handle_ids) if handle_id is None else handle_id
+        self.freed = False
+
+    @property
+    def size(self) -> int:
+        """This rank's own data size."""
+        return self.sizes[self.rank]
+
+    def size_on(self, rank: int) -> int:
+        if not 0 <= rank < len(self.sizes):
+            raise AllocationError(f"rank {rank} out of range")
+        return self.sizes[rank]
+
+    def memref(self, offset: int = 0, nbytes: int = -1) -> MemRef:
+        if self.freed:
+            raise AllocationError("use of a freed AsymmetricBuffer")
+        if self.data is None:
+            raise AllocationError(f"rank {self.rank} allocated zero bytes here")
+        if nbytes < 0:
+            nbytes = self.size - offset
+        return MemRef.device(self.data, offset=offset, nbytes=nbytes)
+
+    def typed(self, dtype, count: int = -1, offset: int = 0):
+        if self.data is None:
+            raise AllocationError(f"rank {self.rank} allocated zero bytes here")
+        return self.data.as_array(dtype, count=count, offset=offset)
+
+
+class RemotePointerCache:
+    """Per-rank cache of fetched second-level pointer values."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._entries: Dict[Tuple[int, int], int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, handle_id: int, target_rank: int) -> Optional[int]:
+        """Cached remote data address, or None (miss counted)."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        addr = self._entries.get((handle_id, target_rank))
+        if addr is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return addr
+
+    def insert(self, handle_id: int, target_rank: int, address: int) -> None:
+        if self.enabled:
+            self._entries[(handle_id, target_rank)] = address
+
+    def invalidate_handle(self, handle_id: int) -> int:
+        """Drop every entry of one allocation (called at central free);
+        returns the number of entries removed."""
+        stale = [k for k in self._entries if k[0] == handle_id]
+        for k in stale:
+            del self._entries[k]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,142 @@
+"""``#pragma ompx`` prototype front-end (§3.3).
+
+The paper prototypes directives such as::
+
+    #pragma ompx target device_bcast(var, group)
+
+alongside the equivalent C API.  This module is the Python analogue of
+that compiler extension: it parses the pragma text and dispatches to
+the runtime, so examples can be written in either style (pragma string
+or direct ``ompx_*`` call), mirroring the paper's dual interface.
+
+Supported directives::
+
+    #pragma ompx target device_bcast(var[, group][, root=R])
+    #pragma ompx target device_allreduce(send, recv[, group])
+    #pragma ompx target device_reduce(send, recv[, group][, root=R])
+    #pragma ompx barrier[(group)]
+    #pragma ompx fence
+
+``var``/``group`` names are looked up in the caller-provided
+environment dict (the "symbol table").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.errors import ConfigurationError
+
+_PRAGMA_RE = re.compile(
+    r"^\s*#\s*pragma\s+ompx\s+(?P<body>.+?)\s*$", re.IGNORECASE
+)
+_CALL_RE = re.compile(r"^(?P<name>\w+)\s*(?:\((?P<args>.*)\))?$")
+
+_KNOWN = {
+    "device_bcast": (1, 3),
+    "device_allreduce": (2, 3),
+    "device_reduce": (2, 4),
+    "barrier": (0, 1),
+    "fence": (0, 0),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Pragma:
+    """A parsed ``#pragma ompx`` directive."""
+
+    directive: str
+    args: Tuple[str, ...]
+    kwargs: Dict[str, str]
+
+
+def parse_pragma(text: str) -> Pragma:
+    """Parse a pragma line; raises on anything malformed or unknown."""
+    m = _PRAGMA_RE.match(text)
+    if m is None:
+        raise ConfigurationError(f"not an ompx pragma: {text!r}")
+    body = m.group("body").strip()
+    # The `target` keyword is optional noise for collective directives.
+    if body.lower().startswith("target "):
+        body = body[len("target ") :].strip()
+    call = _CALL_RE.match(body)
+    if call is None:
+        raise ConfigurationError(f"malformed ompx directive: {body!r}")
+    name = call.group("name").lower()
+    if name not in _KNOWN:
+        raise ConfigurationError(
+            f"unknown ompx directive {name!r}; supported: {sorted(_KNOWN)}"
+        )
+    args: List[str] = []
+    kwargs: Dict[str, str] = {}
+    raw = call.group("args")
+    if raw:
+        for piece in raw.split(","):
+            piece = piece.strip()
+            if not piece:
+                raise ConfigurationError(f"empty argument in {text!r}")
+            if "=" in piece:
+                k, v = (s.strip() for s in piece.split("=", 1))
+                kwargs[k] = v
+            else:
+                if kwargs:
+                    raise ConfigurationError(
+                        f"positional argument after keyword in {text!r}"
+                    )
+                args.append(piece)
+    lo, hi = _KNOWN[name]
+    if not lo <= len(args) + len(kwargs) <= hi:
+        raise ConfigurationError(
+            f"{name} takes {lo}..{hi} arguments, got {len(args) + len(kwargs)}"
+        )
+    return Pragma(name, tuple(args), kwargs)
+
+
+def execute_pragma(diomp, text: str, env: Optional[Dict[str, object]] = None) -> None:
+    """Parse and run a pragma against a rank's ``Diomp`` handle.
+
+    ``env`` maps variable names appearing in the pragma to runtime
+    objects (GlobalBuffers, MemRefs, groups).
+    """
+    env = env or {}
+    pragma = parse_pragma(text)
+
+    def resolve(name: str):
+        try:
+            return env[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"pragma references {name!r} which is not in the environment"
+            ) from None
+
+    def group_arg(index: int):
+        if len(pragma.args) > index:
+            return resolve(pragma.args[index])
+        if "group" in pragma.kwargs:
+            return resolve(pragma.kwargs["group"])
+        return None
+
+    def root_arg() -> int:
+        return int(pragma.kwargs.get("root", 0))
+
+    if pragma.directive == "device_bcast":
+        diomp.bcast(resolve(pragma.args[0]), root_rank=root_arg(), group=group_arg(1))
+    elif pragma.directive == "device_allreduce":
+        diomp.allreduce(
+            resolve(pragma.args[0]), resolve(pragma.args[1]), group=group_arg(2)
+        )
+    elif pragma.directive == "device_reduce":
+        diomp.reduce(
+            resolve(pragma.args[0]),
+            resolve(pragma.args[1]),
+            root_rank=root_arg(),
+            group=group_arg(2),
+        )
+    elif pragma.directive == "barrier":
+        diomp.barrier(group=group_arg(0))
+    elif pragma.directive == "fence":
+        diomp.fence()
+    else:  # pragma: no cover - parse_pragma guards
+        raise ConfigurationError(f"unhandled directive {pragma.directive}")

@@ -1,0 +1,278 @@
+"""One-sided RMA with hierarchical path selection (§3.2).
+
+``ompx_put``/``ompx_get`` resolve the remote address (symmetric offset
+translation, or the second-level-pointer protocol for asymmetric
+buffers) and then pick the best physical path:
+
+* **inter-node** → the conduit (GASNet-EX or GPI-2) one-sided path,
+* **intra-node, different process** → IPC: the first access to a
+  peer's segment opens an IPC memory handle (one-time driver cost,
+  then cached), after which transfers ride the direct NVLink/xGMI or
+  PCIe path — never the NIC,
+* **intra-node, same process, different device** → GPUDirect P2P:
+  peer access is enabled once per ordered pair, then direct transfers,
+* **same device** → a stream-ordered local copy.
+
+Device-side operations occupy streams from the rank's
+:class:`~repro.core.streams.StreamPool` (lazy/reused/bounded);
+``ompx_fence`` drains network events and streams together through the
+pool's hybrid polling loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.memref import MemRef
+from repro.core.asymmetric import AsymmetricBuffer
+from repro.core.globalmem import GlobalBuffer, HostGlobalBuffer
+from repro.hardware.topology import PathKind
+from repro.util.errors import CommunicationError
+
+#: put/get targets: symmetric device buffer, host buffer, asymmetric
+#: buffer, or raw address
+RmaTarget = Union[GlobalBuffer, HostGlobalBuffer, AsymmetricBuffer, int]
+
+
+class _FutureEvent:
+    """Adapts a sim Future to the conduit event interface."""
+
+    def __init__(self, future) -> None:
+        self._future = future
+
+    def test(self) -> bool:
+        return self._future.poll()
+
+    def wait(self):
+        return self._future.wait()
+
+
+class DiompRma:
+    """Per-rank RMA engine."""
+
+    def __init__(self, diomp) -> None:
+        self.diomp = diomp
+        #: outstanding (target_rank, event) pairs drained by fences
+        self._outstanding: List[Tuple[int, object]] = []
+        #: (target_rank, device_num) pairs whose segment IPC handle is open
+        self._ipc_opened: Set[Tuple[int, int]] = set()
+        #: ordered device pairs with peer access enabled by this rank
+        self._peer_enabled: Set[Tuple[object, object]] = set()
+        # -- statistics --
+        self.puts = 0
+        self.gets = 0
+        self.ipc_opens = 0
+        self.pointer_fetches = 0
+
+    # -- address resolution -------------------------------------------------------
+
+    def _remote_address(
+        self,
+        target_rank: int,
+        target: RmaTarget,
+        target_offset: int,
+        nbytes: int,
+        device_num: int,
+    ) -> int:
+        runtime = self.diomp.runtime
+        if isinstance(target, int):
+            return target + target_offset
+        if isinstance(target, GlobalBuffer):
+            if target.freed:
+                raise CommunicationError("RMA on a freed GlobalBuffer")
+            if target_offset + nbytes > target.size:
+                raise CommunicationError(
+                    f"RMA range [{target_offset}, +{nbytes}) exceeds buffer "
+                    f"of {target.size} bytes"
+                )
+            seg = runtime.segment_of(target_rank, target.device_num)
+            return seg.address_of(target.offset + target_offset)
+        if isinstance(target, HostGlobalBuffer):
+            if target.freed:
+                raise CommunicationError("RMA on a freed HostGlobalBuffer")
+            if target_offset + nbytes > target.size:
+                raise CommunicationError(
+                    f"RMA range [{target_offset}, +{nbytes}) exceeds host "
+                    f"buffer of {target.size} bytes"
+                )
+            hseg = runtime.host_segment_of(target_rank)
+            return hseg.address_of(target.offset + target_offset)
+        if isinstance(target, AsymmetricBuffer):
+            return self._resolve_asymmetric(target, target_rank, target_offset, nbytes)
+        raise CommunicationError(f"unsupported RMA target {type(target).__name__}")
+
+    def _resolve_asymmetric(
+        self, target: AsymmetricBuffer, target_rank: int, offset: int, nbytes: int
+    ) -> int:
+        """The two-step protocol: dereference the remote second-level
+        pointer (cached), then address the data block."""
+        if target.freed:
+            raise CommunicationError("RMA on a freed AsymmetricBuffer")
+        if offset + nbytes > target.size_on(target_rank):
+            raise CommunicationError(
+                f"RMA range [{offset}, +{nbytes}) exceeds rank {target_rank}'s "
+                f"asymmetric block of {target.size_on(target_rank)} bytes"
+            )
+        cache = self.diomp.pointer_cache
+        data_addr = cache.lookup(target.handle_id, target_rank)
+        if data_addr is None:
+            # First step: fetch the 8-byte pointer value from the
+            # symmetric slot on the target (a real network get).
+            runtime = self.diomp.runtime
+            seg = runtime.segment_of(target_rank, target.device_num)
+            slot_addr = seg.address_of(target.slot_offset)
+            scratch = np.zeros(8, dtype=np.uint8)
+            event = self.diomp.client.get_nb(
+                target_rank, slot_addr, MemRef.host(self.diomp.ctx.node, scratch)
+            )
+            event.wait()
+            self.pointer_fetches += 1
+            data_addr = target.data_addresses[target_rank]
+            cache.insert(target.handle_id, target_rank, data_addr)
+        return data_addr + offset
+
+    # -- data movement -----------------------------------------------------------
+
+    def put(
+        self,
+        target_rank: int,
+        target: RmaTarget,
+        src: MemRef,
+        target_offset: int = 0,
+        device_num: int = 0,
+    ) -> None:
+        """``ompx_put``: one-sided, completes at the next fence."""
+        self._rma("put", target_rank, target, src, target_offset, device_num)
+        self.puts += 1
+
+    def get(
+        self,
+        target_rank: int,
+        target: RmaTarget,
+        dst: MemRef,
+        target_offset: int = 0,
+        device_num: int = 0,
+    ) -> None:
+        """``ompx_get``: one-sided fetch, completes at the next fence."""
+        self._rma("get", target_rank, target, dst, target_offset, device_num)
+        self.gets += 1
+
+    def _rma(
+        self,
+        op: str,
+        target_rank: int,
+        target: RmaTarget,
+        local: MemRef,
+        target_offset: int,
+        device_num: int,
+    ) -> None:
+        diomp = self.diomp
+        world = diomp.runtime.world
+        if not 0 <= target_rank < world.nranks:
+            raise CommunicationError(f"rank {target_rank} out of range")
+        addr = self._remote_address(
+            target_rank, target, target_offset, local.nbytes, device_num
+        )
+        if (
+            world.same_node(diomp.rank, target_rank)
+            and diomp.runtime.params.hierarchical_paths
+            and not isinstance(target, HostGlobalBuffer)
+        ):
+            self._intra_node(op, target_rank, addr, local, device_num)
+        else:
+            client = diomp.client
+            if op == "put":
+                event = client.put_nb(target_rank, addr, local)
+            else:
+                event = client.get_nb(target_rank, addr, local)
+            self._outstanding.append((target_rank, event))
+
+    def _intra_node(
+        self, op: str, target_rank: int, addr: int, local: MemRef, device_num: int
+    ) -> None:
+        """IPC / GPUDirect-P2P path: direct device-to-device transfer
+        that never touches the NIC."""
+        diomp = self.diomp
+        world = diomp.runtime.world
+        remote_seg = diomp.runtime.segment_of(target_rank, device_num)
+        buffer, buf_offset = remote_seg.device.memory.resolve(addr)
+        if buf_offset + local.nbytes > buffer.size:
+            raise CommunicationError("intra-node RMA range spans allocations")
+        remote = MemRef.device(buffer, offset=buf_offset, nbytes=local.nbytes)
+        params = diomp.runtime.params
+        if target_rank != diomp.rank:
+            # Cross-process on one node: IPC handle, opened once.
+            key = (target_rank, device_num)
+            if key not in self._ipc_opened:
+                diomp.ctx.sim.sleep(world.platform.node.gpu.ipc_open_overhead)
+                self._ipc_opened.add(key)
+                self.ipc_opens += 1
+        else:
+            # Same process, another bound device: GPUDirect peer access.
+            src_dev = local.endpoint
+            dst_dev = remote.endpoint
+            if src_dev != dst_dev:
+                pair = (src_dev, dst_dev)
+                if pair not in self._peer_enabled:
+                    path = world.topology.path(src_dev, dst_dev)
+                    if path.kind is PathKind.PEER_DIRECT and path.peer_capable:
+                        world.peer_access.ensure_enabled(src_dev, dst_dev)
+                        diomp.ctx.sim.sleep(params.peer_enable_overhead)
+                    self._peer_enabled.add(pair)
+        if op == "put":
+            src_ref, dst_ref = local, remote
+        else:
+            src_ref, dst_ref = remote, local
+        fut = world.fabric.transfer(
+            src_ref.endpoint,
+            dst_ref.endpoint,
+            local.nbytes,
+            operation=op,
+            gpu_memory=True,
+            on_complete=lambda: dst_ref.copy_from(src_ref),
+            extra_latency=params.ipc_op_overhead,
+        )
+        # The transfer occupies a pooled stream (the device DMA engine)
+        # for its unloaded duration; the fence drains both.
+        pool = diomp.pool_for_endpoint(local.endpoint)
+        stream = pool.acquire()
+        est = world.fabric.unloaded_time(
+            src_ref.endpoint, dst_ref.endpoint, local.nbytes, operation=op
+        )
+        stream.enqueue(est, label=f"diomp-{op}")
+        self._outstanding.append((target_rank, _FutureEvent(fut)))
+
+    # -- completion --------------------------------------------------------------
+
+    def fence(self, device_num: int = 0, group=None) -> int:
+        """``ompx_fence``: complete outstanding RMA issued by this rank.
+
+        With a :class:`~repro.core.group.DiompGroup`, only operations
+        targeting the group's members are completed (the paper's
+        group-scoped fence, §3.3); operations to other ranks remain in
+        flight.  Returns the number of hybrid-poll iterations.
+        """
+        if group is None:
+            events, self._outstanding = self._outstanding, []
+        else:
+            events = [
+                (rank, ev)
+                for rank, ev in self._outstanding
+                if group.contains(rank)
+            ]
+            self._outstanding = [
+                (rank, ev)
+                for rank, ev in self._outstanding
+                if not group.contains(rank)
+            ]
+        pool = self.diomp.stream_pool(device_num)
+        return pool.hybrid_fence([ev for _rank, ev in events])
+
+    @property
+    def pending_ops(self) -> int:
+        self._outstanding = [
+            (rank, ev) for rank, ev in self._outstanding if not ev.test()
+        ]
+        return len(self._outstanding)

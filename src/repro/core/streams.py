@@ -1,0 +1,167 @@
+"""Stream pool: the paper's event/stream management strategy (§3.2).
+
+Four techniques, all ablatable via :class:`StreamPoolParams`:
+
+* **lazy allocation** — streams are created on demand, never
+  preallocated,
+* **stream reuse** — idle pool streams are reused instead of created,
+* **bounded concurrency** — at most ``max_active_streams`` streams are
+  live; hitting the bound triggers *partial synchronization*: only the
+  completed/soonest half is synchronized and released while the rest
+  keep running, sustaining pipeline throughput,
+* **hybrid event polling** — ``ompx_fence`` polls network events and
+  device stream completions in one coordinated loop so neither side
+  stalls the other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.device.driver import Device
+from repro.device.stream import Stream
+from repro.sim import Simulator, Tracer
+from repro.util.errors import ConfigurationError
+from repro.util.units import US
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamPoolParams:
+    """Tuning knobs (the paper's MAX_ACTIVE_STREAMS policy)."""
+
+    max_active_streams: int = 8
+    #: fraction of busy streams released by one partial synchronization
+    partial_sync_fraction: float = 0.5
+    #: ablation switch: disable reuse (always create up to the bound)
+    reuse: bool = True
+    #: cost of one poll iteration in the hybrid fence loop
+    poll_cost: float = 0.05 * US
+
+    def __post_init__(self) -> None:
+        if self.max_active_streams <= 0:
+            raise ConfigurationError("max_active_streams must be positive")
+        if not (0.0 < self.partial_sync_fraction <= 1.0):
+            raise ConfigurationError("partial_sync_fraction must be in (0, 1]")
+
+
+class StreamPool:
+    """Per-device pool of communication streams."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: Device,
+        params: Optional[StreamPoolParams] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.params = params or StreamPoolParams()
+        self.tracer = tracer
+        self._idle: List[Stream] = []
+        self._busy: List[Stream] = []
+        # -- statistics inspected by tests and the ablation bench --
+        self.created = 0
+        self.reused = 0
+        self.partial_syncs = 0
+        self.poll_iterations = 0
+
+    @property
+    def active_count(self) -> int:
+        return len(self._idle) + len(self._busy)
+
+    def acquire(self) -> Stream:
+        """Get a stream for one operation.
+
+        Order of preference: reuse an idle stream → lazily create below
+        the bound → partial-synchronize and reuse.
+        """
+        self._reclaim_idle()
+        if self.params.reuse and self._idle:
+            stream = self._idle.pop()
+            self._busy.append(stream)
+            self.reused += 1
+            return stream
+        if self.active_count < self.params.max_active_streams:
+            stream = self.device.create_stream()
+            self._busy.append(stream)
+            self.created += 1
+            if self.tracer is not None:
+                self.tracer.emit("streams", "create", device=str(self.device.device_id))
+            return stream
+        self._partial_synchronize()
+        if not self._idle:  # pragma: no cover - partial sync always frees ≥1
+            raise ConfigurationError("partial synchronization freed no stream")
+        stream = self._idle.pop()
+        self._busy.append(stream)
+        self.reused += 1
+        return stream
+
+    def _reclaim_idle(self) -> None:
+        """Move streams whose work has drained back to the idle list."""
+        still_busy = []
+        for stream in self._busy:
+            (self._idle if stream.idle else still_busy).append(stream)
+        self._busy = still_busy
+
+    def _partial_synchronize(self) -> None:
+        """The MAX_ACTIVE_STREAMS policy: synchronize and release only
+        a fraction of the busy streams — the ones completing soonest —
+        while the others keep executing."""
+        self.partial_syncs += 1
+        if self.tracer is not None:
+            self.tracer.emit("streams", "partial_sync", busy=len(self._busy))
+        self._busy.sort(key=lambda s: s.available_at)
+        count = max(1, int(len(self._busy) * self.params.partial_sync_fraction))
+        to_sync, self._busy = self._busy[:count], self._busy[count:]
+        for stream in to_sync:
+            stream.synchronize()
+            self._idle.append(stream)
+
+    def synchronize_all(self) -> None:
+        """Drain every stream (full fence)."""
+        self._reclaim_idle()
+        for stream in self._busy:
+            stream.synchronize()
+        self._idle.extend(self._busy)
+        self._busy = []
+
+    # -- hybrid event polling ---------------------------------------------------
+
+    def hybrid_fence(self, network_events: Sequence[object]) -> int:
+        """The unified polling loop of ``ompx_fence``.
+
+        Polls GASNet/GPI-2 events (objects with ``test()``/``wait()``)
+        and device stream completions together: each pass tests
+        everything that is still pending, then blocks on the *earliest*
+        remaining completion rather than serializing on issue order.
+        Returns the number of poll iterations (traced for the ablation
+        bench).
+        """
+        pending_events = [e for e in network_events if not e.test()]
+        self._reclaim_idle()
+        iterations = 0
+        while pending_events or self._busy:
+            iterations += 1
+            self.poll_iterations += 1
+            self.sim.sleep(self.params.poll_cost)
+            pending_events = [e for e in pending_events if not e.test()]
+            self._reclaim_idle()
+            if not pending_events and not self._busy:
+                break
+            # Block on whichever side completes first.
+            next_stream = min(
+                (s for s in self._busy), key=lambda s: s.available_at, default=None
+            )
+            if next_stream is not None and (
+                not pending_events
+                or next_stream.available_at <= self.sim.now
+            ):
+                next_stream.synchronize()
+            elif pending_events:
+                pending_events[0].wait()
+                pending_events = pending_events[1:]
+        if self.tracer is not None:
+            self.tracer.emit("streams", "hybrid_fence", iterations=iterations)
+        return iterations

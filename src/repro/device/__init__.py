@@ -1,0 +1,40 @@
+"""Simulated GPU device runtime (the CUDA Driver / HSA substitute).
+
+The paper's runtime sits on the CUDA Driver API / HSA runtime; here we
+provide the equivalent pieces in simulation:
+
+* :mod:`repro.device.memory` — per-device byte-addressed memory with
+  *real* (numpy-backed) or *virtual* (size-only) allocations,
+* :mod:`repro.device.stream` — in-order streams and device events in
+  virtual time,
+* :mod:`repro.device.kernel` — kernel launches with calibrated cost
+  models and optional host implementations for correctness checks,
+* :mod:`repro.device.ipc` — CUDA/HIP-style IPC memory handles,
+* :mod:`repro.device.driver` — the per-device facade
+  (:class:`Device`) plus peer-access management
+  (``cudaDeviceEnablePeerAccess`` equivalent).
+
+The distinction between real and virtual backing is what lets the same
+application code run small problems with verified numerics and
+paper-scale problems with pure time modelling.
+"""
+
+from repro.device.memory import DeviceBuffer, DeviceMemorySpace
+from repro.device.stream import Stream, DeviceEvent
+from repro.device.kernel import KernelCost, Kernel, gemm_cost, stencil_cost
+from repro.device.ipc import IpcHandle
+from repro.device.driver import Device, PeerAccessManager
+
+__all__ = [
+    "DeviceBuffer",
+    "DeviceMemorySpace",
+    "Stream",
+    "DeviceEvent",
+    "KernelCost",
+    "Kernel",
+    "gemm_cost",
+    "stencil_cost",
+    "IpcHandle",
+    "Device",
+    "PeerAccessManager",
+]

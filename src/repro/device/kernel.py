@@ -1,0 +1,96 @@
+"""Kernel launches with calibrated cost models.
+
+A :class:`Kernel` bundles a *cost function* (flops/bytes → duration on
+a given GPU spec) with an optional *host implementation* that performs
+the real computation on numpy views at completion time.  The dual-mode
+design is the substitution documented in DESIGN.md: small problems run
+the host implementation so tests verify numerics; paper-scale problems
+skip it (virtual buffers) and contribute timing only.
+
+The duration model is the standard roofline:
+
+    ``t = max(flops / (peak_flops * efficiency), bytes / mem_bandwidth)``
+
+plus the per-launch overhead from the GPU spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+from repro.hardware.specs import GPUSpec
+from repro.util.errors import DeviceError
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelCost:
+    """Work metadata for one kernel launch."""
+
+    flops: float
+    bytes_moved: float
+    #: fraction of peak the kernel sustains (occupancy, cache behaviour)
+    efficiency: float = 0.75
+    #: use the matrix-engine peak rather than the vector FP64 peak
+    use_gemm_peak: bool = False
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_moved < 0:
+            raise DeviceError("negative kernel work")
+        if not (0.0 < self.efficiency <= 1.0):
+            raise DeviceError(f"efficiency must be in (0, 1], got {self.efficiency}")
+
+    def duration_on(self, gpu: GPUSpec) -> float:
+        """Roofline execution time on ``gpu`` (excluding launch overhead)."""
+        peak = gpu.gemm_flops if self.use_gemm_peak else gpu.fp64_flops
+        compute_time = self.flops / (peak * self.efficiency)
+        memory_time = self.bytes_moved / gpu.mem_bandwidth
+        return max(compute_time, memory_time)
+
+
+@dataclasses.dataclass(frozen=True)
+class Kernel:
+    """A launchable kernel: cost model + optional host implementation."""
+
+    name: str
+    #: maps launch args to a KernelCost
+    cost: Callable[..., KernelCost]
+    #: optional host-side implementation run at completion (real mode)
+    host_fn: Optional[Callable[..., None]] = None
+
+
+# ---------------------------------------------------------------------------
+# Cost helpers used by the evaluation applications
+# ---------------------------------------------------------------------------
+
+
+def gemm_cost(m: int, n: int, k: int, itemsize: int = 8, efficiency: float = 0.85) -> KernelCost:
+    """Cost of a dense ``C += A(mxk) @ B(kxn)`` on the matrix engine.
+
+    Efficiency defaults to 85% of the tensor/matrix-core peak, typical
+    for large vendor-library DGEMM.  Small blocks sustain less; callers
+    model that by passing a lower efficiency.
+    """
+    if min(m, n, k) <= 0:
+        raise DeviceError(f"invalid GEMM shape {(m, n, k)}")
+    flops = 2.0 * m * n * k
+    bytes_moved = float(itemsize) * (m * k + k * n + 2 * m * n)
+    return KernelCost(flops, bytes_moved, efficiency=efficiency, use_gemm_peak=True)
+
+
+def stencil_cost(
+    points: int,
+    flops_per_point: float = 61.0,
+    bytes_per_point: float = 40.0,
+    efficiency: float = 0.70,
+) -> KernelCost:
+    """Cost of one high-order stencil sweep (Minimod's 8th-order
+    acoustic-isotropic kernel: ~61 flops and ~5 stencil reads/point
+    after cache reuse)."""
+    if points <= 0:
+        raise DeviceError(f"invalid stencil size {points}")
+    return KernelCost(
+        flops=points * flops_per_point,
+        bytes_moved=points * bytes_per_point,
+        efficiency=efficiency,
+    )

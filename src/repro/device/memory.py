@@ -1,0 +1,274 @@
+"""Per-device memory: allocations, addressing, and byte access.
+
+Each simulated device owns a flat byte-addressed space.  Allocations
+are contiguous address ranges; an allocation is either *real* (backed
+by a numpy ``uint8`` array, supporting reads/writes and typed views)
+or *virtual* (size-only, for paper-scale problems where only timing
+matters).  Addresses are plain integers, so pointer arithmetic — the
+bread and butter of the PGAS offset translation in §3.2 — works
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.util.errors import AllocationError, DeviceError
+
+
+class DeviceBuffer:
+    """One device allocation: an address range, optionally numpy-backed.
+
+    ``address`` is the device virtual address of the first byte.  Typed
+    access goes through :meth:`as_array`; raw access through
+    :meth:`read`/:meth:`write`.  Virtual buffers reject data access but
+    participate fully in timing and address arithmetic.
+    """
+
+    def __init__(
+        self,
+        space: "DeviceMemorySpace",
+        address: int,
+        size: int,
+        backing: Optional[np.ndarray],
+        label: str = "",
+    ) -> None:
+        self.space = space
+        self.address = address
+        self.size = size
+        self._backing = backing
+        self.label = label
+        self.freed = False
+        #: True for allocations placed inside a reservation
+        self.placed = False
+
+    @property
+    def is_virtual(self) -> bool:
+        return self._backing is None
+
+    @property
+    def end(self) -> int:
+        """One past the last byte (exclusive upper address)."""
+        return self.address + self.size
+
+    def _check_access(self, offset: int, nbytes: int) -> None:
+        if self.freed:
+            raise DeviceError(f"use-after-free on buffer {self.label or self.address:#x}")
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise DeviceError(
+                f"out-of-bounds access: offset={offset} nbytes={nbytes} "
+                f"size={self.size}"
+            )
+
+    def _require_real(self) -> np.ndarray:
+        if self._backing is None:
+            raise DeviceError(
+                f"data access to virtual buffer {self.label or hex(self.address)}; "
+                "virtual allocations carry timing only"
+            )
+        return self._backing
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Copy ``nbytes`` out of the buffer (host-side observer)."""
+        self._check_access(offset, nbytes)
+        return self._require_real()[offset : offset + nbytes].tobytes()
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Copy raw bytes into the buffer."""
+        self._check_access(offset, len(data))
+        self._require_real()[offset : offset + len(data)] = np.frombuffer(
+            data, dtype=np.uint8
+        )
+
+    def as_array(self, dtype: np.dtype, count: int = -1, offset: int = 0) -> np.ndarray:
+        """A typed numpy *view* over (part of) the buffer — no copy.
+
+        With ``count=-1`` the view spans to the end of the buffer.
+        """
+        dtype = np.dtype(dtype)
+        if count == -1:
+            count = (self.size - offset) // dtype.itemsize
+        nbytes = count * dtype.itemsize
+        self._check_access(offset, nbytes)
+        raw = self._require_real()[offset : offset + nbytes]
+        return raw.view(dtype)
+
+    def copy_within_device(
+        self, dst_offset: int, src: "DeviceBuffer", src_offset: int, nbytes: int
+    ) -> None:
+        """Device-local copy (the data plane of a D2D memcpy).
+
+        Both buffers must live on the same device space.  Virtual
+        endpoints make the copy a timing-only no-op — mixed real/virtual
+        is rejected to avoid silently dropping data.
+        """
+        if src.space is not self.space:
+            raise DeviceError("copy_within_device across devices; use the fabric")
+        self._check_access(dst_offset, nbytes)
+        src._check_access(src_offset, nbytes)
+        if self.is_virtual and src.is_virtual:
+            return
+        if self.is_virtual or src.is_virtual:
+            raise DeviceError("cannot copy between real and virtual buffers")
+        dst_view = self._backing[dst_offset : dst_offset + nbytes]
+        src_view = src._backing[src_offset : src_offset + nbytes]
+        dst_view[:] = src_view
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "virtual" if self.is_virtual else "real"
+        return f"<DeviceBuffer {self.label or ''}@{self.address:#x} size={self.size} {kind}>"
+
+
+class DeviceMemorySpace:
+    """The flat address space of one device.
+
+    A bump allocator hands out non-overlapping address ranges (the
+    richer heap/buddy allocators of DiOMP live in :mod:`repro.core` and
+    subdivide a single big segment allocated here, exactly as the paper
+    subdivides the GASNet segment).  Freed ranges are not recycled at
+    this level — device memory capacity accounting uses live bytes, so
+    long-running simulations do not leak capacity.
+    """
+
+    #: device allocations start at this address (mimics a driver VA base)
+    BASE_ADDRESS = 0x7F00_0000_0000
+    #: spacing between device address spaces (unified-VA style: every
+    #: device's range is globally distinct, as under CUDA UVA)
+    _SPACE_STRIDE = 1 << 40
+    _next_space_index = 0
+
+    def __init__(self, capacity: int, device_name: str = "dev") -> None:
+        if capacity <= 0:
+            raise AllocationError(f"capacity must be positive, got {capacity}")
+        if capacity >= self._SPACE_STRIDE:
+            raise AllocationError("capacity exceeds the per-device VA stride")
+        self.capacity = capacity
+        self.device_name = device_name
+        #: DeviceId, bound by the owning Device (None for bare spaces)
+        self.device_id = None
+        self.live_bytes = 0
+        self._next_address = (
+            self.BASE_ADDRESS
+            + DeviceMemorySpace._next_space_index * self._SPACE_STRIDE
+        )
+        DeviceMemorySpace._next_space_index += 1
+        #: sorted allocation start addresses, for address->buffer lookup
+        self._starts: List[int] = []
+        self._by_start: Dict[int, DeviceBuffer] = {}
+        #: reserved (base, size) ranges for placed allocations
+        self._reservations: List[Tuple[int, int]] = []
+
+    def allocate(
+        self, size: int, virtual: bool = False, label: str = ""
+    ) -> DeviceBuffer:
+        """Allocate ``size`` bytes; raises when over device capacity."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        if self.live_bytes + size > self.capacity:
+            raise AllocationError(
+                f"{self.device_name}: out of device memory "
+                f"(live={self.live_bytes}, requested={size}, capacity={self.capacity})"
+            )
+        backing = None if virtual else np.zeros(size, dtype=np.uint8)
+        buf = DeviceBuffer(self, self._next_address, size, backing, label=label)
+        bisect.insort(self._starts, buf.address)
+        self._by_start[buf.address] = buf
+        self._next_address += size
+        self.live_bytes += size
+        return buf
+
+    def reserve(self, size: int) -> int:
+        """Reserve an address range without backing it (``cuMemAddressReserve``).
+
+        The range's capacity is charged immediately — this is how the
+        DiOMP global segment carves out device memory up front.
+        Allocations are later *placed* inside the reservation with
+        :meth:`allocate_at` and do not charge capacity again.
+        """
+        if size <= 0:
+            raise AllocationError(f"reservation size must be positive, got {size}")
+        if self.live_bytes + size > self.capacity:
+            raise AllocationError(
+                f"{self.device_name}: cannot reserve {size} bytes "
+                f"(live={self.live_bytes}, capacity={self.capacity})"
+            )
+        base = self._next_address
+        self._next_address += size
+        self.live_bytes += size
+        self._reservations.append((base, size))
+        return base
+
+    def _in_reservation(self, address: int, size: int) -> bool:
+        return any(
+            base <= address and address + size <= base + rsize
+            for base, rsize in self._reservations
+        )
+
+    def allocate_at(
+        self, address: int, size: int, virtual: bool = False, label: str = ""
+    ) -> DeviceBuffer:
+        """Place an allocation at a fixed address inside a reservation."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        if not self._in_reservation(address, size):
+            raise AllocationError(
+                f"{self.device_name}: [{address:#x}, +{size}) is not inside "
+                "a reserved range"
+            )
+        # Overlap check against live allocations.
+        idx = bisect.bisect_right(self._starts, address)
+        if idx > 0:
+            prev = self._by_start[self._starts[idx - 1]]
+            if prev.end > address:
+                raise AllocationError(
+                    f"placement at {address:#x} overlaps {prev!r}"
+                )
+        if idx < len(self._starts):
+            nxt = self._by_start[self._starts[idx]]
+            if address + size > nxt.address:
+                raise AllocationError(f"placement at {address:#x} overlaps {nxt!r}")
+        backing = None if virtual else np.zeros(size, dtype=np.uint8)
+        buf = DeviceBuffer(self, address, size, backing, label=label)
+        buf.placed = True
+        bisect.insort(self._starts, buf.address)
+        self._by_start[buf.address] = buf
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """Release an allocation (double frees are rejected).
+
+        Placed allocations (inside a reservation) return no capacity —
+        the reservation holds it.
+        """
+        if buf.space is not self:
+            raise AllocationError("buffer freed on the wrong device")
+        if buf.freed:
+            raise AllocationError(f"double free of {buf!r}")
+        buf.freed = True
+        if not getattr(buf, "placed", False):
+            self.live_bytes -= buf.size
+        idx = bisect.bisect_left(self._starts, buf.address)
+        del self._starts[idx]
+        del self._by_start[buf.address]
+
+    def resolve(self, address: int) -> Tuple[DeviceBuffer, int]:
+        """Map a device address to ``(buffer, offset)``.
+
+        This is how one-sided operations land: the initiator only knows
+        a remote *address*; the target device resolves it.
+        """
+        idx = bisect.bisect_right(self._starts, address) - 1
+        if idx >= 0:
+            buf = self._by_start[self._starts[idx]]
+            if buf.address <= address < buf.end:
+                return buf, address - buf.address
+        raise DeviceError(
+            f"{self.device_name}: address {address:#x} is not in any live allocation"
+        )
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.live_bytes

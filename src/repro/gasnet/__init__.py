@@ -1,0 +1,26 @@
+"""GASNet-EX-like communication conduit.
+
+This is the paper's primary communication substrate: segments
+registered into a global address space, non-blocking one-sided ``put``
+/ ``get`` returning events, explicit polling, and active messages for
+control-plane bootstrap.  Per-operation software overheads and
+protocol bandwidth efficiency are calibration parameters
+(:class:`~repro.gasnet.conduit.GasnetParams`), which is how the
+GASNet-vs-GPI-2 comparison of Fig. 5 is modelled.
+"""
+
+from repro.gasnet.conduit import (
+    GasnetConduit,
+    GasnetClient,
+    GasnetEvent,
+    GasnetParams,
+    Segment,
+)
+
+__all__ = [
+    "GasnetConduit",
+    "GasnetClient",
+    "GasnetEvent",
+    "GasnetParams",
+    "Segment",
+]

@@ -1,0 +1,305 @@
+"""GASPI-flavoured conduit implementation.
+
+Structure mirrors :mod:`repro.gasnet.conduit`; the differences are the
+queue abstraction (writes are posted to numbered queues and
+``wait_queue`` drains one queue, GASPI's actual completion model) and
+notifications (``notify`` posts a small flag the target can wait on,
+GASPI's replacement for target-side events).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.memref import MemRef
+from repro.cluster.world import World
+from repro.gasnet.conduit import GasnetEvent, Segment
+from repro.sim import Future
+from repro.util.errors import CommunicationError, ConfigurationError
+from repro.util.units import MiB, US
+
+
+@dataclasses.dataclass(frozen=True)
+class Gpi2Params:
+    """Calibration constants for the GPI-2 software stack."""
+
+    #: initiator cost of gaspi_write (lower than GASNet's put path)
+    write_overhead: float = 0.30 * US
+    #: initiator cost of gaspi_read
+    read_overhead: float = 0.65 * US
+    am_overhead: float = 0.70 * US
+    #: efficiency below the pipeline threshold (better than GASNet here)
+    bw_efficiency_small: float = 0.94
+    #: efficiency at/above the threshold (slightly worse than GASNet)
+    bw_efficiency_large: float = 0.93
+    pipeline_threshold: int = 4 * MiB
+    #: cost of posting/waiting one notification
+    notify_overhead: float = 0.15 * US
+    #: number of communication queues per rank
+    num_queues: int = 8
+    #: messages at/above this size stripe across all node NICs
+    multirail_threshold: int = 4 * MiB
+
+    def bw_efficiency(self, nbytes: int) -> float:
+        if nbytes >= self.pipeline_threshold:
+            return self.bw_efficiency_large
+        return self.bw_efficiency_small
+
+    def rails_for(self, nbytes: int, nics_per_node: int) -> int:
+        return nics_per_node if nbytes >= self.multirail_threshold else 1
+
+
+class Notification:
+    """A GASPI notification slot: a remotely settable flag + value."""
+
+    def __init__(self, sim, notification_id: int) -> None:
+        self.notification_id = notification_id
+        self._future = Future(sim, description=f"notify:{notification_id}")
+
+    def post(self, value: int) -> None:
+        self._future.fire(value)
+
+    def test(self) -> bool:
+        return self._future.poll()
+
+    def wait(self) -> int:
+        """Block until the notification arrives; returns its value."""
+        return self._future.wait()
+
+
+class Gpi2Conduit:
+    """GPI-2 conduit shared by all ranks (InfiniBand fabrics only)."""
+
+    def __init__(self, world: World, params: Optional[Gpi2Params] = None) -> None:
+        if world.platform.interconnect != "infiniband":
+            raise ConfigurationError(
+                "the GPI-2 backend currently supports only InfiniBand "
+                f"environments (platform {world.platform.name} uses "
+                f"{world.platform.interconnect}); use GASNet-EX instead"
+            )
+        self.world = world
+        self.params = params or Gpi2Params()
+        self.clients: List[Gpi2Client] = [
+            Gpi2Client(self, rank) for rank in range(world.nranks)
+        ]
+
+    def client(self, rank: int) -> "Gpi2Client":
+        if not 0 <= rank < len(self.clients):
+            raise CommunicationError(f"rank {rank} out of range")
+        return self.clients[rank]
+
+
+class Gpi2Client:
+    """One rank's GASPI endpoint (same interface as GasnetClient)."""
+
+    def __init__(self, conduit: Gpi2Conduit, rank: int) -> None:
+        self.conduit = conduit
+        self.rank = rank
+        self.segments: List[Segment] = []
+        self._queues: List[List[GasnetEvent]] = [
+            [] for _ in range(conduit.params.num_queues)
+        ]
+        self._notifications: Dict[int, Notification] = {}
+        self._am_handlers: Dict[str, Callable[[int, Any], Any]] = {}
+        self.puts_issued = 0
+        self.gets_issued = 0
+        self.ams_sent = 0
+
+    # -- segments (GASPI numbers them; addresses still resolve) --------------
+
+    def attach_segment(self, memref: MemRef) -> Segment:
+        """Register a segment (``gaspi_segment_register`` analogue)."""
+        if hasattr(memref.storage, "address"):
+            base = memref.storage.address + memref.offset
+        else:
+            base = 0x2000_0000 + sum(s.size for s in self.segments)
+        seg = Segment(self.rank, memref, base)
+        for existing in self.segments:
+            if seg.base_address < existing.end_address and existing.base_address < seg.end_address:
+                raise CommunicationError("overlapping GASPI segments")
+        self.segments.append(seg)
+        return seg
+
+    def attach_space_segment(self, space, base_address: int, size: int):
+        """Register a reserved device range (see GasnetClient)."""
+        from repro.gasnet.conduit import SpaceSegment
+
+        seg = SpaceSegment(self.rank, space, base_address, size)
+        for existing in self.segments:
+            if seg.base_address < existing.end_address and existing.base_address < seg.end_address:
+                raise CommunicationError("overlapping GASPI segments")
+        self.segments.append(seg)
+        return seg
+
+    def _resolve_remote(self, rank: int, address: int, nbytes: int) -> MemRef:
+        target = self.conduit.client(rank)
+        for seg in target.segments:
+            if seg.contains(address, nbytes):
+                return seg.resolve(address, nbytes)
+        raise CommunicationError(
+            f"rank {rank} has no GASPI segment covering [{address:#x}, +{nbytes})"
+        )
+
+    # -- one-sided write/read ---------------------------------------------------
+
+    def put_nb(
+        self, dst_rank: int, dst_address: int, src: MemRef, queue: int = 0
+    ) -> GasnetEvent:
+        """``gaspi_write``: one-sided put posted to a queue."""
+        self._check_queue(queue)
+        dst = self._resolve_remote(dst_rank, dst_address, src.nbytes)
+        params = self.conduit.params
+        nic_overhead = self.conduit.world.platform.node.nic.message_overhead
+        fut = self.conduit.world.fabric.transfer(
+            src.endpoint,
+            dst.endpoint,
+            src.nbytes,
+            operation="put",
+            gpu_memory=src.is_device or dst.is_device,
+            on_complete=lambda: dst.copy_from(src),
+            extra_latency=params.write_overhead + nic_overhead,
+            bandwidth_factor=params.bw_efficiency(src.nbytes),
+            rails=params.rails_for(
+                src.nbytes, self.conduit.world.platform.node.nics_per_node
+            ),
+            force_network=src.endpoint != dst.endpoint
+            and src.endpoint.node == dst.endpoint.node,
+        )
+        self.puts_issued += 1
+        event = GasnetEvent(fut)
+        self._queues[queue].append(event)
+        return event
+
+    def get_nb(
+        self, src_rank: int, src_address: int, dst: MemRef, queue: int = 0
+    ) -> GasnetEvent:
+        """``gaspi_read``: one-sided get posted to a queue."""
+        self._check_queue(queue)
+        src = self._resolve_remote(src_rank, src_address, dst.nbytes)
+        params = self.conduit.params
+        nic_overhead = self.conduit.world.platform.node.nic.message_overhead
+        fut = self.conduit.world.fabric.transfer(
+            src.endpoint,
+            dst.endpoint,
+            dst.nbytes,
+            operation="get",
+            gpu_memory=src.is_device or dst.is_device,
+            on_complete=lambda: dst.copy_from(src),
+            extra_latency=params.read_overhead + nic_overhead,
+            bandwidth_factor=params.bw_efficiency(dst.nbytes),
+            rails=params.rails_for(
+                dst.nbytes, self.conduit.world.platform.node.nics_per_node
+            ),
+            force_network=src.endpoint != dst.endpoint
+            and src.endpoint.node == dst.endpoint.node,
+        )
+        self.gets_issued += 1
+        event = GasnetEvent(fut)
+        self._queues[queue].append(event)
+        return event
+
+    def _check_queue(self, queue: int) -> None:
+        if not 0 <= queue < self.conduit.params.num_queues:
+            raise CommunicationError(
+                f"queue {queue} out of range (GPI-2 has "
+                f"{self.conduit.params.num_queues} queues)"
+            )
+
+    # -- completion ------------------------------------------------------------
+
+    def wait_queue(self, queue: int) -> None:
+        """``gaspi_wait``: drain all operations posted to one queue."""
+        self._check_queue(queue)
+        pending, self._queues[queue] = self._queues[queue], []
+        for event in pending:
+            if not event.test():
+                event.wait()
+
+    def sync_all(self) -> None:
+        """Drain every queue (conduit-interface compatibility)."""
+        for queue in range(self.conduit.params.num_queues):
+            self.wait_queue(queue)
+
+    @property
+    def pending_count(self) -> int:
+        total = 0
+        for q in range(self.conduit.params.num_queues):
+            self._queues[q] = [e for e in self._queues[q] if not e.test()]
+            total += len(self._queues[q])
+        return total
+
+    def poll(self) -> None:
+        self.conduit.world.sim.sleep(self.conduit.params.notify_overhead)
+
+    # -- notifications -----------------------------------------------------------
+
+    def notification(self, notification_id: int) -> Notification:
+        """The local notification slot with the given id (created lazily)."""
+        if notification_id not in self._notifications:
+            self._notifications[notification_id] = Notification(
+                self.conduit.world.sim, notification_id
+            )
+        return self._notifications[notification_id]
+
+    def notify(self, dst_rank: int, notification_id: int, value: int = 1) -> None:
+        """``gaspi_notify``: post a flag on the target rank."""
+        world = self.conduit.world
+        src_host = world.topology.host(world.ranks[self.rank].node)
+        dst_host = world.topology.host(world.ranks[dst_rank].node)
+        target = self.conduit.client(dst_rank)
+        world.fabric.transfer(
+            src_host,
+            dst_host,
+            8,
+            operation="put",
+            gpu_memory=False,
+            on_complete=lambda: target.notification(notification_id).post(value),
+            extra_latency=self.conduit.params.notify_overhead,
+        )
+
+    # -- active messages (control plane parity with GasnetClient) -------------
+
+    def register_handler(self, name: str, fn: Callable[[int, Any], Any]) -> None:
+        if name in self._am_handlers:
+            raise CommunicationError(f"AM handler {name!r} already registered")
+        self._am_handlers[name] = fn
+
+    def am_request(self, dst_rank: int, handler: str, payload: Any, payload_bytes: int = 64) -> Future:
+        """Control-plane request/reply built on GASPI passive messages."""
+        world = self.conduit.world
+        params = self.conduit.params
+        target = self.conduit.client(dst_rank)
+        src_host = world.topology.host(world.ranks[self.rank].node)
+        dst_host = world.topology.host(world.ranks[dst_rank].node)
+        self.ams_sent += 1
+        reply_future = Future(world.sim, description=f"gaspi-reply:{handler}")
+
+        def deliver() -> None:
+            try:
+                handler_fn = target._am_handlers[handler]
+            except KeyError:
+                raise CommunicationError(
+                    f"rank {dst_rank} has no AM handler {handler!r}"
+                ) from None
+            reply = handler_fn(self.rank, payload)
+            world.fabric.transfer(
+                dst_host,
+                src_host,
+                payload_bytes,
+                operation="put",
+                gpu_memory=False,
+                on_complete=lambda: reply_future.fire(reply),
+                extra_latency=params.am_overhead,
+            )
+
+        world.fabric.transfer(
+            src_host,
+            dst_host,
+            payload_bytes,
+            operation="put",
+            gpu_memory=False,
+            on_complete=deliver,
+            extra_latency=params.am_overhead,
+        )
+        return reply_future

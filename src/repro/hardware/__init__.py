@@ -1,0 +1,76 @@
+"""Hardware models for the simulated clusters.
+
+This package is pure description — no simulation logic.  It defines
+
+* spec dataclasses (:mod:`repro.hardware.specs`),
+* a catalog of calibrated instances for the devices the paper uses
+  (:mod:`repro.hardware.catalog`): NVIDIA A100, AMD MI250X GCDs,
+  GH200, Slingshot-11 and NDR InfiniBand NICs, NVLink/xGMI/PCIe links,
+* node composition (:mod:`repro.hardware.node`),
+* the cluster topology graph and path queries
+  (:mod:`repro.hardware.topology`), and
+* factories for the paper's Platform A/B/C
+  (:mod:`repro.hardware.platforms`).
+
+Calibration constants come from public spec sheets; software overheads
+are model inputs documented in DESIGN.md §6.
+"""
+
+from repro.hardware.specs import GPUSpec, CPUSpec, NICSpec, LinkSpec, NICQuirk
+from repro.hardware.catalog import (
+    A100,
+    MI250X_GCD,
+    GH200,
+    EPYC_7763,
+    EPYC_7A53,
+    GRACE,
+    SLINGSHOT_11,
+    NDR_INFINIBAND,
+    NVLINK3,
+    XGMI_INTRA_MODULE,
+    XGMI_INTER_MODULE,
+    PCIE4_X16,
+    NVLINK_C2C,
+)
+from repro.hardware.node import NodeSpec
+from repro.hardware.topology import ClusterTopology, DeviceId, Path, PathKind
+from repro.hardware.platforms import (
+    PlatformSpec,
+    platform_a,
+    platform_b,
+    platform_c,
+    get_platform,
+    PLATFORMS,
+)
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "NICSpec",
+    "LinkSpec",
+    "NICQuirk",
+    "A100",
+    "MI250X_GCD",
+    "GH200",
+    "EPYC_7763",
+    "EPYC_7A53",
+    "GRACE",
+    "SLINGSHOT_11",
+    "NDR_INFINIBAND",
+    "NVLINK3",
+    "XGMI_INTRA_MODULE",
+    "XGMI_INTER_MODULE",
+    "PCIE4_X16",
+    "NVLINK_C2C",
+    "NodeSpec",
+    "ClusterTopology",
+    "DeviceId",
+    "Path",
+    "PathKind",
+    "PlatformSpec",
+    "platform_a",
+    "platform_b",
+    "platform_c",
+    "get_platform",
+    "PLATFORMS",
+]

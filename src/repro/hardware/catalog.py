@@ -1,0 +1,123 @@
+"""Calibrated spec instances for the hardware the paper evaluates on.
+
+Sources (public spec sheets / vendor docs):
+
+* **NVIDIA A100-SXM4-40GB** — 9.7 TF FP64 vector, 19.5 TF FP64 tensor,
+  HBM2e ~2.0 TB/s, NVLink3 300 GB/s/direction aggregate.
+* **AMD MI250X** — 47.9 TF FP64 per module (two GCDs), HBM2e 3.2 TB/s
+  per module; per GCD: ~24 TF, 1.6 TB/s.  GCDs within a module talk
+  over in-package Infinity Fabric (~200 GB/s), across modules ~50 GB/s.
+* **NVIDIA GH200 (Grace Hopper)** — H100 ~34 TF FP64 vector / 67 TF
+  tensor, HBM3 ~4 TB/s, NVLink-C2C 450 GB/s/direction to Grace.
+* **HPE Slingshot 11** — 200 Gb/s (25 GB/s) per NIC, ~1.9 µs put
+  latency in practice.
+* **NDR InfiniBand (200 Gb as deployed on Platform C)** — 25 GB/s,
+  ~1.5 µs.
+* **PCIe 4.0 x16** — 32 GB/s theoretical, ~26 GB/s effective.
+
+Software overheads (kernel launch, message posting) are calibrated to
+commonly reported values (order of microseconds) and are model inputs.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.specs import CPUSpec, GPUSpec, LinkSpec, NICQuirk, NICSpec
+from repro.util.units import GB, GiB, US
+
+# --------------------------------------------------------------------------
+# GPUs
+# --------------------------------------------------------------------------
+
+A100 = GPUSpec(
+    name="A100-SXM4-40GB",
+    vendor="nvidia",
+    memory_bytes=40 * GiB,
+    mem_bandwidth=2.0e12,
+    fp64_tflops=9.7,
+    gemm_tflops=19.5,
+    kernel_launch_overhead=4.0 * US,
+    ipc_open_overhead=50.0 * US,
+)
+
+MI250X_GCD = GPUSpec(
+    name="MI250X-GCD",
+    vendor="amd",
+    memory_bytes=64 * GiB,
+    mem_bandwidth=1.6e12,
+    fp64_tflops=23.9,
+    gemm_tflops=47.9,
+    # ROCm launch overheads are commonly measured a bit above CUDA's.
+    kernel_launch_overhead=6.0 * US,
+    ipc_open_overhead=60.0 * US,
+)
+
+GH200 = GPUSpec(
+    name="GH200-H100",
+    vendor="nvidia",
+    memory_bytes=96 * GiB,
+    mem_bandwidth=4.0e12,
+    fp64_tflops=33.5,
+    gemm_tflops=66.9,
+    kernel_launch_overhead=3.0 * US,
+    ipc_open_overhead=40.0 * US,
+)
+
+# --------------------------------------------------------------------------
+# CPUs
+# --------------------------------------------------------------------------
+
+EPYC_7763 = CPUSpec(name="EPYC-7763", cores=64, core_gflops=39.0)
+EPYC_7A53 = CPUSpec(name="EPYC-7A53", cores=64, core_gflops=32.0)
+GRACE = CPUSpec(name="Grace", cores=72, core_gflops=54.0)
+
+# --------------------------------------------------------------------------
+# NICs
+# --------------------------------------------------------------------------
+
+#: The Platform-A anomaly from Fig. 4: vendor-confirmed driver issue
+#: degrading one-sided put bandwidth from GPU memory over Slingshot 11.
+SLINGSHOT_A100_PUT_QUIRK = NICQuirk(
+    name="slingshot11-a100-gpu-put-degradation",
+    operation="put",
+    bandwidth_factor=0.30,
+    gpu_memory_only=True,
+)
+
+SLINGSHOT_11 = NICSpec(
+    name="Slingshot-11",
+    bandwidth=25.0 * GB,
+    latency=1.9 * US,
+    message_overhead=0.25 * US,
+    gpudirect_rdma=True,
+)
+
+NDR_INFINIBAND = NICSpec(
+    name="NDR-InfiniBand-200Gb",
+    bandwidth=25.0 * GB,
+    latency=1.5 * US,
+    message_overhead=0.20 * US,
+    gpudirect_rdma=True,
+)
+
+# --------------------------------------------------------------------------
+# Intra-node links
+# --------------------------------------------------------------------------
+
+NVLINK3 = LinkSpec(name="NVLink3", bandwidth=300.0 * GB, latency=1.8 * US)
+
+#: Infinity Fabric between the two GCDs of one MI250X module.
+XGMI_INTRA_MODULE = LinkSpec(
+    name="xGMI-intra-module", bandwidth=200.0 * GB, latency=1.6 * US
+)
+
+#: Infinity Fabric between GCDs of different MI250X modules.
+XGMI_INTER_MODULE = LinkSpec(
+    name="xGMI-inter-module", bandwidth=50.0 * GB, latency=2.0 * US
+)
+
+PCIE4_X16 = LinkSpec(
+    name="PCIe4-x16", bandwidth=26.0 * GB, latency=2.5 * US, peer_capable=False
+)
+
+#: Grace<->Hopper coherent link on GH200.
+NVLINK_C2C = LinkSpec(name="NVLink-C2C", bandwidth=450.0 * GB, latency=1.0 * US)

@@ -1,0 +1,86 @@
+"""Node composition: which devices a node contains and how they are wired.
+
+A :class:`NodeSpec` is a template; the cluster topology replicates it
+per node.  Intra-node GPU wiring is expressed as a function
+``gpu_link(i, j) -> LinkSpec | None`` so the MI250X's two-tier xGMI
+(fast within a module, slower across modules) and fully-connected
+NVLink meshes are both expressible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.hardware.specs import CPUSpec, GPUSpec, LinkSpec, NICSpec
+from repro.util.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeSpec:
+    """Template for one cluster node."""
+
+    name: str
+    cpu: CPUSpec
+    gpu: GPUSpec
+    gpus_per_node: int
+    nic: NICSpec
+    nics_per_node: int
+    #: link used between a GPU pair on this node, or None for PCIe-via-host
+    gpu_link: Callable[[int, int], Optional[LinkSpec]]
+    #: link between host and each GPU
+    host_link: LinkSpec
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node <= 0:
+            raise ConfigurationError(f"{self.name}: need at least one GPU")
+        if self.nics_per_node <= 0:
+            raise ConfigurationError(f"{self.name}: need at least one NIC")
+
+    def link_between(self, gpu_i: int, gpu_j: int) -> Optional[LinkSpec]:
+        """The direct link between two local GPUs, or None if the pair
+        must stage through the host (PCIe)."""
+        if gpu_i == gpu_j:
+            raise ConfigurationError("link_between called with identical GPUs")
+        for idx in (gpu_i, gpu_j):
+            if not 0 <= idx < self.gpus_per_node:
+                raise ConfigurationError(
+                    f"{self.name}: GPU index {idx} out of range "
+                    f"(node has {self.gpus_per_node})"
+                )
+        return self.gpu_link(gpu_i, gpu_j)
+
+
+def all_to_all(link: LinkSpec) -> Callable[[int, int], Optional[LinkSpec]]:
+    """Every GPU pair shares the same direct link (NVLink mesh)."""
+
+    def wiring(i: int, j: int) -> Optional[LinkSpec]:
+        return link
+
+    return wiring
+
+
+def mi250x_wiring(
+    intra_module: LinkSpec, inter_module: LinkSpec
+) -> Callable[[int, int], Optional[LinkSpec]]:
+    """MI250X wiring: GCDs 2k and 2k+1 form one module.
+
+    Intra-module pairs get the fast in-package fabric; every other pair
+    gets the slower inter-module xGMI.
+    """
+
+    def wiring(i: int, j: int) -> Optional[LinkSpec]:
+        if i // 2 == j // 2:
+            return intra_module
+        return inter_module
+
+    return wiring
+
+
+def no_direct_link() -> Callable[[int, int], Optional[LinkSpec]]:
+    """GPUs can only reach each other through the host (PCIe staging)."""
+
+    def wiring(i: int, j: int) -> Optional[LinkSpec]:
+        return None
+
+    return wiring

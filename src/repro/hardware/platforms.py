@@ -1,0 +1,159 @@
+"""Factories for the paper's evaluation platforms (§4.1).
+
+* **Platform A** — AMD EPYC 7763 + 4× NVIDIA A100 per node, NVLink3
+  mesh, 4× HPE Slingshot 11 NICs.  (Perlmutter-class.)  Carries the
+  documented GPU-put NIC quirk from Fig. 4.
+* **Platform B** — AMD EPYC 7A53 + 4× MI250X per node (= 8 GCDs,
+  i.e. 8 OpenMP devices), two-tier xGMI, 4× Slingshot 11.
+  (Frontier-class.)
+* **Platform C** — NVIDIA Grace Hopper GH200, one superchip per node,
+  NVLink-C2C host link, 200 Gb NDR InfiniBand.
+
+Each platform also records the software stack the paper pairs with it:
+the vendor collective library (NCCL/RCCL) and the MPI baseline
+(Cray MPICH / OpenMPI).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict
+
+from repro.hardware.catalog import (
+    A100,
+    EPYC_7763,
+    EPYC_7A53,
+    GH200,
+    GRACE,
+    MI250X_GCD,
+    NDR_INFINIBAND,
+    NVLINK3,
+    NVLINK_C2C,
+    PCIE4_X16,
+    SLINGSHOT_11,
+    SLINGSHOT_A100_PUT_QUIRK,
+    XGMI_INTER_MODULE,
+    XGMI_INTRA_MODULE,
+)
+from repro.hardware.node import NodeSpec, all_to_all, mi250x_wiring
+from repro.hardware.specs import NICSpec
+from repro.hardware.topology import ClusterTopology
+from repro.util.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class PlatformSpec:
+    """A named evaluation platform: node template + software stack."""
+
+    name: str
+    description: str
+    node: NodeSpec
+    #: "slingshot" | "infiniband" — selects the conduit network adapter
+    interconnect: str
+    #: vendor collective library: "nccl" | "rccl"
+    ccl: str
+    #: MPI baseline used in the paper's comparisons
+    mpi_name: str
+
+    def cluster(self, num_nodes: int) -> ClusterTopology:
+        """Instantiate a cluster of ``num_nodes`` nodes of this platform."""
+        return ClusterTopology(self.node, num_nodes)
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.node.gpus_per_node
+
+
+def platform_a(with_quirk: bool = True) -> PlatformSpec:
+    """Platform A: A100 + Slingshot 11 (Perlmutter-class).
+
+    ``with_quirk=False`` disables the documented GPU-put NIC anomaly —
+    used by the ablation bench to show what Fig. 4 would look like on
+    healthy drivers.
+    """
+    nic = SLINGSHOT_11
+    if with_quirk:
+        nic = dataclasses.replace(nic, quirk=SLINGSHOT_A100_PUT_QUIRK)
+    node = NodeSpec(
+        name="platformA-node",
+        cpu=EPYC_7763,
+        gpu=A100,
+        gpus_per_node=4,
+        nic=nic,
+        nics_per_node=4,
+        gpu_link=all_to_all(NVLINK3),
+        host_link=PCIE4_X16,
+    )
+    return PlatformSpec(
+        name="A",
+        description="AMD EPYC 7763 + 4x NVIDIA A100, 4x HPE Slingshot 11",
+        node=node,
+        interconnect="slingshot",
+        ccl="nccl",
+        mpi_name="cray-mpich",
+    )
+
+
+def platform_b() -> PlatformSpec:
+    """Platform B: MI250X + Slingshot 11 (Frontier-class).
+
+    One node exposes 8 OpenMP devices (4 modules x 2 GCDs).
+    """
+    node = NodeSpec(
+        name="platformB-node",
+        cpu=EPYC_7A53,
+        gpu=MI250X_GCD,
+        gpus_per_node=8,
+        nic=SLINGSHOT_11,
+        nics_per_node=4,
+        gpu_link=mi250x_wiring(XGMI_INTRA_MODULE, XGMI_INTER_MODULE),
+        host_link=PCIE4_X16,
+    )
+    return PlatformSpec(
+        name="B",
+        description="AMD EPYC 7A53 + 4x MI250X (8 GCDs), 4x HPE Slingshot 11",
+        node=node,
+        interconnect="slingshot",
+        ccl="rccl",
+        mpi_name="cray-mpich",
+    )
+
+
+def platform_c() -> PlatformSpec:
+    """Platform C: GH200 superchips on NDR InfiniBand."""
+    node = NodeSpec(
+        name="platformC-node",
+        cpu=GRACE,
+        gpu=GH200,
+        gpus_per_node=1,
+        nic=NDR_INFINIBAND,
+        nics_per_node=1,
+        gpu_link=all_to_all(NVLINK3),  # vacuous with one GPU per node
+        host_link=NVLINK_C2C,
+    )
+    return PlatformSpec(
+        name="C",
+        description="NVIDIA GH200 Grace Hopper, 200Gb NDR InfiniBand",
+        node=node,
+        interconnect="infiniband",
+        ccl="nccl",
+        mpi_name="openmpi",
+    )
+
+
+PLATFORMS: Dict[str, Callable[[], PlatformSpec]] = {
+    "A": platform_a,
+    "B": platform_b,
+    "C": platform_c,
+}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look up a platform by its paper letter ("A" | "B" | "C")."""
+    try:
+        factory = PLATFORMS[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
+        ) from None
+    return factory()

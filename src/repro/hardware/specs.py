@@ -1,0 +1,145 @@
+"""Spec dataclasses for GPUs, CPUs, NICs and links.
+
+All bandwidths are bytes/second, all times seconds, all capacities
+bytes.  These are *model inputs*: the catalog instantiates them from
+public spec sheets, and every timing the simulator produces is a
+deterministic function of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUSpec:
+    """A GPU (or GCD — the MI250X exposes two of these per module).
+
+    ``fp64_tflops`` is the vector (non-tensor) peak, which is what the
+    paper's stencil and GEMM kernels are modelled against;
+    ``gemm_tflops`` is the matrix-engine peak used for GEMM.
+    """
+
+    name: str
+    vendor: str  # "nvidia" | "amd"
+    memory_bytes: int
+    mem_bandwidth: float
+    fp64_tflops: float
+    gemm_tflops: float
+    #: host-side cost of launching one kernel
+    kernel_launch_overhead: float
+    #: cost of opening an IPC memory handle (first use, then cached)
+    ipc_open_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.mem_bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: invalid memory spec")
+        if self.fp64_tflops <= 0 or self.gemm_tflops <= 0:
+            raise ConfigurationError(f"{self.name}: invalid flops spec")
+
+    @property
+    def fp64_flops(self) -> float:
+        """Vector FP64 peak in flop/s."""
+        return self.fp64_tflops * 1e12
+
+    @property
+    def gemm_flops(self) -> float:
+        """Matrix-engine FP64 peak in flop/s."""
+        return self.gemm_tflops * 1e12
+
+
+@dataclasses.dataclass(frozen=True)
+class CPUSpec:
+    """Host CPU: only the properties the runtime model needs."""
+
+    name: str
+    cores: int
+    #: per-core host compute throughput used for host-side work models
+    core_gflops: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"{self.name}: cores must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class NICQuirk:
+    """A documented hardware/driver anomaly attached to a NIC.
+
+    The paper's Platform A exhibits a vendor-confirmed driver issue that
+    degrades one-sided *put* bandwidth from GPU memory over Slingshot 11
+    (Fig. 4 footnote).  We model it as a multiplicative bandwidth factor
+    applied to matching operations so the reproduced Fig. 4 shows the
+    same anomaly, clearly attributed to the NIC model rather than the
+    runtime.
+    """
+
+    name: str
+    #: operation the quirk applies to: "put" | "get" | "all"
+    operation: str
+    #: multiplies effective bandwidth (0 < factor <= 1)
+    bandwidth_factor: float
+    #: only applies to transfers from/to GPU memory
+    gpu_memory_only: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.bandwidth_factor <= 1.0):
+            raise ConfigurationError(
+                f"quirk {self.name}: bandwidth_factor must be in (0, 1]"
+            )
+        if self.operation not in ("put", "get", "all"):
+            raise ConfigurationError(f"quirk {self.name}: bad operation")
+
+    def applies(self, operation: str, gpu_memory: bool) -> bool:
+        if self.gpu_memory_only and not gpu_memory:
+            return False
+        return self.operation in ("all", operation)
+
+
+@dataclasses.dataclass(frozen=True)
+class NICSpec:
+    """Network interface: one port into the cluster fabric."""
+
+    name: str
+    bandwidth: float
+    latency: float
+    #: per-message host overhead (descriptor posting, doorbell)
+    message_overhead: float
+    #: True if the NIC can DMA straight from GPU memory (GPUDirect RDMA)
+    gpudirect_rdma: bool = True
+    quirk: Optional[NICQuirk] = None
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency < 0 or self.message_overhead < 0:
+            raise ConfigurationError(f"{self.name}: invalid NIC spec")
+
+    def effective_bandwidth(self, operation: str, gpu_memory: bool) -> float:
+        """Bandwidth after applying any quirk for this operation."""
+        if self.quirk is not None and self.quirk.applies(operation, gpu_memory):
+            return self.bandwidth * self.quirk.bandwidth_factor
+        return self.bandwidth
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkSpec:
+    """An intra-node point-to-point link (NVLink, xGMI, PCIe, C2C)."""
+
+    name: str
+    bandwidth: float
+    latency: float
+    #: whether GPUs on this link can enable direct peer access
+    peer_capable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency < 0:
+            raise ConfigurationError(f"{self.name}: invalid link spec")
+
+
+def describe(spec: object) -> Dict[str, object]:
+    """Flatten any spec dataclass into a plain dict (for reports)."""
+    if not dataclasses.is_dataclass(spec):
+        raise TypeError(f"not a spec dataclass: {spec!r}")
+    return dataclasses.asdict(spec)

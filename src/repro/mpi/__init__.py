@@ -1,0 +1,38 @@
+"""Mini-MPI: the paper's baseline programming model.
+
+A deliberately faithful subset of MPI running over the same simulated
+fabric as the DiOMP stack, so every comparison in the evaluation is
+apples-to-apples:
+
+* two-sided point-to-point with tag matching, eager/rendezvous
+  protocols and non-blocking requests (:mod:`repro.mpi.comm`),
+* device-aware ("CUDA-aware") data movement: MemRefs may live in GPU
+  memory and take GPUDirect paths,
+* one-sided RMA windows with lock/unlock epochs, put/get/flush and
+  fence (:mod:`repro.mpi.rma`) — the comparison target of Figs. 3–4,
+* collectives with the standard algorithm switches (binomial /
+  van-de-Geijn broadcast, recursive-doubling / Rabenseifner allreduce)
+  (:mod:`repro.mpi.collectives`) — the comparison target of Fig. 6.
+
+Software overheads are calibrated in :class:`~repro.mpi.params.MpiParams`
+to Cray-MPICH/OpenMPI-like values; the MPI RMA path carries the
+higher per-op and synchronization costs the paper attributes to MPI
+window semantics.
+"""
+
+from repro.mpi.params import MpiParams
+from repro.mpi.requests import Request, waitall, testall
+from repro.mpi.comm import MpiWorld, Communicator, ANY_SOURCE, ANY_TAG
+from repro.mpi.rma import Window
+
+__all__ = [
+    "MpiParams",
+    "Request",
+    "waitall",
+    "testall",
+    "MpiWorld",
+    "Communicator",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Window",
+]

@@ -1,0 +1,39 @@
+"""Non-blocking request handles (``MPI_Request`` analogue)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.sim import Future
+
+
+class Request:
+    """Completion handle for a non-blocking operation."""
+
+    def __init__(self, future: Future, kind: str = "op") -> None:
+        self._future = future
+        self.kind = kind
+
+    def test(self) -> bool:
+        """Non-blocking completion probe (``MPI_Test``)."""
+        return self._future.poll()
+
+    def wait(self) -> None:
+        """Block the calling task until complete (``MPI_Wait``)."""
+        if not self._future.fired:
+            self._future.wait()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self._future.fired else "pending"
+        return f"<Request {self.kind} {state}>"
+
+
+def waitall(requests: Iterable[Request]) -> None:
+    """``MPI_Waitall``: block until every request completes."""
+    for req in requests:
+        req.wait()
+
+
+def testall(requests: Iterable[Request]) -> bool:
+    """``MPI_Testall``: True iff every request has completed."""
+    return all(req.test() for req in requests)

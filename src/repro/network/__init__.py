@@ -1,0 +1,13 @@
+"""Simulated communication fabric.
+
+:class:`~repro.network.fabric.Fabric` turns a resolved
+:class:`~repro.hardware.topology.Path` into timed, contended message
+deliveries on the virtual clock.  It is the single place where bytes
+"move" between nodes; the GASNet-EX, GPI-2 and mini-MPI layers all sit
+on top of it, which is what makes the paper's DiOMP-vs-MPI comparisons
+apples-to-apples.
+"""
+
+from repro.network.fabric import Fabric, TransferRecord
+
+__all__ = ["Fabric", "TransferRecord"]

@@ -1,0 +1,36 @@
+"""libomptarget: the OpenMP target-offload runtime.
+
+The pieces the paper extends:
+
+* :mod:`repro.omptarget.mapping` — the present table: host↔device
+  mapping entries with reference counts and ``to``/``from``/``tofrom``/
+  ``alloc`` map-clause semantics,
+* :mod:`repro.omptarget.plugin` — the device plugin interface
+  (``data_alloc``/``data_delete``/``data_submit``/``data_retrieve``).
+  :class:`~repro.omptarget.plugin.NativePlugin` allocates straight from
+  the device (the Fig. 1a baseline); DiOMP installs its own plugin that
+  redirects allocations into the PGAS global segment (Fig. 1b),
+* :mod:`repro.omptarget.runtime` — ``#pragma omp target`` execution:
+  map, launch, synchronize, unmap, plus ``target enter/exit data`` and
+  ``omp_target_alloc``.
+"""
+
+from repro.omptarget.mapping import MapType, Map, VirtualArray, MappingTable
+from repro.omptarget.plugin import DevicePlugin, NativePlugin
+from repro.omptarget.runtime import OmpTargetRuntime
+from repro.omptarget.host import host_parallel_for, host_threads
+from repro.omptarget.tasks import TargetTask, TargetTaskQueue
+
+__all__ = [
+    "TargetTask",
+    "TargetTaskQueue",
+    "MapType",
+    "Map",
+    "VirtualArray",
+    "MappingTable",
+    "DevicePlugin",
+    "NativePlugin",
+    "OmpTargetRuntime",
+    "host_parallel_for",
+    "host_threads",
+]

@@ -1,0 +1,61 @@
+"""Host-side OpenMP compute model.
+
+The deployment trade-off of §3.3: with one MPI rank per GPU, the
+node's CPU cores are partitioned across ranks, so each process's
+``#pragma omp parallel for`` only ever sees its share; DiOMP's
+single-process multi-GPU mode keeps the *whole* socket available to
+one OpenMP runtime.  :func:`host_parallel_for` models a host parallel
+region at a rank's thread count, and
+:func:`~repro.cluster.world.RankContext.host_threads` exposes the
+share the launch configuration gives a rank.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.world import RankContext
+from repro.util.errors import ConfigurationError
+
+#: sustained fraction of peak a tuned OpenMP loop reaches per core
+_HOST_EFFICIENCY = 0.80
+
+
+def host_threads(ctx: RankContext) -> int:
+    """CPU threads available to one rank (cores split across the
+    node's ranks — the "fragmented CPU control" of §3.3)."""
+    cores = ctx.world.platform.node.cpu.cores
+    return max(1, cores // ctx.world.ranks_per_node)
+
+
+def host_parallel_for(
+    ctx: RankContext,
+    items: int,
+    flops_per_item: float,
+    threads: Optional[int] = None,
+) -> float:
+    """Run a host ``parallel for`` of ``items`` iterations.
+
+    Advances the rank's virtual clock by the modelled duration and
+    returns it.  ``threads`` defaults to the rank's share of the node's
+    cores; asking for more than the share raises — that is precisely
+    what a partitioned launch cannot do.
+    """
+    if items < 0 or flops_per_item < 0:
+        raise ConfigurationError("negative host workload")
+    share = host_threads(ctx)
+    if threads is None:
+        threads = share
+    if threads <= 0:
+        raise ConfigurationError(f"thread count must be positive, got {threads}")
+    if threads > share:
+        raise ConfigurationError(
+            f"rank {ctx.rank} owns {share} of the node's cores; "
+            f"{threads} threads would oversubscribe its partition "
+            "(use fewer ranks per node to widen the share)"
+        )
+    cpu = ctx.world.platform.node.cpu
+    rate = threads * cpu.core_gflops * 1e9 * _HOST_EFFICIENCY
+    duration = (items * flops_per_item) / rate if rate > 0 else 0.0
+    ctx.sim.sleep(duration)
+    return duration

@@ -1,0 +1,49 @@
+"""Device plugins: the allocation/transfer backend of libomptarget.
+
+``libomptarget`` dispatches memory management to per-vendor plugins
+(``rtl.cuda``, ``rtl.amdgpu``).  DiOMP's key trick (paper §3.1) is to
+*replace the plugin's allocator* so every OpenMP-mapped device
+allocation lands inside the PGAS global segment.  The interface here
+is the minimal surface that trick needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.device.driver import Device
+from repro.device.memory import DeviceBuffer
+
+
+@runtime_checkable
+class DevicePlugin(Protocol):
+    """What libomptarget requires of a device plugin."""
+
+    def data_alloc(self, device: Device, size: int, virtual: bool, label: str) -> DeviceBuffer:
+        """Allocate ``size`` bytes of device memory."""
+        ...
+
+    def data_delete(self, device: Device, buffer: DeviceBuffer) -> None:
+        """Release a plugin allocation."""
+        ...
+
+
+class NativePlugin:
+    """The stock plugin: allocates directly from the device driver.
+
+    This is the Fig. 1a baseline — every allocation is private to
+    libomptarget, so any communication library must register the same
+    memory again on its own.
+    """
+
+    def __init__(self) -> None:
+        self.allocs = 0
+        self.frees = 0
+
+    def data_alloc(self, device: Device, size: int, virtual: bool, label: str) -> DeviceBuffer:
+        self.allocs += 1
+        return device.malloc(size, virtual=virtual, label=label)
+
+    def data_delete(self, device: Device, buffer: DeviceBuffer) -> None:
+        self.frees += 1
+        device.free(buffer)

@@ -1,0 +1,142 @@
+"""Deferred target tasks with dependences (the paper's §5 direction).
+
+The paper names task-level parallelism as the main future extension of
+DiOMP-Offloading and cites the hidden-helper-thread design (Tian et
+al., LCPC'22) used by LLVM for ``#pragma omp target nowait`` with
+``depend`` clauses.  This module implements that model on the
+simulator:
+
+* :meth:`TargetTaskQueue.submit` corresponds to
+  ``#pragma omp target nowait depend(in: ...) depend(out: ...)``,
+* each deferred task is executed by a *hidden helper* (a simulated
+  task) once its dependences resolve, so independent target regions
+  from one rank overlap on the device,
+* dependence semantics follow OpenMP: a task reading an object waits
+  for the last writer; a writer waits for all previous readers and the
+  last writer (in/out = read/write sets over arbitrary hashables,
+  normally the mapped arrays),
+* :meth:`TargetTaskQueue.taskwait` is ``#pragma omp taskwait``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.device.kernel import KernelCost
+from repro.omptarget.mapping import Map
+from repro.omptarget.runtime import OmpTargetRuntime
+from repro.sim import Future
+from repro.util.errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class TargetTask:
+    """Handle for one deferred target region."""
+
+    name: str
+    future: Future
+    depends_in: Tuple[object, ...]
+    depends_out: Tuple[object, ...]
+
+    def done(self) -> bool:
+        return self.future.poll()
+
+    def wait(self) -> None:
+        """Block the calling task until this target task completes."""
+        if not self.future.fired:
+            self.future.wait()
+
+
+class TargetTaskQueue:
+    """Per-rank deferred-task engine (hidden helper threads)."""
+
+    def __init__(self, rt: OmpTargetRuntime) -> None:
+        self.rt = rt
+        self.sim = rt.ctx.sim
+        #: last writer per dependence object
+        self._last_writer: Dict[int, TargetTask] = {}
+        #: readers since the last writer, per dependence object
+        self._readers: Dict[int, List[TargetTask]] = {}
+        self._live: List[TargetTask] = []
+        self.tasks_submitted = 0
+
+    def _key(self, obj: object) -> int:
+        return id(obj)
+
+    def _predecessors(
+        self, depends_in: Sequence[object], depends_out: Sequence[object]
+    ) -> List[TargetTask]:
+        preds: List[TargetTask] = []
+        for obj in depends_in:
+            writer = self._last_writer.get(self._key(obj))
+            if writer is not None:
+                preds.append(writer)
+        for obj in depends_out:
+            key = self._key(obj)
+            writer = self._last_writer.get(key)
+            if writer is not None:
+                preds.append(writer)
+            preds.extend(self._readers.get(key, ()))
+        return preds
+
+    def submit(
+        self,
+        name: str,
+        cost: KernelCost,
+        maps: Sequence[Map] = (),
+        body=None,
+        depends_in: Sequence[object] = (),
+        depends_out: Sequence[object] = (),
+        device_num: int = 0,
+    ) -> TargetTask:
+        """``#pragma omp target nowait depend(...)``.
+
+        Returns immediately; the region runs on a hidden helper once
+        every conflicting predecessor has completed.
+        """
+        overlap = set(map(self._key, depends_in)) & set(map(self._key, depends_out))
+        if overlap:
+            raise ConfigurationError(
+                "an object cannot be both depend(in:) and depend(out:) of "
+                "one task; use depend(out:) alone (inout semantics)"
+            )
+        preds = self._predecessors(depends_in, depends_out)
+        future = Future(self.sim, description=f"target-task:{name}")
+        task = TargetTask(name, future, tuple(depends_in), tuple(depends_out))
+        # Update the dependence frontier *at submit time* (program order).
+        for obj in depends_in:
+            self._readers.setdefault(self._key(obj), []).append(task)
+        for obj in depends_out:
+            key = self._key(obj)
+            self._last_writer[key] = task
+            self._readers[key] = []
+        self._live.append(task)
+        self.tasks_submitted += 1
+        rt = self.rt
+
+        def helper() -> None:
+            for pred in preds:
+                pred.wait()
+            # Each hidden helper drives its own stream so independent
+            # target regions overlap on the device.
+            stream = rt.device(device_num).create_stream()
+            rt.target(
+                name, cost, maps=maps, body=body, device_num=device_num, stream=stream
+            )
+            future.fire()
+
+        self.sim.spawn(helper, name=f"helper:{name}")
+        return task
+
+    def taskwait(self) -> None:
+        """``#pragma omp taskwait``: block until every submitted task
+        has completed."""
+        live, self._live = self._live, []
+        for task in live:
+            task.wait()
+
+    @property
+    def pending(self) -> int:
+        self._live = [t for t in self._live if not t.done()]
+        return len(self._live)

@@ -1,0 +1,345 @@
+"""The discrete-event simulator core.
+
+Design
+------
+The simulator is a classic event-queue kernel with one twist: simulated
+*tasks* are real Python threads.  This lets user programs (MPI ranks,
+DiOMP ranks, runtime daemons) be written as ordinary blocking Python
+functions — nested calls, loops, exceptions — without generator/yield
+plumbing.  Determinism is preserved because the scheduler hands control
+to exactly one thread at a time and wake order is the strict total
+order ``(time, sequence_number)``.
+
+Control handoff protocol::
+
+    scheduler                         task thread
+    ---------                         -----------
+    pop event (t, seq, resume T)
+    now = t
+    T._resume_evt.set()  ──────────►  returns from _block()/starts fn
+    wait _sched_evt                   ... runs simulated code ...
+                                      blocks: state=BLOCKED
+    ◄──────────  _sched_evt.set()     waits on _resume_evt
+    continue loop
+
+Only the scheduler **or** the single running task ever touches
+simulator state, so no further locking is needed.
+
+Error handling: an exception escaping a task aborts the simulation —
+:meth:`Simulator.run` re-raises it after killing the remaining tasks so
+no threads leak (important when pytest runs thousands of simulations).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import threading
+from typing import Any, Callable, List, Optional
+
+from repro.util.errors import DeadlockError, SimulationError
+
+
+class _Kill(BaseException):
+    """Injected into blocked task threads during teardown.
+
+    Derives from ``BaseException`` so user ``except Exception`` blocks
+    cannot swallow it.
+    """
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a simulated task."""
+
+    NEW = "new"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+    KILLED = "killed"
+
+
+class Task:
+    """A simulated thread of control.
+
+    Created via :meth:`Simulator.spawn`.  The wrapped function runs on a
+    daemon thread; its return value is available as :attr:`result` once
+    :attr:`state` is :attr:`TaskState.DONE`, and other tasks can block
+    on completion with :meth:`join`.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        name: str,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.state = TaskState.NEW
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        #: human-readable description of what the task is blocked on
+        self.wait_reason: str = ""
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs
+        self._wake_value: Any = None
+        self._kill = False
+        self._resume_evt = threading.Event()
+        self._join_waiters: List[Any] = []  # Futures fired on completion
+        self._thread = threading.Thread(
+            target=self._thread_body, name=f"sim:{name}", daemon=True
+        )
+        self._thread.start()
+
+    # -- scheduler side ----------------------------------------------------
+
+    def _thread_body(self) -> None:
+        # Park until the scheduler gives us control for the first time.
+        self._resume_evt.wait()
+        self._resume_evt.clear()
+        sim = self.sim
+        try:
+            if self._kill:
+                raise _Kill()
+            self.state = TaskState.RUNNING
+            self.result = self._fn(*self._args, **self._kwargs)
+            self.state = TaskState.DONE
+        except _Kill:
+            self.state = TaskState.KILLED
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised by run()
+            self.error = exc
+            self.state = TaskState.FAILED
+        finally:
+            if self.state in (TaskState.DONE, TaskState.FAILED):
+                for fut in self._join_waiters:
+                    fut.fire(self.result)
+                self._join_waiters.clear()
+            sim._current = None
+            sim._sched_evt.set()
+
+    # -- task side -----------------------------------------------------------
+
+    def join(self) -> Any:
+        """Block the *calling* task until this task completes.
+
+        Returns the task's result.  May only be called from inside a
+        simulated task.
+        """
+        from repro.sim.sync import Future
+
+        if self.state is TaskState.DONE:
+            return self.result
+        if self.state in (TaskState.FAILED, TaskState.KILLED):
+            raise SimulationError(f"cannot join {self.name}: task {self.state.value}")
+        fut = Future(self.sim, description=f"join({self.name})")
+        self._join_waiters.append(fut)
+        return fut.wait()
+
+    @property
+    def finished(self) -> bool:
+        """True once the task can never run again."""
+        return self.state in (TaskState.DONE, TaskState.FAILED, TaskState.KILLED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Task {self.name} {self.state.value}>"
+
+
+class Simulator:
+    """Event-queue kernel with a virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.spawn(rank_program, ctx0, name="rank0")
+        sim.spawn(rank_program, ctx1, name="rank1")
+        sim.run()
+        print(sim.now)   # virtual seconds elapsed
+
+    The simulator is single-use: after :meth:`run` returns (or raises)
+    it is closed and cannot be restarted, except when ``until=`` was
+    given, in which case :meth:`run` may be called again to continue.
+    """
+
+    def __init__(self) -> None:
+        #: current virtual time in seconds
+        self.now: float = 0.0
+        self._seq = itertools.count()
+        self._queue: list = []  # heap of (time, seq, kind, payload)
+        self._tasks: List[Task] = []
+        self._current: Optional[Task] = None
+        self._sched_evt = threading.Event()
+        self._in_run = False
+        self._closed = False
+
+    # -- event queue ---------------------------------------------------------
+
+    def _push(self, when: float, kind: str, payload: Any) -> None:
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when} < now={self.now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._seq), kind, payload))
+
+    def call_later(self, delay: float, fn: Callable[[], Any]) -> None:
+        """Run ``fn()`` on the scheduler at ``now + delay``.
+
+        The callback runs in scheduler context and must not block; use it
+        to fire :class:`~repro.sim.sync.Future` objects or schedule more
+        work.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._push(self.now + delay, "call", fn)
+
+    # -- task management -------------------------------------------------------
+
+    def spawn(self, fn: Callable[..., Any], *args: Any, name: str = "", **kwargs: Any) -> Task:
+        """Create a task that starts at the current virtual time."""
+        if self._closed:
+            raise SimulationError("simulator is closed")
+        task = Task(self, fn, args, kwargs, name or f"task{len(self._tasks)}")
+        self._tasks.append(task)
+        self._push(self.now, "resume", task)
+        return task
+
+    @property
+    def current_task(self) -> Task:
+        """The task currently executing (raises outside task context)."""
+        if self._current is None:
+            raise SimulationError("no task is currently running")
+        return self._current
+
+    # -- blocking primitives (called from task threads) -----------------------
+
+    def _block(self, reason: str) -> Any:
+        """Suspend the calling task until something wakes it.
+
+        Returns the value passed to :meth:`_wake`.  This is the single
+        point through which every blocking primitive is built.
+        """
+        task = self._current
+        if task is None or threading.current_thread() is not task._thread:
+            raise SimulationError(
+                "blocking simulation primitive called outside a simulated task"
+            )
+        task.state = TaskState.BLOCKED
+        task.wait_reason = reason
+        self._current = None
+        self._sched_evt.set()
+        task._resume_evt.wait()
+        task._resume_evt.clear()
+        if task._kill:
+            raise _Kill()
+        task.state = TaskState.RUNNING
+        task.wait_reason = ""
+        return task._wake_value
+
+    def _wake(self, task: Task, value: Any = None, delay: float = 0.0) -> None:
+        """Schedule ``task`` to resume with ``value`` after ``delay``."""
+        if task.finished:
+            raise SimulationError(f"cannot wake finished task {task.name}")
+        task._wake_value = value
+        self._push(self.now + delay, "resume", task)
+
+    def sleep(self, duration: float) -> None:
+        """Advance the calling task's local time by ``duration``."""
+        if duration < 0:
+            raise SimulationError(f"negative sleep duration: {duration}")
+        task = self.current_task
+        task._wake_value = None
+        self._push(self.now + duration, "resume", task)
+        self._block(f"sleep({duration:g})")
+
+    # -- scheduler loop -----------------------------------------------------
+
+    def _give_control(self, task: Task) -> None:
+        self._current = task
+        self._sched_evt.clear()
+        task._resume_evt.set()
+        self._sched_evt.wait()
+        if task.state is TaskState.FAILED:
+            err = task.error
+            self.close()
+            raise err
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the simulation.
+
+        With ``until=None`` runs until the event queue drains, then
+        verifies no task is still blocked (raising
+        :class:`~repro.util.errors.DeadlockError` if any is) and closes
+        the simulator.  With a deadline, stops once the next event lies
+        beyond it (tasks stay suspended; call :meth:`run` again or
+        :meth:`close`).
+
+        Returns the virtual time at exit.
+        """
+        if self._closed:
+            raise SimulationError("simulator is closed")
+        if self._in_run:
+            raise SimulationError("run() is not reentrant")
+        self._in_run = True
+        try:
+            while self._queue:
+                when, _seq, kind, payload = self._queue[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._queue)
+                self.now = when
+                if kind == "resume":
+                    if payload.finished:
+                        continue  # task was killed/finished after scheduling
+                    self._give_control(payload)
+                elif kind == "call":
+                    payload()
+                else:  # pragma: no cover - internal invariant
+                    raise SimulationError(f"unknown event kind {kind!r}")
+            blocked = [t for t in self._tasks if t.state is TaskState.BLOCKED]
+            if blocked:
+                detail = "; ".join(f"{t.name}: {t.wait_reason}" for t in blocked)
+                self.close()
+                raise DeadlockError(
+                    f"event queue drained with {len(blocked)} blocked task(s): {detail}"
+                )
+            if until is None:
+                self.close()
+            return self.now
+        finally:
+            self._in_run = False
+
+    # -- teardown ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Kill every unfinished task and release their threads.
+
+        Idempotent.  Called automatically when :meth:`run` completes or
+        a task fails; call it manually after a bounded ``run(until=...)``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for task in self._tasks:
+            if task.finished:
+                continue
+            task._kill = True
+            task._resume_evt.set()
+        for task in self._tasks:
+            task._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "Simulator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

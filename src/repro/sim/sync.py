@@ -1,0 +1,227 @@
+"""Coordination primitives in virtual time.
+
+Everything here is built on :meth:`Simulator._block` / ``_wake`` and is
+therefore safe under the one-runnable-task discipline: no real locking
+is needed, only bookkeeping lists.
+
+:class:`Future` is the workhorse — network completions, device events,
+stream completions and ``join()`` are all Futures underneath.  The
+remaining classes mirror the usual concurrency toolbox but advance the
+*virtual* clock instead of wall time.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Deque, List, Optional
+
+from repro.sim.core import Simulator, Task
+from repro.util.errors import SimulationError
+
+
+class Future:
+    """One-shot completion signal carrying an optional value.
+
+    ``fire()`` may be called from a task or from a scheduler callback;
+    ``wait()`` may only be called from a task.  Multiple tasks may wait
+    on the same future (all are woken); waiting on an already-fired
+    future returns immediately.  Firing twice is an error — completions
+    in this library are unique events.
+    """
+
+    def __init__(self, sim: Simulator, description: str = "future") -> None:
+        self.sim = sim
+        self.description = description
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Task] = []
+
+    def fire(self, value: Any = None, delay: float = 0.0) -> None:
+        """Complete the future, waking all waiters after ``delay``."""
+        if self.fired:
+            raise SimulationError(f"{self.description}: fired twice")
+        if delay > 0.0:
+            self.sim.call_later(delay, lambda: self.fire(value))
+            return
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            self.sim._wake(task, value)
+
+    def wait(self) -> Any:
+        """Block the calling task until fired; returns the fired value."""
+        if self.fired:
+            return self.value
+        self._waiters.append(self.sim.current_task)
+        return self.sim._block(f"wait({self.description})")
+
+    def poll(self) -> bool:
+        """Non-blocking completion test (the building block for hybrid
+        event polling in the DiOMP fence)."""
+        return self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.fired else "pending"
+        return f"<Future {self.description} {state}>"
+
+
+class Channel:
+    """FIFO message channel with optional capacity.
+
+    ``put`` blocks when the channel is full (bounded channels model
+    back-pressure, e.g. NIC injection queues); ``get`` blocks when it is
+    empty.  Ordering is strict FIFO for both items and blocked tasks.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "chan") -> None:
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"channel capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = collections.deque()
+        self._getters: Deque[Task] = collections.deque()
+        self._putters: Deque[tuple] = collections.deque()  # (task, item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; blocks while the channel is at capacity."""
+        if self._getters:
+            # Hand directly to the longest-waiting getter.
+            task = self._getters.popleft()
+            self.sim._wake(task, item)
+            return
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self._putters.append((self.sim.current_task, item))
+            self.sim._block(f"{self.name}.put (full)")
+            return
+        self._items.append(item)
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the channel is full."""
+        if self._getters:
+            self.sim._wake(self._getters.popleft(), item)
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Any:
+        """Dequeue the oldest item; blocks while the channel is empty."""
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                task, pending = self._putters.popleft()
+                self._items.append(pending)
+                self.sim._wake(task)
+            return item
+        self._getters.append(self.sim.current_task)
+        return self.sim._block(f"{self.name}.get (empty)")
+
+    def try_get(self) -> tuple:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if not self._items:
+            return False, None
+        return True, self.get()
+
+
+class Semaphore:
+    """Counting semaphore in virtual time (FIFO fairness)."""
+
+    def __init__(self, sim: Simulator, value: int, name: str = "sem") -> None:
+        if value < 0:
+            raise SimulationError(f"semaphore value must be >= 0, got {value}")
+        self.sim = sim
+        self.name = name
+        self._value = value
+        self._waiters: Deque[Task] = collections.deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> None:
+        if self._value > 0:
+            self._value -= 1
+            return
+        self._waiters.append(self.sim.current_task)
+        self.sim._block(f"{self.name}.acquire")
+
+    def try_acquire(self) -> bool:
+        if self._value > 0:
+            self._value -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._waiters:
+            self.sim._wake(self._waiters.popleft())
+            return
+        self._value += 1
+
+
+class Lock:
+    """Mutex built on :class:`Semaphore`, with context-manager support."""
+
+    def __init__(self, sim: Simulator, name: str = "lock") -> None:
+        self._sem = Semaphore(sim, 1, name=name)
+        self._owner: Optional[Task] = None
+        self.sim = sim
+        self.name = name
+
+    @property
+    def locked(self) -> bool:
+        return self._owner is not None
+
+    def acquire(self) -> None:
+        task = self.sim.current_task
+        if self._owner is task:
+            raise SimulationError(f"{self.name}: non-reentrant lock re-acquired")
+        self._sem.acquire()
+        self._owner = task
+
+    def release(self) -> None:
+        if self._owner is not self.sim.current_task:
+            raise SimulationError(f"{self.name}: released by non-owner")
+        self._owner = None
+        self._sem.release()
+
+    def __enter__(self) -> "Lock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class Barrier:
+    """Reusable rendezvous for a fixed number of parties.
+
+    The last arriving task releases everyone; ``wait`` returns the
+    arrival index (0 for the first arrival, ``parties - 1`` for the
+    releasing task), mirroring :class:`threading.Barrier`.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, name: str = "barrier") -> None:
+        if parties <= 0:
+            raise SimulationError(f"barrier parties must be positive, got {parties}")
+        self.sim = sim
+        self.parties = parties
+        self.name = name
+        self._waiting: List[Task] = []
+        self._generation = 0
+
+    def wait(self) -> int:
+        index = len(self._waiting)
+        if index == self.parties - 1:
+            waiting, self._waiting = self._waiting, []
+            self._generation += 1
+            for i, task in enumerate(waiting):
+                self.sim._wake(task, i)
+            return index
+        self._waiting.append(self.sim.current_task)
+        return self.sim._block(f"{self.name}.wait ({index + 1}/{self.parties})")

@@ -1,0 +1,50 @@
+"""Small shared utilities: the exception hierarchy and unit helpers.
+
+Everything in :mod:`repro` that is not domain logic lives here so the
+domain packages stay focused.  The module deliberately has no
+dependencies on the simulation kernel.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    SimulationError,
+    DeadlockError,
+    AllocationError,
+    CommunicationError,
+    ConfigurationError,
+    DeviceError,
+)
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    US,
+    MS,
+    SEC,
+    GB,
+    format_bytes,
+    format_time,
+    format_bandwidth,
+    parse_size,
+)
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "AllocationError",
+    "CommunicationError",
+    "ConfigurationError",
+    "DeviceError",
+    "KiB",
+    "MiB",
+    "GiB",
+    "US",
+    "MS",
+    "SEC",
+    "GB",
+    "format_bytes",
+    "format_time",
+    "format_bandwidth",
+    "parse_size",
+]

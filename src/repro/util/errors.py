@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+All library exceptions derive from :class:`ReproError` so callers can
+catch everything the library raises with a single ``except`` clause
+while still distinguishing subsystems by subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """Raised for violations of the discrete-event simulation protocol.
+
+    Examples: calling a blocking primitive from outside a simulated
+    task, resuming a finished task, or running a simulator twice.
+    """
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while tasks are still blocked.
+
+    The message lists the blocked tasks and what each is waiting on,
+    which is usually enough to diagnose a missing notify/put/fence.
+    """
+
+
+class AllocationError(ReproError):
+    """Raised when a memory allocation cannot be satisfied.
+
+    Covers device-memory exhaustion, global-segment exhaustion, invalid
+    frees (double free, unknown pointer), and allocator misuse.
+    """
+
+
+class CommunicationError(ReproError):
+    """Raised for invalid communication requests.
+
+    Examples: put/get outside a registered segment, rank out of range,
+    size mismatch between send and receive buffers, or operating on a
+    torn-down communicator.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when a platform/cluster/runtime configuration is invalid."""
+
+
+class DeviceError(ReproError):
+    """Raised by the simulated device runtime.
+
+    Covers invalid stream/event handles, out-of-bounds device copies,
+    IPC handle misuse, and peer-access violations.
+    """

@@ -1,0 +1,104 @@
+"""Unit constants and human-readable formatting helpers.
+
+Conventions used throughout the library:
+
+* **time** is in seconds (floats on the simulated clock),
+* **sizes** are in bytes (ints),
+* **bandwidth** is in bytes/second.
+
+The formatting helpers are used by the benchmark report printers so the
+reproduced figures read like the paper's axes (µs, GB/s, MiB...).
+"""
+
+from __future__ import annotations
+
+# -- size units (binary, as used for message sizes) -----------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# -- decimal bandwidth unit (vendor spec sheets use GB = 1e9) --------------
+GB = 1_000_000_000
+
+# -- time units ------------------------------------------------------------
+US = 1e-6
+MS = 1e-3
+SEC = 1.0
+
+_SIZE_SUFFIXES = ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB"))
+
+
+def format_bytes(n: int) -> str:
+    """Render a byte count like ``8 B``, ``128 KiB`` or ``64 MiB``.
+
+    Exact multiples render without a decimal point (matching the tick
+    labels in the paper's figures); everything else keeps one decimal.
+    """
+    if n < 0:
+        raise ValueError(f"negative byte count: {n}")
+    for unit, suffix in _SIZE_SUFFIXES:
+        if n >= unit:
+            value = n / unit
+            if n % unit == 0:
+                return f"{n // unit} {suffix}"
+            return f"{value:.1f} {suffix}"
+    return f"{n} B"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with the most natural unit (ns/µs/ms/s)."""
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Render a bandwidth in MB/s or GB/s (decimal, as in the figures)."""
+    if bytes_per_second < 0:
+        raise ValueError(f"negative bandwidth: {bytes_per_second}")
+    if bytes_per_second >= 1e9:
+        return f"{bytes_per_second / 1e9:.2f} GB/s"
+    return f"{bytes_per_second / 1e6:.2f} MB/s"
+
+
+_PARSE_UNITS = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"8K"``, ``"64MiB"``, ``"128 kb"`` ... into a byte count.
+
+    Binary units are assumed (``KB`` == ``KiB``), which matches how the
+    paper quotes message sizes.
+    """
+    s = text.strip().lower()
+    idx = len(s)
+    while idx > 0 and not s[idx - 1].isdigit():
+        idx -= 1
+    digits, unit = s[:idx].strip(), s[idx:].strip()
+    if not digits:
+        raise ValueError(f"cannot parse size: {text!r}")
+    try:
+        factor = _PARSE_UNITS[unit]
+    except KeyError:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}") from None
+    return int(digits) * factor

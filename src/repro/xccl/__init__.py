@@ -1,0 +1,40 @@
+"""XCCL: the vendor collective-communication libraries (NCCL / RCCL).
+
+OMPCCL (paper §3.3) is a portability layer *over* NCCL and RCCL; this
+package is the thing it wraps.  It reproduces the architecture that
+matters for the evaluation:
+
+* **UniqueId bootstrap** (:mod:`repro.xccl.uniqueid`) — communicators
+  rendezvous on an out-of-band identifier broadcast over the CPU
+  network,
+* **topology detection** (:mod:`repro.xccl.topo`) — rings are built
+  over the member devices; inter-node crossings aggregate the node's
+  NICs across channels (the optimization that lets NCCL beat MPI's
+  single-ring collectives at large sizes, Fig. 6),
+* **communicators and collectives**
+  (:mod:`repro.xccl.communicator`) — per-*device* (not per-rank)
+  membership, so a single process can drive several GPUs, with
+  analytic ring-pipeline completion models and real numpy data
+  application,
+* **calibration** (:mod:`repro.xccl.params`) — NCCL vs RCCL constants;
+  the RCCL numbers are deliberately weaker, matching the paper's
+  observation that "RCCL still has room for further optimization".
+"""
+
+from repro.xccl.params import XcclParams, NCCL_PARAMS, RCCL_PARAMS, params_for
+from repro.xccl.uniqueid import UniqueId
+from repro.xccl.topo import build_ring, ring_bandwidth, ring_hop_latency
+from repro.xccl.communicator import XcclContext, XcclComm
+
+__all__ = [
+    "XcclParams",
+    "NCCL_PARAMS",
+    "RCCL_PARAMS",
+    "params_for",
+    "UniqueId",
+    "build_ring",
+    "ring_bandwidth",
+    "ring_hop_latency",
+    "XcclContext",
+    "XcclComm",
+]

@@ -1,0 +1,336 @@
+"""XCCL communicators and collective operations.
+
+Membership is per *device slot* — ``ncclCommInitRank(uid, i, n)``
+joins device slot ``i`` of ``n`` — so one process may hold several
+communicator handles, one per GPU it drives (the deployment model
+DiOMP's single-process multi-GPU mode depends on, §3.3).
+
+Completion model (ring algorithms, per collective):
+
+    ``t = launch + steps * step_latency + hop_latency * log2(n)
+         + wire_bytes / (efficiency * bottleneck_bw)``
+
+with ``wire_bytes`` the per-rank wire volume of the pipelined ring:
+``2·size·(n−1)/n`` for allreduce, ``size`` for broadcast (pipelined),
+``size·(n−1)/n`` for reduce-scatter and allgather.  Data application
+is real numpy arithmetic for real buffers at the completion instant.
+
+A collective call blocks until every member has arrived (matching
+launch order per communicator), then all members complete together at
+the modelled time — the same externally observable semantics as a
+stream-synchronized NCCL call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.memref import MemRef
+from repro.cluster.world import World
+from repro.device.driver import Device
+from repro.hardware.topology import DeviceId
+from repro.sim import Future
+from repro.util.errors import CommunicationError
+from repro.xccl.params import XcclParams
+from repro.xccl.topo import build_ring, ring_bandwidth, ring_hop_latency
+from repro.xccl.uniqueid import UniqueId
+
+
+@dataclasses.dataclass
+class _PendingCollective:
+    """Rendezvous state for one in-flight collective."""
+
+    op: str
+    arrivals: Dict[int, dict] = dataclasses.field(default_factory=dict)
+    futures: Dict[int, Future] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class _CommState:
+    """Shared state of one communicator (all device slots)."""
+
+    uid: UniqueId
+    ndev: int
+    devices: Dict[int, DeviceId] = dataclasses.field(default_factory=dict)
+    ring: Optional[List[DeviceId]] = None
+    bottleneck_bw: float = 0.0
+    hop_latency: float = 0.0
+    init_barrier_waiters: List[Future] = dataclasses.field(default_factory=list)
+    pending: Dict[int, _PendingCollective] = dataclasses.field(default_factory=dict)
+
+
+class XcclContext:
+    """The loaded library instance for one world ("libnccl.so")."""
+
+    def __init__(self, world: World, params: XcclParams) -> None:
+        self.world = world
+        self.params = params
+        self._comms: Dict[UniqueId, _CommState] = {}
+
+    def _state(self, uid: UniqueId, ndev: int) -> _CommState:
+        state = self._comms.get(uid)
+        if state is None:
+            state = _CommState(uid=uid, ndev=ndev)
+            self._comms[uid] = state
+        elif state.ndev != ndev:
+            raise CommunicationError(
+                f"inconsistent communicator size for {uid}: "
+                f"{state.ndev} vs {ndev}"
+            )
+        return state
+
+
+class XcclComm:
+    """One device slot's communicator handle (``ncclComm_t``)."""
+
+    def __init__(self, ctx: XcclContext, state: _CommState, dev_rank: int, device: Device) -> None:
+        self.ctx = ctx
+        self._state = state
+        self.dev_rank = dev_rank
+        self.device = device
+        self._op_seq = 0
+
+    # -- initialization --------------------------------------------------------
+
+    @classmethod
+    def init_rank(
+        cls,
+        ctx: XcclContext,
+        uid: UniqueId,
+        dev_rank: int,
+        ndev: int,
+        device: Device,
+    ) -> "XcclComm":
+        """``ncclCommInitRank``: collective; blocks until all ``ndev``
+        slots have joined, then runs topology detection once.
+
+        Must be called from a simulated task.
+        """
+        if not 0 <= dev_rank < ndev:
+            raise CommunicationError(f"device rank {dev_rank} out of range 0..{ndev - 1}")
+        state = ctx._state(uid, ndev)
+        if dev_rank in state.devices:
+            raise CommunicationError(f"device rank {dev_rank} already joined {uid}")
+        state.devices[dev_rank] = device.device_id
+        sim = ctx.world.sim
+        if len(state.devices) < ndev:
+            fut = Future(sim, description=f"xccl-init:{uid}")
+            state.init_barrier_waiters.append(fut)
+            fut.wait()
+        else:
+            # Last joiner: detect topology, charge init, release everyone.
+            ring = build_ring([state.devices[i] for i in range(ndev)])
+            state.ring = ring
+            state.bottleneck_bw = ring_bandwidth(ctx.world.topology, ring, ctx.params)
+            state.hop_latency = ring_hop_latency(ctx.world.topology, ring)
+            sim.sleep(ctx.params.init_overhead)
+            waiters, state.init_barrier_waiters = state.init_barrier_waiters, []
+            for fut in waiters:
+                fut.fire()
+        return cls(ctx, state, dev_rank, device)
+
+    @property
+    def ndev(self) -> int:
+        return self._state.ndev
+
+    # -- completion-time model -----------------------------------------------------
+
+    def _wire_bytes(self, op: str, nbytes: int) -> float:
+        n = self._state.ndev
+        if n == 1:
+            return 0.0
+        if op == "all_reduce":
+            return 2.0 * nbytes * (n - 1) / n
+        if op == "broadcast":
+            return float(nbytes)
+        if op in ("reduce", "reduce_scatter", "all_gather"):
+            return nbytes * (n - 1) / n if op != "reduce" else float(nbytes)
+        raise CommunicationError(f"unknown collective {op!r}")
+
+    def _model_time(self, op: str, nbytes: int) -> float:
+        params = self.ctx.params
+        state = self._state
+        n = state.ndev
+        efficiency = (
+            params.bcast_efficiency if op == "broadcast" else params.efficiency
+        )
+        steps = 2 * (n - 1) if op == "all_reduce" else (n - 1)
+        rounds = max(1, int(np.ceil(np.log2(max(n, 2)))))
+        wire = self._wire_bytes(op, nbytes)
+        bw = state.bottleneck_bw * efficiency
+        return (
+            params.launch_overhead
+            + steps * params.step_latency
+            + rounds * state.hop_latency
+            + (wire / bw if wire else 0.0)
+        )
+
+    # -- rendezvous machinery ------------------------------------------------------
+
+    def _collective(
+        self,
+        op: str,
+        nbytes: int,
+        arrival: dict,
+        apply_fn: Callable[[Dict[int, dict]], None],
+    ) -> None:
+        """Arrive at collective #seq; last arrival schedules completion."""
+        state = self._state
+        sim = self.ctx.world.sim
+        seq = self._op_seq
+        self._op_seq += 1
+        pending = state.pending.get(seq)
+        if pending is None:
+            pending = _PendingCollective(op=op)
+            state.pending[seq] = pending
+        if pending.op != op:
+            raise CommunicationError(
+                f"collective mismatch at sequence {seq}: "
+                f"{pending.op} vs {op} (all members must call the same op "
+                "in the same order)"
+            )
+        if self.dev_rank in pending.arrivals:
+            raise CommunicationError(f"device rank {self.dev_rank} arrived twice")
+        pending.arrivals[self.dev_rank] = arrival
+        fut = Future(sim, description=f"xccl:{op}#{seq}")
+        pending.futures[self.dev_rank] = fut
+        if len(pending.arrivals) == state.ndev:
+            del state.pending[seq]
+            duration = self._model_time(op, nbytes)
+            arrivals = pending.arrivals
+            futures = pending.futures
+
+            def complete() -> None:
+                apply_fn(arrivals)
+                for f in futures.values():
+                    f.fire()
+
+            sim.call_later(duration, complete)
+        fut.wait()
+
+    @staticmethod
+    def _all_real(arrivals: Dict[int, dict], *keys: str) -> bool:
+        refs = [a[k] for a in arrivals.values() for k in keys if a.get(k) is not None]
+        return all(not r.is_virtual for r in refs)
+
+    # -- collectives -------------------------------------------------------------
+
+    def all_reduce(
+        self,
+        send: MemRef,
+        recv: MemRef,
+        dtype: np.dtype = np.float64,
+        op: Callable = np.add,
+    ) -> None:
+        """Ring AllReduce over all member devices."""
+        if send.nbytes != recv.nbytes:
+            raise CommunicationError("all_reduce buffers must match in size")
+        dtype = np.dtype(dtype)
+
+        def apply(arrivals: Dict[int, dict]) -> None:
+            if not self._all_real(arrivals, "send", "recv"):
+                return
+            total = None
+            for i in range(self.ndev):
+                contrib = arrivals[i]["send"].typed(dtype)
+                total = contrib.copy() if total is None else op(total, contrib)
+            for i in range(self.ndev):
+                arrivals[i]["recv"].typed(dtype)[:] = total
+
+        self._collective("all_reduce", send.nbytes, {"send": send, "recv": recv}, apply)
+
+    def broadcast(self, buf: MemRef, root: int, dtype: np.dtype = np.uint8) -> None:
+        """Ring broadcast from device slot ``root``."""
+        if not 0 <= root < self.ndev:
+            raise CommunicationError(f"broadcast root {root} out of range")
+
+        def apply(arrivals: Dict[int, dict]) -> None:
+            if not self._all_real(arrivals, "buf"):
+                return
+            src = arrivals[root]["buf"]
+            for i in range(self.ndev):
+                if i != root:
+                    arrivals[i]["buf"].copy_from(src)
+
+        self._collective("broadcast", buf.nbytes, {"buf": buf}, apply)
+
+    def reduce(
+        self,
+        send: MemRef,
+        recv: Optional[MemRef],
+        root: int,
+        dtype: np.dtype = np.float64,
+        op: Callable = np.add,
+    ) -> None:
+        """Reduce to device slot ``root``."""
+        if not 0 <= root < self.ndev:
+            raise CommunicationError(f"reduce root {root} out of range")
+        if self.dev_rank == root and recv is None:
+            raise CommunicationError("reduce root needs a receive buffer")
+        dtype = np.dtype(dtype)
+
+        def apply(arrivals: Dict[int, dict]) -> None:
+            if not self._all_real(arrivals, "send"):
+                return
+            root_recv = arrivals[root].get("recv")
+            if root_recv is None or root_recv.is_virtual:
+                return
+            total = None
+            for i in range(self.ndev):
+                contrib = arrivals[i]["send"].typed(dtype)
+                total = contrib.copy() if total is None else op(total, contrib)
+            root_recv.typed(dtype)[:] = total
+
+        self._collective("reduce", send.nbytes, {"send": send, "recv": recv}, apply)
+
+    def all_gather(self, send: MemRef, recv: MemRef) -> None:
+        """Ring AllGather: ``recv`` holds ndev blocks in slot order."""
+        if recv.nbytes != send.nbytes * self.ndev:
+            raise CommunicationError(
+                f"all_gather recv must hold ndev*send bytes "
+                f"({send.nbytes * self.ndev}), got {recv.nbytes}"
+            )
+
+        def apply(arrivals: Dict[int, dict]) -> None:
+            if not self._all_real(arrivals, "send", "recv"):
+                return
+            block = send.nbytes
+            for i in range(self.ndev):
+                src = arrivals[i]["send"]
+                for j in range(self.ndev):
+                    arrivals[j]["recv"].slice(i * block, block).copy_from(src)
+
+        self._collective("all_gather", send.nbytes, {"send": send, "recv": recv}, apply)
+
+    def reduce_scatter(
+        self,
+        send: MemRef,
+        recv: MemRef,
+        dtype: np.dtype = np.float64,
+        op: Callable = np.add,
+    ) -> None:
+        """Ring ReduceScatter: each slot receives its reduced block."""
+        if send.nbytes != recv.nbytes * self.ndev:
+            raise CommunicationError(
+                f"reduce_scatter send must hold ndev*recv bytes "
+                f"({recv.nbytes * self.ndev}), got {send.nbytes}"
+            )
+        dtype = np.dtype(dtype)
+
+        def apply(arrivals: Dict[int, dict]) -> None:
+            if not self._all_real(arrivals, "send", "recv"):
+                return
+            block = recv.nbytes
+            for j in range(self.ndev):
+                total = None
+                for i in range(self.ndev):
+                    contrib = arrivals[i]["send"].slice(j * block, block).typed(dtype)
+                    total = contrib.copy() if total is None else op(total, contrib)
+                arrivals[j]["recv"].typed(dtype)[:] = total
+
+        self._collective(
+            "reduce_scatter", recv.nbytes * self.ndev, {"send": send, "recv": recv}, apply
+        )

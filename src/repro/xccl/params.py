@@ -1,0 +1,77 @@
+"""Calibration constants for NCCL and RCCL.
+
+The absolute values land in commonly reported ranges (NCCL collective
+launch ~20–40 µs; ring algorithms sustaining ~90% of the bottleneck
+link; RCCL measurably behind NCCL in both).  The *relationships* are
+what Fig. 6 depends on:
+
+* both libraries pay a large per-operation launch cost → MPI wins at
+  small message sizes,
+* NCCL's channelized rings aggregate all node NICs → big large-message
+  wins on platforms A and C,
+* RCCL has lower protocol efficiency and higher launch overhead →
+  parity-ish with MPI for large AllReduce on platform B, with the
+  broadcast advantage concentrated at medium sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import US
+
+
+@dataclasses.dataclass(frozen=True)
+class XcclParams:
+    """Cost model for one vendor collective library."""
+
+    name: str
+    #: per-collective launch cost (kernel launch + proxy kickoff)
+    launch_overhead: float
+    #: added latency per ring step (per log2 round for tree ops)
+    step_latency: float
+    #: fraction of the bottleneck link the ring protocol sustains
+    efficiency: float
+    #: broadcast-specific efficiency (ring bcast pipelines better)
+    bcast_efficiency: float
+    #: concurrent channels (rings); bounds NIC aggregation
+    max_channels: int
+    #: one-time communicator init cost (topology detection, transport
+    #: setup) — the "OMPCCL initialization overhead" of §4.3
+    init_overhead: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.efficiency <= 1.0 and 0.0 < self.bcast_efficiency <= 1.0):
+            raise ConfigurationError(f"{self.name}: efficiency out of range")
+        if self.max_channels <= 0:
+            raise ConfigurationError(f"{self.name}: max_channels must be positive")
+
+
+NCCL_PARAMS = XcclParams(
+    name="nccl",
+    launch_overhead=22.0 * US,
+    step_latency=1.3 * US,
+    efficiency=0.92,
+    bcast_efficiency=0.95,
+    max_channels=16,
+    init_overhead=900.0 * US,
+)
+
+RCCL_PARAMS = XcclParams(
+    name="rccl",
+    launch_overhead=34.0 * US,
+    step_latency=2.2 * US,
+    efficiency=0.34,
+    bcast_efficiency=0.80,
+    max_channels=16,
+    init_overhead=1300.0 * US,
+)
+
+
+def params_for(ccl: str) -> XcclParams:
+    """Look up the library a platform pairs with ("nccl" | "rccl")."""
+    try:
+        return {"nccl": NCCL_PARAMS, "rccl": RCCL_PARAMS}[ccl]
+    except KeyError:
+        raise ConfigurationError(f"unknown collective library {ccl!r}") from None

@@ -1,0 +1,78 @@
+"""Topology detection: ring construction and bottleneck analysis.
+
+NCCL/RCCL build their rings from the detected hardware graph.  We
+reproduce the two properties the evaluation depends on:
+
+* **node-major ring order** — consecutive ranks on a node are joined
+  by NVLink/xGMI; the ring crosses the network once per node pair,
+* **NIC channel aggregation** — every inter-node crossing may be
+  striped over up to ``min(max_channels, nics, local member GPUs)``
+  NICs, which is the large-message advantage over a single MPI ring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.hardware.topology import ClusterTopology, DeviceId, PathKind
+from repro.util.errors import ConfigurationError
+from repro.xccl.params import XcclParams
+
+
+def build_ring(devices: Sequence[DeviceId]) -> List[DeviceId]:
+    """Order member devices node-major (NCCL's intra-node-first rings)."""
+    if not devices:
+        raise ConfigurationError("cannot build a ring over zero devices")
+    if len(set(devices)) != len(devices):
+        raise ConfigurationError("duplicate devices in communicator")
+    return sorted(devices, key=lambda d: (d.node, d.index))
+
+
+def _crossing_bandwidth(
+    topology: ClusterTopology,
+    src: DeviceId,
+    dst: DeviceId,
+    members_on_src_node: int,
+    params: XcclParams,
+) -> float:
+    """Effective bandwidth of one ring hop."""
+    path = topology.path(src, dst, operation="ccl", gpu_memory=True)
+    if path.kind is PathKind.INTER_NODE:
+        channels = min(
+            params.max_channels,
+            topology.node_spec.nics_per_node,
+            max(1, members_on_src_node),
+        )
+        return path.bandwidth * channels
+    return path.bandwidth
+
+
+def ring_bandwidth(
+    topology: ClusterTopology, ring: Sequence[DeviceId], params: XcclParams
+) -> float:
+    """The bottleneck hop bandwidth of the ring (before efficiency)."""
+    if len(ring) < 2:
+        # Degenerate single-member ring: bounded by device memory.
+        return topology.node_spec.gpu.mem_bandwidth
+    per_node = {}
+    for dev in ring:
+        per_node[dev.node] = per_node.get(dev.node, 0) + 1
+    bws = []
+    for i, src in enumerate(ring):
+        dst = ring[(i + 1) % len(ring)]
+        bws.append(
+            _crossing_bandwidth(topology, src, dst, per_node[src.node], params)
+        )
+    return min(bws)
+
+
+def ring_hop_latency(topology: ClusterTopology, ring: Sequence[DeviceId]) -> float:
+    """The worst single-hop latency in the ring (used in the small-
+    message term of the completion model)."""
+    if len(ring) < 2:
+        return 0.0
+    lats = []
+    for i, src in enumerate(ring):
+        dst = ring[(i + 1) % len(ring)]
+        lats.append(topology.path(src, dst).latency)
+    return max(lats)

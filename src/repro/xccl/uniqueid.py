@@ -1,0 +1,42 @@
+"""NCCL-style UniqueId bootstrap tokens.
+
+``ncclGetUniqueId`` produces an opaque token on one rank; every
+participant passes the same token to ``ncclCommInitRank``.  The token
+must travel out-of-band (the paper broadcasts it over the CPU-side
+network during DiOMP init).  We reproduce the semantics: ids are
+opaque, unforgeable (created only through :meth:`create`), and
+single-communicator.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.util.errors import CommunicationError
+
+_counter = itertools.count(1)
+
+
+class UniqueId:
+    """An opaque communicator rendezvous token."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, _value: int) -> None:
+        if _value <= 0:
+            raise CommunicationError("UniqueId must come from UniqueId.create()")
+        self._value = _value
+
+    @classmethod
+    def create(cls) -> "UniqueId":
+        """``ncclGetUniqueId``: mint a fresh token."""
+        return cls(next(_counter))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UniqueId) and other._value == self._value
+
+    def __hash__(self) -> int:
+        return hash(("xccl-uid", self._value))
+
+    def __repr__(self) -> str:
+        return f"<UniqueId {self._value:#010x}>"

@@ -1,0 +1,166 @@
+"""Tests for world construction, rank placement, SPMD launch, MemRef."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MemRef, World, run_spmd
+from repro.hardware import platform_a, platform_b, platform_c
+from repro.util.errors import CommunicationError, ConfigurationError
+
+
+class TestWorldPlacement:
+    def test_default_one_gpu_per_rank(self):
+        w = World(platform_a(), num_nodes=2)
+        assert w.nranks == 8
+        assert all(len(ctx.devices) == 1 for ctx in w.ranks)
+
+    def test_rank_to_node_mapping(self):
+        w = World(platform_a(), num_nodes=2)
+        assert [ctx.node for ctx in w.ranks] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_multi_gpu_single_process(self):
+        """The paper's single-process multi-GPU deployment (§3.3)."""
+        w = World(platform_a(), num_nodes=2, devices_per_rank=4)
+        assert w.nranks == 2
+        assert len(w.ranks[0].devices) == 4
+        ids = [d.device_id.index for d in w.ranks[0].devices]
+        assert ids == [0, 1, 2, 3]
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceed"):
+            World(platform_a(), num_nodes=1, ranks_per_node=3, devices_per_rank=2)
+
+    def test_platform_b_eight_gcds(self):
+        w = World(platform_b(), num_nodes=1)
+        assert w.nranks == 8  # one rank per GCD
+
+    def test_device_owner(self):
+        w = World(platform_a(), num_nodes=1, devices_per_rank=2)
+        dev = w.ranks[1].devices[1].device_id
+        assert w.device_owner(dev) is w.ranks[1]
+
+    def test_same_node(self):
+        w = World(platform_a(), num_nodes=2)
+        assert w.same_node(0, 3)
+        assert not w.same_node(0, 4)
+
+    def test_devices_are_shared_objects(self):
+        w = World(platform_c(), num_nodes=4)
+        gpu = w.topology.gpu(2, 0)
+        assert w.devices[gpu] is w.ranks[2].device
+
+
+class TestRunSpmd:
+    def test_results_ordered_by_rank(self):
+        w = World(platform_a(), num_nodes=1)
+        res = run_spmd(w, lambda ctx: ctx.rank * 10)
+        assert res.results == [0, 10, 20, 30]
+
+    def test_elapsed_is_max_rank_time(self):
+        w = World(platform_a(), num_nodes=1)
+
+        def prog(ctx):
+            ctx.sim.sleep(float(ctx.rank))
+
+        res = run_spmd(w, prog)
+        assert res.elapsed == 3.0
+
+    def test_extra_args_passed(self):
+        w = World(platform_a(), num_nodes=1)
+        res = run_spmd(w, lambda ctx, a, b: a + b + ctx.rank, 100, 1)
+        assert res.results == [101, 102, 103, 104]
+
+    def test_exception_propagates(self):
+        w = World(platform_a(), num_nodes=1)
+
+        def prog(ctx):
+            if ctx.rank == 2:
+                raise RuntimeError("rank 2 failed")
+
+        with pytest.raises(RuntimeError, match="rank 2"):
+            run_spmd(w, prog)
+
+    def test_global_barrier(self):
+        w = World(platform_a(), num_nodes=2)
+        times = []
+
+        def prog(ctx):
+            ctx.sim.sleep(float(ctx.rank))
+            ctx.world.global_barrier.wait()
+            times.append(ctx.sim.now)
+
+        run_spmd(w, prog)
+        assert times == [7.0] * 8
+
+
+class TestMemRef:
+    def test_host_roundtrip(self):
+        arr = np.arange(10, dtype=np.float64)
+        ref = MemRef.host(0, arr)
+        assert ref.nbytes == 80
+        np.testing.assert_array_equal(ref.typed(np.float64), arr)
+
+    def test_device_ref_through_device(self):
+        w = World(platform_a(), num_nodes=1)
+        buf = w.ranks[0].device.malloc(64)
+        ref = MemRef.device(buf)
+        assert ref.is_device
+        assert ref.endpoint == w.ranks[0].device.device_id
+
+    def test_bare_space_rejected(self):
+        from repro.device import DeviceMemorySpace
+
+        space = DeviceMemorySpace(1024)
+        buf = space.allocate(64)
+        with pytest.raises(CommunicationError, match="not bound"):
+            MemRef.device(buf)
+
+    def test_copy_between_host_refs(self):
+        a = np.arange(8, dtype=np.int64)
+        b = np.zeros(8, dtype=np.int64)
+        MemRef.host(0, b).copy_from(MemRef.host(1, a))
+        np.testing.assert_array_equal(b, a)
+
+    def test_copy_host_to_device(self):
+        w = World(platform_a(), num_nodes=1)
+        buf = w.ranks[0].device.malloc(64)
+        src = np.arange(8, dtype=np.float64)
+        MemRef.device(buf).copy_from(MemRef.host(0, src))
+        np.testing.assert_array_equal(buf.as_array(np.float64, count=8), src)
+
+    def test_size_mismatch_rejected(self):
+        a = np.zeros(4, dtype=np.int8)
+        b = np.zeros(8, dtype=np.int8)
+        with pytest.raises(CommunicationError, match="mismatch"):
+            MemRef.host(0, b).copy_from(MemRef.host(0, a))
+
+    def test_slice(self):
+        arr = np.arange(16, dtype=np.uint8)
+        ref = MemRef.host(0, arr).slice(4, 8)
+        assert ref.nbytes == 8
+        np.testing.assert_array_equal(ref.view(), np.arange(4, 12, dtype=np.uint8))
+
+    def test_slice_out_of_range(self):
+        arr = np.zeros(16, dtype=np.uint8)
+        with pytest.raises(CommunicationError):
+            MemRef.host(0, arr).slice(10, 10)
+
+    def test_virtual_copy_rules(self):
+        w = World(platform_a(), num_nodes=1)
+        dev = w.ranks[0].device
+        v1 = MemRef.device(dev.malloc(64, virtual=True))
+        v2 = MemRef.device(dev.malloc(64, virtual=True))
+        r = MemRef.device(dev.malloc(64))
+        v1.copy_from(v2)  # ok: timing only
+        with pytest.raises(CommunicationError, match="virtual"):
+            r.copy_from(v1)
+
+    def test_noncontiguous_host_rejected(self):
+        arr = np.zeros((4, 4))[:, ::2]
+        with pytest.raises(CommunicationError, match="contiguous"):
+            MemRef.host(0, arr)
+
+    def test_typed_itemsize_mismatch(self):
+        arr = np.zeros(10, dtype=np.uint8)
+        with pytest.raises(CommunicationError, match="multiple"):
+            MemRef.host(0, arr).typed(np.float64)

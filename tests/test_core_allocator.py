@@ -1,0 +1,200 @@
+"""Tests for the linear-heap and buddy allocators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocator import BuddyAllocator, LinearAllocator, make_allocator
+from repro.util.errors import AllocationError
+from repro.util.units import KiB, MiB
+
+
+class TestLinearAllocator:
+    def test_sequential_allocations_disjoint(self):
+        a = LinearAllocator(1 * MiB)
+        offs = [a.alloc(1000) for _ in range(10)]
+        spans = sorted((o, o + 1000) for o in offs)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_alignment(self):
+        a = LinearAllocator(1 * MiB)
+        a.alloc(3)  # misalign the cursor
+        off = a.alloc(100, align=256)
+        assert off % 256 == 0
+
+    def test_free_and_reuse(self):
+        a = LinearAllocator(1 * KiB)
+        off = a.alloc(1024, align=16)
+        a.free(off)
+        assert a.alloc(1024) == off  # whole heap again
+
+    def test_coalescing_both_neighbours(self):
+        a = LinearAllocator(3 * KiB)
+        x = a.alloc(1024)
+        y = a.alloc(1024)
+        z = a.alloc(1024)
+        a.free(x)
+        a.free(z)
+        a.free(y)  # merges with both
+        assert a.alloc(3 * KiB) == 0
+
+    def test_exhaustion(self):
+        a = LinearAllocator(1 * KiB)
+        a.alloc(1024)
+        with pytest.raises(AllocationError, match="exhausted"):
+            a.alloc(1)
+
+    def test_fragmentation_blocks_large_alloc(self):
+        a = LinearAllocator(4 * KiB)
+        offs = [a.alloc(1024) for _ in range(4)]
+        a.free(offs[0])
+        a.free(offs[2])
+        # 2 KiB free but fragmented into two 1 KiB holes.
+        assert a.free_bytes == 2 * KiB
+        with pytest.raises(AllocationError):
+            a.alloc(2 * KiB)
+        assert a.fragmentation > 0
+
+    def test_double_free_rejected(self):
+        a = LinearAllocator(1 * KiB)
+        off = a.alloc(100)
+        a.free(off)
+        with pytest.raises(AllocationError, match="unknown offset"):
+            a.free(off)
+
+    def test_invalid_inputs(self):
+        a = LinearAllocator(1 * KiB)
+        with pytest.raises(AllocationError):
+            a.alloc(0)
+        with pytest.raises(AllocationError):
+            a.alloc(10, align=3)
+        with pytest.raises(AllocationError):
+            LinearAllocator(0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 2048), st.sampled_from([16, 64, 256])),
+            min_size=1,
+            max_size=60,
+        ),
+        st.randoms(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_no_overlap_and_conservation(self, requests, rng):
+        """Arbitrary alloc/free interleavings: live blocks never
+        overlap, and freeing everything restores the full heap."""
+        a = LinearAllocator(1 * MiB)
+        live = {}
+        for size, align in requests:
+            off = a.alloc(size, align=align)
+            assert off % align == 0
+            for o, s in live.items():
+                assert off + size <= o or o + s <= off
+            live[off] = size
+            if live and rng.random() < 0.4:
+                victim = rng.choice(sorted(live))
+                a.free(victim)
+                del live[victim]
+        for off in list(live):
+            a.free(off)
+        assert a.free_bytes == 1 * MiB
+        assert a.alloc(1 * MiB, align=16) == 0
+
+
+class TestBuddyAllocator:
+    def test_rounds_to_power_of_two(self):
+        b = BuddyAllocator(1 * MiB)
+        off = b.alloc(300)
+        assert b.block_size(off) == 512
+
+    def test_min_block_floor(self):
+        b = BuddyAllocator(1 * MiB, min_block=256)
+        off = b.alloc(1)
+        assert b.block_size(off) == 256
+
+    def test_blocks_naturally_aligned(self):
+        b = BuddyAllocator(1 * MiB)
+        for size in (256, 1024, 4096):
+            off = b.alloc(size)
+            assert off % b.block_size(off) == 0
+
+    def test_buddy_coalescing_restores_heap(self):
+        b = BuddyAllocator(1 * KiB, min_block=256)
+        offs = [b.alloc(256) for _ in range(4)]
+        for off in offs:
+            b.free(off)
+        assert b.alloc(1 * KiB) == 0  # fully coalesced
+
+    def test_no_coalesce_with_non_buddy(self):
+        b = BuddyAllocator(1 * KiB, min_block=256)
+        offs = [b.alloc(256) for _ in range(4)]
+        b.free(offs[1])
+        b.free(offs[2])  # adjacent but NOT buddies (1&2 differ in parent)
+        with pytest.raises(AllocationError):
+            b.alloc(512)  # two free 256s exist but no free 512 block
+
+    def test_exhaustion(self):
+        b = BuddyAllocator(1 * KiB)
+        b.alloc(1024)
+        with pytest.raises(AllocationError, match="exhausted"):
+            b.alloc(1)
+
+    def test_oversize_request(self):
+        b = BuddyAllocator(1 * KiB)
+        with pytest.raises(AllocationError, match="exceeds"):
+            b.alloc(4 * KiB)
+
+    def test_double_free_rejected(self):
+        b = BuddyAllocator(1 * KiB)
+        off = b.alloc(256)
+        b.free(off)
+        with pytest.raises(AllocationError):
+            b.free(off)
+
+    @given(
+        st.lists(st.integers(1, 8 * KiB), min_size=1, max_size=50),
+        st.randoms(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_no_overlap_full_recovery(self, sizes, rng):
+        b = BuddyAllocator(1 * MiB)
+        live = {}
+        for size in sizes:
+            off = b.alloc(size)
+            block = b.block_size(off)
+            for o, s in live.items():
+                assert off + block <= o or o + s <= off
+            live[off] = block
+            if live and rng.random() < 0.4:
+                victim = rng.choice(sorted(live))
+                b.free(victim)
+                del live[victim]
+        for off in list(live):
+            b.free(off)
+        assert b.free_bytes == b.capacity
+        assert b.alloc(b.capacity) == 0
+
+    def test_determinism_across_instances(self):
+        """Identical call sequences yield identical offsets — the
+        property symmetric allocation rests on."""
+        seq = [(300, None), (1024, None), ("free", 0), (128, None), (4096, None)]
+
+        def run():
+            b = BuddyAllocator(1 * MiB)
+            offs = []
+            for item, _ in seq:
+                if item == "free":
+                    b.free(offs[0])
+                else:
+                    offs.append(b.alloc(item))
+            return offs
+
+        assert run() == run()
+
+
+class TestFactory:
+    def test_make_allocator(self):
+        assert isinstance(make_allocator("linear", 1024), LinearAllocator)
+        assert isinstance(make_allocator("buddy", 1024), BuddyAllocator)
+        with pytest.raises(AllocationError):
+            make_allocator("slab", 1024)

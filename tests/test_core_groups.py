@@ -1,0 +1,312 @@
+"""Tests for DiOMP groups, OMPCCL collectives and directives."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MemRef, World, run_spmd
+from repro.core import DiompGroup, DiompParams, DiompRuntime
+from repro.core.directives import execute_pragma, parse_pragma
+from repro.hardware import platform_a, platform_b
+from repro.util.errors import CommunicationError, ConfigurationError
+from repro.util.units import KiB, MiB
+
+
+def make(nodes=2, platform=None, **kw):
+    w = World(platform or platform_a(with_quirk=False), num_nodes=nodes)
+    rt = DiompRuntime(w, DiompParams(**kw) if kw else None)
+    return w, rt
+
+
+class TestGroupHandles:
+    def test_world_group_covers_everyone(self):
+        w, rt = make()
+        g = rt.world_group
+        assert g.size == 8
+        assert g.device_count == 8
+
+    def test_group_rank_and_slots(self):
+        w, rt = make()
+        g = rt.world_group
+        assert g.group_rank(5) == 5
+        assert g.device_slots(5) == [5]
+
+    def test_multi_device_slots(self):
+        w = World(platform_a(with_quirk=False), num_nodes=2, devices_per_rank=4)
+        rt = DiompRuntime(w)
+        g = rt.world_group
+        assert g.size == 2
+        assert g.device_count == 8
+        assert g.device_slots(1) == [4, 5, 6, 7]
+
+    def test_nonmember_rejected(self):
+        w, rt = make()
+
+        def prog(ctx):
+            sub = None
+            if ctx.rank < 4:
+                sub = ctx.diomp.group_create([0, 1, 2, 3])
+            ctx.diomp.barrier()
+            if ctx.rank == 7:
+                with pytest.raises(CommunicationError, match="not in"):
+                    ctx.diomp.group_create([0, 1])
+            ctx.diomp.barrier()
+
+        run_spmd(w, prog)
+
+
+class TestGroupLifecycle:
+    def test_create_returns_shared_handle(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank < 4:
+                g = ctx.diomp.group_create([0, 1, 2, 3])
+                out[ctx.rank] = g.group_id
+            ctx.diomp.barrier()
+
+        run_spmd(w, prog)
+        assert len(set(out.values())) == 1
+
+    def test_split(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            sub = ctx.diomp.group_split(ctx.diomp.world_group, ctx.rank % 2)
+            out[ctx.rank] = tuple(sub.ranks)
+
+        run_spmd(w, prog)
+        assert out[0] == (0, 2, 4, 6)
+        assert out[1] == (1, 3, 5, 7)
+
+    def test_split_opt_out(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            color = 0 if ctx.rank < 2 else -1
+            sub = ctx.diomp.group_split(ctx.diomp.world_group, color)
+            out[ctx.rank] = None if sub is None else tuple(sub.ranks)
+
+        run_spmd(w, prog)
+        assert out[0] == (0, 1)
+        assert out[5] is None
+
+    def test_merge_recomposition(self):
+        """Two phase groups merged into a new logical group (§3.3)."""
+        w, rt = make()
+        out = {}
+        halves = {}
+
+        def prog(ctx):
+            color = ctx.rank // 4
+            half = ctx.diomp.group_split(ctx.diomp.world_group, color)
+            halves[ctx.rank] = half
+            ctx.diomp.barrier()
+            # Every rank knows both halves (via any member's handle)
+            # and merges them — all 8 ranks participate.
+            merged = ctx.diomp.group_merge(halves[0], halves[4])
+            out[ctx.rank] = tuple(merged.ranks)
+
+        run_spmd(w, prog)
+        assert all(v == (0, 1, 2, 3, 4, 5, 6, 7) for v in out.values())
+
+    def test_scoped_barrier(self):
+        """ompx_barrier(group) releases the group without waiting for
+        non-members (the paper's 'avoids unnecessary global sync')."""
+        w, rt = make()
+        times = {}
+
+        def prog(ctx):
+            if ctx.rank < 4:
+                sub = ctx.diomp.group_create([0, 1, 2, 3])
+                ctx.sim.sleep(1e-3 * ctx.rank)
+                ctx.diomp.barrier(sub)
+                times[ctx.rank] = ctx.sim.now
+            else:
+                ctx.sim.sleep(1.0)  # slowpokes outside the group
+            ctx.world.global_barrier.wait()
+
+        run_spmd(w, prog)
+        assert max(times.values()) < 0.01  # did not wait for the 1 s ranks
+
+
+class TestOmpcclCollectives:
+    def test_bcast_symmetric_buffer(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(64)
+            if ctx.rank == 2:
+                g.typed(np.float64)[:] = 3.25
+            ctx.diomp.barrier()
+            ctx.diomp.bcast(g, root_rank=2)
+            out[ctx.rank] = g.typed(np.float64)[0]
+
+        run_spmd(w, prog)
+        assert all(v == 3.25 for v in out.values())
+
+    def test_allreduce(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            send = ctx.diomp.alloc(64)
+            recv = ctx.diomp.alloc(64)
+            send.typed(np.float64)[:] = float(ctx.rank)
+            ctx.diomp.barrier()
+            ctx.diomp.allreduce(send, recv)
+            out[ctx.rank] = recv.typed(np.float64)[0]
+
+        run_spmd(w, prog)
+        assert all(v == 28.0 for v in out.values())
+
+    def test_reduce_to_root(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            send = ctx.diomp.alloc(8)
+            send.typed(np.float64)[:] = 2.0
+            recv = ctx.diomp.alloc(8)
+            ctx.diomp.barrier()
+            ctx.diomp.reduce(send, recv, root_rank=3)
+            out[ctx.rank] = recv.typed(np.float64)[0]
+
+        run_spmd(w, prog)
+        assert out[3] == 16.0
+        assert out[0] == 0.0  # non-roots untouched
+
+    def test_group_scoped_allreduce(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            sub = ctx.diomp.group_split(ctx.diomp.world_group, ctx.rank % 2)
+            send = ctx.diomp.alloc(8)
+            recv = ctx.diomp.alloc(8)
+            send.typed(np.float64)[:] = float(ctx.rank)
+            ctx.diomp.barrier()
+            ctx.diomp.allreduce(send, recv, group=sub)
+            out[ctx.rank] = recv.typed(np.float64)[0]
+
+        run_spmd(w, prog)
+        assert out[0] == 0 + 2 + 4 + 6
+        assert out[1] == 1 + 3 + 5 + 7
+
+    def test_uid_exchange_once_per_rank(self):
+        w, rt = make()
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(8)
+            r = ctx.diomp.alloc(8)
+            ctx.diomp.barrier()
+            ctx.diomp.allreduce(g, r)
+            ctx.diomp.allreduce(g, r)  # channels cached
+
+        run_spmd(w, prog)
+        # 7 non-root ranks fetch the UniqueId exactly once each.
+        assert rt.ompccl.uid_exchanges == 7
+
+    def test_single_process_multi_gpu_collective(self):
+        """§3.3's headline: one rank drives 4 GPUs; the collective runs
+        over 8 device slots across 2 ranks."""
+        w = World(platform_a(with_quirk=False), num_nodes=2, devices_per_rank=4)
+        rt = DiompRuntime(w)
+        out = {}
+
+        def prog(ctx):
+            sends, recvs = [], []
+            for d, dev in enumerate(ctx.devices):
+                s = dev.malloc(8)
+                s.as_array(np.float64)[:] = float(ctx.rank * 4 + d)
+                sends.append(MemRef.device(s))
+                recvs.append(MemRef.device(dev.malloc(8)))
+            ctx.diomp.barrier()
+            ctx.diomp.allreduce(sends, recvs)
+            out[ctx.rank] = [r.typed(np.float64)[0] for r in recvs]
+
+        run_spmd(w, prog)
+        # Sum over slots 0..7 = 28 on every device.
+        assert out[0] == [28.0] * 4
+        assert out[1] == [28.0] * 4
+
+
+class TestDirectives:
+    def test_parse_basic(self):
+        p = parse_pragma("#pragma ompx target device_bcast(var, grp)")
+        assert p.directive == "device_bcast"
+        assert p.args == ("var", "grp")
+
+    def test_parse_kwargs(self):
+        p = parse_pragma("#pragma ompx target device_bcast(x, root=3)")
+        assert p.kwargs == {"root": "3"}
+
+    def test_parse_barrier_no_args(self):
+        assert parse_pragma("#pragma ompx barrier").directive == "barrier"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            parse_pragma("#pragma omp parallel for")
+        with pytest.raises(ConfigurationError):
+            parse_pragma("#pragma ompx target device_teleport(x)")
+        with pytest.raises(ConfigurationError):
+            parse_pragma("#pragma ompx target device_bcast(a, b, c, d, e)")
+
+    def test_execute_bcast_pragma(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(32)
+            if ctx.rank == 0:
+                g.typed(np.int32)[:] = 41
+            ctx.diomp.barrier()
+            execute_pragma(
+                ctx.diomp,
+                "#pragma ompx target device_bcast(v, root=0)",
+                env={"v": g},
+            )
+            out[ctx.rank] = g.typed(np.int32)[0]
+
+        run_spmd(w, prog)
+        assert all(v == 41 for v in out.values())
+
+    def test_execute_allreduce_pragma(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            s = ctx.diomp.alloc(8)
+            r = ctx.diomp.alloc(8)
+            s.typed(np.float64)[:] = 1.0
+            ctx.diomp.barrier()
+            execute_pragma(
+                ctx.diomp,
+                "#pragma ompx target device_allreduce(s, r)",
+                env={"s": s, "r": r},
+            )
+            out[ctx.rank] = r.typed(np.float64)[0]
+
+        run_spmd(w, prog)
+        assert all(v == 8.0 for v in out.values())
+
+    def test_execute_unknown_symbol_rejected(self):
+        w, rt = make(nodes=1)
+
+        def prog(ctx):
+            execute_pragma(ctx.diomp, "#pragma ompx target device_bcast(ghost)")
+
+        with pytest.raises(ConfigurationError, match="environment"):
+            run_spmd(w, prog)
+
+    def test_fence_and_barrier_pragmas(self):
+        w, rt = make(nodes=1)
+
+        def prog(ctx):
+            execute_pragma(ctx.diomp, "#pragma ompx fence")
+            execute_pragma(ctx.diomp, "#pragma ompx barrier")
+
+        run_spmd(w, prog)

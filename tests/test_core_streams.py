@@ -1,0 +1,181 @@
+"""Tests for the stream pool (lazy/reuse/bounded/partial-sync/hybrid)."""
+
+import pytest
+
+from repro.cluster import World
+from repro.core import StreamPool, StreamPoolParams
+from repro.hardware import platform_a
+from repro.sim import Future, Simulator
+from repro.util.errors import ConfigurationError
+
+
+def make_pool(**kw):
+    w = World(platform_a(with_quirk=False), num_nodes=1)
+    pool = StreamPool(
+        w.sim, w.ranks[0].device, params=StreamPoolParams(**kw) if kw else None
+    )
+    return w.sim, pool
+
+
+class TestLazyAndReuse:
+    def test_no_streams_before_first_use(self):
+        sim, pool = make_pool()
+        assert pool.active_count == 0  # lazy: nothing preallocated
+
+    def test_idle_stream_reused(self):
+        sim, pool = make_pool()
+        stats = {}
+
+        def prog():
+            s1 = pool.acquire()
+            s1.enqueue(1e-6)
+            s1.synchronize()  # now idle
+            s2 = pool.acquire()
+            stats["same"] = s2 is s1
+            stats["created"] = pool.created
+            stats["reused"] = pool.reused
+
+        sim.spawn(prog)
+        sim.run()
+        assert stats == {"same": True, "created": 1, "reused": 1}
+
+    def test_reuse_disabled_creates_new(self):
+        sim, pool = make_pool(reuse=False, max_active_streams=4)
+        stats = {}
+
+        def prog():
+            s1 = pool.acquire()
+            s1.enqueue(1e-6)
+            s1.synchronize()
+            pool.acquire()
+            stats["created"] = pool.created
+
+        sim.spawn(prog)
+        sim.run()
+        assert stats["created"] == 2
+
+    def test_busy_streams_not_reused(self):
+        sim, pool = make_pool()
+        stats = {}
+
+        def prog():
+            s1 = pool.acquire()
+            s1.enqueue(1.0)  # long-running
+            s2 = pool.acquire()
+            stats["distinct"] = s2 is not s1
+            pool.synchronize_all()
+
+        sim.spawn(prog)
+        sim.run()
+        assert stats["distinct"]
+
+
+class TestBoundedConcurrency:
+    def test_pool_never_exceeds_bound(self):
+        sim, pool = make_pool(max_active_streams=4)
+
+        def prog():
+            for i in range(20):
+                s = pool.acquire()
+                s.enqueue(1e-5 * (i + 1))
+                assert pool.active_count <= 4
+            pool.synchronize_all()
+
+        sim.spawn(prog)
+        sim.run()
+        assert pool.created <= 4
+
+    def test_partial_sync_releases_half(self):
+        sim, pool = make_pool(max_active_streams=4, partial_sync_fraction=0.5)
+        stats = {}
+
+        def prog():
+            for _ in range(4):
+                pool.acquire().enqueue(1e-3)
+            # Fifth acquire triggers partial synchronization.
+            pool.acquire().enqueue(1e-3)
+            stats["partial_syncs"] = pool.partial_syncs
+            pool.synchronize_all()
+
+        sim.spawn(prog)
+        sim.run()
+        assert stats["partial_syncs"] == 1
+
+    def test_partial_sync_waits_soonest_half_only(self):
+        """Partial sync must block only until the *soonest* half
+        completes, leaving slower streams running."""
+        sim, pool = make_pool(max_active_streams=2, partial_sync_fraction=0.5)
+        times = {}
+
+        def prog():
+            fast = pool.acquire()
+            fast.enqueue(1e-4)
+            slow = pool.acquire()
+            slow.enqueue(1.0)
+            pool.acquire()  # waits on the fast one only
+            times["resumed_at"] = sim.now
+            pool.synchronize_all()
+
+        sim.spawn(prog)
+        sim.run()
+        assert times["resumed_at"] == pytest.approx(1e-4)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            StreamPoolParams(max_active_streams=0)
+        with pytest.raises(ConfigurationError):
+            StreamPoolParams(partial_sync_fraction=0.0)
+
+
+class TestHybridFence:
+    def test_fence_waits_streams_and_events(self):
+        sim, pool = make_pool()
+        done = {}
+
+        def prog():
+            s = pool.acquire()
+            s.enqueue(2e-3)
+            ev_future = Future(sim, description="net")
+            sim.call_later(5e-3, ev_future.fire)
+
+            class Event:
+                def test(self):
+                    return ev_future.poll()
+
+                def wait(self):
+                    return ev_future.wait()
+
+            pool.hybrid_fence([Event()])
+            done["t"] = sim.now
+
+        sim.spawn(prog)
+        sim.run()
+        assert done["t"] >= 5e-3  # waited for the slower (network) side
+
+    def test_fence_with_nothing_pending_cheap(self):
+        sim, pool = make_pool()
+        out = {}
+
+        def prog():
+            iterations = pool.hybrid_fence([])
+            out["iters"] = iterations
+            out["t"] = sim.now
+
+        sim.spawn(prog)
+        sim.run()
+        assert out["iters"] == 0
+        assert out["t"] == 0.0
+
+    def test_fence_iterations_traced(self):
+        sim, pool = make_pool()
+        out = {}
+
+        def prog():
+            for _ in range(3):
+                pool.acquire().enqueue(1e-4)
+            out["iters"] = pool.hybrid_fence([])
+
+        sim.spawn(prog)
+        sim.run()
+        assert out["iters"] >= 1
+        assert pool.poll_iterations == out["iters"]

@@ -1,0 +1,171 @@
+"""Tests for device memory spaces and buffers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import DeviceMemorySpace
+from repro.util.errors import AllocationError, DeviceError
+from repro.util.units import KiB, MiB
+
+
+class TestAllocation:
+    def test_allocations_do_not_overlap(self):
+        space = DeviceMemorySpace(1 * MiB)
+        a = space.allocate(1000)
+        b = space.allocate(2000)
+        assert a.end <= b.address or b.end <= a.address
+
+    def test_capacity_enforced(self):
+        space = DeviceMemorySpace(1 * KiB)
+        space.allocate(512)
+        with pytest.raises(AllocationError, match="out of device memory"):
+            space.allocate(600)
+
+    def test_free_returns_capacity(self):
+        space = DeviceMemorySpace(1 * KiB)
+        a = space.allocate(1024)
+        space.free(a)
+        assert space.free_bytes == 1 * KiB
+        space.allocate(1024)  # fits again
+
+    def test_double_free_rejected(self):
+        space = DeviceMemorySpace(1 * KiB)
+        a = space.allocate(10)
+        space.free(a)
+        with pytest.raises(AllocationError, match="double free"):
+            space.free(a)
+
+    def test_free_on_wrong_space_rejected(self):
+        s1 = DeviceMemorySpace(1 * KiB)
+        s2 = DeviceMemorySpace(1 * KiB)
+        a = s1.allocate(10)
+        with pytest.raises(AllocationError, match="wrong device"):
+            s2.free(a)
+
+    def test_zero_size_rejected(self):
+        space = DeviceMemorySpace(1 * KiB)
+        with pytest.raises(AllocationError):
+            space.allocate(0)
+
+    def test_virtual_allocation_counts_capacity(self):
+        space = DeviceMemorySpace(1 * MiB)
+        v = space.allocate(512 * KiB, virtual=True)
+        assert v.is_virtual
+        assert space.live_bytes == 512 * KiB
+
+
+class TestBufferAccess:
+    def test_write_read_roundtrip(self):
+        space = DeviceMemorySpace(1 * KiB)
+        buf = space.allocate(64)
+        buf.write(8, b"hello")
+        assert buf.read(8, 5) == b"hello"
+
+    def test_typed_view_shares_storage(self):
+        space = DeviceMemorySpace(1 * KiB)
+        buf = space.allocate(80)
+        arr = buf.as_array(np.float64, count=10)
+        arr[:] = np.arange(10.0)
+        again = buf.as_array(np.float64, count=10)
+        np.testing.assert_array_equal(again, np.arange(10.0))
+
+    def test_view_with_offset(self):
+        space = DeviceMemorySpace(1 * KiB)
+        buf = space.allocate(64)
+        buf.as_array(np.int32, count=4, offset=16)[:] = [1, 2, 3, 4]
+        raw = np.frombuffer(buf.read(16, 16), dtype=np.int32)
+        np.testing.assert_array_equal(raw, [1, 2, 3, 4])
+
+    def test_out_of_bounds_rejected(self):
+        space = DeviceMemorySpace(1 * KiB)
+        buf = space.allocate(16)
+        with pytest.raises(DeviceError, match="out-of-bounds"):
+            buf.read(10, 10)
+        with pytest.raises(DeviceError, match="out-of-bounds"):
+            buf.write(-1, b"x")
+
+    def test_use_after_free_rejected(self):
+        space = DeviceMemorySpace(1 * KiB)
+        buf = space.allocate(16)
+        space.free(buf)
+        with pytest.raises(DeviceError, match="use-after-free"):
+            buf.read(0, 1)
+
+    def test_virtual_buffer_rejects_data_access(self):
+        space = DeviceMemorySpace(1 * MiB)
+        v = space.allocate(1024, virtual=True)
+        with pytest.raises(DeviceError, match="virtual"):
+            v.read(0, 1)
+        with pytest.raises(DeviceError, match="virtual"):
+            v.as_array(np.float64)
+
+    def test_copy_within_device(self):
+        space = DeviceMemorySpace(1 * KiB)
+        a = space.allocate(32)
+        b = space.allocate(32)
+        a.write(0, bytes(range(32)))
+        b.copy_within_device(4, a, 8, 16)
+        assert b.read(4, 16) == bytes(range(8, 24))
+
+    def test_copy_between_virtual_is_noop(self):
+        space = DeviceMemorySpace(1 * MiB)
+        a = space.allocate(1024, virtual=True)
+        b = space.allocate(1024, virtual=True)
+        b.copy_within_device(0, a, 0, 512)  # timing-only, no error
+
+    def test_copy_mixed_real_virtual_rejected(self):
+        space = DeviceMemorySpace(1 * MiB)
+        a = space.allocate(1024, virtual=True)
+        b = space.allocate(1024)
+        with pytest.raises(DeviceError, match="real and virtual"):
+            b.copy_within_device(0, a, 0, 512)
+
+    def test_cross_space_copy_rejected(self):
+        s1 = DeviceMemorySpace(1 * KiB)
+        s2 = DeviceMemorySpace(1 * KiB)
+        a, b = s1.allocate(16), s2.allocate(16)
+        with pytest.raises(DeviceError, match="across devices"):
+            b.copy_within_device(0, a, 0, 8)
+
+
+class TestAddressResolution:
+    def test_resolve_start_middle_last(self):
+        space = DeviceMemorySpace(1 * KiB)
+        buf = space.allocate(100)
+        assert space.resolve(buf.address) == (buf, 0)
+        assert space.resolve(buf.address + 50) == (buf, 50)
+        assert space.resolve(buf.address + 99) == (buf, 99)
+
+    def test_resolve_end_is_out(self):
+        space = DeviceMemorySpace(1 * KiB)
+        buf = space.allocate(100)
+        with pytest.raises(DeviceError, match="not in any live allocation"):
+            space.resolve(buf.end)
+
+    def test_resolve_after_free(self):
+        space = DeviceMemorySpace(1 * KiB)
+        buf = space.allocate(100)
+        space.free(buf)
+        with pytest.raises(DeviceError):
+            space.resolve(buf.address)
+
+    def test_resolve_picks_right_allocation(self):
+        space = DeviceMemorySpace(1 * MiB)
+        bufs = [space.allocate(64) for _ in range(10)]
+        for buf in bufs:
+            got, off = space.resolve(buf.address + 13)
+            assert got is buf and off == 13
+
+    @given(st.lists(st.integers(min_value=1, max_value=4096), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_resolution_consistent(self, sizes):
+        """Every in-range address resolves to its own allocation and the
+        correct offset, for arbitrary allocation sequences."""
+        space = DeviceMemorySpace(64 * MiB)
+        bufs = [space.allocate(s, virtual=True) for s in sizes]
+        for buf in bufs:
+            for probe in {0, buf.size // 2, buf.size - 1}:
+                got, off = space.resolve(buf.address + probe)
+                assert got is buf
+                assert off == probe

@@ -1,0 +1,114 @@
+"""Tests for address-range reservations and fixed placements —
+the mechanism under the once-registered DiOMP global segment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import DeviceMemorySpace
+from repro.util.errors import AllocationError, DeviceError
+from repro.util.units import KiB, MiB
+
+
+class TestReserve:
+    def test_reserve_charges_capacity(self):
+        space = DeviceMemorySpace(1 * MiB)
+        space.reserve(512 * KiB)
+        assert space.live_bytes == 512 * KiB
+        with pytest.raises(AllocationError):
+            space.reserve(600 * KiB)
+
+    def test_reserve_returns_disjoint_ranges(self):
+        space = DeviceMemorySpace(1 * MiB)
+        a = space.reserve(100 * KiB)
+        b = space.reserve(100 * KiB)
+        assert b >= a + 100 * KiB
+
+    def test_invalid_reserve(self):
+        space = DeviceMemorySpace(1 * MiB)
+        with pytest.raises(AllocationError):
+            space.reserve(0)
+
+
+class TestAllocateAt:
+    def test_placement_inside_reservation(self):
+        space = DeviceMemorySpace(1 * MiB)
+        base = space.reserve(64 * KiB)
+        buf = space.allocate_at(base + 1024, 4096)
+        assert buf.address == base + 1024
+        assert space.resolve(base + 2048) == (buf, 1024)
+
+    def test_placement_outside_reservation_rejected(self):
+        space = DeviceMemorySpace(1 * MiB)
+        base = space.reserve(64 * KiB)
+        with pytest.raises(AllocationError, match="reserved"):
+            space.allocate_at(base + 63 * KiB, 4096)  # spans past the end
+
+    def test_placement_no_extra_capacity_charge(self):
+        space = DeviceMemorySpace(1 * MiB)
+        base = space.reserve(512 * KiB)
+        before = space.live_bytes
+        space.allocate_at(base, 256 * KiB)
+        assert space.live_bytes == before
+
+    def test_overlapping_placements_rejected(self):
+        space = DeviceMemorySpace(1 * MiB)
+        base = space.reserve(64 * KiB)
+        space.allocate_at(base, 4096)
+        with pytest.raises(AllocationError, match="overlaps"):
+            space.allocate_at(base + 2048, 4096)
+        with pytest.raises(AllocationError, match="overlaps"):
+            space.allocate_at(base, 1024)
+
+    def test_adjacent_placements_allowed(self):
+        space = DeviceMemorySpace(1 * MiB)
+        base = space.reserve(64 * KiB)
+        a = space.allocate_at(base, 4096)
+        b = space.allocate_at(base + 4096, 4096)
+        assert a.end == b.address
+
+    def test_free_placed_keeps_reservation_capacity(self):
+        space = DeviceMemorySpace(1 * MiB)
+        base = space.reserve(64 * KiB)
+        buf = space.allocate_at(base, 4096)
+        live = space.live_bytes
+        space.free(buf)
+        assert space.live_bytes == live  # reservation still holds it
+        # The address range is reusable for a new placement.
+        space.allocate_at(base, 4096)
+
+    def test_placed_buffer_real_data(self):
+        space = DeviceMemorySpace(1 * MiB)
+        base = space.reserve(64 * KiB)
+        buf = space.allocate_at(base, 64)
+        buf.as_array(np.float64)[:] = 7.0
+        got, off = space.resolve(base + 8)
+        assert got is buf and off == 8
+
+    @given(
+        placements=st.lists(
+            st.tuples(st.integers(0, 60), st.integers(1, 4)), min_size=1, max_size=12
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_placement_resolution(self, placements):
+        """Arbitrary non-overlapping placements resolve correctly."""
+        space = DeviceMemorySpace(1 * MiB)
+        base = space.reserve(64 * KiB)
+        taken = []
+        for slot, pages in placements:
+            start = base + slot * KiB
+            size = pages * KiB
+            overlap = any(
+                start < t_end and t_start < start + size for t_start, t_end in taken
+            )
+            if start + size > base + 64 * KiB:
+                continue
+            if overlap:
+                with pytest.raises(AllocationError):
+                    space.allocate_at(start, size)
+            else:
+                buf = space.allocate_at(start, size, virtual=True)
+                taken.append((start, start + size))
+                got, off = space.resolve(start + size - 1)
+                assert got is buf and off == size - 1

@@ -1,0 +1,289 @@
+"""Tests for streams, events, kernels, IPC and the Device facade."""
+
+import numpy as np
+import pytest
+
+from repro.device import Device, DeviceEvent, IpcHandle, Kernel, KernelCost, PeerAccessManager, Stream
+from repro.device.kernel import gemm_cost, stencil_cost
+from repro.hardware import A100, platform_a, platform_b
+from repro.sim import Simulator
+from repro.util.errors import DeviceError
+
+
+def make_device(sim=None):
+    sim = sim or Simulator()
+    topo = platform_a(with_quirk=False).cluster(1)
+    return sim, Device(sim, topo.gpu(0, 0), A100)
+
+
+class TestStream:
+    def test_ops_serialize_in_order(self):
+        sim = Simulator()
+        s = Stream(sim)
+        log = []
+
+        def prog():
+            s.enqueue(1.0, on_complete=lambda: log.append(("a", sim.now)))
+            s.enqueue(2.0, on_complete=lambda: log.append(("b", sim.now)))
+            s.synchronize()
+
+        sim.spawn(prog)
+        sim.run()
+        assert log == [("a", 1.0), ("b", 3.0)]
+
+    def test_synchronize_blocks_until_drained(self):
+        sim = Simulator()
+        s = Stream(sim)
+        times = []
+
+        def prog():
+            s.enqueue(1.5)
+            s.synchronize()
+            times.append(sim.now)
+
+        sim.spawn(prog)
+        sim.run()
+        assert times == [1.5]
+
+    def test_idle_property(self):
+        sim = Simulator()
+        s = Stream(sim)
+        seen = []
+
+        def prog():
+            seen.append(s.idle)
+            s.enqueue(1.0)
+            seen.append(s.idle)
+            s.synchronize()
+            seen.append(s.idle)
+
+        sim.spawn(prog)
+        sim.run()
+        assert seen == [True, False, True]
+
+    def test_enqueue_after_destroy_rejected(self):
+        sim = Simulator()
+        s = Stream(sim)
+        s.destroy()
+
+        def prog():
+            s.enqueue(1.0)
+
+        sim.spawn(prog)
+        with pytest.raises(DeviceError, match="destroyed"):
+            sim.run()
+
+    def test_gap_between_ops_restarts_from_now(self):
+        sim = Simulator()
+        s = Stream(sim)
+        log = []
+
+        def prog():
+            s.enqueue(1.0)
+            s.synchronize()
+            sim.sleep(5.0)
+            s.enqueue(1.0, on_complete=lambda: log.append(sim.now))
+            s.synchronize()
+
+        sim.spawn(prog)
+        sim.run()
+        assert log == [7.0]
+
+
+class TestDeviceEvent:
+    def test_record_query_synchronize(self):
+        sim = Simulator()
+        s = Stream(sim)
+        ev = DeviceEvent(sim)
+        observations = []
+
+        def prog():
+            s.enqueue(2.0)
+            ev.record(s)
+            observations.append(ev.query())
+            ev.synchronize()
+            observations.append((ev.query(), sim.now))
+
+        sim.spawn(prog)
+        sim.run()
+        assert observations == [False, (True, 2.0)]
+
+    def test_event_captures_point_in_time(self):
+        """Work enqueued after record() does not delay the event."""
+        sim = Simulator()
+        s = Stream(sim)
+        ev = DeviceEvent(sim)
+        times = []
+
+        def prog():
+            s.enqueue(1.0)
+            ev.record(s)
+            s.enqueue(10.0)
+            ev.synchronize()
+            times.append(sim.now)
+
+        sim.spawn(prog)
+        sim.run()
+        assert times == [1.0]
+
+    def test_unrecorded_event_rejected(self):
+        sim = Simulator()
+        ev = DeviceEvent(sim)
+        with pytest.raises(DeviceError, match="unrecorded"):
+            ev.query()
+
+
+class TestKernelCost:
+    def test_roofline_compute_bound(self):
+        cost = KernelCost(flops=1e12, bytes_moved=1.0, efficiency=1.0)
+        assert cost.duration_on(A100) == pytest.approx(1e12 / A100.fp64_flops)
+
+    def test_roofline_memory_bound(self):
+        cost = KernelCost(flops=1.0, bytes_moved=2e12, efficiency=1.0)
+        assert cost.duration_on(A100) == pytest.approx(2e12 / A100.mem_bandwidth)
+
+    def test_gemm_uses_matrix_peak(self):
+        c = gemm_cost(1024, 1024, 1024, efficiency=1.0)
+        assert c.use_gemm_peak
+        assert c.flops == 2.0 * 1024**3
+
+    def test_stencil_cost_scales_with_points(self):
+        small = stencil_cost(1000)
+        large = stencil_cost(100000)
+        assert large.duration_on(A100) == pytest.approx(
+            100 * small.duration_on(A100)
+        )
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(DeviceError):
+            KernelCost(flops=1, bytes_moved=1, efficiency=0.0)
+
+
+class TestDeviceFacade:
+    def test_launch_advances_clock_and_runs_host_fn(self):
+        sim, dev = make_device()
+        out = {}
+
+        def host_fn(x):
+            out["value"] = x * 2
+
+        k = Kernel(
+            name="double",
+            cost=lambda x: KernelCost(flops=1e9, bytes_moved=0.0),
+            host_fn=host_fn,
+        )
+
+        def prog():
+            fut = dev.launch(k, 21)
+            fut.wait()
+
+        sim.spawn(prog)
+        sim.run()
+        assert out["value"] == 42
+        assert sim.now > A100.kernel_launch_overhead
+        assert dev.kernels_launched == 1
+
+    def test_local_copy_moves_data_at_completion(self):
+        sim, dev = make_device()
+        a = dev.malloc(64)
+        b = dev.malloc(64)
+        a.write(0, bytes(range(64)))
+
+        def prog():
+            dev.local_copy(b, 0, a, 0, 64).wait()
+
+        sim.spawn(prog)
+        sim.run()
+        assert b.read(0, 64) == bytes(range(64))
+
+    def test_kernel_on_real_buffers_computes(self):
+        sim, dev = make_device()
+        buf = dev.malloc(8 * 16)
+        arr = buf.as_array(np.float64, count=16)
+        arr[:] = 1.0
+
+        def scale(view):
+            view *= 3.0
+
+        k = Kernel("scale", cost=lambda v: KernelCost(v.size * 1.0, v.nbytes), host_fn=scale)
+
+        def prog():
+            dev.launch(k, arr).wait()
+
+        sim.spawn(prog)
+        sim.run()
+        np.testing.assert_allclose(buf.as_array(np.float64, count=16), 3.0)
+
+
+class TestIpc:
+    def test_open_gives_same_buffer(self):
+        sim, dev = make_device()
+        buf = dev.malloc(128)
+        h = IpcHandle(buf, exporter_rank=0)
+        opened, first = h.open(1)
+        assert opened is buf and first
+
+    def test_second_open_is_cached(self):
+        sim, dev = make_device()
+        h = IpcHandle(dev.malloc(128), exporter_rank=0)
+        _, first1 = h.open(1)
+        _, first2 = h.open(1)
+        assert first1 and not first2
+        assert h.open_count == 1
+
+    def test_open_in_exporter_rejected(self):
+        sim, dev = make_device()
+        h = IpcHandle(dev.malloc(128), exporter_rank=0)
+        with pytest.raises(DeviceError, match="exporting rank"):
+            h.open(0)
+
+    def test_close_unopened_rejected(self):
+        sim, dev = make_device()
+        h = IpcHandle(dev.malloc(128), exporter_rank=0)
+        with pytest.raises(DeviceError, match="never opened"):
+            h.close(3)
+
+    def test_export_freed_buffer_rejected(self):
+        sim, dev = make_device()
+        buf = dev.malloc(128)
+        dev.free(buf)
+        with pytest.raises(DeviceError):
+            IpcHandle(buf, exporter_rank=0)
+
+
+class TestPeerAccess:
+    def test_nvlink_pair_is_peer_capable(self):
+        topo = platform_a(with_quirk=False).cluster(2)
+        mgr = PeerAccessManager(topo)
+        assert mgr.can_access_peer(topo.gpu(0, 0), topo.gpu(0, 1))
+
+    def test_cross_node_not_peer_capable(self):
+        topo = platform_a(with_quirk=False).cluster(2)
+        mgr = PeerAccessManager(topo)
+        assert not mgr.can_access_peer(topo.gpu(0, 0), topo.gpu(1, 0))
+
+    def test_enable_twice_rejected(self):
+        topo = platform_a(with_quirk=False).cluster(1)
+        mgr = PeerAccessManager(topo)
+        mgr.enable_peer_access(topo.gpu(0, 0), topo.gpu(0, 1))
+        with pytest.raises(DeviceError, match="already enabled"):
+            mgr.enable_peer_access(topo.gpu(0, 0), topo.gpu(0, 1))
+
+    def test_enable_is_directional(self):
+        topo = platform_a(with_quirk=False).cluster(1)
+        mgr = PeerAccessManager(topo)
+        mgr.enable_peer_access(topo.gpu(0, 0), topo.gpu(0, 1))
+        assert mgr.is_enabled(topo.gpu(0, 0), topo.gpu(0, 1))
+        assert not mgr.is_enabled(topo.gpu(0, 1), topo.gpu(0, 0))
+
+    def test_ensure_enabled_idempotent(self):
+        topo = platform_a(with_quirk=False).cluster(1)
+        mgr = PeerAccessManager(topo)
+        assert mgr.ensure_enabled(topo.gpu(0, 0), topo.gpu(0, 1))
+        assert not mgr.ensure_enabled(topo.gpu(0, 0), topo.gpu(0, 1))
+
+    def test_mi250x_gcds_peer_capable(self):
+        topo = platform_b().cluster(1)
+        mgr = PeerAccessManager(topo)
+        assert mgr.can_access_peer(topo.gpu(0, 0), topo.gpu(0, 1))
+        assert mgr.can_access_peer(topo.gpu(0, 0), topo.gpu(0, 7))

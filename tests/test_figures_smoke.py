@@ -1,0 +1,35 @@
+"""Smoke tests: the lightweight figure entry points produce printable,
+shape-correct data (the heavy sweeps live under benchmarks/)."""
+
+import pytest
+
+from repro.bench import figures
+
+
+class TestLightFigures:
+    def test_fig5_runs_and_prints(self, capsys):
+        data = figures.fig5(fast=True)
+        figures.print_fig5(data)
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert set(data) == {"gasnet_put", "gasnet_get", "gpi2_put", "gpi2_get"}
+
+    def test_listings_runs_and_prints(self, capsys):
+        data = figures.listings()
+        figures.print_listings(data)
+        out = capsys.readouterr().out
+        assert "Listings" in out
+        assert data["diomp"].sloc < data["mpi"].sloc
+
+    def test_fig1_runs_and_prints(self, capsys):
+        data = figures.fig1(n_buffers=4)
+        figures.print_fig1(data)
+        assert "Fig. 1" in capsys.readouterr().out
+        assert data["diomp"].registrations == 1
+
+    def test_cli_module_runs_one_figure(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["listings"]) == 0
+        out = capsys.readouterr().out
+        assert "regenerated" in out

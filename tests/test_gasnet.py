@@ -1,0 +1,243 @@
+"""Tests for the GASNet-EX conduit: segments, RMA, events, AMs."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MemRef, World, run_spmd
+from repro.gasnet import GasnetConduit, GasnetParams
+from repro.hardware import platform_a
+from repro.util.errors import CommunicationError
+from repro.util.units import KiB, MiB
+
+
+def make_world(nodes=2):
+    return World(platform_a(with_quirk=False), num_nodes=nodes)
+
+
+def setup_segments(world, conduit, size=1 * KiB):
+    """Give every rank a device segment; returns (buffers, segments)."""
+    buffers, segments = [], []
+    for ctx in world.ranks:
+        buf = ctx.device.malloc(size, label=f"seg{ctx.rank}")
+        seg = conduit.client(ctx.rank).attach_segment(MemRef.device(buf))
+        buffers.append(buf)
+        segments.append(seg)
+    return buffers, segments
+
+
+class TestSegments:
+    def test_device_segment_base_is_device_address(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+        buf = w.ranks[0].device.malloc(256)
+        seg = conduit.client(0).attach_segment(MemRef.device(buf))
+        assert seg.base_address == buf.address
+
+    def test_overlapping_segments_rejected(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+        buf = w.ranks[0].device.malloc(256)
+        conduit.client(0).attach_segment(MemRef.device(buf))
+        with pytest.raises(CommunicationError, match="overlaps"):
+            conduit.client(0).attach_segment(MemRef.device(buf, offset=64, nbytes=64))
+
+    def test_segment_resolve_bounds(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+        buf = w.ranks[0].device.malloc(256)
+        seg = conduit.client(0).attach_segment(MemRef.device(buf))
+        ref = seg.resolve(buf.address + 16, 32)
+        assert ref.nbytes == 32
+        with pytest.raises(CommunicationError, match="outside segment"):
+            seg.resolve(buf.address + 250, 32)
+
+
+class TestPutGet:
+    def test_put_moves_data(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+        buffers, _ = setup_segments(w, conduit)
+        src_data = np.arange(16, dtype=np.float64)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                local = ctx.device.malloc(128)
+                local.as_array(np.float64)[:] = src_data
+                ev = conduit.client(0).put_nb(
+                    4, buffers[4].address, MemRef.device(local)
+                )
+                ev.wait()
+            ctx.world.global_barrier.wait()
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(
+            buffers[4].as_array(np.float64, count=16), src_data
+        )
+
+    def test_get_fetches_data(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+        buffers, _ = setup_segments(w, conduit)
+        buffers[5].as_array(np.int32)[:] = 77
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                local = ctx.device.malloc(64)
+                conduit.client(0).get_nb(5, buffers[5].address, MemRef.device(local)).wait()
+                out["data"] = local.as_array(np.int32).copy()
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(out["data"], 77)
+
+    def test_put_to_unregistered_address_rejected(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                local = ctx.device.malloc(64)
+                conduit.client(0).put_nb(1, 0xDEAD, MemRef.device(local))
+
+        with pytest.raises(CommunicationError, match="no attached segment"):
+            run_spmd(w, prog)
+
+    def test_event_test_then_wait(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+        buffers, _ = setup_segments(w, conduit, size=1 * MiB)
+        observed = []
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                local = ctx.device.malloc(1 * MiB)
+                ev = conduit.client(0).put_nb(4, buffers[4].address, MemRef.device(local))
+                observed.append(ev.test())
+                ev.wait()
+                observed.append(ev.test())
+
+        run_spmd(w, prog)
+        assert observed == [False, True]
+
+    def test_sync_all_drains_pending(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+        buffers, _ = setup_segments(w, conduit, size=64 * KiB)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                client = conduit.client(0)
+                local = ctx.device.malloc(64 * KiB)
+                for offset in range(0, 64 * KiB, 16 * KiB):
+                    client.put_nb(
+                        4,
+                        buffers[4].address + offset,
+                        MemRef.device(local, offset=offset, nbytes=16 * KiB),
+                    )
+                assert client.pending_count > 0
+                client.sync_all()
+                assert client.pending_count == 0
+
+        run_spmd(w, prog)
+
+    def test_get_costs_more_than_put_software(self):
+        """Get has higher initiator overhead than put (round-trip match)."""
+        results = {}
+        for op in ("put", "get"):
+            w = make_world()
+            conduit = GasnetConduit(w)
+            buffers, _ = setup_segments(w, conduit)
+
+            def prog(ctx, op=op):
+                if ctx.rank == 0:
+                    local = ctx.device.malloc(8)
+                    client = conduit.client(0)
+                    if op == "put":
+                        client.put_nb(4, buffers[4].address, MemRef.device(local)).wait()
+                    else:
+                        client.get_nb(4, buffers[4].address, MemRef.device(local)).wait()
+
+            results[op] = run_spmd(w, prog).elapsed
+        assert results["get"] > results["put"]
+
+    def test_large_message_more_efficient(self):
+        """Pipelined large puts achieve a higher bandwidth fraction."""
+        params = GasnetParams()
+        achieved = {}
+        for size in (1 * MiB, 8 * MiB):
+            w = make_world()
+            conduit = GasnetConduit(w, params)
+            buffers = []
+            for ctx in w.ranks:
+                buf = ctx.device.malloc(8 * MiB, virtual=True)
+                conduit.client(ctx.rank).attach_segment(MemRef.device(buf))
+                buffers.append(buf)
+            recs = []
+
+            def prog(ctx, size=size):
+                if ctx.rank == 0:
+                    local = ctx.device.malloc(size, virtual=True)
+                    recs.append(
+                        conduit.client(0)
+                        .put_nb(4, buffers[4].address, MemRef.device(local, nbytes=size))
+                        .wait()
+                    )
+
+            run_spmd(w, prog)
+            achieved[size] = recs[0].achieved_bandwidth
+        assert achieved[8 * MiB] > achieved[1 * MiB]
+
+
+class TestActiveMessages:
+    def test_request_reply(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+        replies = []
+
+        def prog(ctx):
+            client = conduit.client(ctx.rank)
+            client.register_handler("double", lambda src, x: x * 2)
+            ctx.world.global_barrier.wait()
+            if ctx.rank == 0:
+                replies.append(client.am_request(5, "double", 21).wait())
+            ctx.world.global_barrier.wait()
+
+        run_spmd(w, prog)
+        assert replies == [42]
+
+    def test_missing_handler_rejected(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                conduit.client(0).am_request(1, "nope", None).wait()
+
+        with pytest.raises(CommunicationError, match="no AM handler"):
+            run_spmd(w, prog)
+
+    def test_duplicate_handler_rejected(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+        client = conduit.client(0)
+        client.register_handler("h", lambda s, p: None)
+        with pytest.raises(CommunicationError, match="already registered"):
+            client.register_handler("h", lambda s, p: None)
+
+    def test_handler_can_mutate_target_state(self):
+        w = make_world()
+        conduit = GasnetConduit(w)
+        store = {}
+
+        def prog(ctx):
+            client = conduit.client(ctx.rank)
+            client.register_handler(
+                "store", lambda src, kv: store.__setitem__(*kv)
+            )
+            ctx.world.global_barrier.wait()
+            if ctx.rank == 3:
+                client.am_request(6, "store", ("key", "value")).wait()
+            ctx.world.global_barrier.wait()
+
+        run_spmd(w, prog)
+        assert store == {"key": "value"}

@@ -1,0 +1,186 @@
+"""Tests for the GPI-2 (GASPI) conduit."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MemRef, World, run_spmd
+from repro.gasnet import GasnetConduit
+from repro.gpi2 import Gpi2Conduit, Gpi2Params
+from repro.hardware import platform_a, platform_c
+from repro.util.errors import CommunicationError, ConfigurationError
+from repro.util.units import KiB, MiB
+
+
+def make_world(nodes=2):
+    return World(platform_c(), num_nodes=nodes)
+
+
+def setup_segments(world, conduit, size=1 * KiB):
+    buffers = []
+    for ctx in world.ranks:
+        buf = ctx.device.malloc(size)
+        conduit.client(ctx.rank).attach_segment(MemRef.device(buf))
+        buffers.append(buf)
+    return buffers
+
+
+class TestEnvironmentGate:
+    def test_infiniband_only(self):
+        """The paper: GPI-2 'currently supports only InfiniBand'."""
+        w = World(platform_a(), num_nodes=2)
+        with pytest.raises(ConfigurationError, match="InfiniBand"):
+            Gpi2Conduit(w)
+
+    def test_platform_c_accepted(self):
+        Gpi2Conduit(make_world())
+
+
+class TestWriteRead:
+    def test_write_moves_data(self):
+        w = make_world()
+        conduit = Gpi2Conduit(w)
+        buffers = setup_segments(w, conduit)
+        data = np.arange(32, dtype=np.int16)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                local = ctx.device.malloc(64)
+                local.as_array(np.int16)[:] = data
+                conduit.client(0).put_nb(1, buffers[1].address, MemRef.device(local)).wait()
+            ctx.world.global_barrier.wait()
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(buffers[1].as_array(np.int16, count=32), data)
+
+    def test_read_fetches_data(self):
+        w = make_world()
+        conduit = Gpi2Conduit(w)
+        buffers = setup_segments(w, conduit)
+        buffers[1].as_array(np.uint8)[:] = 9
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                local = ctx.device.malloc(1 * KiB)
+                conduit.client(0).get_nb(1, buffers[1].address, MemRef.device(local)).wait()
+                out["v"] = local.as_array(np.uint8).copy()
+
+        run_spmd(w, prog)
+        assert (out["v"] == 9).all()
+
+    def test_queue_wait_drains_only_that_queue(self):
+        w = make_world()
+        conduit = Gpi2Conduit(w)
+        buffers = setup_segments(w, conduit, size=256 * KiB)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                client = conduit.client(0)
+                local = ctx.device.malloc(256 * KiB)
+                client.put_nb(
+                    1, buffers[1].address, MemRef.device(local, nbytes=64 * KiB), queue=0
+                )
+                client.put_nb(
+                    1,
+                    buffers[1].address + 64 * KiB,
+                    MemRef.device(local, offset=64 * KiB, nbytes=64 * KiB),
+                    queue=1,
+                )
+                client.wait_queue(0)
+                assert client.pending_count == 1  # queue 1 still pending
+                client.wait_queue(1)
+                assert client.pending_count == 0
+
+        run_spmd(w, prog)
+
+    def test_invalid_queue_rejected(self):
+        w = make_world()
+        conduit = Gpi2Conduit(w)
+        buffers = setup_segments(w, conduit)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                local = ctx.device.malloc(8)
+                conduit.client(0).put_nb(
+                    1, buffers[1].address, MemRef.device(local), queue=99
+                )
+
+        with pytest.raises(CommunicationError, match="queue"):
+            run_spmd(w, prog)
+
+
+class TestNotifications:
+    def test_notify_wakes_waiter(self):
+        w = make_world()
+        conduit = Gpi2Conduit(w)
+        values = []
+
+        def prog(ctx):
+            client = conduit.client(ctx.rank)
+            if ctx.rank == 1:
+                values.append(client.notification(7).wait())
+            elif ctx.rank == 0:
+                ctx.sim.sleep(1e-6)
+                client.notify(1, 7, value=123)
+
+        run_spmd(w, prog)
+        assert values == [123]
+
+    def test_notification_test_nonblocking(self):
+        w = make_world()
+        conduit = Gpi2Conduit(w)
+        seen = []
+
+        def prog(ctx):
+            client = conduit.client(ctx.rank)
+            if ctx.rank == 1:
+                seen.append(client.notification(3).test())
+                ctx.world.global_barrier.wait()
+                ctx.sim.sleep(1e-4)
+                seen.append(client.notification(3).test())
+            else:
+                ctx.world.global_barrier.wait()
+                if ctx.rank == 0:
+                    client.notify(1, 3)
+
+        run_spmd(w, prog)
+        assert seen == [False, True]
+
+
+class TestFig5Calibration:
+    """GPI-2 vs GASNet-EX put bandwidth: GPI-2 wins mid-size, GASNet
+    pipelines very large transfers better (paper Fig. 5)."""
+
+    def _put_bandwidth(self, conduit_cls, size):
+        w = make_world()
+        conduit = conduit_cls(w)
+        buffers = []
+        for ctx in w.ranks:
+            buf = ctx.device.malloc(max(size, 1 * KiB), virtual=True)
+            conduit.client(ctx.rank).attach_segment(MemRef.device(buf))
+            buffers.append(buf)
+        recs = []
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                local = ctx.device.malloc(size, virtual=True)
+                recs.append(
+                    conduit.client(0)
+                    .put_nb(1, buffers[1].address, MemRef.device(local, nbytes=size))
+                    .wait()
+                )
+
+        run_spmd(w, prog)
+        return recs[0].achieved_bandwidth
+
+    def test_gpi2_wins_midsize_put(self):
+        size = 256 * KiB
+        assert self._put_bandwidth(Gpi2Conduit, size) > self._put_bandwidth(
+            GasnetConduit, size
+        )
+
+    def test_gasnet_wins_large_put(self):
+        size = 32 * MiB
+        assert self._put_bandwidth(GasnetConduit, size) > self._put_bandwidth(
+            Gpi2Conduit, size
+        )

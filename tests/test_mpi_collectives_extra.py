@@ -1,0 +1,214 @@
+"""Tests for scatter/gather/alltoall and group-scoped fence."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MemRef, World, run_spmd
+from repro.core import DiompRuntime
+from repro.hardware import platform_a
+from repro.mpi import MpiWorld
+from repro.mpi import collectives as coll
+from repro.util.errors import CommunicationError
+from repro.util.units import MiB
+
+
+def make_mpi(nodes=2):
+    w = World(platform_a(with_quirk=False), num_nodes=nodes)
+    return w, MpiWorld(w)
+
+
+def href(ctx, arr):
+    return MemRef.host(ctx.node, arr)
+
+
+class TestScatter:
+    def test_blocks_distributed_in_rank_order(self):
+        w, mpi = make_mpi()
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            send = None
+            if ctx.rank == 2:
+                send = href(ctx, np.repeat(np.arange(8.0), 4))
+            recv = np.zeros(4)
+            coll.scatter(comm, send, href(ctx, recv), root=2)
+            out[ctx.rank] = recv.copy()
+
+        run_spmd(w, prog)
+        for r in range(8):
+            np.testing.assert_array_equal(out[r], float(r))
+
+    def test_root_without_buffer_rejected(self):
+        w, mpi = make_mpi(nodes=1)
+
+        def prog(ctx):
+            coll.scatter(
+                mpi.comm_world(ctx.rank), None, href(ctx, np.zeros(4)), root=0
+            )
+
+        with pytest.raises(CommunicationError, match="send buffer"):
+            run_spmd(w, prog)
+
+    def test_wrong_send_size_rejected(self):
+        w, mpi = make_mpi(nodes=1)
+
+        def prog(ctx):
+            send = href(ctx, np.zeros(4)) if ctx.rank == 0 else None
+            coll.scatter(mpi.comm_world(ctx.rank), send, href(ctx, np.zeros(4)))
+
+        with pytest.raises(CommunicationError, match="size\\*block"):
+            run_spmd(w, prog)
+
+
+class TestGather:
+    def test_blocks_arrive_in_rank_order(self):
+        w, mpi = make_mpi()
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            send = np.full(4, float(ctx.rank))
+            recv = np.zeros(32) if ctx.rank == 5 else None
+            coll.gather(
+                comm,
+                href(ctx, send),
+                None if recv is None else href(ctx, recv),
+                root=5,
+            )
+            if ctx.rank == 5:
+                out["v"] = recv.copy()
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(out["v"], np.repeat(np.arange(8.0), 4))
+
+    def test_scatter_gather_roundtrip(self):
+        w, mpi = make_mpi()
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            data = np.arange(16.0) if ctx.rank == 0 else None
+            mine = np.zeros(2)
+            coll.scatter(
+                comm, None if data is None else href(ctx, data), href(ctx, mine)
+            )
+            mine *= 2
+            back = np.zeros(16) if ctx.rank == 0 else None
+            coll.gather(
+                comm, href(ctx, mine), None if back is None else href(ctx, back)
+            )
+            if ctx.rank == 0:
+                out["v"] = back.copy()
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(out["v"], np.arange(16.0) * 2)
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("nodes", [1, 2])  # 4 (pow2) and 8 (pow2) ranks
+    def test_transpose_property(self, nodes):
+        w, mpi = make_mpi(nodes=nodes)
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            n = comm.size
+            send = np.array(
+                [ctx.rank * 100 + j for j in range(n)], dtype=np.float64
+            )
+            recv = np.zeros(n)
+            coll.alltoall(comm, href(ctx, send), href(ctx, recv))
+            out[ctx.rank] = recv.copy()
+
+        run_spmd(w, prog)
+        n = w.nranks
+        for r in range(n):
+            np.testing.assert_array_equal(
+                out[r], np.array([i * 100 + r for i in range(n)], dtype=np.float64)
+            )
+
+    def test_non_power_of_two(self):
+        w = World(platform_a(with_quirk=False), num_nodes=1, ranks_per_node=3)
+        mpi = MpiWorld(w)
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            send = np.array([ctx.rank * 10 + j for j in range(3)], dtype=np.float64)
+            recv = np.zeros(3)
+            coll.alltoall(comm, href(ctx, send), href(ctx, recv))
+            out[ctx.rank] = recv.copy()
+
+        run_spmd(w, prog)
+        for r in range(3):
+            np.testing.assert_array_equal(
+                out[r], np.array([i * 10 + r for i in range(3)], dtype=np.float64)
+            )
+
+    def test_size_mismatch_rejected(self):
+        w, mpi = make_mpi(nodes=1)
+
+        def prog(ctx):
+            coll.alltoall(
+                mpi.comm_world(ctx.rank),
+                href(ctx, np.zeros(4)),
+                href(ctx, np.zeros(8)),
+            )
+
+        with pytest.raises(CommunicationError, match="match"):
+            run_spmd(w, prog)
+
+
+class TestScopedFence:
+    def test_group_fence_completes_only_group_targets(self):
+        """ompx_fence(group) drains ops to group members; ops to other
+        ranks stay pending (§3.3's scoped synchronization)."""
+        w = World(platform_a(with_quirk=False), num_nodes=2)
+        DiompRuntime(w)
+        stats = {}
+
+        def prog(ctx):
+            diomp = ctx.diomp
+            sub = diomp.group_split(diomp.world_group, 0 if ctx.rank < 4 else 1)
+            g = diomp.alloc(8 * MiB, virtual=True)
+            diomp.barrier()
+            if ctx.rank == 0:
+                diomp.put(1, g, g.memref())  # member of my group
+                diomp.put(5, g, g.memref())  # other group
+                diomp.fence(group=sub)
+                stats["pending_after_scoped"] = diomp.rma.pending_ops
+                diomp.fence()
+                stats["pending_after_full"] = diomp.rma.pending_ops
+            diomp.barrier()
+
+        run_spmd(w, prog)
+        assert stats["pending_after_scoped"] == 1
+        assert stats["pending_after_full"] == 0
+
+    def test_scoped_fence_faster_than_full(self):
+        """Fencing only nearby targets returns before a slow far put."""
+        w = World(platform_a(with_quirk=False), num_nodes=2)
+        DiompRuntime(w)
+        times = {}
+
+        def prog(ctx):
+            diomp = ctx.diomp
+            sub = diomp.group_split(diomp.world_group, 0 if ctx.rank < 4 else 1)
+            g = diomp.alloc(32 * MiB, virtual=True)
+            diomp.barrier()
+            if ctx.rank == 0:
+                # Warm the IPC path so timing is pure transfer.
+                diomp.put(1, g, g.memref(0, 1024))
+                diomp.fence()
+                t0 = ctx.sim.now
+                diomp.put(1, g, g.memref())  # fast NVLink
+                diomp.put(4, g, g.memref())  # slow Slingshot
+                diomp.fence(group=sub)
+                times["scoped"] = ctx.sim.now - t0
+                diomp.fence()
+                times["full"] = ctx.sim.now - t0
+            diomp.barrier()
+
+        run_spmd(w, prog)
+        assert times["scoped"] < times["full"]

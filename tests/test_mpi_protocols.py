@@ -1,0 +1,220 @@
+"""Protocol-level tests for the mini-MPI matching engine: the eager/
+rendezvous switch, ordering across protocols, and staging chains."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MemRef, World, run_spmd
+from repro.hardware import platform_a
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiParams, MpiWorld, waitall
+from repro.mpi import testall as mpi_testall
+from repro.util.units import KiB, MiB
+
+
+def make(nodes=2, **kw):
+    w = World(platform_a(with_quirk=False), num_nodes=nodes)
+    return w, MpiWorld(w, MpiParams(**kw) if kw else None)
+
+
+def href(ctx, arr):
+    return MemRef.host(ctx.node, arr)
+
+
+class TestEagerThreshold:
+    @pytest.mark.parametrize("delta", [-1, 0, 1])
+    def test_boundary_sizes_roundtrip(self, delta):
+        """Messages at threshold-1, threshold, threshold+1 all arrive
+        intact regardless of which protocol carries them."""
+        w, mpi = make()
+        size = mpi.params.eager_threshold + delta
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            if ctx.rank == 0:
+                comm.send(href(ctx, np.full(size, 7, dtype=np.uint8)), dest=1)
+            elif ctx.rank == 1:
+                buf = np.zeros(size, dtype=np.uint8)
+                comm.recv(href(ctx, buf), source=0)
+                out["ok"] = bool((buf == 7).all())
+
+        run_spmd(w, prog)
+        assert out["ok"]
+
+    def test_eager_send_completes_before_recv_posted(self):
+        """Below the threshold the sender finishes locally; above it
+        the sender blocks until the receiver matches."""
+        w, mpi = make()
+        eager_size = 1 * KiB
+        rndv_size = 1 * MiB
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            if ctx.rank == 0:
+                t0 = ctx.sim.now
+                comm.send(href(ctx, np.zeros(eager_size, dtype=np.uint8)), dest=1)
+                out["eager_send"] = ctx.sim.now - t0
+                t0 = ctx.sim.now
+                comm.send(href(ctx, np.zeros(rndv_size, dtype=np.uint8)), dest=1)
+                out["rndv_send"] = ctx.sim.now - t0
+            elif ctx.rank == 1:
+                ctx.sim.sleep(5e-3)  # receiver arrives late
+                buf1 = np.zeros(eager_size, dtype=np.uint8)
+                buf2 = np.zeros(rndv_size, dtype=np.uint8)
+                comm.recv(href(ctx, buf1), source=0)
+                comm.recv(href(ctx, buf2), source=0)
+
+        run_spmd(w, prog)
+        # Eager returned in microseconds; rendezvous waited ~5 ms.
+        assert out["eager_send"] < 1e-4
+        assert out["rndv_send"] > 4e-3
+
+    def test_mixed_protocol_ordering(self):
+        """A small (eager) and a large (rendezvous) message with the
+        same source/tag must still match in send order."""
+        w, mpi = make()
+        out = []
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            if ctx.rank == 0:
+                comm.send(href(ctx, np.array([1], dtype=np.uint8)), dest=1, tag=9)
+                big = np.full(256 * KiB, 2, dtype=np.uint8)
+                comm.send(href(ctx, big), dest=1, tag=9)
+            elif ctx.rank == 1:
+                a = np.zeros(1, dtype=np.uint8)
+                b = np.zeros(256 * KiB, dtype=np.uint8)
+                comm.recv(href(ctx, a), source=0, tag=9)
+                comm.recv(href(ctx, b), source=0, tag=9)
+                out.extend([int(a[0]), int(b[0])])
+
+        run_spmd(w, prog)
+        assert out == [1, 2]
+
+
+class TestRendezvousMatching:
+    def test_unexpected_rts_matched_later(self):
+        w, mpi = make()
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            if ctx.rank == 0:
+                comm.send(href(ctx, np.full(1 * MiB, 3, dtype=np.uint8)), dest=1)
+            elif ctx.rank == 1:
+                ctx.sim.sleep(1e-3)  # RTS arrives unexpected
+                buf = np.zeros(1 * MiB, dtype=np.uint8)
+                comm.recv(href(ctx, buf), source=0)
+                out["v"] = int(buf[0])
+
+        run_spmd(w, prog)
+        assert out["v"] == 3
+
+    def test_any_source_matches_rendezvous(self):
+        w, mpi = make()
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            if ctx.rank == 3:
+                comm.send(href(ctx, np.full(512 * KiB, 5, dtype=np.uint8)), dest=0)
+            elif ctx.rank == 0:
+                buf = np.zeros(512 * KiB, dtype=np.uint8)
+                src, _tag, _n = comm.recv(href(ctx, buf), source=ANY_SOURCE)
+                out["src"] = src
+                out["v"] = int(buf[0])
+
+        run_spmd(w, prog)
+        assert out == {"src": 3, "v": 5}
+
+    def test_rendezvous_overflow_rejected(self):
+        w, mpi = make()
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            if ctx.rank == 0:
+                comm.send(href(ctx, np.zeros(1 * MiB, dtype=np.uint8)), dest=1)
+            elif ctx.rank == 1:
+                comm.recv(href(ctx, np.zeros(1 * KiB, dtype=np.uint8)), source=0)
+
+        with pytest.raises(Exception, match="overflow"):
+            run_spmd(w, prog)
+
+
+class TestRequests:
+    def test_testall_transitions(self):
+        w, mpi = make()
+        seen = []
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            if ctx.rank == 1:
+                bufs = [np.zeros(1 * MiB, dtype=np.uint8) for _ in range(3)]
+                reqs = [comm.irecv(href(ctx, b), source=0, tag=i) for i, b in enumerate(bufs)]
+                seen.append(mpi_testall(reqs))
+                waitall(reqs)
+                seen.append(mpi_testall(reqs))
+            elif ctx.rank == 0:
+                for i in range(3):
+                    comm.send(
+                        href(ctx, np.zeros(1 * MiB, dtype=np.uint8)), dest=1, tag=i
+                    )
+
+        run_spmd(w, prog)
+        assert seen == [False, True]
+
+
+class TestStagingChain:
+    def test_staged_message_arrives_intact(self):
+        """Same-node device rendezvous messages hop through host memory
+        but the payload must still arrive bit-exact."""
+        w, mpi = make(nodes=1)
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            if ctx.rank == 0:
+                buf = ctx.device.malloc(1 * MiB)
+                buf.as_array(np.uint8)[:] = np.arange(1 * MiB, dtype=np.uint8) % 251
+                comm.send(MemRef.device(buf), dest=1)
+            elif ctx.rank == 1:
+                buf = ctx.device.malloc(1 * MiB)
+                comm.recv(MemRef.device(buf), source=0)
+                expected = np.arange(1 * MiB, dtype=np.uint8) % 251
+                out["ok"] = bool((buf.as_array(np.uint8) == expected).all())
+
+        run_spmd(w, prog)
+        assert out["ok"]
+
+    def test_staging_touches_host_links(self):
+        w, mpi = make(nodes=1)
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            if ctx.rank == 0:
+                buf = ctx.device.malloc(1 * MiB, virtual=True)
+                comm.send(MemRef.device(buf), dest=1)
+            elif ctx.rank == 1:
+                buf = ctx.device.malloc(1 * MiB, virtual=True)
+                comm.recv(MemRef.device(buf), source=0)
+
+        run_spmd(w, prog)
+        assert w.fabric.resource_busy_until("node0/host-gpu0/d2h") > 0.0
+        assert w.fabric.resource_busy_until("node0/host-gpu1/h2d") > 0.0
+
+    def test_inter_node_gpudirect_skips_host(self):
+        w, mpi = make(nodes=2)
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            if ctx.rank == 0:
+                buf = ctx.device.malloc(1 * MiB, virtual=True)
+                comm.send(MemRef.device(buf), dest=4)
+            elif ctx.rank == 4:
+                buf = ctx.device.malloc(1 * MiB, virtual=True)
+                comm.recv(MemRef.device(buf), source=0)
+
+        run_spmd(w, prog)
+        assert w.fabric.resource_busy_until("node0/host-gpu0/d2h") == 0.0
+        assert w.fabric.resource_busy_until("node0/nic0/tx") > 0.0

@@ -1,0 +1,227 @@
+"""Tests for MPI RMA windows (lock/unlock, put/get, fence)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MemRef, World, run_spmd
+from repro.gasnet import GasnetConduit
+from repro.hardware import platform_a
+from repro.mpi import MpiWorld, Window
+from repro.mpi.rma import LOCK_EXCLUSIVE, LOCK_SHARED
+from repro.util.errors import CommunicationError
+from repro.util.units import KiB, MiB
+
+
+def make_mpi(nodes=2):
+    w = World(platform_a(with_quirk=False), num_nodes=nodes)
+    return w, MpiWorld(w)
+
+
+class TestWindowLifecycle:
+    def test_create_is_collective(self):
+        w, mpi = make_mpi()
+        wins = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            buf = ctx.device.malloc(1 * KiB)
+            wins[ctx.rank] = Window.create(comm, MemRef.device(buf))
+
+        run_spmd(w, prog)
+        assert len(wins) == 8
+        assert len({win.win_id for win in wins.values()}) == 1
+
+    def test_free(self):
+        w, mpi = make_mpi(nodes=1)
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            win = Window.create(comm, MemRef.device(ctx.device.malloc(64)))
+            win.free()
+
+        run_spmd(w, prog)
+
+
+class TestLockPutUnlock:
+    def test_put_visible_after_unlock(self):
+        w, mpi = make_mpi()
+        bufs = {}
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            buf = ctx.device.malloc(128)
+            bufs[ctx.rank] = buf
+            win = Window.create(comm, MemRef.device(buf))
+            if ctx.rank == 0:
+                src = ctx.device.malloc(128)
+                src.as_array(np.float64)[:] = 2.5
+                win.lock(5)
+                win.put(MemRef.device(src), target=5)
+                win.unlock(5)
+                out["done_at"] = ctx.sim.now
+            ctx.world.global_barrier.wait()
+            if ctx.rank == 5:
+                out["seen"] = buf.as_array(np.float64).copy()
+
+        run_spmd(w, prog)
+        np.testing.assert_allclose(out["seen"], 2.5)
+
+    def test_get_fetches(self):
+        w, mpi = make_mpi()
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            buf = ctx.device.malloc(64)
+            buf.as_array(np.int32)[:] = ctx.rank
+            win = Window.create(comm, MemRef.device(buf))
+            if ctx.rank == 1:
+                dst = ctx.device.malloc(64)
+                win.lock(6)
+                win.get(MemRef.device(dst), target=6)
+                win.unlock(6)
+                out["v"] = dst.as_array(np.int32).copy()
+            ctx.world.global_barrier.wait()
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(out["v"], 6)
+
+    def test_put_with_offset(self):
+        w, mpi = make_mpi()
+        bufs = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            buf = ctx.device.malloc(128)
+            bufs[ctx.rank] = buf
+            win = Window.create(comm, MemRef.device(buf))
+            if ctx.rank == 0:
+                src = ctx.device.malloc(8)
+                src.as_array(np.float64)[:] = 9.0
+                win.lock(2)
+                win.put(MemRef.device(src), target=2, target_offset=64)
+                win.unlock(2)
+            ctx.world.global_barrier.wait()
+
+        run_spmd(w, prog)
+        arr = bufs[2].as_array(np.float64)
+        assert arr[8] == 9.0 and arr[0] == 0.0
+
+    def test_op_outside_epoch_rejected(self):
+        w, mpi = make_mpi()
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            win = Window.create(comm, MemRef.device(ctx.device.malloc(64)))
+            if ctx.rank == 0:
+                src = ctx.device.malloc(64)
+                win.put(MemRef.device(src), target=1)
+            ctx.world.global_barrier.wait()
+
+        with pytest.raises(CommunicationError, match="epoch"):
+            run_spmd(w, prog)
+
+    def test_double_lock_rejected(self):
+        w, mpi = make_mpi()
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            win = Window.create(comm, MemRef.device(ctx.device.malloc(64)))
+            if ctx.rank == 0:
+                win.lock(1)
+                win.lock(1)
+            ctx.world.global_barrier.wait()
+
+        with pytest.raises(CommunicationError, match="already open"):
+            run_spmd(w, prog)
+
+    def test_exclusive_locks_serialize(self):
+        """Two ranks taking exclusive epochs on rank 0 must not overlap."""
+        w, mpi = make_mpi()
+        spans = []
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            win = Window.create(comm, MemRef.device(ctx.device.malloc(64)))
+            if ctx.rank in (1, 2):
+                src = ctx.device.malloc(64)
+                win.lock(0, LOCK_EXCLUSIVE)
+                start = ctx.sim.now
+                win.put(MemRef.device(src), target=0)
+                ctx.sim.sleep(1e-3)
+                win.unlock(0)
+                spans.append((start, ctx.sim.now))
+            ctx.world.global_barrier.wait()
+
+        run_spmd(w, prog)
+        (s1, e1), (s2, e2) = sorted(spans)
+        assert e1 <= s2  # no overlap
+
+
+class TestFence:
+    def test_fence_put_fence_pattern(self):
+        """The classic active-target pattern from the paper's Listing 1
+        comparison baseline."""
+        w, mpi = make_mpi()
+        bufs = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            buf = ctx.device.malloc(64)
+            bufs[ctx.rank] = buf
+            win = Window.create(comm, MemRef.device(buf))
+            win.fence()
+            right = (ctx.rank + 1) % comm.size
+            src = ctx.device.malloc(64)
+            src.as_array(np.int64)[:] = ctx.rank
+            win.put(MemRef.device(src), target=right)
+            win.fence()
+
+        run_spmd(w, prog)
+        for r in range(8):
+            np.testing.assert_array_equal(
+                bufs[r].as_array(np.int64), (r - 1) % 8
+            )
+
+
+class TestCostStructure:
+    def test_mpi_rma_put_slower_than_gasnet_put(self):
+        """The core premise of Figs. 3-4: one-sided over GASNet beats
+        MPI windows for the same physical transfer."""
+        size = 8 * KiB
+
+        def mpi_time():
+            w, mpi = make_mpi()
+            def prog(ctx):
+                comm = mpi.comm_world(ctx.rank)
+                buf = ctx.device.malloc(size, virtual=True)
+                win = Window.create(comm, MemRef.device(buf))
+                ctx.world.global_barrier.wait()
+                t0 = ctx.sim.now
+                if ctx.rank == 0:
+                    src = ctx.device.malloc(size, virtual=True)
+                    win.lock(4)
+                    win.put(MemRef.device(src), target=4)
+                    win.unlock(4)
+                    return ctx.sim.now - t0
+            return run_spmd(w, prog).results[0]
+
+        def gasnet_time():
+            w = World(platform_a(with_quirk=False), num_nodes=2)
+            conduit = GasnetConduit(w)
+            def prog(ctx):
+                buf = ctx.device.malloc(size, virtual=True)
+                conduit.client(ctx.rank).attach_segment(MemRef.device(buf))
+                ctx.world.global_barrier.wait()
+                t0 = ctx.sim.now
+                if ctx.rank == 0:
+                    src = ctx.device.malloc(size, virtual=True)
+                    target_buf = w.ranks[4].device.memory
+                    # address of rank 4's segment == its buffer address
+                    addr = conduit.client(4).segments[0].base_address
+                    conduit.client(0).put_nb(4, addr, MemRef.device(src)).wait()
+                    return ctx.sim.now - t0
+            return run_spmd(w, prog).results[0]
+
+        assert gasnet_time() < mpi_time()

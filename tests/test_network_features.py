@@ -1,0 +1,161 @@
+"""Tests for multirail striping, forced-network paths, and duplex
+resource modelling."""
+
+import pytest
+
+from repro.cluster import MemRef, World, run_spmd
+from repro.gasnet import GasnetConduit, GasnetParams
+from repro.hardware import platform_a, platform_c
+from repro.network import Fabric
+from repro.sim import Simulator
+from repro.util.units import KiB, MiB
+
+
+class TestMultirail:
+    def test_rails_multiply_bandwidth(self):
+        topo = platform_a(with_quirk=False).cluster(2)
+        single = topo.path(topo.gpu(0, 0), topo.gpu(1, 0), rails=1)
+        quad = topo.path(topo.gpu(0, 0), topo.gpu(1, 0), rails=4)
+        assert quad.bandwidth == pytest.approx(4 * single.bandwidth)
+        assert len(quad.resources) == 8  # 4 tx + 4 rx
+
+    def test_rails_capped_at_nic_count(self):
+        topo = platform_a(with_quirk=False).cluster(2)
+        p = topo.path(topo.gpu(0, 0), topo.gpu(1, 0), rails=99)
+        assert p.bandwidth == pytest.approx(
+            4 * topo.node_spec.nic.bandwidth
+        )
+
+    def test_single_nic_platform_unaffected(self):
+        topo = platform_c().cluster(2)
+        p1 = topo.path(topo.gpu(0, 0), topo.gpu(1, 0), rails=1)
+        p4 = topo.path(topo.gpu(0, 0), topo.gpu(1, 0), rails=4)
+        assert p1.bandwidth == p4.bandwidth
+
+    def test_intra_node_ignores_rails(self):
+        topo = platform_a(with_quirk=False).cluster(1)
+        p = topo.path(topo.gpu(0, 0), topo.gpu(0, 1), rails=4)
+        assert len(p.resources) == 1  # still the NVLink pair
+
+    def test_conduit_stripes_large_messages_only(self):
+        """A large put books several NIC tx rails; a small one only its
+        own striped NIC."""
+        w = World(platform_a(with_quirk=False), num_nodes=2)
+        conduit = GasnetConduit(w)
+        bufs = []
+        for ctx in w.ranks:
+            b = ctx.device.malloc(8 * MiB, virtual=True)
+            conduit.client(ctx.rank).attach_segment(MemRef.device(b))
+            bufs.append(b)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                small = MemRef.device(ctx.device.malloc(4 * KiB, virtual=True))
+                conduit.client(0).put_nb(4, bufs[4].address, small).wait()
+                assert w.fabric.resource_busy_until("node0/nic1/tx") == 0.0
+                big = MemRef.device(ctx.device.malloc(8 * MiB, virtual=True))
+                conduit.client(0).put_nb(4, bufs[4].address, big).wait()
+                assert w.fabric.resource_busy_until("node0/nic1/tx") > 0.0
+
+        run_spmd(w, prog)
+
+
+class TestForceNetwork:
+    def test_forced_path_books_nics(self):
+        topo = platform_a(with_quirk=False).cluster(1)
+        p = topo.path(topo.gpu(0, 0), topo.gpu(0, 1), force_network=True)
+        assert any("nic" in r for r in p.resources)
+        assert p.bandwidth == topo.node_spec.nic.bandwidth
+
+    def test_forced_path_slower_than_nvlink(self):
+        topo = platform_a(with_quirk=False).cluster(1)
+        direct = topo.path(topo.gpu(0, 0), topo.gpu(0, 1))
+        forced = topo.path(topo.gpu(0, 0), topo.gpu(0, 1), force_network=True)
+        assert forced.transfer_time(16 * MiB) > 3 * direct.transfer_time(16 * MiB)
+
+    def test_conduit_loops_intra_node_through_nic(self):
+        """Without DiOMP's hierarchy, conduit traffic between same-node
+        GPUs occupies the NICs."""
+        w = World(platform_a(with_quirk=False), num_nodes=1)
+        conduit = GasnetConduit(w)
+        bufs = []
+        for ctx in w.ranks:
+            b = ctx.device.malloc(1 * MiB, virtual=True)
+            conduit.client(ctx.rank).attach_segment(MemRef.device(b))
+            bufs.append(b)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                src = MemRef.device(ctx.device.malloc(1 * MiB, virtual=True))
+                conduit.client(0).put_nb(1, bufs[1].address, src).wait()
+
+        run_spmd(w, prog)
+        assert w.fabric.resource_busy_until("node0/nic0/tx") > 0.0
+
+    def test_same_device_never_forced(self):
+        topo = platform_a(with_quirk=False).cluster(1)
+        p = topo.path(topo.gpu(0, 0), topo.gpu(0, 0), force_network=True)
+        assert p.resources == ()
+
+
+class TestDuplexResources:
+    def test_opposite_directions_do_not_contend(self):
+        """A put 0->1 and a put 1->0 use tx/rx of different NICs and
+        overlap fully."""
+        sim = Simulator()
+        topo = platform_c().cluster(2)
+        fab = Fabric(sim, topo)
+        size = 16 * MiB
+        single = fab.unloaded_time(topo.gpu(0, 0), topo.gpu(1, 0), size)
+
+        def prog():
+            f1 = fab.transfer(topo.gpu(0, 0), topo.gpu(1, 0), size)
+            f2 = fab.transfer(topo.gpu(1, 0), topo.gpu(0, 0), size)
+            f1.wait()
+            f2.wait()
+
+        sim.spawn(prog)
+        sim.run()
+        assert sim.now == pytest.approx(single)
+
+    def test_same_direction_serializes_on_tx(self):
+        sim = Simulator()
+        topo = platform_c().cluster(3)
+        fab = Fabric(sim, topo)
+        size = 16 * MiB
+        wire = size / topo.path(topo.gpu(0, 0), topo.gpu(1, 0)).bandwidth
+
+        def prog():
+            f1 = fab.transfer(topo.gpu(0, 0), topo.gpu(1, 0), size)
+            f2 = fab.transfer(topo.gpu(0, 0), topo.gpu(2, 0), size)
+            f1.wait()
+            f2.wait()
+
+        sim.spawn(prog)
+        sim.run()
+        # Second transfer waits for the first on node0's tx.
+        assert sim.now >= 2 * wire
+
+    def test_decoupled_resources_no_cascade(self):
+        """Neighbour exchange pattern: every rank sends left+right; the
+        schedule must finish in ~2 wire times, not 3 (no booking
+        cascade)."""
+        sim = Simulator()
+        topo = platform_c().cluster(4)
+        fab = Fabric(sim, topo)
+        size = 16 * MiB
+        wire = size / topo.path(topo.gpu(0, 0), topo.gpu(1, 0)).bandwidth
+
+        def prog():
+            futs = []
+            for n in range(4):
+                for peer in ((n - 1) % 4, (n + 1) % 4):
+                    futs.append(
+                        fab.transfer(topo.gpu(n, 0), topo.gpu(peer, 0), size)
+                    )
+            for f in futs:
+                f.wait()
+
+        sim.spawn(prog)
+        sim.run()
+        assert sim.now < 2.2 * wire

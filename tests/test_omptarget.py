@@ -1,0 +1,340 @@
+"""Tests for the libomptarget layer: mapping, plugins, target regions."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import World, run_spmd
+from repro.device.kernel import KernelCost
+from repro.hardware import platform_a
+from repro.omptarget import (
+    Map,
+    MappingTable,
+    MapType,
+    NativePlugin,
+    OmpTargetRuntime,
+    VirtualArray,
+)
+from repro.util.errors import AllocationError, ConfigurationError, DeviceError
+from repro.util.units import MiB
+
+
+def world1():
+    return World(platform_a(with_quirk=False), num_nodes=1)
+
+
+SMALL_COST = KernelCost(flops=1e6, bytes_moved=1e3)
+
+
+class TestMappingTable:
+    def test_insert_lookup(self):
+        from repro.device import DeviceMemorySpace
+
+        table = MappingTable()
+        space = DeviceMemorySpace(1 * MiB)
+        arr = np.zeros(10)
+        buf = space.allocate(80)
+        table.insert(arr, buf)
+        assert table.lookup(arr).device_buffer is buf
+        assert table.device_ptr(arr) == buf.address
+
+    def test_refcount_semantics(self):
+        from repro.device import DeviceMemorySpace
+
+        table = MappingTable()
+        space = DeviceMemorySpace(1 * MiB)
+        arr = np.zeros(10)
+        table.insert(arr, space.allocate(80))
+        table.retain(arr)
+        assert table.release(arr) is None  # 2 -> 1: still present
+        entry = table.release(arr)  # 1 -> 0
+        assert entry is not None
+        assert table.lookup(arr) is None
+
+    def test_double_insert_rejected(self):
+        from repro.device import DeviceMemorySpace
+
+        table = MappingTable()
+        space = DeviceMemorySpace(1 * MiB)
+        arr = np.zeros(10)
+        table.insert(arr, space.allocate(80))
+        with pytest.raises(AllocationError, match="already mapped"):
+            table.insert(arr, space.allocate(80))
+
+    def test_release_unmapped_rejected(self):
+        table = MappingTable()
+        with pytest.raises(AllocationError, match="unmapped"):
+            table.release(np.zeros(3))
+
+    def test_virtual_array_validation(self):
+        with pytest.raises(ConfigurationError):
+            VirtualArray(0)
+
+
+class TestEnterExitData:
+    def test_to_copies_in(self):
+        w = world1()
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+            arr = np.arange(16, dtype=np.float64)
+            rt.target_enter_data([Map(arr, MapType.TO)])
+            buf = rt.table().lookup(arr).device_buffer
+            out["dev"] = buf.as_array(np.float64).copy()
+            rt.target_exit_data([Map(arr, MapType.TO)])
+            out["live"] = rt.table().live_entries
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(out["dev"], np.arange(16, dtype=np.float64))
+        assert out["live"] == 0
+
+    def test_from_copies_out_on_last_release(self):
+        w = world1()
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+            arr = np.zeros(8, dtype=np.float64)
+            rt.target_enter_data([Map(arr, MapType.ALLOC)])
+            rt.target_enter_data([Map(arr, MapType.ALLOC)])  # refcount 2
+            buf = rt.table().lookup(arr).device_buffer
+            buf.as_array(np.float64)[:] = 5.0
+            rt.target_exit_data([Map(arr, MapType.FROM)])  # 2 -> 1: no copy
+            out["after_first"] = arr.copy()
+            rt.target_exit_data([Map(arr, MapType.FROM)])  # 1 -> 0: copy out
+            out["after_second"] = arr.copy()
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(out["after_first"], 0.0)
+        np.testing.assert_array_equal(out["after_second"], 5.0)
+
+    def test_alloc_does_not_transfer(self):
+        w = world1()
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+            arr = np.ones(8)
+            rt.target_enter_data([Map(arr, MapType.ALLOC)])
+            out["h2d"] = rt.h2d_transfers
+            rt.target_exit_data([Map(arr, MapType.ALLOC)])
+            out["d2h"] = rt.d2h_transfers
+
+        run_spmd(w, prog)
+        assert out == {"h2d": 0, "d2h": 0}
+
+    def test_remap_reuses_entry(self):
+        """Second map of a present object must not allocate again."""
+        w = world1()
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            plugin = NativePlugin()
+            rt = OmpTargetRuntime(ctx, plugin=plugin)
+            arr = np.zeros(8)
+            rt.target_enter_data([Map(arr, MapType.TO)])
+            rt.target_enter_data([Map(arr, MapType.TO)])
+            out["allocs"] = plugin.allocs
+            out["h2d"] = rt.h2d_transfers
+
+        run_spmd(w, prog)
+        assert out["allocs"] == 1
+        assert out["h2d"] == 1  # presence check suppresses second copy
+
+    def test_update_to_from(self):
+        w = world1()
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+            arr = np.zeros(4, dtype=np.int64)
+            rt.target_enter_data([Map(arr, MapType.TO)])
+            buf = rt.table().lookup(arr).device_buffer
+            buf.as_array(np.int64)[:] = 11
+            rt.target_update_from(arr)
+            out["host"] = arr.copy()
+            arr[:] = 22
+            rt.target_update_to(arr)
+            out["dev"] = buf.as_array(np.int64).copy()
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(out["host"], 11)
+        np.testing.assert_array_equal(out["dev"], 22)
+
+    def test_update_unmapped_rejected(self):
+        w = world1()
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            OmpTargetRuntime(ctx).target_update_from(np.zeros(4))
+
+        with pytest.raises(DeviceError, match="unmapped"):
+            run_spmd(w, prog)
+
+
+class TestTargetRegion:
+    def test_tofrom_region_computes(self):
+        w = world1()
+        arr = np.arange(32, dtype=np.float64)
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+            rt.target(
+                "saxpy",
+                SMALL_COST,
+                maps=[Map(arr, MapType.TOFROM)],
+                body=lambda a: a.__imul__(2.0),
+            )
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(arr, np.arange(32) * 2.0)
+
+    def test_region_elapsed_includes_transfers_and_kernel(self):
+        w = world1()
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+            arr = VirtualArray(64 * MiB)
+            rt.target("big", KernelCost(flops=1e12, bytes_moved=1e9),
+                      maps=[Map(arr, MapType.TOFROM)])
+
+        res = run_spmd(w, prog)
+        # 2 x 64 MiB over PCIe (~5 ms) + ~0.1 s of compute at ~10 TF
+        assert res.elapsed > 0.1
+
+    def test_virtual_map_skips_body(self):
+        w = world1()
+        called = []
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+            rt.target(
+                "k",
+                SMALL_COST,
+                maps=[Map(VirtualArray(1024), MapType.TOFROM)],
+                body=lambda a: called.append(1),
+            )
+
+        run_spmd(w, prog)
+        assert called == []
+
+    def test_multiple_maps_in_order(self):
+        w = world1()
+        a = np.ones(4)
+        b = np.zeros(4)
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+
+            def body(da, db):
+                db[:] = da * 7
+
+            rt.target(
+                "k",
+                SMALL_COST,
+                maps=[Map(a, MapType.TO), Map(b, MapType.FROM)],
+                body=body,
+            )
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(b, 7.0)
+
+    def test_nowait_region(self):
+        w = world1()
+        a = np.ones(4)
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+            region = rt.target(
+                "k",
+                KernelCost(flops=1e9, bytes_moved=0),
+                maps=[Map(a, MapType.TOFROM)],
+                body=lambda d: d.__iadd__(1),
+                nowait=True,
+            )
+            # Host work overlaps the kernel here.
+            rt.finish_nowait(region)
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(a, 2.0)
+
+    def test_bad_device_num_rejected(self):
+        w = world1()
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            OmpTargetRuntime(ctx).device(5)
+
+        with pytest.raises(ConfigurationError, match="out of range"):
+            run_spmd(w, prog)
+
+
+class TestExplicitAlloc:
+    def test_omp_target_alloc_free(self):
+        w = world1()
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+            buf = rt.omp_target_alloc(4096)
+            assert buf.size == 4096
+            rt.omp_target_free(buf)
+
+        run_spmd(w, prog)
+
+    def test_use_device_ptr(self):
+        w = world1()
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+            arr = np.zeros(8)
+            rt.target_enter_data([Map(arr, MapType.TO)])
+            out["ptr"] = rt.use_device_ptr(arr)
+            out["buf_addr"] = rt.table().lookup(arr).device_buffer.address
+
+        run_spmd(w, prog)
+        assert out["ptr"] == out["buf_addr"]
+
+    def test_multi_device_rank(self):
+        """Single-process multi-GPU: maps go to the selected device."""
+        w = World(platform_a(with_quirk=False), num_nodes=1, devices_per_rank=4)
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            rt = OmpTargetRuntime(ctx)
+            arrs = [np.full(4, float(d)) for d in range(4)]
+            for d in range(4):
+                rt.target_enter_data([Map(arrs[d], MapType.TO)], device_num=d)
+            for d in range(4):
+                buf = rt.table(d).lookup(arrs[d]).device_buffer
+                np.testing.assert_array_equal(buf.as_array(np.float64), float(d))
+                assert rt.table(d).live_entries == 1
+
+        run_spmd(w, prog)

@@ -1,0 +1,199 @@
+"""Property-based tests: collective results must match numpy oracles
+for arbitrary payloads, dtypes, roots and reduction operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import MemRef, World, run_spmd
+from repro.core import DiompRuntime
+from repro.hardware import platform_a
+from repro.mpi import MpiWorld
+from repro.mpi import collectives as coll
+from repro.util.units import KiB
+from repro.xccl import NCCL_PARAMS, UniqueId, XcclComm, XcclContext
+
+_DTYPES = [np.float64, np.float32, np.int64, np.int32]
+_OPS = [np.add, np.maximum, np.minimum]
+
+
+def _payloads(nranks, count, dtype, seed):
+    rng = np.random.default_rng(seed)
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        return [rng.integers(-50, 50, size=count).astype(dtype) for _ in range(nranks)]
+    return [rng.uniform(-1, 1, size=count).astype(dtype) for _ in range(nranks)]
+
+
+def _reduce_oracle(payloads, op):
+    acc = payloads[0].copy()
+    for p in payloads[1:]:
+        acc = op(acc, p)
+    return acc
+
+
+class TestMpiCollectiveProperties:
+    @given(
+        count=st.integers(1, 300),
+        dtype=st.sampled_from(_DTYPES),
+        op=st.sampled_from(_OPS),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_allreduce_matches_oracle(self, count, dtype, op, seed):
+        w = World(platform_a(with_quirk=False), num_nodes=2)
+        mpi = MpiWorld(w)
+        payloads = _payloads(w.nranks, count, dtype, seed)
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            send = payloads[ctx.rank].copy()
+            recv = np.zeros(count, dtype=dtype)
+            coll.allreduce(
+                comm, MemRef.host(ctx.node, send), MemRef.host(ctx.node, recv), dtype, op
+            )
+            out[ctx.rank] = recv
+
+        run_spmd(w, prog)
+        oracle = _reduce_oracle(payloads, op)
+        # Reduction trees associate differently than the sequential
+        # oracle; float32 sums may differ in the last bits.
+        rtol = 1e-4 if np.dtype(dtype) == np.float32 else 1e-9
+        for r in range(w.nranks):
+            np.testing.assert_allclose(out[r], oracle, rtol=rtol, atol=1e-6)
+
+    @given(
+        count=st.integers(1, 500),
+        dtype=st.sampled_from(_DTYPES),
+        root=st.integers(0, 7),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bcast_matches_root(self, count, dtype, root, seed):
+        w = World(platform_a(with_quirk=False), num_nodes=2)
+        mpi = MpiWorld(w)
+        payload = _payloads(1, count, dtype, seed)[0]
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            data = payload.copy() if ctx.rank == root else np.zeros(count, dtype=dtype)
+            coll.bcast(comm, MemRef.host(ctx.node, data), root=root)
+            out[ctx.rank] = data
+
+        run_spmd(w, prog)
+        for r in range(w.nranks):
+            np.testing.assert_array_equal(out[r], payload)
+
+    @given(
+        count=st.integers(1, 200),
+        root=st.integers(0, 7),
+        op=st.sampled_from(_OPS),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_reduce_matches_oracle(self, count, root, op, seed):
+        w = World(platform_a(with_quirk=False), num_nodes=2)
+        mpi = MpiWorld(w)
+        payloads = _payloads(w.nranks, count, np.float64, seed)
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            send = payloads[ctx.rank].copy()
+            recv = np.zeros(count) if ctx.rank == root else None
+            coll.reduce(
+                comm,
+                MemRef.host(ctx.node, send),
+                None if recv is None else MemRef.host(ctx.node, recv),
+                np.float64,
+                op=op,
+                root=root,
+            )
+            if ctx.rank == root:
+                out["v"] = recv
+
+        run_spmd(w, prog)
+        np.testing.assert_allclose(out["v"], _reduce_oracle(payloads, op), rtol=1e-9)
+
+    @given(count=st.integers(1, 128), seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_allgather_matches_concatenation(self, count, seed):
+        w = World(platform_a(with_quirk=False), num_nodes=2)
+        mpi = MpiWorld(w)
+        payloads = _payloads(w.nranks, count, np.float64, seed)
+        out = {}
+
+        def prog(ctx):
+            comm = mpi.comm_world(ctx.rank)
+            recv = np.zeros(count * comm.size)
+            coll.allgather(
+                comm,
+                MemRef.host(ctx.node, payloads[ctx.rank].copy()),
+                MemRef.host(ctx.node, recv),
+            )
+            out[ctx.rank] = recv
+
+        run_spmd(w, prog)
+        oracle = np.concatenate(payloads)
+        for r in range(w.nranks):
+            np.testing.assert_array_equal(out[r], oracle)
+
+
+class TestXcclCollectiveProperties:
+    @given(
+        count=st.integers(1, 200),
+        dtype=st.sampled_from([np.float64, np.float32]),
+        op=st.sampled_from(_OPS),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_xccl_allreduce_matches_oracle(self, count, dtype, op, seed):
+        w = World(platform_a(with_quirk=False), num_nodes=2)
+        ctx_x = XcclContext(w, NCCL_PARAMS)
+        uid = UniqueId.create()
+        itemsize = np.dtype(dtype).itemsize
+        payloads = _payloads(w.nranks, count, dtype, seed)
+        out = {}
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx_x, uid, rc.rank, w.nranks, rc.device)
+            send = rc.device.malloc(count * itemsize)
+            recv = rc.device.malloc(count * itemsize)
+            send.as_array(dtype)[:] = payloads[rc.rank]
+            comm.all_reduce(MemRef.device(send), MemRef.device(recv), dtype=dtype, op=op)
+            out[rc.rank] = recv.as_array(dtype).copy()
+
+        run_spmd(w, prog)
+        oracle = _reduce_oracle(payloads, op)
+        for r in range(w.nranks):
+            np.testing.assert_allclose(out[r], oracle, rtol=1e-6)
+
+
+class TestGroupCollectiveProperties:
+    @given(split_at=st.integers(1, 7), seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_group_allreduce_partitions_correctly(self, split_at, seed):
+        """Splitting the world at an arbitrary boundary: each group's
+        allreduce sums exactly its members' contributions."""
+        w = World(platform_a(with_quirk=False), num_nodes=2)
+        DiompRuntime(w)
+        rng = np.random.default_rng(seed)
+        values = rng.integers(1, 100, size=w.nranks).astype(np.float64)
+        out = {}
+
+        def prog(ctx):
+            color = 0 if ctx.rank < split_at else 1
+            sub = ctx.diomp.group_split(ctx.diomp.world_group, color)
+            send = ctx.diomp.alloc(8)
+            recv = ctx.diomp.alloc(8)
+            send.typed(np.float64)[:] = values[ctx.rank]
+            ctx.diomp.barrier()
+            ctx.diomp.allreduce(send, recv, group=sub)
+            out[ctx.rank] = recv.typed(np.float64)[0]
+
+        run_spmd(w, prog)
+        low = values[:split_at].sum()
+        high = values[split_at:].sum()
+        for r in range(w.nranks):
+            assert out[r] == (low if r < split_at else high)

@@ -1,0 +1,250 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator, TaskState
+from repro.util.errors import DeadlockError, SimulationError
+
+
+class TestClockAndSleep:
+    def test_empty_run_keeps_time_zero(self):
+        sim = Simulator()
+        assert sim.run() == 0.0
+
+    def test_single_sleep_advances_clock(self):
+        sim = Simulator()
+        times = []
+
+        def prog():
+            sim.sleep(1.5)
+            times.append(sim.now)
+
+        sim.spawn(prog)
+        sim.run()
+        assert times == [1.5]
+        assert sim.now == 1.5
+
+    def test_sleeps_accumulate(self):
+        sim = Simulator()
+
+        def prog():
+            for _ in range(4):
+                sim.sleep(0.25)
+
+        sim.spawn(prog)
+        assert sim.run() == 1.0
+
+    def test_zero_sleep_allowed(self):
+        sim = Simulator()
+        sim.spawn(lambda: sim.sleep(0.0))
+        assert sim.run() == 0.0
+
+    def test_negative_sleep_rejected(self):
+        sim = Simulator()
+
+        def prog():
+            sim.sleep(-1.0)
+
+        sim.spawn(prog)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestInterleaving:
+    def test_two_tasks_interleave_by_time(self):
+        sim = Simulator()
+        order = []
+
+        def a():
+            sim.sleep(1.0)
+            order.append(("a", sim.now))
+            sim.sleep(2.0)
+            order.append(("a", sim.now))
+
+        def b():
+            sim.sleep(2.0)
+            order.append(("b", sim.now))
+
+        sim.spawn(a, name="a")
+        sim.spawn(b, name="b")
+        sim.run()
+        assert order == [("a", 1.0), ("b", 2.0), ("a", 3.0)]
+
+    def test_same_time_events_run_in_spawn_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.spawn(lambda i=i: order.append(i), name=f"t{i}")
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_determinism_across_runs(self):
+        def build():
+            sim = Simulator()
+            log = []
+
+            def worker(i):
+                sim.sleep(0.1 * (i % 3))
+                log.append(i)
+                sim.sleep(0.05)
+                log.append(10 + i)
+
+            for i in range(8):
+                sim.spawn(worker, i, name=f"w{i}")
+            sim.run()
+            return log
+
+        assert build() == build()
+
+
+class TestSpawnAndJoin:
+    def test_result_available_after_run(self):
+        sim = Simulator()
+        t = sim.spawn(lambda: 42)
+        sim.run()
+        assert t.state is TaskState.DONE
+        assert t.result == 42
+
+    def test_join_returns_result(self):
+        sim = Simulator()
+        got = []
+
+        def child():
+            sim.sleep(1.0)
+            return "payload"
+
+        def parent():
+            t = sim.spawn(child, name="child")
+            got.append(t.join())
+            got.append(sim.now)
+
+        sim.spawn(parent, name="parent")
+        sim.run()
+        assert got == ["payload", 1.0]
+
+    def test_join_finished_task_returns_immediately(self):
+        sim = Simulator()
+        results = []
+
+        def parent():
+            t = sim.spawn(lambda: 7, name="quick")
+            sim.sleep(5.0)  # child completes long before
+            results.append(t.join())
+
+        sim.spawn(parent)
+        sim.run()
+        assert results == [7]
+
+    def test_nested_spawns(self):
+        sim = Simulator()
+        seen = []
+
+        def leaf(i):
+            sim.sleep(0.1)
+            seen.append(i)
+
+        def mid():
+            kids = [sim.spawn(leaf, i) for i in range(3)]
+            for k in kids:
+                k.join()
+
+        sim.spawn(mid)
+        sim.run()
+        assert sorted(seen) == [0, 1, 2]
+
+
+class TestCallLater:
+    def test_callback_fires_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.call_later(2.0, lambda: fired.append(sim.now))
+        sim.spawn(lambda: sim.sleep(3.0))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_later(-0.5, lambda: None)
+
+
+class TestErrors:
+    def test_task_exception_propagates(self):
+        sim = Simulator()
+
+        def bad():
+            raise ValueError("boom")
+
+        sim.spawn(bad)
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_failure_kills_other_tasks(self):
+        sim = Simulator()
+
+        def sleeper():
+            sim.sleep(100.0)
+
+        def bad():
+            sim.sleep(1.0)
+            raise RuntimeError("abort")
+
+        t = sim.spawn(sleeper)
+        sim.spawn(bad)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert t.state is TaskState.KILLED
+
+    def test_deadlock_detected(self):
+        from repro.sim import Future
+
+        sim = Simulator()
+
+        def stuck():
+            Future(sim, description="never").wait()
+
+        sim.spawn(stuck, name="stuck")
+        with pytest.raises(DeadlockError, match="stuck"):
+            sim.run()
+
+    def test_blocking_outside_task_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.sleep(1.0)
+
+    def test_closed_simulator_rejects_spawn(self):
+        sim = Simulator()
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.spawn(lambda: None)
+
+
+class TestBoundedRun:
+    def test_run_until_pauses_and_resumes(self):
+        sim = Simulator()
+        marks = []
+
+        def prog():
+            sim.sleep(1.0)
+            marks.append(sim.now)
+            sim.sleep(1.0)
+            marks.append(sim.now)
+
+        sim.spawn(prog)
+        sim.run(until=1.5)
+        assert marks == [1.0]
+        assert sim.now == 1.5
+        sim.run()
+        assert marks == [1.0, 2.0]
+
+    def test_close_after_bounded_run(self):
+        sim = Simulator()
+        sim.spawn(lambda: sim.sleep(10.0))
+        sim.run(until=1.0)
+        sim.close()  # must not hang or raise
+
+    def test_context_manager_closes(self):
+        with Simulator() as sim:
+            sim.spawn(lambda: sim.sleep(10.0))
+            sim.run(until=1.0)
+        # leaving the with-block kills the sleeper without error

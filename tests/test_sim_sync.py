@@ -1,0 +1,333 @@
+"""Tests for virtual-time coordination primitives."""
+
+import pytest
+
+from repro.sim import Barrier, Channel, Future, Lock, Semaphore, Simulator
+from repro.util.errors import SimulationError
+
+
+class TestFuture:
+    def test_wait_then_fire(self):
+        sim = Simulator()
+        fut = Future(sim, description="f")
+        got = []
+
+        def waiter():
+            got.append(fut.wait())
+
+        def firer():
+            sim.sleep(1.0)
+            fut.fire("value")
+
+        sim.spawn(waiter)
+        sim.spawn(firer)
+        sim.run()
+        assert got == ["value"]
+        assert sim.now == 1.0
+
+    def test_fire_before_wait_returns_immediately(self):
+        sim = Simulator()
+        fut = Future(sim)
+        got = []
+
+        def prog():
+            fut.fire(99)
+            got.append(fut.wait())
+
+        sim.spawn(prog)
+        sim.run()
+        assert got == [99]
+
+    def test_multiple_waiters_all_wake(self):
+        sim = Simulator()
+        fut = Future(sim)
+        got = []
+
+        def waiter(i):
+            got.append((i, fut.wait()))
+
+        for i in range(3):
+            sim.spawn(waiter, i)
+        sim.spawn(lambda: fut.fire("x"))
+        sim.run()
+        assert sorted(got) == [(0, "x"), (1, "x"), (2, "x")]
+
+    def test_delayed_fire(self):
+        sim = Simulator()
+        fut = Future(sim)
+        times = []
+
+        def waiter():
+            fut.wait()
+            times.append(sim.now)
+
+        sim.spawn(waiter)
+        sim.spawn(lambda: fut.fire(delay=2.5))
+        sim.run()
+        assert times == [2.5]
+
+    def test_double_fire_rejected(self):
+        sim = Simulator()
+        fut = Future(sim)
+
+        def prog():
+            fut.fire()
+            fut.fire()
+
+        sim.spawn(prog)
+        with pytest.raises(SimulationError, match="twice"):
+            sim.run()
+
+    def test_poll(self):
+        sim = Simulator()
+        fut = Future(sim)
+        observed = []
+
+        def prog():
+            observed.append(fut.poll())
+            fut.fire()
+            observed.append(fut.poll())
+
+        sim.spawn(prog)
+        sim.run()
+        assert observed == [False, True]
+
+    def test_fire_from_scheduler_callback(self):
+        sim = Simulator()
+        fut = Future(sim)
+        times = []
+
+        def waiter():
+            fut.wait()
+            times.append(sim.now)
+
+        sim.spawn(waiter)
+        sim.call_later(3.0, fut.fire)
+        sim.run()
+        assert times == [3.0]
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        got = []
+
+        def producer():
+            for i in range(5):
+                ch.put(i)
+
+        def consumer():
+            for _ in range(5):
+                got.append(ch.get())
+
+        sim.spawn(producer)
+        sim.spawn(consumer)
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        got = []
+
+        def consumer():
+            got.append((ch.get(), sim.now))
+
+        def producer():
+            sim.sleep(2.0)
+            ch.put("late")
+
+        sim.spawn(consumer)
+        sim.spawn(producer)
+        sim.run()
+        assert got == [("late", 2.0)]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        ch = Channel(sim, capacity=1)
+        log = []
+
+        def producer():
+            ch.put(1)
+            log.append(("put1", sim.now))
+            ch.put(2)  # blocks until consumer takes item 1
+            log.append(("put2", sim.now))
+
+        def consumer():
+            sim.sleep(5.0)
+            log.append(("got", ch.get(), sim.now))
+            log.append(("got", ch.get(), sim.now))
+
+        sim.spawn(producer)
+        sim.spawn(consumer)
+        sim.run()
+        assert ("put1", 0.0) in log
+        assert ("put2", 5.0) in log
+
+    def test_try_put_try_get(self):
+        sim = Simulator()
+        ch = Channel(sim, capacity=1)
+        results = []
+
+        def prog():
+            results.append(ch.try_put("a"))
+            results.append(ch.try_put("b"))  # full
+            results.append(ch.try_get())
+            results.append(ch.try_get())  # empty
+
+        sim.spawn(prog)
+        sim.run()
+        assert results == [True, False, (True, "a"), (False, None)]
+
+    def test_invalid_capacity(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Channel(sim, capacity=0)
+
+
+class TestSemaphore:
+    def test_acquire_release(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 2)
+        active = []
+        peak = []
+
+        def worker(i):
+            sem.acquire()
+            active.append(i)
+            peak.append(len(active))
+            sim.sleep(1.0)
+            active.remove(i)
+            sem.release()
+
+        for i in range(5):
+            sim.spawn(worker, i)
+        sim.run()
+        assert max(peak) <= 2
+
+    def test_try_acquire(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 1)
+        results = []
+
+        def prog():
+            results.append(sem.try_acquire())
+            results.append(sem.try_acquire())
+            sem.release()
+            results.append(sem.try_acquire())
+
+        sim.spawn(prog)
+        sim.run()
+        assert results == [True, False, True]
+
+    def test_negative_value_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Semaphore(sim, -1)
+
+
+class TestLock:
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        log = []
+
+        def worker(i):
+            with lock:
+                log.append(("enter", i, sim.now))
+                sim.sleep(1.0)
+                log.append(("exit", i, sim.now))
+
+        sim.spawn(worker, 0)
+        sim.spawn(worker, 1)
+        sim.run()
+        # Sections must not overlap: exit of 0 precedes enter of 1.
+        assert log == [
+            ("enter", 0, 0.0),
+            ("exit", 0, 1.0),
+            ("enter", 1, 1.0),
+            ("exit", 1, 2.0),
+        ]
+
+    def test_release_by_non_owner_rejected(self):
+        sim = Simulator()
+        lock = Lock(sim)
+
+        def owner():
+            lock.acquire()
+            sim.sleep(10.0)
+
+        def thief():
+            sim.sleep(1.0)
+            lock.release()
+
+        sim.spawn(owner)
+        sim.spawn(thief)
+        with pytest.raises(SimulationError, match="non-owner"):
+            sim.run()
+
+    def test_reacquire_rejected(self):
+        sim = Simulator()
+        lock = Lock(sim)
+
+        def prog():
+            lock.acquire()
+            lock.acquire()
+
+        sim.spawn(prog)
+        with pytest.raises(SimulationError, match="re-acquired"):
+            sim.run()
+
+
+class TestBarrier:
+    def test_all_parties_released_together(self):
+        sim = Simulator()
+        bar = Barrier(sim, 3)
+        release_times = []
+
+        def worker(i):
+            sim.sleep(float(i))
+            bar.wait()
+            release_times.append(sim.now)
+
+        for i in range(3):
+            sim.spawn(worker, i)
+        sim.run()
+        assert release_times == [2.0, 2.0, 2.0]
+
+    def test_reusable_generations(self):
+        sim = Simulator()
+        bar = Barrier(sim, 2)
+        log = []
+
+        def worker(i):
+            for phase in range(3):
+                sim.sleep(0.1 * (i + 1))
+                bar.wait()
+                log.append((phase, i, sim.now))
+
+        sim.spawn(worker, 0)
+        sim.spawn(worker, 1)
+        sim.run()
+        phases = [p for p, _, _ in log]
+        assert phases == sorted(phases)  # no phase mixing
+
+    def test_arrival_indices_unique(self):
+        sim = Simulator()
+        bar = Barrier(sim, 4)
+        indices = []
+
+        def worker(i):
+            sim.sleep(float(i))
+            indices.append(bar.wait())
+
+        for i in range(4):
+            sim.spawn(worker, i)
+        sim.run()
+        assert sorted(indices) == [0, 1, 2, 3]
+
+    def test_invalid_parties(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Barrier(sim, 0)

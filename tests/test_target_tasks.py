@@ -1,0 +1,179 @@
+"""Tests for deferred target tasks with dependences (§5 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import World, run_spmd
+from repro.device.kernel import KernelCost
+from repro.hardware import platform_a
+from repro.omptarget import Map, MapType, OmpTargetRuntime, TargetTaskQueue
+from repro.util.errors import ConfigurationError
+
+COST = KernelCost(flops=1e9, bytes_moved=0.0)  # ~130 us on an A100
+
+
+def world1():
+    return World(platform_a(with_quirk=False), num_nodes=1)
+
+
+def run_rank0(program):
+    w = world1()
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            return program(ctx)
+
+    return run_spmd(w, prog)
+
+
+class TestIndependentTasks:
+    def test_independent_tasks_overlap(self):
+        """Two dependence-free target regions run concurrently on
+        separate helper streams."""
+
+        def program(ctx):
+            rt = OmpTargetRuntime(ctx)
+            q = TargetTaskQueue(rt)
+            t0 = ctx.sim.now
+            q.submit("a", COST)
+            q.submit("b", COST)
+            q.taskwait()
+            return ctx.sim.now - t0
+
+        res = run_rank0(program)
+        one_kernel = COST.duration_on(platform_a().node.gpu)
+        assert res.results[0] < 1.5 * one_kernel  # overlapped, not 2x
+
+    def test_pending_counter(self):
+        def program(ctx):
+            rt = OmpTargetRuntime(ctx)
+            q = TargetTaskQueue(rt)
+            q.submit("a", COST)
+            q.submit("b", COST)
+            before = q.pending
+            q.taskwait()
+            return before, q.pending
+
+        res = run_rank0(program)
+        assert res.results[0] == (2, 0)
+
+
+class TestDependences:
+    def test_writer_then_reader_serializes(self):
+        order = []
+
+        def body_factory(tag):
+            def body():
+                order.append(tag)
+
+            return body
+
+        def program(ctx):
+            rt = OmpTargetRuntime(ctx)
+            q = TargetTaskQueue(rt)
+            data = object()
+            # body runs only with real maps; use completion order via
+            # task futures instead.
+            w = q.submit("writer", COST, depends_out=[data])
+            r = q.submit("reader", KernelCost(flops=1e6, bytes_moved=0), depends_in=[data])
+            r.wait()
+            assert w.done()  # the writer must have finished first
+            q.taskwait()
+
+        run_rank0(program)
+
+    def test_readers_run_concurrently_writer_waits(self):
+        def program(ctx):
+            rt = OmpTargetRuntime(ctx)
+            q = TargetTaskQueue(rt)
+            data = object()
+            w1 = q.submit("w1", COST, depends_out=[data])
+            r1 = q.submit("r1", COST, depends_in=[data])
+            r2 = q.submit("r2", COST, depends_in=[data])
+            w2 = q.submit("w2", COST, depends_out=[data])
+            w2.wait()
+            assert r1.done() and r2.done() and w1.done()
+            q.taskwait()
+            return ctx.sim.now
+
+        res = run_rank0(program)
+        one = COST.duration_on(platform_a().node.gpu)
+        # Chain: w1 -> (r1 || r2) -> w2 = ~3 kernels, not 4.
+        assert res.results[0] < 3.6 * one
+
+    def test_diamond_dependences_compute_correctly(self):
+        """A real diamond on mapped data: a writes, b and c read a and
+        write their own, d reads b and c."""
+
+        def program(ctx):
+            rt = OmpTargetRuntime(ctx)
+            q = TargetTaskQueue(rt)
+            a = np.zeros(4)
+            b = np.zeros(4)
+            c = np.zeros(4)
+            d = np.zeros(4)
+            small = KernelCost(flops=1e6, bytes_moved=0)
+            q.submit(
+                "init",
+                small,
+                maps=[Map(a, MapType.TOFROM)],
+                body=lambda va: va.__iadd__(1.0),
+                depends_out=[a],
+            )
+            q.submit(
+                "left",
+                small,
+                maps=[Map(a, MapType.TO), Map(b, MapType.FROM)],
+                body=lambda va, vb: vb.__iadd__(va * 2),
+                depends_in=[a],
+                depends_out=[b],
+            )
+            q.submit(
+                "right",
+                small,
+                maps=[Map(a, MapType.TO), Map(c, MapType.FROM)],
+                body=lambda va, vc: vc.__iadd__(va * 3),
+                depends_in=[a],
+                depends_out=[c],
+            )
+            q.submit(
+                "join",
+                small,
+                maps=[Map(b, MapType.TO), Map(c, MapType.TO), Map(d, MapType.FROM)],
+                body=lambda vb, vc, vd: vd.__iadd__(vb + vc),
+                depends_in=[b, c],
+                depends_out=[d],
+            )
+            q.taskwait()
+            return d.copy()
+
+        res = run_rank0(program)
+        np.testing.assert_allclose(res.results[0], 5.0)  # 2*1 + 3*1
+
+    def test_in_and_out_same_object_rejected(self):
+        def program(ctx):
+            rt = OmpTargetRuntime(ctx)
+            q = TargetTaskQueue(rt)
+            data = object()
+            q.submit("bad", COST, depends_in=[data], depends_out=[data])
+
+        with pytest.raises(ConfigurationError, match="depend"):
+            run_rank0(program)
+
+    def test_program_order_between_writers(self):
+        """Two writers to one object run strictly in submission order."""
+        completions = []
+
+        def program(ctx):
+            rt = OmpTargetRuntime(ctx)
+            q = TargetTaskQueue(rt)
+            data = object()
+            first = q.submit("first", COST, depends_out=[data])
+            second = q.submit(
+                "second", KernelCost(flops=1e6, bytes_moved=0), depends_out=[data]
+            )
+            second.wait()
+            assert first.done()
+            q.taskwait()
+
+        run_rank0(program)

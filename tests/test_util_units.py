@@ -1,0 +1,105 @@
+"""Unit tests for repro.util.units formatting and parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bandwidth,
+    format_bytes,
+    format_time,
+    parse_size,
+)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(4) == "4 B"
+        assert format_bytes(1023) == "1023 B"
+
+    def test_exact_multiples_have_no_decimal(self):
+        assert format_bytes(KiB) == "1 KiB"
+        assert format_bytes(128 * KiB) == "128 KiB"
+        assert format_bytes(64 * MiB) == "64 MiB"
+        assert format_bytes(2 * GiB) == "2 GiB"
+
+    def test_fractional(self):
+        assert format_bytes(1536) == "1.5 KiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatTime:
+    def test_zero(self):
+        assert format_time(0) == "0 s"
+
+    def test_nanoseconds(self):
+        assert format_time(5e-9) == "5.0 ns"
+
+    def test_microseconds(self):
+        assert format_time(2.5e-6) == "2.50 us"
+
+    def test_milliseconds(self):
+        assert format_time(3.2e-3) == "3.20 ms"
+
+    def test_seconds(self):
+        assert format_time(1.5) == "1.500 s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_time(-1e-6)
+
+
+class TestFormatBandwidth:
+    def test_gbps(self):
+        assert format_bandwidth(25e9) == "25.00 GB/s"
+
+    def test_mbps(self):
+        assert format_bandwidth(5e6) == "5.00 MB/s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bandwidth(-1.0)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4", 4),
+            ("4B", 4),
+            ("8K", 8 * KiB),
+            ("8KB", 8 * KiB),
+            ("8 KiB", 8 * KiB),
+            ("64M", 64 * MiB),
+            ("64MiB", 64 * MiB),
+            ("2g", 2 * GiB),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("8 parsecs")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("KB")
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_roundtrip_bytes(self, n):
+        assert parse_size(f"{n}B") == n
+
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.sampled_from(["K", "M", "G"]),
+    )
+    def test_roundtrip_units(self, n, unit):
+        factor = {"K": KiB, "M": MiB, "G": GiB}[unit]
+        assert parse_size(f"{n}{unit}") == n * factor

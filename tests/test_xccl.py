@@ -1,0 +1,292 @@
+"""Tests for the XCCL (NCCL/RCCL) layer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MemRef, World, run_spmd
+from repro.hardware import platform_a, platform_b, platform_c
+from repro.util.errors import CommunicationError
+from repro.util.units import KiB, MiB
+from repro.xccl import (
+    NCCL_PARAMS,
+    RCCL_PARAMS,
+    UniqueId,
+    XcclComm,
+    XcclContext,
+    build_ring,
+    params_for,
+    ring_bandwidth,
+)
+
+
+def make_ctx(nodes=2, platform=None, params=NCCL_PARAMS):
+    w = World(platform or platform_a(with_quirk=False), num_nodes=nodes)
+    return w, XcclContext(w, params)
+
+
+def init_all(w, ctx, uid):
+    """Each rank joins with its primary device; returns comms by rank."""
+    comms = {}
+
+    def join(rank_ctx):
+        comms[rank_ctx.rank] = XcclComm.init_rank(
+            ctx, uid, rank_ctx.rank, w.nranks, rank_ctx.device
+        )
+
+    return comms, join
+
+
+class TestUniqueId:
+    def test_ids_are_unique(self):
+        assert UniqueId.create() != UniqueId.create()
+
+    def test_equality_and_hash(self):
+        a = UniqueId.create()
+        assert a == a
+        assert len({a, a}) == 1
+
+    def test_forged_id_rejected(self):
+        with pytest.raises(CommunicationError):
+            UniqueId(0)
+
+
+class TestTopo:
+    def test_ring_is_node_major(self):
+        w = World(platform_a(with_quirk=False), num_nodes=2)
+        devs = list(reversed(w.topology.all_gpus()))
+        ring = build_ring(devs)
+        assert [d.node for d in ring] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_duplicate_devices_rejected(self):
+        from repro.util.errors import ConfigurationError
+
+        w = World(platform_a(with_quirk=False), num_nodes=1)
+        g = w.topology.gpu(0, 0)
+        with pytest.raises(ConfigurationError):
+            build_ring([g, g])
+
+    def test_nic_aggregation_beats_single_nic(self):
+        """4 member GPUs per node → inter-node hops stripe over 4 NICs."""
+        w = World(platform_a(with_quirk=False), num_nodes=2)
+        topo = w.topology
+        full_ring = build_ring(topo.all_gpus())
+        solo_ring = build_ring([topo.gpu(0, 0), topo.gpu(1, 0)])
+        assert ring_bandwidth(topo, full_ring, NCCL_PARAMS) > 2 * ring_bandwidth(
+            topo, solo_ring, NCCL_PARAMS
+        )
+
+    def test_single_member_ring_degenerate(self):
+        w = World(platform_a(with_quirk=False), num_nodes=1)
+        bw = ring_bandwidth(w.topology, [w.topology.gpu(0, 0)], NCCL_PARAMS)
+        assert bw == w.platform.node.gpu.mem_bandwidth
+
+
+class TestInit:
+    def test_init_rank_blocks_until_all_join(self):
+        w, ctx = make_ctx(nodes=1)
+        uid = UniqueId.create()
+        times = []
+
+        def prog(rc):
+            rc.sim.sleep(rc.rank * 1e-3)
+            XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            times.append(rc.sim.now)
+
+        run_spmd(w, prog)
+        assert max(times) - min(times) < 1e-9
+        assert min(times) >= 3e-3 + NCCL_PARAMS.init_overhead
+
+    def test_double_join_rejected(self):
+        w, ctx = make_ctx(nodes=1)
+        uid = UniqueId.create()
+
+        def prog(rc):
+            XcclComm.init_rank(ctx, uid, 0, w.nranks, rc.device)
+
+        with pytest.raises(CommunicationError, match="already joined"):
+            run_spmd(w, prog)
+
+    def test_inconsistent_size_rejected(self):
+        w, ctx = make_ctx(nodes=1)
+        uid = UniqueId.create()
+
+        def prog(rc):
+            n = 4 if rc.rank == 0 else 3
+            XcclComm.init_rank(ctx, uid, rc.rank, n, rc.device)
+
+        with pytest.raises(CommunicationError, match="inconsistent"):
+            run_spmd(w, prog)
+
+
+class TestCollectives:
+    def test_all_reduce_sums(self):
+        w, ctx = make_ctx()
+        uid = UniqueId.create()
+        out = {}
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            send = rc.device.malloc(64)
+            recv = rc.device.malloc(64)
+            send.as_array(np.float64)[:] = float(rc.rank)
+            comm.all_reduce(MemRef.device(send), MemRef.device(recv))
+            out[rc.rank] = recv.as_array(np.float64).copy()
+
+        run_spmd(w, prog)
+        for r in range(8):
+            np.testing.assert_allclose(out[r], 28.0)
+
+    def test_broadcast_from_root(self):
+        w, ctx = make_ctx()
+        uid = UniqueId.create()
+        out = {}
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            buf = rc.device.malloc(32)
+            if rc.rank == 3:
+                buf.as_array(np.int32)[:] = 99
+            comm.broadcast(MemRef.device(buf), root=3)
+            out[rc.rank] = buf.as_array(np.int32).copy()
+
+        run_spmd(w, prog)
+        for r in range(8):
+            np.testing.assert_array_equal(out[r], 99)
+
+    def test_reduce_to_root_only(self):
+        w, ctx = make_ctx()
+        uid = UniqueId.create()
+        out = {}
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            send = rc.device.malloc(8)
+            send.as_array(np.float64)[:] = 1.0
+            recv = rc.device.malloc(8) if rc.rank == 0 else None
+            comm.reduce(
+                MemRef.device(send),
+                None if recv is None else MemRef.device(recv),
+                root=0,
+            )
+            if rc.rank == 0:
+                out["v"] = recv.as_array(np.float64)[0]
+
+        run_spmd(w, prog)
+        assert out["v"] == 8.0
+
+    def test_all_gather_slot_order(self):
+        w, ctx = make_ctx(nodes=1)
+        uid = UniqueId.create()
+        out = {}
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            send = rc.device.malloc(8)
+            send.as_array(np.float64)[:] = float(rc.rank)
+            recv = rc.device.malloc(8 * w.nranks)
+            comm.all_gather(MemRef.device(send), MemRef.device(recv))
+            out[rc.rank] = recv.as_array(np.float64).copy()
+
+        run_spmd(w, prog)
+        for r in range(4):
+            np.testing.assert_array_equal(out[r], np.arange(4.0))
+
+    def test_reduce_scatter_blocks(self):
+        w, ctx = make_ctx(nodes=1)
+        uid = UniqueId.create()
+        out = {}
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            send = rc.device.malloc(8 * w.nranks)
+            send.as_array(np.float64)[:] = np.arange(4.0) * (rc.rank + 1)
+            recv = rc.device.malloc(8)
+            comm.reduce_scatter(MemRef.device(send), MemRef.device(recv))
+            out[rc.rank] = recv.as_array(np.float64)[0]
+
+        run_spmd(w, prog)
+        # Sum over ranks of block j = j * (1+2+3+4) = 10 j
+        assert out == {0: 0.0, 1: 10.0, 2: 20.0, 3: 30.0}
+
+    def test_mismatched_op_order_rejected(self):
+        w, ctx = make_ctx(nodes=1)
+        uid = UniqueId.create()
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            buf = MemRef.device(rc.device.malloc(8))
+            if rc.rank == 0:
+                comm.broadcast(buf, root=0)
+            else:
+                comm.all_reduce(buf, MemRef.device(rc.device.malloc(8)))
+
+        with pytest.raises(CommunicationError, match="mismatch"):
+            run_spmd(w, prog)
+
+    def test_single_process_multi_gpu(self):
+        """One rank drives 4 devices = 4 communicator slots (§3.3)."""
+        w = World(platform_a(with_quirk=False), num_nodes=1, devices_per_rank=4)
+        ctx = XcclContext(w, NCCL_PARAMS)
+        uid = UniqueId.create()
+        out = {}
+
+        def prog(rc):
+            if rc.rank != 0:
+                return
+            comms, sends, recvs = [], [], []
+            # Join all four slots from one process.  Init blocks until
+            # all slots joined, so we must spawn helpers - exactly the
+            # group-launch problem OMPCCL solves with ncclGroupStart.
+            tasks = []
+            for d, dev in enumerate(rc.devices):
+                send = dev.malloc(8)
+                send.as_array(np.float64)[:] = float(d + 1)
+                recv = dev.malloc(8)
+                sends.append(send)
+                recvs.append(recv)
+
+                def worker(d=d, dev=dev, send=send, recv=recv):
+                    comm = XcclComm.init_rank(ctx, uid, d, 4, dev)
+                    comm.all_reduce(MemRef.device(send), MemRef.device(recv))
+
+                tasks.append(rc.sim.spawn(worker, name=f"slot{d}"))
+            for t in tasks:
+                t.join()
+            out["vals"] = [r.as_array(np.float64)[0] for r in recvs]
+
+        run_spmd(w, prog)
+        assert out["vals"] == [10.0, 10.0, 10.0, 10.0]
+
+
+class TestCalibration:
+    def _allreduce_time(self, platform, params, size, nodes):
+        w = World(platform, num_nodes=nodes)
+        ctx = XcclContext(w, params)
+        uid = UniqueId.create()
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            send = MemRef.device(rc.device.malloc(size, virtual=True))
+            recv = MemRef.device(rc.device.malloc(size, virtual=True))
+            rc.world.global_barrier.wait()
+            t0 = rc.sim.now
+            comm.all_reduce(send, recv)
+            return rc.sim.now - t0
+
+        return max(run_spmd(w, prog).results)
+
+    def test_nccl_faster_than_rccl(self):
+        a, b = platform_a(with_quirk=False), platform_b()
+        t_nccl = self._allreduce_time(a, NCCL_PARAMS, 16 * MiB, nodes=2)
+        t_rccl = self._allreduce_time(b, RCCL_PARAMS, 16 * MiB, nodes=2)
+        assert t_nccl < t_rccl
+
+    def test_launch_overhead_dominates_small(self):
+        t = self._allreduce_time(platform_a(with_quirk=False), NCCL_PARAMS, 8, nodes=2)
+        assert t >= NCCL_PARAMS.launch_overhead
+
+    def test_params_for(self):
+        assert params_for("nccl") is NCCL_PARAMS
+        assert params_for("rccl") is RCCL_PARAMS
+        with pytest.raises(Exception):
+            params_for("occl")
