@@ -7,7 +7,10 @@ MPI+OpenMP-target baseline — verifies both against numpy, and compares
 their simulated execution time at a paper-scale problem.
 
 Run:  python examples/cannon_matmul.py
+      python examples/cannon_matmul.py --profile trace.json   # + Chrome trace
 """
+
+import sys
 
 import numpy as np
 
@@ -44,6 +47,28 @@ def performance_pass() -> None:
           "(one-sided stripe forwarding + NVLink IPC intra-node)")
 
 
+def profile_pass(out_path: str) -> None:
+    from repro.bench.profile import write_profile
+
+    print(f"\n== profiling (4-rank cannon + asym ping -> {out_path}) ==")
+    write_profile(out_path)
+
+
+def _profile_arg() -> str:
+    # Manual scan rather than argparse: the test suite runs this file
+    # under pytest's own argv.
+    argv = sys.argv[1:]
+    for i, arg in enumerate(argv):
+        if arg == "--profile" and i + 1 < len(argv):
+            return argv[i + 1]
+        if arg.startswith("--profile="):
+            return arg.split("=", 1)[1]
+    return ""
+
+
 if __name__ == "__main__":
     correctness_pass()
     performance_pass()
+    out = _profile_arg()
+    if out:
+        profile_pass(out)

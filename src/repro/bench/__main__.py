@@ -5,6 +5,11 @@ Usage::
     python -m repro.bench                 # every figure, fast mode
     python -m repro.bench fig4 fig6       # a subset
     python -m repro.bench --full fig3     # full repetitions/sweeps
+    python -m repro.bench --profile out.json   # profiled cannon run
+
+``--profile`` runs an instrumented 4-rank Cannon workload and writes a
+Chrome trace (Perfetto-loadable) plus a metrics snapshot next to it;
+see :mod:`repro.bench.profile`.
 
 Fast mode trims repetitions and sweep points; the simulator is
 deterministic, so values are identical where coverage overlaps.
@@ -46,7 +51,19 @@ def main(argv=None) -> int:
         action="store_true",
         help="full repetitions and sweep points (slower)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="OUT.json",
+        help="run the profiled cannon workload; write a Chrome trace to "
+        "OUT.json and a metrics snapshot to OUT.metrics.json",
+    )
     args = parser.parse_args(argv)
+    if args.profile:
+        from repro.bench.profile import write_profile
+
+        write_profile(args.profile)
+        if not args.figures:
+            return 0
     chosen = args.figures or sorted(_RUNNERS)
     for name in chosen:
         run, show = _RUNNERS[name]

@@ -9,7 +9,7 @@ number every benchmark reports.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.cluster.world import RankContext, World
 
@@ -24,6 +24,8 @@ class SpmdResult:
     elapsed: float
     #: the world, for post-run inspection (fabric stats, traces)
     world: World
+    #: metrics snapshot taken when the run finished (repro.obs)
+    metrics: Optional[Dict[str, Any]] = None
 
 
 def run_spmd(
@@ -43,4 +45,9 @@ def run_spmd(
         for ctx in world.ranks
     ]
     elapsed = world.sim.run()
-    return SpmdResult(results=[t.result for t in tasks], elapsed=elapsed, world=world)
+    return SpmdResult(
+        results=[t.result for t in tasks],
+        elapsed=elapsed,
+        world=world,
+        metrics=world.obs.snapshot() if world.obs.registry.enabled else None,
+    )

@@ -8,6 +8,7 @@ from repro.device import Device, PeerAccessManager
 from repro.hardware.platforms import PlatformSpec
 from repro.hardware.topology import ClusterTopology, DeviceId
 from repro.network import Fabric
+from repro.obs import Observability
 from repro.sim import Barrier, Simulator, Tracer
 from repro.util.errors import ConfigurationError
 
@@ -74,6 +75,7 @@ class World:
         ranks_per_node: Optional[int] = None,
         devices_per_rank: int = 1,
         tracer: Optional[Tracer] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if devices_per_rank <= 0:
             raise ConfigurationError("devices_per_rank must be positive")
@@ -93,6 +95,10 @@ class World:
         # tracer (Tracer defines __len__), so test identity explicitly.
         self.tracer = tracer if tracer is not None else Tracer()
         self.tracer.bind_clock(lambda: self.sim.now)
+        #: the world's observability layer (metrics + span profiler);
+        #: pass Observability(enabled=False) to turn it off wholesale
+        self.obs = obs if obs is not None else Observability()
+        self.obs.bind_clock(lambda: self.sim.now)
         self.topology: ClusterTopology = platform.cluster(num_nodes)
         self.fabric = Fabric(self.sim, self.topology, tracer=self.tracer)
         self.peer_access = PeerAccessManager(self.topology)

@@ -46,6 +46,7 @@ class GlobalSegment:
         size: int,
         allocator_kind: str = "linear",
         owner_rank: int = 0,
+        obs=None,
     ) -> None:
         self.device = device
         self.size = size
@@ -59,6 +60,18 @@ class GlobalSegment:
         #: count of distinct registrations performed (1, vs one per
         #: allocation in the Fig. 1a baseline)
         self.registrations = 0
+        #: occupancy gauge (repro.obs), labeled by rank and region
+        self._g_occ = (
+            obs.gauge("segment.occupancy_bytes", "allocated bytes by rank/region")
+            if obs is not None
+            else None
+        )
+
+    def _track_occupancy(self, region: str, allocator) -> None:
+        if self._g_occ is not None:
+            self._g_occ.set(
+                allocator.allocated_bytes, rank=self.owner_rank, region=region
+            )
 
     def address_of(self, offset: int) -> int:
         """Device virtual address of a segment offset."""
@@ -87,10 +100,13 @@ class GlobalSegment:
         Collective coordination (same sequence on every rank) is the
         runtime's job; this is the per-rank allocator step.
         """
-        return self.symmetric_allocator.alloc(size)
+        offset = self.symmetric_allocator.alloc(size)
+        self._track_occupancy("symmetric", self.symmetric_allocator)
+        return offset
 
     def sym_free(self, offset: int) -> None:
         self.symmetric_allocator.free(offset)
+        self._track_occupancy("symmetric", self.symmetric_allocator)
 
     def alloc_local(self, size: int, virtual: bool = False, label: str = "") -> DeviceBuffer:
         """Rank-local allocation inside the segment (used by the
@@ -98,6 +114,7 @@ class GlobalSegment:
         is remotely addressable — the segment registration covers it —
         but its offset is not coordinated across ranks."""
         offset = self.symmetric_region + self.local_allocator.alloc(size)
+        self._track_occupancy("local", self.local_allocator)
         return self.place(offset, size, virtual, label or "diomp-local")
 
     def free_local(self, buffer: DeviceBuffer) -> None:
@@ -109,6 +126,7 @@ class GlobalSegment:
                 "collective free"
             )
         self.local_allocator.free(offset - self.symmetric_region)
+        self._track_occupancy("local", self.local_allocator)
         self.device.memory.free(buffer)
 
     @property

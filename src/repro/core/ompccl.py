@@ -47,6 +47,25 @@ class Ompccl:
         self._channels: Dict[int, _GroupChannels] = {}
         #: counts of UniqueId fetches over the CPU network (init cost)
         self.uid_exchanges = 0
+        # -- metrics (see repro.obs) --
+        self._obs = world.obs
+        self._m_colls = self._obs.counter(
+            "ompccl.collectives",
+            "collective launches by kind/library/group size",
+        )
+        self._m_bytes = self._obs.counter(
+            "ompccl.bytes", "collective payload bytes by kind"
+        )
+
+    def _record(self, kind: str, group: DiompGroup, ctx: RankContext, buffers: Sequence[MemRef]) -> None:
+        nbytes = sum(b.nbytes for b in buffers)
+        self._m_colls.inc(
+            kind=kind,
+            library=self.xccl.params.name,
+            group_size=group.size,
+            rank=ctx.rank,
+        )
+        self._m_bytes.inc(nbytes, kind=kind, rank=ctx.rank)
 
     # -- channel management ------------------------------------------------------
 
@@ -133,9 +152,11 @@ class Ompccl:
         """``ompx_bcast``: broadcast from a device slot of the group."""
         self._check_buffers(ctx, buffers)
         comms = self._ensure_channels(group, ctx)
-        self._run_on_slots(
-            ctx, comms, lambda comm, i: comm.broadcast(buffers[i], root=root_slot)
-        )
+        self._record("bcast", group, ctx, buffers)
+        with self._obs.span("ompccl.bcast", rank=ctx.rank, group=group.group_id):
+            self._run_on_slots(
+                ctx, comms, lambda comm, i: comm.broadcast(buffers[i], root=root_slot)
+            )
 
     def allreduce(
         self,
@@ -150,11 +171,13 @@ class Ompccl:
         self._check_buffers(ctx, send)
         self._check_buffers(ctx, recv)
         comms = self._ensure_channels(group, ctx)
-        self._run_on_slots(
-            ctx,
-            comms,
-            lambda comm, i: comm.all_reduce(send[i], recv[i], dtype=dtype, op=op),
-        )
+        self._record("allreduce", group, ctx, send)
+        with self._obs.span("ompccl.allreduce", rank=ctx.rank, group=group.group_id):
+            self._run_on_slots(
+                ctx,
+                comms,
+                lambda comm, i: comm.all_reduce(send[i], recv[i], dtype=dtype, op=op),
+            )
 
     def reduce(
         self,
@@ -169,10 +192,12 @@ class Ompccl:
         """``ompx_reduce`` toward one device slot."""
         self._check_buffers(ctx, send)
         comms = self._ensure_channels(group, ctx)
-        self._run_on_slots(
-            ctx,
-            comms,
-            lambda comm, i: comm.reduce(
-                send[i], recv[i], root=root_slot, dtype=dtype, op=op
-            ),
-        )
+        self._record("reduce", group, ctx, send)
+        with self._obs.span("ompccl.reduce", rank=ctx.rank, group=group.group_id):
+            self._run_on_slots(
+                ctx,
+                comms,
+                lambda comm, i: comm.reduce(
+                    send[i], recv[i], root=root_slot, dtype=dtype, op=op
+                ),
+            )

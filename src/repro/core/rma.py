@@ -60,11 +60,49 @@ class DiompRma:
         self._ipc_opened: Set[Tuple[int, int]] = set()
         #: ordered device pairs with peer access enabled by this rank
         self._peer_enabled: Set[Tuple[object, object]] = set()
-        # -- statistics --
-        self.puts = 0
-        self.gets = 0
-        self.ipc_opens = 0
-        self.pointer_fetches = 0
+        # -- metrics (one registry per world; see repro.obs) --
+        self._obs = diomp.runtime.obs
+        registry = self._obs.registry
+        self._m_ops = registry.counter(
+            "rma.ops", "one-sided operations by op/path/rank"
+        )
+        self._m_bytes = registry.counter(
+            "rma.bytes", "one-sided payload bytes by op/path/rank"
+        )
+        self._m_ptr = registry.counter(
+            "rma.pointer_cache",
+            "second-level pointer lookups by event (hit|miss)",
+        )
+        self._m_ipc = registry.counter(
+            "rma.ipc_open", "one-time IPC handle opens by rank"
+        )
+        self._m_fence = registry.histogram(
+            "rma.fence_poll_iterations",
+            "hybrid-poll iterations per ompx_fence",
+            bounds=(0, 1, 2, 4, 8, 16, 32, 64, 128),
+        )
+
+    # -- legacy statistics (read-through onto the metrics registry) ---------------
+
+    @property
+    def puts(self) -> int:
+        """``ompx_put`` count (0 when observability is disabled)."""
+        return int(self._m_ops.value(op="put", rank=self.diomp.rank))
+
+    @property
+    def gets(self) -> int:
+        """``ompx_get`` count (0 when observability is disabled)."""
+        return int(self._m_ops.value(op="get", rank=self.diomp.rank))
+
+    @property
+    def ipc_opens(self) -> int:
+        """One-time IPC handle opens performed by this rank."""
+        return int(self._m_ipc.value(rank=self.diomp.rank))
+
+    @property
+    def pointer_fetches(self) -> int:
+        """Remote second-level-pointer fetches (= pointer-cache misses)."""
+        return int(self._m_ptr.value(event="miss", rank=self.diomp.rank))
 
     # -- address resolution -------------------------------------------------------
 
@@ -128,9 +166,11 @@ class DiompRma:
                 target_rank, slot_addr, MemRef.host(self.diomp.ctx.node, scratch)
             )
             event.wait()
-            self.pointer_fetches += 1
+            self._m_ptr.inc(event="miss", rank=self.diomp.rank)
             data_addr = target.data_addresses[target_rank]
             cache.insert(target.handle_id, target_rank, data_addr)
+        else:
+            self._m_ptr.inc(event="hit", rank=self.diomp.rank)
         return data_addr + offset
 
     # -- data movement -----------------------------------------------------------
@@ -144,8 +184,8 @@ class DiompRma:
         device_num: int = 0,
     ) -> None:
         """``ompx_put``: one-sided, completes at the next fence."""
-        self._rma("put", target_rank, target, src, target_offset, device_num)
-        self.puts += 1
+        with self._obs.span("rma.put", rank=self.diomp.rank, target=target_rank):
+            self._rma("put", target_rank, target, src, target_offset, device_num)
 
     def get(
         self,
@@ -156,8 +196,8 @@ class DiompRma:
         device_num: int = 0,
     ) -> None:
         """``ompx_get``: one-sided fetch, completes at the next fence."""
-        self._rma("get", target_rank, target, dst, target_offset, device_num)
-        self.gets += 1
+        with self._obs.span("rma.get", rank=self.diomp.rank, target=target_rank):
+            self._rma("get", target_rank, target, dst, target_offset, device_num)
 
     def _rma(
         self,
@@ -188,6 +228,12 @@ class DiompRma:
             else:
                 event = client.get_nb(target_rank, addr, local)
             self._outstanding.append((target_rank, event))
+            self._count_op(op, "conduit", local.nbytes)
+
+    def _count_op(self, op: str, path: str, nbytes: int) -> None:
+        rank = self.diomp.rank
+        self._m_ops.inc(op=op, path=path, rank=rank)
+        self._m_bytes.inc(nbytes, op=op, path=path, rank=rank)
 
     def _intra_node(
         self, op: str, target_rank: int, addr: int, local: MemRef, device_num: int
@@ -204,15 +250,17 @@ class DiompRma:
         params = diomp.runtime.params
         if target_rank != diomp.rank:
             # Cross-process on one node: IPC handle, opened once.
+            path_kind = "ipc"
             key = (target_rank, device_num)
             if key not in self._ipc_opened:
                 diomp.ctx.sim.sleep(world.platform.node.gpu.ipc_open_overhead)
                 self._ipc_opened.add(key)
-                self.ipc_opens += 1
+                self._m_ipc.inc(rank=diomp.rank)
         else:
             # Same process, another bound device: GPUDirect peer access.
             src_dev = local.endpoint
             dst_dev = remote.endpoint
+            path_kind = "local" if src_dev == dst_dev else "p2p"
             if src_dev != dst_dev:
                 pair = (src_dev, dst_dev)
                 if pair not in self._peer_enabled:
@@ -221,6 +269,7 @@ class DiompRma:
                         world.peer_access.ensure_enabled(src_dev, dst_dev)
                         diomp.ctx.sim.sleep(params.peer_enable_overhead)
                     self._peer_enabled.add(pair)
+        self._count_op(op, path_kind, local.nbytes)
         if op == "put":
             src_ref, dst_ref = local, remote
         else:
@@ -268,7 +317,10 @@ class DiompRma:
                 if not group.contains(rank)
             ]
         pool = self.diomp.stream_pool(device_num)
-        return pool.hybrid_fence([ev for _rank, ev in events])
+        with self._obs.span("rma.fence", rank=self.diomp.rank, events=len(events)):
+            iterations = pool.hybrid_fence([ev for _rank, ev in events])
+        self._m_fence.observe(iterations, rank=self.diomp.rank)
+        return iterations
 
     @property
     def pending_ops(self) -> int:

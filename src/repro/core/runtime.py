@@ -101,6 +101,9 @@ class DiompRuntime:
     ) -> None:
         self.world = world
         self.params = params or DiompParams()
+        #: the world's observability layer: one metrics registry and
+        #: span profiler shared by every rank handle and subsystem
+        self.obs = world.obs
         if self.params.conduit == "gasnet":
             self.conduit = GasnetConduit(world)
         elif self.params.conduit == "gpi2":
@@ -119,6 +122,7 @@ class DiompRuntime:
                     self.params.segment_size,
                     allocator_kind=self.params.allocator,
                     owner_rank=ctx.rank,
+                    obs=self.obs,
                 )
                 # The single registration of Fig. 1b.
                 seg.conduit_segment = self.conduit.client(ctx.rank).attach_space_segment(
@@ -277,6 +281,7 @@ class Diomp:
                 self.ctx.devices[device_num],
                 params=self.runtime.params.stream_params,
                 tracer=self.runtime.world.tracer,
+                obs=self.runtime.obs,
             )
         return self._pools[device_num]
 
@@ -354,6 +359,9 @@ class Diomp:
             )
         hseg = self.runtime.host_segment_of(self.rank)
         offset = hseg.allocator.alloc(nbytes)
+        self.runtime.obs.gauge(
+            "segment.occupancy_bytes", "allocated bytes by rank/region"
+        ).set(hseg.allocator.allocated_bytes, rank=self.rank, region="host")
         return HostGlobalBuffer(self.rank, hseg, offset, nbytes)
 
     def free_host(self, hbuf: HostGlobalBuffer) -> None:
@@ -364,6 +372,9 @@ class Diomp:
         self._alloc_seq += 1
         self.runtime.rendezvous("host-free", seq, self.rank, hbuf.offset, self.nranks)
         hbuf.segment.allocator.free(hbuf.offset)
+        self.runtime.obs.gauge("segment.occupancy_bytes").set(
+            hbuf.segment.allocator.allocated_bytes, rank=self.rank, region="host"
+        )
         hbuf.freed = True
 
     # -- asymmetric allocation (collective) -------------------------------------------

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 
 from repro.device.driver import Device
 from repro.device.stream import Stream
+from repro.obs import Observability
 from repro.sim import Simulator, Tracer
 from repro.util.errors import ConfigurationError
 from repro.util.units import US
@@ -54,6 +55,7 @@ class StreamPool:
         device: Device,
         params: Optional[StreamPoolParams] = None,
         tracer: Optional[Tracer] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -66,6 +68,28 @@ class StreamPool:
         self.reused = 0
         self.partial_syncs = 0
         self.poll_iterations = 0
+        # -- metrics (see repro.obs; high-water mark via the gauge) --
+        self._obs = obs
+        if obs is not None:
+            self._g_active = obs.gauge(
+                "streams.active", "live streams per device pool"
+            )
+            self._h_partial = obs.histogram(
+                "streams.partial_sync_busy",
+                "busy streams at each partial synchronization",
+                bounds=(1, 2, 4, 8, 16, 32, 64),
+            )
+            self._h_fence = obs.histogram(
+                "streams.fence_iterations",
+                "poll iterations per hybrid fence",
+                bounds=(0, 1, 2, 4, 8, 16, 32, 64, 128),
+            )
+        else:
+            self._g_active = self._h_partial = self._h_fence = None
+
+    def _track_active(self) -> None:
+        if self._g_active is not None:
+            self._g_active.set(self.active_count, device=self.device.device_id)
 
     @property
     def active_count(self) -> int:
@@ -87,6 +111,7 @@ class StreamPool:
             stream = self.device.create_stream()
             self._busy.append(stream)
             self.created += 1
+            self._track_active()
             if self.tracer is not None:
                 self.tracer.emit("streams", "create", device=str(self.device.device_id))
             return stream
@@ -110,6 +135,8 @@ class StreamPool:
         a fraction of the busy streams — the ones completing soonest —
         while the others keep executing."""
         self.partial_syncs += 1
+        if self._h_partial is not None:
+            self._h_partial.observe(len(self._busy), device=self.device.device_id)
         if self.tracer is not None:
             self.tracer.emit("streams", "partial_sync", busy=len(self._busy))
         self._busy.sort(key=lambda s: s.available_at)
@@ -162,6 +189,8 @@ class StreamPool:
             elif pending_events:
                 pending_events[0].wait()
                 pending_events = pending_events[1:]
+        if self._h_fence is not None:
+            self._h_fence.observe(iterations, device=self.device.device_id)
         if self.tracer is not None:
             self.tracer.emit("streams", "hybrid_fence", iterations=iterations)
         return iterations

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.cluster.memref import MemRef
 from repro.cluster.world import World
 from repro.network.fabric import TransferRecord
+from repro.obs import size_class
 from repro.sim import Future
 from repro.util.errors import CommunicationError
 from repro.util.units import MiB, US
@@ -169,6 +170,25 @@ class GasnetClient:
         self.puts_issued = 0
         self.gets_issued = 0
         self.ams_sent = 0
+        # -- metrics (message counts/bytes by size class; repro.obs) --
+        obs = getattr(conduit.world, "obs", None)
+        if obs is not None:
+            self._m_msgs = obs.counter(
+                "conduit.messages", "conduit messages by op and size class"
+            )
+            self._m_bytes = obs.counter(
+                "conduit.bytes", "conduit payload bytes by op and size class"
+            )
+        else:
+            self._m_msgs = self._m_bytes = None
+
+    def _count_message(self, op: str, nbytes: int) -> None:
+        if self._m_msgs is None:
+            return
+        cls = size_class(nbytes)
+        labels = dict(conduit="gasnet", op=op, size_class=cls, rank=self.rank)
+        self._m_msgs.inc(**labels)
+        self._m_bytes.inc(nbytes, **labels)
 
     # -- segment management ---------------------------------------------------
 
@@ -241,6 +261,7 @@ class GasnetClient:
             and src.endpoint.node == dst.endpoint.node,
         )
         self.puts_issued += 1
+        self._count_message("put", src.nbytes)
         event = GasnetEvent(fut)
         self._pending.append(event)
         return event
@@ -266,6 +287,7 @@ class GasnetClient:
             and src.endpoint.node == dst.endpoint.node,
         )
         self.gets_issued += 1
+        self._count_message("get", dst.nbytes)
         event = GasnetEvent(fut)
         self._pending.append(event)
         return event
@@ -308,6 +330,7 @@ class GasnetClient:
         src_host = world.topology.host(world.ranks[self.rank].node)
         dst_host = world.topology.host(world.ranks[dst_rank].node)
         self.ams_sent += 1
+        self._count_message("am", payload_bytes)
         reply_future = Future(world.sim, description=f"am-reply:{handler}")
 
         def deliver() -> None:

@@ -1,0 +1,117 @@
+"""Unified observability: metrics, span profiling, and trace export.
+
+One :class:`Observability` object serves a whole simulated world (the
+:class:`~repro.cluster.world.World` creates it and binds the virtual
+clock; the DiOMP runtime and every instrumented subsystem share it).
+It bundles
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  histograms labeled by rank/device/path,
+* a :class:`~repro.obs.spans.SpanProfiler` — ``with obs.span(...)``
+  timed regions on the virtual clock,
+* exporters — Chrome trace-event JSON (``chrome://tracing`` and
+  Perfetto loadable), JSONL event dumps, and a plain-text dashboard.
+
+Disable it (``Observability(enabled=False)``, or
+``World(..., obs=Observability(enabled=False))``) and every
+instrumentation call collapses to an attribute check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    dashboard_tables,
+    events_jsonl,
+    render_dashboard,
+    write_chrome_trace,
+    write_metrics_snapshot,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    size_class,
+)
+from repro.obs.spans import SpanProfiler, SpanRecord
+
+
+class Observability:
+    """The per-world observability facade."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.profiler = SpanProfiler(clock=clock, enabled=enabled)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the virtual clock (done by the world at construction)."""
+        self.profiler.bind_clock(clock)
+
+    # -- metrics passthrough ---------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.registry.counter(name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.registry.gauge(name, help)
+
+    def histogram(
+        self, name: str, help: str = "", bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self.registry.histogram(name, help, bounds)
+
+    def value(self, name: str, **labels: Any) -> float:
+        return self.registry.value(name, **labels)
+
+    # -- spans -----------------------------------------------------------------
+
+    def span(self, name: str, track: Optional[str] = None, **args: Any):
+        """Time a region: ``with obs.span("rma.put", rank=r): ...``"""
+        return self.profiler.span(name, track=track, **args)
+
+    @property
+    def spans(self):
+        return self.profiler.records
+
+    # -- export ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of every metric family."""
+        return self.registry.snapshot()
+
+    def chrome_trace(self, tracer=None, metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        return chrome_trace(self.profiler.records, tracer, metadata)
+
+    def write_chrome_trace(self, path: str, tracer=None, metadata: Optional[Dict[str, Any]] = None) -> int:
+        return write_chrome_trace(path, self.profiler.records, tracer, metadata)
+
+    def dashboard(self, title: str = "Observability dashboard") -> str:
+        return render_dashboard(self.registry, title)
+
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SpanProfiler",
+    "SpanRecord",
+    "size_class",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+    "events_jsonl",
+    "render_dashboard",
+    "dashboard_tables",
+]

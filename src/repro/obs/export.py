@@ -1,0 +1,248 @@
+"""Exporters: Chrome trace-event JSON, JSONL, and the text dashboard.
+
+The Chrome trace output follows the Trace Event Format and loads
+directly in ``chrome://tracing`` or Perfetto (https://ui.perfetto.dev):
+spans become complete (``"ph": "X"``) events on one timeline per
+track, tracer records become instant (``"ph": "i"``) events, and
+metadata events name the timelines.  All timestamps are virtual time
+in microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import Tracer
+
+#: path kinds always reported in the RMA dashboard, even when unused
+RMA_PATH_KINDS = ("conduit", "ipc", "p2p", "local")
+
+
+def _track_order(track: str) -> tuple:
+    """Sort ranks numerically, then everything else alphabetically."""
+    if track.startswith("rank") and track[4:].isdigit():
+        return (0, int(track[4:]), track)
+    return (1, 0, track)
+
+
+def chrome_trace_events(
+    spans: Optional[Sequence[SpanRecord]] = None,
+    tracer: Optional["Tracer"] = None,
+    pid: int = 0,
+) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list for the given spans and trace records."""
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    tracks = sorted({s.track for s in spans or ()}, key=_track_order)
+    if tracer is not None and len(tracer):
+        tracks.append("events")
+    for tid, track in enumerate(tracks):
+        tids[track] = tid
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in spans or ():
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category,
+                "pid": pid,
+                "tid": tids[span.track],
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "args": {k: str(v) for k, v in span.args.items()},
+            }
+        )
+    if tracer is not None:
+        tid = tids.get("events", 0)
+        for rec in tracer:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": f"{rec.category}.{rec.name}",
+                    "cat": rec.category,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": rec.time * 1e6,
+                    "args": {k: str(v) for k, v in rec.payload.items()},
+                }
+            )
+    return events
+
+
+def chrome_trace(
+    spans: Optional[Sequence[SpanRecord]] = None,
+    tracer: Optional["Tracer"] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A complete JSON-object-format Chrome trace document."""
+    doc: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(spans, tracer),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = {k: str(v) for k, v in metadata.items()}
+    return doc
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Optional[Sequence[SpanRecord]] = None,
+    tracer: Optional["Tracer"] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write the trace document to ``path``; returns the event count."""
+    doc = chrome_trace(spans, tracer, metadata)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
+def events_jsonl(tracer: "Tracer") -> str:
+    """Tracer records as one JSON object per line."""
+    lines = [
+        json.dumps(
+            {
+                "time": rec.time,
+                "category": rec.category,
+                "name": rec.name,
+                "payload": {k: str(v) for k, v in rec.payload.items()},
+            }
+        )
+        for rec in tracer
+    ]
+    return "\n".join(lines)
+
+
+def write_metrics_snapshot(path: str, registry: MetricsRegistry, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Write ``registry.snapshot()`` (plus ``extra`` keys) as JSON."""
+    doc = dict(extra or {})
+    doc["metrics"] = registry.snapshot()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Text dashboard
+# ---------------------------------------------------------------------------
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def _ranks_of(metric) -> List[str]:
+    ranks = set()
+    for key in metric.label_keys():
+        for k, v in key:
+            if k == "rank":
+                ranks.add(v)
+    return sorted(ranks, key=lambda r: (not r.isdigit(), int(r) if r.isdigit() else 0, r))
+
+
+def dashboard_tables(registry: MetricsRegistry):
+    """The dashboard as a list of :class:`repro.bench.report.Table`.
+
+    Opinionated views first (RMA paths, pointer cache, stream pools),
+    then a generic catalog of everything else in the registry.
+    """
+    # Imported lazily: repro.bench pulls in the world/apps stack, which
+    # itself imports repro.obs at world construction.
+    from repro.bench.report import Table
+
+    tables = []
+
+    if "rma.ops" in registry or "rma.bytes" in registry:
+        t = Table("RMA traffic by path", ["path", "ops", "bytes"])
+        for path in RMA_PATH_KINDS:
+            t.add_row(
+                path,
+                _fmt(registry.value("rma.ops", path=path)),
+                _fmt(registry.value("rma.bytes", path=path)),
+            )
+        tables.append(t)
+
+        ops = registry.counter("rma.ops")
+        ranks = _ranks_of(ops)
+        if ranks:
+            t = Table("RMA ops by rank", ["rank", "puts", "gets", "pointer fetches"])
+            for rank in ranks:
+                t.add_row(
+                    rank,
+                    _fmt(ops.value(op="put", rank=rank)),
+                    _fmt(ops.value(op="get", rank=rank)),
+                    _fmt(registry.value("rma.pointer_cache", event="miss", rank=rank)),
+                )
+            t.add_row(
+                "all",
+                _fmt(ops.value(op="put")),
+                _fmt(ops.value(op="get")),
+                _fmt(registry.value("rma.pointer_cache", event="miss")),
+            )
+            tables.append(t)
+
+    if "rma.pointer_cache" in registry:
+        hits = registry.value("rma.pointer_cache", event="hit")
+        misses = registry.value("rma.pointer_cache", event="miss")
+        total = hits + misses
+        t = Table("Pointer cache", ["hits", "misses", "hit rate"])
+        t.add_row(
+            _fmt(hits),
+            _fmt(misses),
+            f"{hits / total:.1%}" if total else "n/a",
+        )
+        tables.append(t)
+
+    if "streams.active" in registry:
+        gauge = registry.gauge("streams.active")
+        t = Table("Stream pools", ["device", "active", "high water"])
+        for key in gauge.label_keys():
+            labels = dict(key)
+            dev = labels.get("device", "?")
+            t.add_row(
+                dev,
+                _fmt(gauge.value(**labels)),
+                _fmt(gauge.high_water(**labels)),
+            )
+        t.add_row("all", _fmt(gauge.value()), _fmt(gauge.high_water()))
+        tables.append(t)
+
+    catalog = Table("Metric catalog", ["metric", "kind", "labels", "value"])
+    for metric in registry:
+        for entry in metric.snapshot():
+            labels = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+            if isinstance(metric, Histogram):
+                value = (
+                    f"n={entry['count']} mean={entry['mean']:.2f} "
+                    f"max={_fmt(entry['max'])}"
+                )
+            elif metric.kind == "gauge":
+                value = f"{_fmt(entry['value'])} (hw {_fmt(entry['high_water'])})"
+            else:
+                value = _fmt(entry["value"])
+            catalog.add_row(metric.name, metric.kind, labels, value)
+    tables.append(catalog)
+    return tables
+
+
+def render_dashboard(registry: MetricsRegistry, title: str = "Observability dashboard") -> str:
+    """The full dashboard as one printable string."""
+    parts = [title, "#" * len(title)]
+    parts.extend(t.render() for t in dashboard_tables(registry))
+    return "\n\n".join(parts)

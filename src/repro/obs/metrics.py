@@ -1,0 +1,301 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+Every metric is a *family* identified by name; within a family, values
+are keyed by label sets (``rank``, ``device``, ``path`` ...), mirroring
+the Prometheus data model.  Reads aggregate: ``counter.value(rank=0)``
+sums every series whose labels include ``rank=0``, so per-rank and
+cluster-wide views come from the same data.
+
+When the registry is disabled every write is a single attribute check
+and an early return — the runtime keeps its instrumentation call sites
+unconditionally and pays (almost) nothing.
+
+All label values are stringified on write, so ``rank=3`` and
+``rank="3"`` address the same series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.util.errors import ConfigurationError
+
+#: label storage: sorted ((key, value), ...) tuples
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: default histogram bucket upper bounds (counts, iterations, sizes)
+DEFAULT_BOUNDS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: message size-class labels used by the conduit instrumentation
+_SIZE_CLASSES: Tuple[Tuple[int, str], ...] = (
+    (4 * 1024, "<4KiB"),
+    (64 * 1024, "<64KiB"),
+    (1024 * 1024, "<1MiB"),
+    (4 * 1024 * 1024, "<4MiB"),
+)
+
+
+def size_class(nbytes: int) -> str:
+    """The conventional message size-class label for ``nbytes``."""
+    for bound, label in _SIZE_CLASSES:
+        if nbytes < bound:
+            return label
+    return ">=4MiB"
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _matches(key: LabelKey, query: LabelKey) -> bool:
+    """True when every (k, v) of the query appears in the series key."""
+    entries = dict(key)
+    return all(entries.get(k) == v for k, v in query)
+
+
+@dataclasses.dataclass
+class HistogramStats:
+    """Aggregate statistics of one histogram series."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    buckets: List[int] = dataclasses.field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def observe(self, value: float, bounds: Sequence[float]) -> None:
+        if not self.buckets:
+            self.buckets = [0] * (len(bounds) + 1)
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        for i, bound in enumerate(bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1  # overflow bucket
+
+
+class Metric:
+    """Base class: one named family of labeled series."""
+
+    kind = "metric"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str = "") -> None:
+        self.registry = registry
+        self.name = name
+        self.help = help
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def label_keys(self) -> List[LabelKey]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Counter(Metric):
+    """A monotonically increasing labeled counter."""
+
+    kind = "counter"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str = "") -> None:
+        super().__init__(registry, name, help)
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if not self.registry.enabled:
+            return
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name}: negative increment")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Sum over every series matching the given label subset."""
+        query = _label_key(labels)
+        return sum(v for k, v in self._series.items() if _matches(k, query))
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._series)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(k), "value": v} for k, v in sorted(self._series.items())
+        ]
+
+
+class Gauge(Metric):
+    """A labeled point-in-time value that also tracks its high-water mark."""
+
+    kind = "gauge"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str = "") -> None:
+        super().__init__(registry, name, help)
+        self._series: Dict[LabelKey, float] = {}
+        self._high: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        if not self.registry.enabled:
+            return
+        key = _label_key(labels)
+        self._series[key] = value
+        if value > self._high.get(key, float("-inf")):
+            self._high[key] = value
+
+    def add(self, delta: float, **labels: Any) -> None:
+        if not self.registry.enabled:
+            return
+        key = _label_key(labels)
+        self.set(self._series.get(key, 0.0) + delta, **labels)
+
+    def value(self, **labels: Any) -> float:
+        """Sum of current values over matching series (e.g. cluster
+        occupancy = sum of per-rank occupancies)."""
+        query = _label_key(labels)
+        return sum(v for k, v in self._series.items() if _matches(k, query))
+
+    def high_water(self, **labels: Any) -> float:
+        """Max high-water mark over matching series (0.0 when unseen)."""
+        query = _label_key(labels)
+        marks = [v for k, v in self._high.items() if _matches(k, query)]
+        return max(marks) if marks else 0.0
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._series)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(k), "value": v, "high_water": self._high[k]}
+            for k, v in sorted(self._series.items())
+        ]
+
+
+class Histogram(Metric):
+    """A labeled distribution with fixed bucket bounds."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str = "",
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(registry, name, help)
+        self.bounds: Tuple[float, ...] = tuple(bounds) if bounds else DEFAULT_BOUNDS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ConfigurationError(f"histogram {name}: bounds must be sorted")
+        self._series: Dict[LabelKey, HistogramStats] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        if not self.registry.enabled:
+            return
+        key = _label_key(labels)
+        stats = self._series.get(key)
+        if stats is None:
+            stats = self._series[key] = HistogramStats()
+        stats.observe(value, self.bounds)
+
+    def stats(self, **labels: Any) -> HistogramStats:
+        """Aggregate stats over every series matching the label subset."""
+        query = _label_key(labels)
+        merged = HistogramStats()
+        for key, s in self._series.items():
+            if not _matches(key, query):
+                continue
+            if not merged.buckets:
+                merged.buckets = [0] * len(s.buckets)
+            merged.count += s.count
+            merged.total += s.total
+            merged.minimum = min(merged.minimum, s.minimum)
+            merged.maximum = max(merged.maximum, s.maximum)
+            merged.buckets = [a + b for a, b in zip(merged.buckets, s.buckets)]
+        return merged
+
+    def count(self, **labels: Any) -> int:
+        return self.stats(**labels).count
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._series)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        out = []
+        for key, s in sorted(self._series.items()):
+            out.append(
+                {
+                    "labels": dict(key),
+                    "count": s.count,
+                    "sum": s.total,
+                    "min": s.minimum if s.count else 0.0,
+                    "max": s.maximum if s.count else 0.0,
+                    "mean": s.mean,
+                    "buckets": list(s.buckets),
+                }
+            )
+        return out
+
+
+class MetricsRegistry:
+    """One world's metric families, get-or-create by name."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, factory, kind: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif metric.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as a {metric.kind}, "
+                f"requested as a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, lambda: Counter(self, name, help), "counter")  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(self, name, help), "gauge")  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get(
+            name, lambda: Histogram(self, name, help, bounds), "histogram"
+        )  # type: ignore[return-value]
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Aggregate read of a counter/gauge family (0.0 if absent)."""
+        metric = self._metrics.get(name)
+        if metric is None or isinstance(metric, Histogram):
+            return 0.0
+        return metric.value(**labels)  # type: ignore[union-attr]
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics[name] for name in sorted(self._metrics))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable dump of every family and series."""
+        out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for metric in self:
+            entry: Dict[str, Any] = {"help": metric.help, "series": metric.snapshot()}  # type: ignore[attr-defined]
+            if isinstance(metric, Histogram):
+                entry["bounds"] = list(metric.bounds)
+            out[metric.kind + "s"][metric.name] = entry
+        return out

@@ -1,0 +1,157 @@
+"""Span profiling on the virtual clock.
+
+A :class:`SpanProfiler` records nested timed regions::
+
+    with obs.span("rma.put", rank=r):
+        ...
+
+Each span captures the virtual start/end times, its nesting depth, and
+a *track* — the timeline it renders on in a Chrome trace (per-rank by
+convention: passing ``rank=3`` selects track ``rank3``).  Nesting is
+maintained per OS thread, which in the simulator means per simulated
+task, since every task is a real thread and exactly one runs at a
+time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanRecord:
+    """One completed span on the virtual timeline."""
+
+    name: str
+    track: str
+    start: float
+    end: float
+    depth: int
+    args: Dict[str, Any]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def category(self) -> str:
+        """Dotted-name prefix ("rma.put" -> "rma")."""
+        return self.name.split(".", 1)[0]
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.start:.9f}..{self.end:.9f}] {'  ' * self.depth}{self.name} "
+            f"({self.track})"
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled profiler."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager recording one span into the profiler."""
+
+    __slots__ = ("profiler", "name", "track", "args", "start", "depth")
+
+    def __init__(self, profiler: "SpanProfiler", name: str, track: str, args: Dict[str, Any]) -> None:
+        self.profiler = profiler
+        self.name = name
+        self.track = track
+        self.args = args
+
+    def __enter__(self) -> "_ActiveSpan":
+        prof = self.profiler
+        stack = prof._stack()
+        self.depth = len(stack)
+        self.start = prof._clock()
+        stack.append(self.name)
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        prof = self.profiler
+        prof._stack().pop()
+        prof.records.append(
+            SpanRecord(
+                name=self.name,
+                track=self.track,
+                start=self.start,
+                end=prof._clock(),
+                depth=self.depth,
+                args=self.args,
+            )
+        )
+        return False
+
+
+class SpanProfiler:
+    """Collects :class:`SpanRecord` objects from ``span()`` regions."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock or (lambda: 0.0)
+        self.records: List[SpanRecord] = []
+        self._stacks: Dict[int, List[str]] = {}
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the virtual clock (done once by the world)."""
+        self._clock = clock
+
+    def _stack(self) -> List[str]:
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
+        if stack is None:
+            stack = self._stacks[ident] = []
+        return stack
+
+    def span(self, name: str, track: Optional[str] = None, **args: Any):
+        """A context manager timing one region.
+
+        ``track`` names the Chrome-trace timeline; when omitted, a
+        ``rank`` argument selects ``rank<r>``, else ``main``.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        if track is None:
+            track = f"rank{args['rank']}" if "rank" in args else "main"
+        return _ActiveSpan(self, name, track, args)
+
+    # -- queries -------------------------------------------------------------
+
+    def select(self, name: Optional[str] = None, track: Optional[str] = None) -> List[SpanRecord]:
+        return [
+            r
+            for r in self.records
+            if (name is None or r.name == name)
+            and (track is None or r.track == track)
+        ]
+
+    def count(self, name: Optional[str] = None) -> int:
+        return len(self.select(name))
+
+    def total_time(self, name: str) -> float:
+        """Summed duration of every span with the given name."""
+        return sum(r.duration for r in self.select(name))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -10,7 +10,8 @@ get performed one network operation, not two (pointer cache hit)".
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Iterator, List, Optional
+import json
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set
 
 
 @dataclasses.dataclass(frozen=True)
@@ -34,11 +35,24 @@ class Tracer:
         self._clock = clock or (lambda: 0.0)
         self.records: List[TraceRecord] = []
         #: categories to record; None means record everything
-        self.enabled_categories: Optional[set] = None
+        self.enabled_categories: Optional[Set[str]] = None
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the virtual clock (done by the runtime at init)."""
         self._clock = clock
+
+    def enable(self, *categories: str) -> "Tracer":
+        """Restrict recording to the given categories (additive across
+        calls); returns ``self`` for chaining."""
+        if self.enabled_categories is None:
+            self.enabled_categories = set()
+        self.enabled_categories.update(categories)
+        return self
+
+    def enable_all(self) -> "Tracer":
+        """Record every category again (the default)."""
+        self.enabled_categories = None
+        return self
 
     def emit(self, category: str, name: str, **payload: Any) -> None:
         """Record one event at the current virtual time."""
@@ -68,6 +82,21 @@ class Tracer:
         if not matches:
             raise LookupError(f"no trace records for {category}/{name}")
         return matches[-1]
+
+    def to_jsonl(self) -> str:
+        """Every record as one JSON object per line (payload values are
+        stringified; they may hold arbitrary objects)."""
+        return "\n".join(
+            json.dumps(
+                {
+                    "time": r.time,
+                    "category": r.category,
+                    "name": r.name,
+                    "payload": {k: str(v) for k, v in r.payload.items()},
+                }
+            )
+            for r in self.records
+        )
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)

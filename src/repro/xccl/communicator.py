@@ -69,6 +69,17 @@ class XcclContext:
         self.world = world
         self.params = params
         self._comms: Dict[UniqueId, _CommState] = {}
+        # -- metrics (device-slot collective launches; repro.obs) --
+        obs = getattr(world, "obs", None)
+        if obs is not None:
+            self._m_launches = obs.counter(
+                "xccl.launches", "device-slot collective launches by op"
+            )
+            self._m_wire = obs.counter(
+                "xccl.wire_bytes", "modeled per-rank ring wire bytes by op"
+            )
+        else:
+            self._m_launches = self._m_wire = None
 
     def _state(self, uid: UniqueId, ndev: int) -> _CommState:
         state = self._comms.get(uid)
@@ -197,6 +208,13 @@ class XcclComm:
         pending.arrivals[self.dev_rank] = arrival
         fut = Future(sim, description=f"xccl:{op}#{seq}")
         pending.futures[self.dev_rank] = fut
+        if self.ctx._m_launches is not None:
+            self.ctx._m_launches.inc(
+                op=op, library=self.ctx.params.name, ndev=state.ndev
+            )
+            self.ctx._m_wire.inc(
+                self._wire_bytes(op, nbytes), op=op, library=self.ctx.params.name
+            )
         if len(pending.arrivals) == state.ndev:
             del state.pending[seq]
             duration = self._model_time(op, nbytes)
