@@ -32,6 +32,7 @@ __all__ = [
     "cluster",
     "core",
     "device",
+    "faults",
     "gasnet",
     "gpi2",
     "hardware",

@@ -14,7 +14,7 @@ multi-GPU model.
 """
 
 from repro.cluster.world import World, RankContext
-from repro.cluster.spmd import run_spmd, SpmdResult
+from repro.cluster.spmd import run_spmd, SpmdConfig, SpmdResult
 from repro.cluster.memref import MemRef
 
-__all__ = ["World", "RankContext", "run_spmd", "SpmdResult", "MemRef"]
+__all__ = ["World", "RankContext", "run_spmd", "SpmdConfig", "SpmdResult", "MemRef"]

@@ -15,6 +15,15 @@ from repro.cluster.world import RankContext, World
 
 
 @dataclasses.dataclass
+class SpmdConfig:
+    """Per-run knobs orthogonal to the world's hardware shape."""
+
+    #: fault-injection plan installed on the world before launch
+    #: (:class:`~repro.faults.FaultPlan`); None = perfect hardware
+    faults: Optional[Any] = None
+
+
+@dataclasses.dataclass
 class SpmdResult:
     """Outcome of one SPMD run."""
 
@@ -33,6 +42,7 @@ def run_spmd(
     program: Callable[..., Any],
     *args: Any,
     name: str = "rank",
+    config: Optional[SpmdConfig] = None,
 ) -> SpmdResult:
     """Run ``program(ctx, *args)`` on every rank of ``world``.
 
@@ -40,6 +50,8 @@ def run_spmd(
     in any rank aborts the run and propagates to the caller.  The world
     is single-use (its simulator cannot restart).
     """
+    if config is not None and config.faults is not None:
+        world.install_fault_plan(config.faults)
     tasks = [
         world.sim.spawn(program, ctx, *args, name=f"{name}{ctx.rank}")
         for ctx in world.ranks

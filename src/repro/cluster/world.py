@@ -76,6 +76,7 @@ class World:
         devices_per_rank: int = 1,
         tracer: Optional[Tracer] = None,
         obs: Optional[Observability] = None,
+        faults=None,
     ) -> None:
         if devices_per_rank <= 0:
             raise ConfigurationError("devices_per_rank must be positive")
@@ -120,6 +121,23 @@ class World:
                 self.ranks.append(RankContext(self, len(self.ranks), node, bound))
         #: world-wide rendezvous used by runtimes for init/teardown
         self.global_barrier = Barrier(self.sim, len(self.ranks), name="world-barrier")
+        #: the installed FaultPlan, or None (perfect hardware)
+        self.fault_plan = None
+        if faults is not None:
+            self.install_fault_plan(faults)
+
+    def install_fault_plan(self, plan) -> None:
+        """Arm a :class:`~repro.faults.FaultPlan` on every injection
+        site: the fabric transfer path (which covers both conduits and
+        intra-node RMA) and device stream synchronization.  Conduits
+        check ``world.fault_plan`` at issue time to switch their
+        retry/backoff recovery on."""
+        plan.bind(self.obs)
+        self.fault_plan = plan
+        self.fabric.faults = plan
+        for dev in self.devices.values():
+            dev.faults = plan
+            dev.default_stream.faults = plan
 
     @property
     def nranks(self) -> int:

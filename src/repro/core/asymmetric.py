@@ -76,6 +76,8 @@ class AsymmetricBuffer:
         return MemRef.device(self.data, offset=offset, nbytes=nbytes)
 
     def typed(self, dtype, count: int = -1, offset: int = 0):
+        if self.freed:
+            raise AllocationError("use of a freed AsymmetricBuffer")
         if self.data is None:
             raise AllocationError(f"rank {self.rank} allocated zero bytes here")
         return self.data.as_array(dtype, count=count, offset=offset)

@@ -28,8 +28,9 @@ import numpy as np
 from repro.cluster.memref import MemRef
 from repro.core.asymmetric import AsymmetricBuffer
 from repro.core.globalmem import GlobalBuffer, HostGlobalBuffer
+from repro.faults import RetryingOp
 from repro.hardware.topology import PathKind
-from repro.util.errors import CommunicationError
+from repro.util.errors import CommunicationError, FatalError
 
 #: put/get targets: symmetric device buffer, host buffer, asymmetric
 #: buffer, or raw address
@@ -47,6 +48,16 @@ class _FutureEvent:
 
     def wait(self):
         return self._future.wait()
+
+    @property
+    def failure(self):
+        """Terminal error of a failed operation (None if OK/pending)."""
+        return getattr(self._future, "error", None)
+
+    @property
+    def eta(self):
+        """Expected completion time (hybrid-polling hint)."""
+        return getattr(self._future, "eta", None)
 
 
 class DiompRma:
@@ -152,6 +163,15 @@ class DiompRma:
             raise CommunicationError(
                 f"RMA range [{offset}, +{nbytes}) exceeds rank {target_rank}'s "
                 f"asymmetric block of {target.size_on(target_rank)} bytes"
+            )
+        if target.data_addresses[target_rank] == 0:
+            # A NULL second-level pointer: the target rank allocated
+            # zero bytes, so there is no data block to address.  (The
+            # size check above already rejects nbytes > 0 here, but a
+            # zero-byte RMA must not fabricate address 0 + offset.)
+            raise CommunicationError(
+                f"rank {target_rank} holds no data block for asymmetric "
+                f"buffer {target.handle_id} (second-level pointer is NULL)"
             )
         cache = self.diomp.pointer_cache
         data_addr = cache.lookup(target.handle_id, target_rank)
@@ -274,15 +294,32 @@ class DiompRma:
             src_ref, dst_ref = local, remote
         else:
             src_ref, dst_ref = remote, local
-        fut = world.fabric.transfer(
-            src_ref.endpoint,
-            dst_ref.endpoint,
-            local.nbytes,
-            operation=op,
-            gpu_memory=True,
-            on_complete=lambda: dst_ref.copy_from(src_ref),
-            extra_latency=params.ipc_op_overhead,
-        )
+
+        def issue():
+            return world.fabric.transfer(
+                src_ref.endpoint,
+                dst_ref.endpoint,
+                local.nbytes,
+                operation=op,
+                gpu_memory=True,
+                on_complete=lambda: dst_ref.copy_from(src_ref),
+                extra_latency=params.ipc_op_overhead,
+                fault_site="rma.intra",
+                initiator=diomp.rank,
+            )
+
+        plan = getattr(world, "fault_plan", None)
+        if plan is None:
+            fut = issue()
+        else:
+            fut = RetryingOp(
+                world.sim,
+                issue,
+                diomp.runtime.conduit.params.retry,
+                obs=diomp.runtime.obs,
+                labels=dict(conduit="intra", op=op, rank=diomp.rank),
+                description=f"intra-{op}-r{diomp.rank}",
+            ).future
         # The transfer occupies a pooled stream (the device DMA engine)
         # for its unloaded duration; the fence drains both.
         pool = diomp.pool_for_endpoint(local.endpoint)
@@ -302,6 +339,12 @@ class DiompRma:
         targeting the group's members are completed (the paper's
         group-scoped fence, §3.3); operations to other ranks remain in
         flight.  Returns the number of hybrid-poll iterations.
+
+        All of this rank's stream pools are drained, not just
+        ``device_num``'s: intra-node RMA enqueues onto the pool of the
+        local endpoint's device, which may differ from the fence's
+        device.  Operations whose recovery was exhausted surface here
+        as :class:`~repro.util.errors.FatalError`.
         """
         if group is None:
             events, self._outstanding = self._outstanding, []
@@ -319,6 +362,22 @@ class DiompRma:
         pool = self.diomp.stream_pool(device_num)
         with self._obs.span("rma.fence", rank=self.diomp.rank, events=len(events)):
             iterations = pool.hybrid_fence([ev for _rank, ev in events])
+            for other_num, other_pool in self.diomp.stream_pools().items():
+                if other_num != device_num:
+                    iterations += other_pool.hybrid_fence([])
+        failed = [
+            (rank, ev.failure)
+            for rank, ev in events
+            if getattr(ev, "failure", None) is not None
+        ]
+        if failed:
+            rank, first = failed[0]
+            error = FatalError(
+                f"ompx_fence: {len(failed)} unrecoverable operation(s); "
+                f"first targeted rank {rank}: {first}"
+            )
+            error.__cause__ = first
+            raise error
         self._m_fence.observe(iterations, rank=self.diomp.rank)
         return iterations
 

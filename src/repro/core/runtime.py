@@ -291,6 +291,15 @@ class Diomp:
                 return self.stream_pool(device_num)
         return self.stream_pool(0)
 
+    def stream_pools(self) -> Dict[int, StreamPool]:
+        """Every pool this rank has materialized (device_num -> pool).
+
+        The fence must drain all of them: intra-node RMA enqueues onto
+        the pool of the *local endpoint's* device, which need not be
+        the device the fence was called for.
+        """
+        return dict(self._pools)
+
     # -- symmetric allocation (collective) ----------------------------------------
 
     def alloc(

@@ -66,6 +66,7 @@ class StreamPool:
         # -- statistics inspected by tests and the ablation bench --
         self.created = 0
         self.reused = 0
+        self.destroyed = 0
         self.partial_syncs = 0
         self.poll_iterations = 0
         # -- metrics (see repro.obs; high-water mark via the gauge) --
@@ -100,28 +101,56 @@ class StreamPool:
 
         Order of preference: reuse an idle stream → lazily create below
         the bound → partial-synchronize and reuse.
+
+        With ``reuse=False`` (the ablation) no stream is ever handed
+        out twice: drained streams are destroyed and a fresh one is
+        created in their place, including on the post-partial-sync
+        path — so ``reused`` stays 0 and the ablation really measures
+        creation cost.
         """
         self._reclaim_idle()
+        if not self.params.reuse:
+            self._destroy_idle()
         if self.params.reuse and self._idle:
             stream = self._idle.pop()
             self._busy.append(stream)
             self.reused += 1
             return stream
         if self.active_count < self.params.max_active_streams:
-            stream = self.device.create_stream()
-            self._busy.append(stream)
-            self.created += 1
-            self._track_active()
-            if self.tracer is not None:
-                self.tracer.emit("streams", "create", device=str(self.device.device_id))
-            return stream
+            return self._create_busy()
         self._partial_synchronize()
         if not self._idle:  # pragma: no cover - partial sync always frees ≥1
             raise ConfigurationError("partial synchronization freed no stream")
+        if not self.params.reuse:
+            self._destroy_idle()
+            return self._create_busy()
         stream = self._idle.pop()
         self._busy.append(stream)
         self.reused += 1
         return stream
+
+    def _create_busy(self) -> Stream:
+        stream = self.device.create_stream()
+        self._busy.append(stream)
+        self.created += 1
+        self._track_active()
+        if self.tracer is not None:
+            self.tracer.emit("streams", "create", device=str(self.device.device_id))
+        return stream
+
+    def _destroy_idle(self) -> None:
+        """Reuse-disabled teardown: a drained stream is never handed
+        out again."""
+        for stream in self._idle:
+            stream.destroy()
+            self.destroyed += 1
+        if self._idle:
+            self._idle = []
+            self._track_active()
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "streams", "destroy", device=str(self.device.device_id)
+                )
 
     def _reclaim_idle(self) -> None:
         """Move streams whose work has drained back to the idle list."""
@@ -145,6 +174,7 @@ class StreamPool:
         for stream in to_sync:
             stream.synchronize()
             self._idle.append(stream)
+        self._track_active()
 
     def synchronize_all(self) -> None:
         """Drain every stream (full fence)."""
@@ -153,6 +183,9 @@ class StreamPool:
             stream.synchronize()
         self._idle.extend(self._busy)
         self._busy = []
+        if not self.params.reuse:
+            self._destroy_idle()
+        self._track_active()
 
     # -- hybrid event polling ---------------------------------------------------
 
@@ -163,9 +196,17 @@ class StreamPool:
         and device stream completions together: each pass tests
         everything that is still pending, then blocks on the *earliest*
         remaining completion rather than serializing on issue order.
+        Network events advertise their expected completion via an
+        ``eta`` attribute (set by the fabric); events without one sort
+        last, which degrades to issue order when no ETA is known.
         Returns the number of poll iterations (traced for the ablation
         bench).
         """
+
+        def event_eta(event: object) -> float:
+            eta = getattr(event, "eta", None)
+            return float("inf") if eta is None else eta
+
         pending_events = [e for e in network_events if not e.test()]
         self._reclaim_idle()
         iterations = 0
@@ -181,14 +222,17 @@ class StreamPool:
             next_stream = min(
                 (s for s in self._busy), key=lambda s: s.available_at, default=None
             )
+            next_event = min(pending_events, key=event_eta, default=None)
             if next_stream is not None and (
-                not pending_events
+                next_event is None
+                or next_stream.available_at <= event_eta(next_event)
                 or next_stream.available_at <= self.sim.now
             ):
                 next_stream.synchronize()
-            elif pending_events:
-                pending_events[0].wait()
-                pending_events = pending_events[1:]
+            elif next_event is not None:
+                next_event.wait()
+                pending_events.remove(next_event)
+        self._track_active()
         if self._h_fence is not None:
             self._h_fence.observe(iterations, device=self.device.device_id)
         if self.tracer is not None:

@@ -40,6 +40,8 @@ class Device:
         self.tracer = tracer
         self.memory = DeviceMemorySpace(spec.memory_bytes, device_name=str(device_id))
         self.memory.device_id = device_id
+        #: fault plan threaded into every stream (see World.install_fault_plan)
+        self.faults = None
         self.default_stream = Stream(sim, device_name=str(device_id))
         self.kernels_launched = 0
 
@@ -62,7 +64,7 @@ class Device:
     # -- streams and events -------------------------------------------------
 
     def create_stream(self) -> Stream:
-        return Stream(self.sim, device_name=str(self.device_id))
+        return Stream(self.sim, device_name=str(self.device_id), faults=self.faults)
 
     def create_event(self, name: str = "event") -> DeviceEvent:
         return DeviceEvent(self.sim, name=name)

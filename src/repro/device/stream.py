@@ -28,7 +28,7 @@ _stream_ids = itertools.count()
 class Stream:
     """An in-order device work queue."""
 
-    def __init__(self, sim: Simulator, device_name: str = "dev") -> None:
+    def __init__(self, sim: Simulator, device_name: str = "dev", faults=None) -> None:
         self.sim = sim
         self.device_name = device_name
         self.stream_id = next(_stream_ids)
@@ -36,6 +36,8 @@ class Stream:
         self.available_at = 0.0
         self.ops_enqueued = 0
         self.destroyed = False
+        #: fault plan consulted at the ``stream.sync`` site (or None)
+        self.faults = faults
         self._last_completion: Optional[Future] = None
 
     def enqueue(
@@ -74,7 +76,18 @@ class Stream:
         return self.available_at <= self.sim.now
 
     def synchronize(self) -> None:
-        """Block the calling task until the stream drains."""
+        """Block the calling task until the stream drains.
+
+        With a fault plan installed, a ``stream.sync`` draw can inject
+        extra latency here (a jittery driver-level sync, the paper's
+        motivation for hybrid polling over eager synchronization).
+        """
+        if self.faults is not None:
+            action = self.faults.draw(
+                "stream.sync", op=self.device_name
+            )
+            if action is not None and action.latency > 0:
+                self.sim.sleep(action.latency)
         if self._last_completion is not None and not self._last_completion.fired:
             self._last_completion.wait()
         elif self.available_at > self.sim.now:

@@ -1,0 +1,39 @@
+"""Fault injection and recovery.
+
+Two halves:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a deterministic,
+  seedable set of injectors (keyed on site / rank / op / nth
+  occurrence) consulted by the fabric transfer path, both conduits,
+  and device stream synchronization,
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` /
+  :class:`RetryingOp`: exponential-backoff retry with per-attempt
+  timeouts on the virtual clock, used by the GASNet-EX and GPI-2
+  conduits and the intra-node RMA path.
+
+Install a plan with ``World(..., faults=plan)``,
+``world.install_fault_plan(plan)``, or
+``run_spmd(..., config=SpmdConfig(faults=plan))``.  Injections,
+retries, backoff time, timeouts and give-ups all land in the
+:mod:`repro.obs` metrics registry (``faults.*`` / ``conduit.*``).
+See ``docs/FAULTS.md``.
+"""
+
+from repro.faults.plan import (
+    FAILURE_KINDS,
+    FAULT_KINDS,
+    FaultAction,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.retry import RetryingOp, RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAILURE_KINDS",
+    "FaultAction",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "RetryingOp",
+]

@@ -1,0 +1,297 @@
+"""Deterministic, seedable fault injection.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` injectors plus one
+seeded RNG.  Runtime layers that host an *injection site* (the fabric
+transfer path, both conduits, device stream synchronization) consult
+the plan with ``plan.draw(site, rank=..., op=...)`` and apply the
+returned :class:`FaultAction`, if any.
+
+Sites are dotted names; a spec matches a site exactly or by dotted
+prefix (``site="conduit"`` matches ``conduit.put`` and ``conduit.get``;
+``site="*"`` matches everything).  The built-in sites:
+
+========================  =====================================================
+``conduit.put``           one-sided put issued by either conduit
+``conduit.get``           one-sided get issued by either conduit
+``conduit.am``            active-message request/reply legs
+``conduit.notify``        GPI-2 notification posts
+``rma.intra``             intra-node IPC / GPUDirect-P2P transfers
+``fabric.transfer``       any transfer with no more specific site (MPI, XCCL)
+``stream.sync``           device stream synchronization
+``rank.stall``            drawn at conduit issue time; stalls the initiator
+========================  =====================================================
+
+Fault kinds:
+
+* ``latency``   — extra latency before the transfer starts,
+* ``late``      — the completion event is delayed past the data arrival,
+* ``transient`` — the transfer fails with
+  :class:`~repro.util.errors.TransientError` (retryable); with
+  ``fatal=True`` it fails with :class:`~repro.util.errors.FatalError`
+  (not retried),
+* ``drop``      — the transfer is lost entirely: no data, no completion
+  event (rescued only by a retry policy with ``op_timeout`` set),
+* ``stall``     — the initiating rank sleeps before issuing.
+
+Determinism: occurrence counters and the RNG are advanced in simulated
+program order, which the simulator makes deterministic, so the same
+(plan, seed, program) triple always injects the same faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import US
+
+#: valid FaultSpec.kind values
+FAULT_KINDS: Tuple[str, ...] = ("latency", "late", "transient", "drop", "stall")
+
+#: kinds that require a positive latency
+_LATENCY_KINDS = ("latency", "late", "stall")
+
+#: kinds that make a transfer fail or disappear
+FAILURE_KINDS: Tuple[str, ...] = ("transient", "drop")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One injector: where, what, and how often to inject."""
+
+    #: site to inject at, matched exactly or by dotted prefix ("*" = any)
+    site: str
+    #: fault kind (see FAULT_KINDS)
+    kind: str = "transient"
+    #: restrict to one initiator rank (None = any rank)
+    rank: Optional[int] = None
+    #: restrict to one operation, e.g. "put" | "get" (None = any op)
+    op: Optional[str] = None
+    #: inject only on the nth matching occurrence (1-based; None = all)
+    nth: Optional[int] = None
+    #: injection probability per matching occurrence
+    probability: float = 1.0
+    #: injected delay for latency/late/stall kinds (virtual seconds)
+    latency: float = 0.0
+    #: stop injecting after this many injections (None = unlimited)
+    max_injections: Optional[int] = None
+    #: transient kind only: fail with FatalError instead (never retried)
+    fatal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r} (one of {FAULT_KINDS})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.latency < 0:
+            raise ConfigurationError(f"negative fault latency: {self.latency}")
+        if self.kind in _LATENCY_KINDS and self.latency <= 0:
+            raise ConfigurationError(
+                f"{self.kind!r} faults need a positive latency"
+            )
+        if self.nth is not None and self.nth < 1:
+            raise ConfigurationError(f"nth must be >= 1, got {self.nth}")
+        if self.max_injections is not None and self.max_injections < 1:
+            raise ConfigurationError(
+                f"max_injections must be >= 1, got {self.max_injections}"
+            )
+
+    def matches(self, site: str, rank: Optional[int], op: Optional[str]) -> bool:
+        """Does this injector apply to one occurrence at ``site``?"""
+        if self.site != "*" and site != self.site and not site.startswith(
+            self.site + "."
+        ):
+            return False
+        if self.rank is not None and rank != self.rank:
+            return False
+        if self.op is not None and op != self.op:
+            return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultAction:
+    """What an injection site must do, as decided by the plan."""
+
+    kind: str
+    latency: float
+    fatal: bool
+    site: str
+
+    @property
+    def is_failure(self) -> bool:
+        return self.kind in FAILURE_KINDS
+
+
+class FaultPlan:
+    """A set of injectors plus deterministic per-spec bookkeeping.
+
+    The plan is stateful (occurrence and injection counters, the RNG)
+    and therefore single-use per run, like the simulator itself.
+    Install it on a world with
+    :meth:`~repro.cluster.world.World.install_fault_plan` (or pass it
+    via :class:`~repro.cluster.spmd.SpmdConfig`).
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigurationError(
+                    f"FaultPlan takes FaultSpec entries, got {type(spec).__name__}"
+                )
+        self.seed = seed
+        self._rng = random.Random(seed)
+        #: per-spec count of matching occurrences (for nth semantics)
+        self._matches: Dict[int, int] = {}
+        #: per-spec count of actual injections
+        self._injections: Dict[int, int] = {}
+        #: total injections across all specs
+        self.injected = 0
+        self._m_injected = None
+        self._m_delay = None
+
+    # -- observability ---------------------------------------------------------
+
+    def bind(self, obs) -> "FaultPlan":
+        """Attach the world's observability layer (done at install)."""
+        if obs is not None and getattr(obs, "enabled", False):
+            self._m_injected = obs.counter(
+                "faults.injected", "injected faults by site/kind/op/rank"
+            )
+            self._m_delay = obs.counter(
+                "faults.delay_seconds", "injected delay by site/kind"
+            )
+        return self
+
+    # -- the injection decision -----------------------------------------------
+
+    def draw(
+        self, site: str, rank: Optional[int] = None, op: Optional[str] = None
+    ) -> Optional[FaultAction]:
+        """Decide whether this occurrence is faulted.
+
+        The first matching spec that passes its nth / budget /
+        probability gates wins.  Occurrence counters advance for every
+        matching spec regardless, so ``nth`` means "nth matching call",
+        not "nth injection attempt".
+        """
+        for index, spec in enumerate(self.specs):
+            if not spec.matches(site, rank, op):
+                continue
+            n = self._matches.get(index, 0) + 1
+            self._matches[index] = n
+            if spec.nth is not None and n != spec.nth:
+                continue
+            if (
+                spec.max_injections is not None
+                and self._injections.get(index, 0) >= spec.max_injections
+            ):
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            self._injections[index] = self._injections.get(index, 0) + 1
+            self.injected += 1
+            if self._m_injected is not None:
+                labels: Dict[str, Any] = {"site": site, "kind": spec.kind}
+                if op is not None:
+                    labels["op"] = op
+                if rank is not None:
+                    labels["rank"] = rank
+                self._m_injected.inc(**labels)
+                if spec.latency > 0 and self._m_delay is not None:
+                    self._m_delay.inc(spec.latency, site=site, kind=spec.kind)
+            return FaultAction(
+                kind=spec.kind, latency=spec.latency, fatal=spec.fatal, site=site
+            )
+        return None
+
+    # -- inspection -------------------------------------------------------------
+
+    def injections_of(self, index: int) -> int:
+        """How often spec ``index`` has injected so far."""
+        return self._injections.get(index, 0)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Per-spec bookkeeping for tests and reports."""
+        return [
+            {
+                "site": spec.site,
+                "kind": spec.kind,
+                "matches": self._matches.get(i, 0),
+                "injections": self._injections.get(i, 0),
+            }
+            for i, spec in enumerate(self.specs)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultPlan specs={len(self.specs)} seed={self.seed} "
+            f"injected={self.injected}>"
+        )
+
+    # -- canned plans ------------------------------------------------------------
+
+    @classmethod
+    def transient_per_op(
+        cls,
+        sites: Sequence[str] = ("conduit.put", "conduit.get", "conduit.am"),
+        seed: int = 0,
+        nth: int = 1,
+    ) -> "FaultPlan":
+        """One transient failure on the ``nth`` occurrence of each
+        conduit op class — the canonical retry-to-success plan."""
+        return cls(
+            [FaultSpec(site=site, kind="transient", nth=nth) for site in sites],
+            seed=seed,
+        )
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        failure_probability: float = 0.05,
+        latency_probability: float = 0.10,
+        latency: float = 25.0 * US,
+        sites: Sequence[str] = ("conduit.put", "conduit.get", "rma.intra"),
+        max_failures: Optional[int] = 8,
+    ) -> "FaultPlan":
+        """A randomized-but-seeded mixed plan for chaos suites:
+        transient failures and latency spikes on the data-moving sites
+        plus latency spikes on stream synchronization."""
+        specs: List[FaultSpec] = []
+        for site in sites:
+            specs.append(
+                FaultSpec(
+                    site=site,
+                    kind="transient",
+                    probability=failure_probability,
+                    max_injections=max_failures,
+                )
+            )
+            specs.append(
+                FaultSpec(
+                    site=site,
+                    kind="latency",
+                    probability=latency_probability,
+                    latency=latency,
+                )
+            )
+        specs.append(
+            FaultSpec(
+                site="stream.sync",
+                kind="latency",
+                probability=latency_probability,
+                latency=latency,
+            )
+        )
+        return cls(specs, seed=seed)

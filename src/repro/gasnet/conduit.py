@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.memref import MemRef
 from repro.cluster.world import World
+from repro.faults import RetryingOp, RetryPolicy
 from repro.network.fabric import TransferRecord
 from repro.obs import size_class
 from repro.sim import Future
@@ -55,6 +56,8 @@ class GasnetParams:
     #: messages at/above this size stripe across all node NICs
     #: (GASNet-EX multirail support on multi-NIC nodes)
     multirail_threshold: int = 4 * MiB
+    #: recovery policy applied when a fault plan is installed
+    retry: RetryPolicy = dataclasses.field(default_factory=RetryPolicy)
 
     def bw_efficiency(self, nbytes: int) -> float:
         if nbytes >= self.pipeline_threshold:
@@ -72,12 +75,31 @@ class GasnetEvent:
         self._future = future
 
     def test(self) -> bool:
-        """Non-blocking completion probe."""
+        """Non-blocking completion probe.
+
+        True once the operation reached a terminal state — including
+        terminal *failure* (retries exhausted); check :attr:`failure`.
+        """
         return self._future.poll()
 
     def wait(self) -> TransferRecord:
-        """Block the calling task until the operation completes."""
+        """Block the calling task until the operation completes.
+
+        Raises the operation's :class:`~repro.util.errors.FatalError`
+        if recovery was exhausted.
+        """
         return self._future.wait()
+
+    @property
+    def failure(self) -> Optional[BaseException]:
+        """The terminal error, if the operation failed unrecoverably."""
+        return self._future.error
+
+    @property
+    def eta(self) -> Optional[float]:
+        """Expected completion time of the current attempt (hybrid
+        polling hint; None when unknown)."""
+        return getattr(self._future, "eta", None)
 
     @property
     def record(self) -> Optional[TransferRecord]:
@@ -240,26 +262,59 @@ class GasnetClient:
 
     # -- one-sided RMA -------------------------------------------------------
 
+    def _launch(self, issue: Callable[[], Future], op: str) -> Future:
+        """Issue one operation, with recovery when a fault plan is on.
+
+        Without a plan the attempt future is returned as-is (the
+        fault-free hot path is unchanged).  With one, the initiating
+        rank first draws the ``rank.stall`` site (we are in task
+        context here, so a stall really blocks the issuing rank), then
+        the attempt is driven by a :class:`~repro.faults.RetryingOp`
+        under the conduit's :class:`~repro.faults.RetryPolicy`.
+        """
+        world = self.conduit.world
+        plan = getattr(world, "fault_plan", None)
+        if plan is None:
+            return issue()
+        stall = plan.draw("rank.stall", rank=self.rank, op=op)
+        if stall is not None and stall.latency > 0:
+            world.sim.sleep(stall.latency)
+        return RetryingOp(
+            world.sim,
+            issue,
+            self.conduit.params.retry,
+            obs=getattr(world, "obs", None),
+            labels=dict(conduit="gasnet", op=op, rank=self.rank),
+            description=f"gasnet-{op}-r{self.rank}",
+        ).future
+
     def put_nb(self, dst_rank: int, dst_address: int, src: MemRef) -> GasnetEvent:
         """Non-blocking one-sided put of ``src`` to a remote address."""
         dst = self._resolve_remote(dst_rank, dst_address, src.nbytes)
         params = self.conduit.params
-        nic_overhead = self.conduit.world.platform.node.nic.message_overhead
-        fut = self.conduit.world.fabric.transfer(
-            src.endpoint,
-            dst.endpoint,
-            src.nbytes,
-            operation="put",
-            gpu_memory=src.is_device or dst.is_device,
-            on_complete=lambda: dst.copy_from(src),
-            extra_latency=params.put_overhead + nic_overhead,
-            bandwidth_factor=params.bw_efficiency(src.nbytes),
-            rails=params.rails_for(
-                src.nbytes, self.conduit.world.platform.node.nics_per_node
-            ),
-            force_network=src.endpoint != dst.endpoint
-            and src.endpoint.node == dst.endpoint.node,
-        )
+        world = self.conduit.world
+        nic_overhead = world.platform.node.nic.message_overhead
+
+        def issue() -> Future:
+            return world.fabric.transfer(
+                src.endpoint,
+                dst.endpoint,
+                src.nbytes,
+                operation="put",
+                gpu_memory=src.is_device or dst.is_device,
+                on_complete=lambda: dst.copy_from(src),
+                extra_latency=params.put_overhead + nic_overhead,
+                bandwidth_factor=params.bw_efficiency(src.nbytes),
+                rails=params.rails_for(
+                    src.nbytes, world.platform.node.nics_per_node
+                ),
+                force_network=src.endpoint != dst.endpoint
+                and src.endpoint.node == dst.endpoint.node,
+                fault_site="conduit.put",
+                initiator=self.rank,
+            )
+
+        fut = self._launch(issue, "put")
         self.puts_issued += 1
         self._count_message("put", src.nbytes)
         event = GasnetEvent(fut)
@@ -270,22 +325,29 @@ class GasnetClient:
         """Non-blocking one-sided get from a remote address into ``dst``."""
         src = self._resolve_remote(src_rank, src_address, dst.nbytes)
         params = self.conduit.params
-        nic_overhead = self.conduit.world.platform.node.nic.message_overhead
-        fut = self.conduit.world.fabric.transfer(
-            src.endpoint,
-            dst.endpoint,
-            dst.nbytes,
-            operation="get",
-            gpu_memory=src.is_device or dst.is_device,
-            on_complete=lambda: dst.copy_from(src),
-            extra_latency=params.get_overhead + nic_overhead,
-            bandwidth_factor=params.bw_efficiency(dst.nbytes),
-            rails=params.rails_for(
-                dst.nbytes, self.conduit.world.platform.node.nics_per_node
-            ),
-            force_network=src.endpoint != dst.endpoint
-            and src.endpoint.node == dst.endpoint.node,
-        )
+        world = self.conduit.world
+        nic_overhead = world.platform.node.nic.message_overhead
+
+        def issue() -> Future:
+            return world.fabric.transfer(
+                src.endpoint,
+                dst.endpoint,
+                dst.nbytes,
+                operation="get",
+                gpu_memory=src.is_device or dst.is_device,
+                on_complete=lambda: dst.copy_from(src),
+                extra_latency=params.get_overhead + nic_overhead,
+                bandwidth_factor=params.bw_efficiency(dst.nbytes),
+                rails=params.rails_for(
+                    dst.nbytes, world.platform.node.nics_per_node
+                ),
+                force_network=src.endpoint != dst.endpoint
+                and src.endpoint.node == dst.endpoint.node,
+                fault_site="conduit.get",
+                initiator=self.rank,
+            )
+
+        fut = self._launch(issue, "get")
         self.gets_issued += 1
         self._count_message("get", dst.nbytes)
         event = GasnetEvent(fut)
@@ -331,33 +393,53 @@ class GasnetClient:
         dst_host = world.topology.host(world.ranks[dst_rank].node)
         self.ams_sent += 1
         self._count_message("am", payload_bytes)
-        reply_future = Future(world.sim, description=f"am-reply:{handler}")
 
-        def deliver() -> None:
-            try:
-                handler_fn = target._am_handlers[handler]
-            except KeyError:
-                raise CommunicationError(
-                    f"rank {dst_rank} has no AM handler {handler!r}"
-                ) from None
-            reply = handler_fn(self.rank, payload)
-            world.fabric.transfer(
-                dst_host,
+        def issue() -> Future:
+            # One attempt = request leg + handler + reply leg.  A
+            # failure on either leg fails the attempt; a retried
+            # attempt re-runs the handler (at-least-once semantics,
+            # like real AM-based control protocols).
+            attempt = Future(world.sim, description=f"am:{handler}->r{dst_rank}")
+
+            def propagate(fut: Future) -> None:
+                if fut.error is not None and not attempt.fired:
+                    attempt.fail(fut.error)
+
+            def deliver() -> None:
+                try:
+                    handler_fn = target._am_handlers[handler]
+                except KeyError:
+                    raise CommunicationError(
+                        f"rank {dst_rank} has no AM handler {handler!r}"
+                    ) from None
+                reply = handler_fn(self.rank, payload)
+                rep = world.fabric.transfer(
+                    dst_host,
+                    src_host,
+                    payload_bytes,
+                    operation="put",
+                    gpu_memory=False,
+                    on_complete=lambda: attempt.fire(reply),
+                    extra_latency=params.am_overhead,
+                    fault_site="conduit.am",
+                    initiator=dst_rank,
+                )
+                attempt.eta = getattr(rep, "eta", None)  # type: ignore[attr-defined]
+                rep.add_done_callback(propagate)
+
+            req = world.fabric.transfer(
                 src_host,
+                dst_host,
                 payload_bytes,
                 operation="put",
                 gpu_memory=False,
-                on_complete=lambda: reply_future.fire(reply),
+                on_complete=deliver,
                 extra_latency=params.am_overhead,
+                fault_site="conduit.am",
+                initiator=self.rank,
             )
+            attempt.eta = getattr(req, "eta", None)  # type: ignore[attr-defined]
+            req.add_done_callback(propagate)
+            return attempt
 
-        world.fabric.transfer(
-            src_host,
-            dst_host,
-            payload_bytes,
-            operation="put",
-            gpu_memory=False,
-            on_complete=deliver,
-            extra_latency=params.am_overhead,
-        )
-        return reply_future
+        return self._launch(issue, "am")

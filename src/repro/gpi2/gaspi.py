@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.memref import MemRef
 from repro.cluster.world import World
+from repro.faults import RetryingOp, RetryPolicy
 from repro.gasnet.conduit import GasnetEvent, Segment
 from repro.obs import size_class
 from repro.sim import Future
@@ -41,6 +42,8 @@ class Gpi2Params:
     num_queues: int = 8
     #: messages at/above this size stripe across all node NICs
     multirail_threshold: int = 4 * MiB
+    #: recovery policy applied when a fault plan is installed
+    retry: RetryPolicy = dataclasses.field(default_factory=RetryPolicy)
 
     def bw_efficiency(self, nbytes: int) -> float:
         if nbytes >= self.pipeline_threshold:
@@ -59,7 +62,17 @@ class Notification:
         self._future = Future(sim, description=f"notify:{notification_id}")
 
     def post(self, value: int) -> None:
+        # Idempotent: a retried notify may deliver twice; GASPI flag
+        # semantics (set, not increment) make the duplicate harmless.
+        if self._future.fired:
+            return
         self._future.fire(value)
+
+    def fail(self, error: BaseException) -> None:
+        """Surface an unrecoverable notify to waiters of this slot."""
+        if self._future.fired:
+            return
+        self._future.fail(error)
 
     def test(self) -> bool:
         return self._future.poll()
@@ -163,6 +176,25 @@ class Gpi2Client:
 
     # -- one-sided write/read ---------------------------------------------------
 
+    def _launch(self, issue: Callable[[], Future], op: str) -> Future:
+        """Issue one operation, with recovery when a fault plan is on
+        (see :meth:`repro.gasnet.conduit.GasnetClient._launch`)."""
+        world = self.conduit.world
+        plan = getattr(world, "fault_plan", None)
+        if plan is None:
+            return issue()
+        stall = plan.draw("rank.stall", rank=self.rank, op=op)
+        if stall is not None and stall.latency > 0:
+            world.sim.sleep(stall.latency)
+        return RetryingOp(
+            world.sim,
+            issue,
+            self.conduit.params.retry,
+            obs=getattr(world, "obs", None),
+            labels=dict(conduit="gpi2", op=op, rank=self.rank),
+            description=f"gaspi-{op}-r{self.rank}",
+        ).future
+
     def put_nb(
         self, dst_rank: int, dst_address: int, src: MemRef, queue: int = 0
     ) -> GasnetEvent:
@@ -170,22 +202,29 @@ class Gpi2Client:
         self._check_queue(queue)
         dst = self._resolve_remote(dst_rank, dst_address, src.nbytes)
         params = self.conduit.params
-        nic_overhead = self.conduit.world.platform.node.nic.message_overhead
-        fut = self.conduit.world.fabric.transfer(
-            src.endpoint,
-            dst.endpoint,
-            src.nbytes,
-            operation="put",
-            gpu_memory=src.is_device or dst.is_device,
-            on_complete=lambda: dst.copy_from(src),
-            extra_latency=params.write_overhead + nic_overhead,
-            bandwidth_factor=params.bw_efficiency(src.nbytes),
-            rails=params.rails_for(
-                src.nbytes, self.conduit.world.platform.node.nics_per_node
-            ),
-            force_network=src.endpoint != dst.endpoint
-            and src.endpoint.node == dst.endpoint.node,
-        )
+        world = self.conduit.world
+        nic_overhead = world.platform.node.nic.message_overhead
+
+        def issue() -> Future:
+            return world.fabric.transfer(
+                src.endpoint,
+                dst.endpoint,
+                src.nbytes,
+                operation="put",
+                gpu_memory=src.is_device or dst.is_device,
+                on_complete=lambda: dst.copy_from(src),
+                extra_latency=params.write_overhead + nic_overhead,
+                bandwidth_factor=params.bw_efficiency(src.nbytes),
+                rails=params.rails_for(
+                    src.nbytes, world.platform.node.nics_per_node
+                ),
+                force_network=src.endpoint != dst.endpoint
+                and src.endpoint.node == dst.endpoint.node,
+                fault_site="conduit.put",
+                initiator=self.rank,
+            )
+
+        fut = self._launch(issue, "put")
         self.puts_issued += 1
         self._count_message("put", src.nbytes)
         event = GasnetEvent(fut)
@@ -199,22 +238,29 @@ class Gpi2Client:
         self._check_queue(queue)
         src = self._resolve_remote(src_rank, src_address, dst.nbytes)
         params = self.conduit.params
-        nic_overhead = self.conduit.world.platform.node.nic.message_overhead
-        fut = self.conduit.world.fabric.transfer(
-            src.endpoint,
-            dst.endpoint,
-            dst.nbytes,
-            operation="get",
-            gpu_memory=src.is_device or dst.is_device,
-            on_complete=lambda: dst.copy_from(src),
-            extra_latency=params.read_overhead + nic_overhead,
-            bandwidth_factor=params.bw_efficiency(dst.nbytes),
-            rails=params.rails_for(
-                dst.nbytes, self.conduit.world.platform.node.nics_per_node
-            ),
-            force_network=src.endpoint != dst.endpoint
-            and src.endpoint.node == dst.endpoint.node,
-        )
+        world = self.conduit.world
+        nic_overhead = world.platform.node.nic.message_overhead
+
+        def issue() -> Future:
+            return world.fabric.transfer(
+                src.endpoint,
+                dst.endpoint,
+                dst.nbytes,
+                operation="get",
+                gpu_memory=src.is_device or dst.is_device,
+                on_complete=lambda: dst.copy_from(src),
+                extra_latency=params.read_overhead + nic_overhead,
+                bandwidth_factor=params.bw_efficiency(dst.nbytes),
+                rails=params.rails_for(
+                    dst.nbytes, world.platform.node.nics_per_node
+                ),
+                force_network=src.endpoint != dst.endpoint
+                and src.endpoint.node == dst.endpoint.node,
+                fault_site="conduit.get",
+                initiator=self.rank,
+            )
+
+        fut = self._launch(issue, "get")
         self.gets_issued += 1
         self._count_message("get", dst.nbytes)
         event = GasnetEvent(fut)
@@ -265,20 +311,39 @@ class Gpi2Client:
         return self._notifications[notification_id]
 
     def notify(self, dst_rank: int, notification_id: int, value: int = 1) -> None:
-        """``gaspi_notify``: post a flag on the target rank."""
+        """``gaspi_notify``: post a flag on the target rank.
+
+        Under a fault plan the notify is retried like any one-sided op
+        (``Notification.post`` is idempotent, so a duplicate delivery
+        from a rescued-then-completed attempt is harmless); exhausted
+        retries *fail the target's notification slot* so its waiter
+        observes the FatalError instead of deadlocking.
+        """
         world = self.conduit.world
         src_host = world.topology.host(world.ranks[self.rank].node)
         dst_host = world.topology.host(world.ranks[dst_rank].node)
         target = self.conduit.client(dst_rank)
-        world.fabric.transfer(
-            src_host,
-            dst_host,
-            8,
-            operation="put",
-            gpu_memory=False,
-            on_complete=lambda: target.notification(notification_id).post(value),
-            extra_latency=self.conduit.params.notify_overhead,
-        )
+
+        def issue() -> Future:
+            return world.fabric.transfer(
+                src_host,
+                dst_host,
+                8,
+                operation="put",
+                gpu_memory=False,
+                on_complete=lambda: target.notification(notification_id).post(value),
+                extra_latency=self.conduit.params.notify_overhead,
+                fault_site="conduit.notify",
+                initiator=self.rank,
+            )
+
+        fut = self._launch(issue, "notify")
+
+        def surface(done: Future) -> None:
+            if done.error is not None:
+                target.notification(notification_id).fail(done.error)
+
+        fut.add_done_callback(surface)
 
     # -- active messages (control plane parity with GasnetClient) -------------
 
@@ -296,33 +361,49 @@ class Gpi2Client:
         dst_host = world.topology.host(world.ranks[dst_rank].node)
         self.ams_sent += 1
         self._count_message("am", payload_bytes)
-        reply_future = Future(world.sim, description=f"gaspi-reply:{handler}")
 
-        def deliver() -> None:
-            try:
-                handler_fn = target._am_handlers[handler]
-            except KeyError:
-                raise CommunicationError(
-                    f"rank {dst_rank} has no AM handler {handler!r}"
-                ) from None
-            reply = handler_fn(self.rank, payload)
-            world.fabric.transfer(
-                dst_host,
+        def issue() -> Future:
+            attempt = Future(world.sim, description=f"gaspi-am:{handler}->r{dst_rank}")
+
+            def propagate(fut: Future) -> None:
+                if fut.error is not None and not attempt.fired:
+                    attempt.fail(fut.error)
+
+            def deliver() -> None:
+                try:
+                    handler_fn = target._am_handlers[handler]
+                except KeyError:
+                    raise CommunicationError(
+                        f"rank {dst_rank} has no AM handler {handler!r}"
+                    ) from None
+                reply = handler_fn(self.rank, payload)
+                rep = world.fabric.transfer(
+                    dst_host,
+                    src_host,
+                    payload_bytes,
+                    operation="put",
+                    gpu_memory=False,
+                    on_complete=lambda: attempt.fire(reply),
+                    extra_latency=params.am_overhead,
+                    fault_site="conduit.am",
+                    initiator=dst_rank,
+                )
+                attempt.eta = getattr(rep, "eta", None)  # type: ignore[attr-defined]
+                rep.add_done_callback(propagate)
+
+            req = world.fabric.transfer(
                 src_host,
+                dst_host,
                 payload_bytes,
                 operation="put",
                 gpu_memory=False,
-                on_complete=lambda: reply_future.fire(reply),
+                on_complete=deliver,
                 extra_latency=params.am_overhead,
+                fault_site="conduit.am",
+                initiator=self.rank,
             )
+            attempt.eta = getattr(req, "eta", None)  # type: ignore[attr-defined]
+            req.add_done_callback(propagate)
+            return attempt
 
-        world.fabric.transfer(
-            src_host,
-            dst_host,
-            payload_bytes,
-            operation="put",
-            gpu_memory=False,
-            on_complete=deliver,
-            extra_latency=params.am_overhead,
-        )
-        return reply_future
+        return self._launch(issue, "am")

@@ -29,7 +29,7 @@ from typing import Callable, Dict, Optional
 
 from repro.hardware.topology import ClusterTopology, DeviceId, Path
 from repro.sim import Future, Simulator, Tracer
-from repro.util.errors import CommunicationError
+from repro.util.errors import CommunicationError, FatalError, TransientError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,11 +68,15 @@ class Fabric:
         self.sim = sim
         self.topology = topology
         self.tracer = tracer
+        #: fault-injection plan consulted per transfer (installed by
+        #: World.install_fault_plan; None = perfect fabric)
+        self.faults = None
         #: per-resource earliest availability time
         self._busy_until: Dict[str, float] = {}
         #: cumulative statistics, queryable by tests/benchmarks
         self.total_transfers = 0
         self.total_bytes = 0
+        self.faults_injected = 0
 
     # -- core API -------------------------------------------------------------
 
@@ -88,6 +92,8 @@ class Fabric:
         bandwidth_factor: float = 1.0,
         rails: int = 1,
         force_network: bool = False,
+        fault_site: Optional[str] = None,
+        initiator: Optional[int] = None,
     ) -> Future:
         """Start a transfer; returns a future fired at completion.
 
@@ -98,6 +104,12 @@ class Fabric:
         ``bandwidth_factor`` their protocol efficiency (fraction of the
         physical link they sustain), without re-implementing the
         contention model.
+
+        ``fault_site``/``initiator`` key this transfer for the world's
+        :class:`~repro.faults.FaultPlan` (site defaults to
+        ``fabric.transfer``).  The returned future carries an ``eta``
+        attribute — the expected completion time — which the hybrid
+        fence uses to block on the earliest-completing event.
         """
         if nbytes < 0:
             raise CommunicationError(f"negative transfer size: {nbytes}")
@@ -105,6 +117,25 @@ class Fabric:
             raise CommunicationError(f"negative extra latency: {extra_latency}")
         if not (0.0 < bandwidth_factor <= 1.0):
             raise CommunicationError(f"bandwidth_factor must be in (0, 1]")
+        action = None
+        if self.faults is not None:
+            action = self.faults.draw(
+                fault_site or "fabric.transfer", rank=initiator, op=operation
+            )
+            if action is not None:
+                self.faults_injected += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "fabric",
+                        "fault",
+                        kind=action.kind,
+                        site=action.site,
+                        op=operation,
+                    )
+                if action.kind in ("latency", "stall"):
+                    # Stalls drawn at transfer level degrade to latency
+                    # (the initiator may not be in task context here).
+                    extra_latency += action.latency
         path = self.topology.path(
             src,
             dst,
@@ -127,6 +158,10 @@ class Fabric:
             self._busy_until[key] = end_r
             finish = max(finish, end_r)
         end = finish + path.latency
+        if action is not None and action.kind == "late":
+            # The data lands on time; only the completion event is late
+            # (no extra resource occupancy).
+            end += action.latency
         record = TransferRecord(src, dst, nbytes, operation, now, end, path)
         self.total_transfers += 1
         self.total_bytes += nbytes
@@ -142,6 +177,24 @@ class Fabric:
                 end=end,
             )
         fut = Future(self.sim, description=f"xfer {src}->{dst} {nbytes}B")
+        fut.eta = end  # type: ignore[attr-defined]
+        if action is not None and action.is_failure:
+            if action.kind == "drop":
+                # Lost entirely: no data arrival, no completion event.
+                # Only a retry policy with op_timeout can rescue this;
+                # otherwise the waiter shows up in DeadlockError.
+                return fut
+            err_cls = FatalError if action.fatal else TransientError
+            self.sim.call_later(
+                end - now,
+                lambda: fut.fail(
+                    err_cls(
+                        f"injected {operation} failure {src}->{dst} "
+                        f"({nbytes} bytes at {action.site})"
+                    )
+                ),
+            )
+            return fut
 
         def _complete() -> None:
             if on_complete is not None:

@@ -27,6 +27,11 @@ class Future:
     on the same future (all are woken); waiting on an already-fired
     future returns immediately.  Firing twice is an error — completions
     in this library are unique events.
+
+    A future may instead complete *exceptionally* via :meth:`fail`:
+    every ``wait()`` then raises the supplied error in the waiting
+    task's context (the mechanism by which injected transfer failures
+    reach the conduit retry layer and, ultimately, ``ompx_fence``).
     """
 
     def __init__(self, sim: Simulator, description: str = "future") -> None:
@@ -34,7 +39,10 @@ class Future:
         self.description = description
         self.fired = False
         self.value: Any = None
+        #: the error this future completed with (None on success)
+        self.error: Optional[BaseException] = None
         self._waiters: List[Task] = []
+        self._callbacks: List[Any] = []
 
     def fire(self, value: Any = None, delay: float = 0.0) -> None:
         """Complete the future, waking all waiters after ``delay``."""
@@ -48,13 +56,53 @@ class Future:
         waiters, self._waiters = self._waiters, []
         for task in waiters:
             self.sim._wake(task, value)
+        self._run_callbacks()
+
+    def fail(self, error: BaseException, delay: float = 0.0) -> None:
+        """Complete the future exceptionally after ``delay``.
+
+        Waiters (current and future) raise ``error`` from ``wait()``;
+        ``poll()`` reports completion so hybrid polling loops still
+        converge — callers distinguish the outcome via :attr:`error`.
+        """
+        if self.fired:
+            raise SimulationError(f"{self.description}: fired twice")
+        if delay > 0.0:
+            self.sim.call_later(delay, lambda: self.fail(error))
+            return
+        self.fired = True
+        self.error = error
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            self.sim._wake(task, None)
+        self._run_callbacks()
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(self)`` once the future completes (success or
+        failure); immediately if it already has.  Callbacks run in
+        whatever context completes the future and must not block."""
+        if self.fired:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
 
     def wait(self) -> Any:
-        """Block the calling task until fired; returns the fired value."""
-        if self.fired:
-            return self.value
-        self._waiters.append(self.sim.current_task)
-        return self.sim._block(f"wait({self.description})")
+        """Block the calling task until fired; returns the fired value.
+
+        Raises the failure error if the future completed via
+        :meth:`fail`.
+        """
+        if not self.fired:
+            self._waiters.append(self.sim.current_task)
+            self.sim._block(f"wait({self.description})")
+        if self.error is not None:
+            raise self.error
+        return self.value
 
     def poll(self) -> bool:
         """Non-blocking completion test (the building block for hybrid

@@ -45,6 +45,42 @@ class CommunicationError(ReproError):
     """
 
 
+class FaultError(CommunicationError):
+    """Base of the fault/recovery taxonomy (see :mod:`repro.faults`).
+
+    Everything the fault-injection layer produces and the retry layer
+    surfaces derives from this class, so callers can separate injected
+    degradation from ordinary misuse errors.
+    """
+
+
+class TransientError(FaultError):
+    """A recoverable communication failure.
+
+    The conduit retry layer treats these as retryable: the operation is
+    reissued with exponential backoff until it succeeds or the policy's
+    attempt budget is exhausted.
+    """
+
+
+class TimeoutError(FaultError):
+    """An operation exceeded its per-attempt timeout.
+
+    Produced by the retry layer when a completion event never arrives
+    (e.g. a dropped event injected by a fault plan).  Counts as a failed
+    attempt; retried like :class:`TransientError`.
+    """
+
+
+class FatalError(FaultError):
+    """An unrecoverable communication failure.
+
+    Raised when retries are exhausted (``__cause__`` holds the last
+    underlying error) or when a fault plan injects a non-retryable
+    failure.  Surfaced to the application at the next ``ompx_fence``.
+    """
+
+
 class ConfigurationError(ReproError):
     """Raised when a platform/cluster/runtime configuration is invalid."""
 

@@ -310,6 +310,54 @@ class TestFence:
         run_spmd(w, prog)
         assert order["sum"] == 8 * MiB
 
+    def test_fence_drains_every_device_pool(self):
+        """Regression: intra-node RMA from a non-primary device enqueues
+        onto *that* device's pool; a fence called for device 0 used to
+        drain only ``stream_pool(0)`` and return with the other pool's
+        streams still in flight."""
+        w = World(platform_a(with_quirk=False), num_nodes=1, devices_per_rank=4)
+        DiompRuntime(w)
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                return
+            slow = 5e-3
+            other = ctx.diomp.stream_pool(1)
+            other.acquire().enqueue(slow)
+            ctx.diomp.stream_pool(0).acquire().enqueue(1e-5)
+            ctx.diomp.fence()  # device_num defaults to 0
+            out["t"] = ctx.sim.now
+            out["busy"] = {
+                num: pool.active_count
+                for num, pool in ctx.diomp.stream_pools().items()
+            }
+
+        run_spmd(w, prog)
+        assert out["t"] >= 5e-3  # waited for device 1's stream too
+        assert set(out["busy"]) == {0, 1}
+
+    def test_intra_node_put_from_second_device_completed_by_fence(self):
+        """End-to-end variant: a p2p put whose source lives on device 1
+        must be fully visible after a default fence."""
+        w = World(platform_a(with_quirk=False), num_nodes=1, devices_per_rank=2)
+        DiompRuntime(w)
+        out = {}
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(64)
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                src_buf = ctx.devices[1].malloc(64)
+                src_buf.as_array(np.uint8)[:] = 7
+                ctx.diomp.put(0, g, MemRef.device(src_buf))
+                ctx.diomp.fence()
+                out["sum"] = int(g.typed(np.uint8).sum())
+            ctx.diomp.barrier()
+
+        run_spmd(w, prog)
+        assert out["sum"] == 64 * 7
+
 
 class TestAsymmetric:
     def test_differing_sizes_allocated(self):
@@ -422,6 +470,40 @@ class TestAsymmetric:
                 ctx.diomp.get(1, a, MemRef.host(ctx.node, dst))  # rank1 only has 32
 
         with pytest.raises(CommunicationError, match="asymmetric block"):
+            run_spmd(w, prog)
+
+    def test_typed_after_free_rejected(self):
+        """Use-after-free: typed views of a freed buffer must fail
+        loudly, not silently alias released memory."""
+        from repro.util.errors import AllocationError
+
+        w, rt = make(nodes=1)
+
+        def prog(ctx):
+            a = ctx.diomp.alloc_asymmetric(256)
+            ctx.diomp.barrier()
+            view = a.typed(np.uint8)  # fine before the free
+            assert view.size == 256
+            ctx.diomp.free_asymmetric(a)
+            with pytest.raises(AllocationError, match="freed"):
+                a.typed(np.uint8)
+
+        run_spmd(w, prog)
+
+    def test_rma_to_null_second_level_pointer_rejected(self):
+        """A rank that allocated zero bytes publishes a NULL data
+        pointer; even a zero-byte RMA to it must be rejected instead of
+        fabricating address 0 + offset."""
+        w, rt = make(nodes=1)
+
+        def prog(ctx):
+            a = ctx.diomp.alloc_asymmetric(64 if ctx.rank == 0 else 0)
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                dst = np.zeros(0, dtype=np.uint8)
+                ctx.diomp.get(1, a, MemRef.host(ctx.node, dst))
+
+        with pytest.raises(CommunicationError, match="no data block"):
             run_spmd(w, prog)
 
 

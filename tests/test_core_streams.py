@@ -54,6 +54,41 @@ class TestLazyAndReuse:
         sim.run()
         assert stats["created"] == 2
 
+    def test_reuse_disabled_never_reuses_even_past_bound(self):
+        """The ablation: with reuse off, every acquire must create a
+        fresh stream — including the path where acquire runs a partial
+        sync at the concurrency bound (which used to hand back a
+        just-synced stream and count it as reused)."""
+        sim, pool = make_pool(reuse=False, max_active_streams=4)
+
+        def prog():
+            for _ in range(12):
+                pool.acquire().enqueue(1e-5)
+            pool.synchronize_all()
+
+        sim.spawn(prog)
+        sim.run()
+        assert pool.reused == 0
+        assert pool.created == 12
+        assert pool.destroyed == 12  # every synced stream torn down
+        assert pool.active_count == 0
+
+    def test_reuse_disabled_destroys_idle(self):
+        sim, pool = make_pool(reuse=False)
+
+        def prog():
+            s = pool.acquire()
+            s.enqueue(1e-6)
+            s.synchronize()
+            pool.acquire().enqueue(1e-6)
+            pool.synchronize_all()
+
+        sim.spawn(prog)
+        sim.run()
+        assert pool.created == 2
+        assert pool.destroyed == 2
+        assert pool.active_count == 0
+
     def test_busy_streams_not_reused(self):
         sim, pool = make_pool()
         stats = {}
@@ -165,6 +200,75 @@ class TestHybridFence:
         sim.run()
         assert out["iters"] == 0
         assert out["t"] == 0.0
+
+    def test_fence_blocks_on_earliest_event_eta(self):
+        """With eta-carrying events the fence must block on the
+        earliest-completing one, not whichever happens to sit at the
+        head of the pending list (the old behaviour)."""
+        sim, pool = make_pool()
+        order = []
+        out = {}
+
+        class Event:
+            def __init__(self, fut, name):
+                self.fut = fut
+                self.name = name
+                self.eta = fut.eta
+
+            def test(self):
+                return self.fut.poll()
+
+            def wait(self):
+                order.append(self.name)
+                return self.fut.wait()
+
+        def prog():
+            late = Future(sim, description="late")
+            late.eta = 5e-3
+            early = Future(sim, description="early")
+            early.eta = 1e-3
+            sim.call_later(5e-3, late.fire)
+            sim.call_later(1e-3, early.fire)
+            # Deliberately list the late event first.
+            out["iters"] = pool.hybrid_fence([Event(late, "late"), Event(early, "early")])
+            out["t"] = sim.now
+
+        sim.spawn(prog)
+        sim.run()
+        assert order == ["early", "late"]  # earliest eta blocked on first
+        assert out["iters"] == 2  # exactly one blocking wait per event
+        assert out["t"] == pytest.approx(5e-3, rel=1e-3)
+
+    def test_fence_prefers_stream_completing_before_event(self):
+        """A stream whose available_at precedes the earliest event eta
+        is synchronized first, keeping iteration count minimal."""
+        sim, pool = make_pool()
+        out = {}
+
+        class Event:
+            def __init__(self, fut):
+                self.fut = fut
+                self.eta = fut.eta
+
+            def test(self):
+                return self.fut.poll()
+
+            def wait(self):
+                return self.fut.wait()
+
+        def prog():
+            s = pool.acquire()
+            s.enqueue(1e-4)  # completes well before the event
+            fut = Future(sim, description="net")
+            fut.eta = 5e-3
+            sim.call_later(5e-3, fut.fire)
+            out["iters"] = pool.hybrid_fence([Event(fut)])
+            out["t"] = sim.now
+
+        sim.spawn(prog)
+        sim.run()
+        assert out["iters"] == 2  # stream first, then the one event
+        assert out["t"] >= 5e-3
 
     def test_fence_iterations_traced(self):
         sim, pool = make_pool()

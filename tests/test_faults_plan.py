@@ -1,0 +1,157 @@
+"""Tests for the fault plan: spec matching, nth/budget/probability
+gates, determinism, observability binding."""
+
+import pytest
+
+from repro.faults import FAILURE_KINDS, FAULT_KINDS, FaultPlan, FaultSpec
+from repro.obs import Observability
+from repro.util.errors import ConfigurationError
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="fault kind"):
+            FaultSpec(site="conduit.put", kind="bitflip")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultSpec(site="*", probability=1.5)
+
+    def test_latency_kinds_need_positive_latency(self):
+        for kind in ("latency", "late", "stall"):
+            with pytest.raises(ConfigurationError, match="positive latency"):
+                FaultSpec(site="*", kind=kind)
+
+    def test_nth_and_budget_validated(self):
+        with pytest.raises(ConfigurationError, match="nth"):
+            FaultSpec(site="*", nth=0)
+        with pytest.raises(ConfigurationError, match="max_injections"):
+            FaultSpec(site="*", max_injections=0)
+
+    def test_failure_kinds_are_fault_kinds(self):
+        assert set(FAILURE_KINDS) <= set(FAULT_KINDS)
+
+    def test_non_spec_entry_rejected(self):
+        with pytest.raises(ConfigurationError, match="FaultSpec"):
+            FaultPlan([{"site": "*"}])
+
+
+class TestMatching:
+    def test_exact_site(self):
+        spec = FaultSpec(site="conduit.put")
+        assert spec.matches("conduit.put", None, None)
+        assert not spec.matches("conduit.get", None, None)
+
+    def test_dotted_prefix(self):
+        spec = FaultSpec(site="conduit")
+        assert spec.matches("conduit.put", 3, "put")
+        assert spec.matches("conduit.get", None, None)
+        assert not spec.matches("conduitx.put", None, None)
+        assert not spec.matches("rma.intra", None, None)
+
+    def test_star_matches_everything(self):
+        spec = FaultSpec(site="*")
+        assert spec.matches("fabric.transfer", 0, "get")
+        assert spec.matches("stream.sync", None, None)
+
+    def test_rank_and_op_filters(self):
+        spec = FaultSpec(site="*", rank=2, op="put")
+        assert spec.matches("conduit.put", 2, "put")
+        assert not spec.matches("conduit.put", 1, "put")
+        assert not spec.matches("conduit.put", 2, "get")
+
+
+class TestDraw:
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(site="conduit.put", kind="drop"),
+                FaultSpec(site="conduit", kind="transient"),
+            ]
+        )
+        action = plan.draw("conduit.put", rank=0, op="put")
+        assert action.kind == "drop"
+        assert plan.draw("conduit.get").kind == "transient"
+
+    def test_nth_counts_matching_occurrences(self):
+        plan = FaultPlan([FaultSpec(site="conduit.put", nth=3)])
+        assert plan.draw("conduit.put") is None
+        assert plan.draw("conduit.get") is None  # does not advance counter
+        assert plan.draw("conduit.put") is None
+        assert plan.draw("conduit.put") is not None  # third matching call
+        assert plan.draw("conduit.put") is None  # nth only, not "from nth on"
+        assert plan.injected == 1
+
+    def test_max_injections_budget(self):
+        plan = FaultPlan([FaultSpec(site="*", max_injections=2)])
+        hits = [plan.draw("conduit.put") for _ in range(5)]
+        assert sum(a is not None for a in hits) == 2
+        assert plan.injections_of(0) == 2
+
+    def test_probability_is_seed_deterministic(self):
+        def outcomes(seed):
+            plan = FaultPlan([FaultSpec(site="*", probability=0.5)], seed=seed)
+            return [plan.draw("conduit.put") is not None for _ in range(64)]
+
+        assert outcomes(7) == outcomes(7)
+        assert outcomes(7) != outcomes(8)
+        assert 0 < sum(outcomes(7)) < 64  # actually probabilistic
+
+    def test_no_match_returns_none(self):
+        plan = FaultPlan([FaultSpec(site="conduit.put")])
+        assert plan.draw("stream.sync") is None
+
+    def test_action_carries_latency_and_fatal(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(site="stream.sync", kind="latency", latency=1e-5),
+                FaultSpec(site="conduit.put", kind="transient", fatal=True),
+            ]
+        )
+        lat = plan.draw("stream.sync")
+        assert lat.latency == 1e-5 and not lat.is_failure
+        bad = plan.draw("conduit.put")
+        assert bad.fatal and bad.is_failure
+
+    def test_snapshot_reports_matches_and_injections(self):
+        plan = FaultPlan([FaultSpec(site="conduit.put", nth=2)])
+        plan.draw("conduit.put")
+        plan.draw("conduit.put")
+        snap = plan.snapshot()
+        assert snap == [
+            {"site": "conduit.put", "kind": "transient", "matches": 2, "injections": 1}
+        ]
+
+
+class TestObservability:
+    def test_bind_counts_injections(self):
+        obs = Observability()
+        plan = FaultPlan([FaultSpec(site="*", kind="latency", latency=2e-6)]).bind(obs)
+        plan.draw("conduit.put", rank=1, op="put")
+        assert obs.value("faults.injected") == 1
+        assert obs.value("faults.injected", site="conduit.put", kind="latency") == 1
+        assert obs.value("faults.delay_seconds") == pytest.approx(2e-6)
+
+    def test_disabled_obs_is_noop(self):
+        plan = FaultPlan([FaultSpec(site="*")]).bind(Observability(enabled=False))
+        assert plan.draw("conduit.put") is not None  # still injects
+
+
+class TestCannedPlans:
+    def test_transient_per_op_one_spec_per_site(self):
+        plan = FaultPlan.transient_per_op()
+        assert len(plan) == 3
+        # Each op class fails exactly once, on its first occurrence.
+        assert plan.draw("conduit.put") is not None
+        assert plan.draw("conduit.put") is None
+        assert plan.draw("conduit.get") is not None
+        assert plan.draw("conduit.am") is not None
+        assert plan.injected == 3
+
+    def test_chaos_covers_sites_and_bounds_failures(self):
+        plan = FaultPlan.chaos(seed=1, failure_probability=1.0, max_failures=2)
+        sites = {s.site for s in plan.specs}
+        assert {"conduit.put", "conduit.get", "rma.intra", "stream.sync"} <= sites
+        hits = [plan.draw("conduit.put") for _ in range(6)]
+        failures = [a for a in hits if a is not None and a.is_failure]
+        assert len(failures) == 2  # max_failures caps the transient spec

@@ -1,0 +1,263 @@
+"""Tests for Future error propagation and the RetryingOp state
+machine: backoff, timeouts, attempt tokens, give-up taxonomy."""
+
+import pytest
+
+from repro.faults import RetryingOp, RetryPolicy
+from repro.obs import Observability
+from repro.sim import Future, Simulator
+from repro.util.errors import (
+    ConfigurationError,
+    FatalError,
+    FaultError,
+    TimeoutError,
+    TransientError,
+)
+
+
+class TestFutureErrors:
+    def test_fail_raises_in_waiter(self):
+        sim = Simulator()
+        fut = Future(sim, description="doomed")
+        out = {}
+
+        def prog():
+            try:
+                fut.wait()
+            except TransientError as e:
+                out["err"] = str(e)
+
+        sim.spawn(prog)
+        sim.call_later(1e-6, lambda: fut.fail(TransientError("boom")))
+        sim.run()
+        assert out["err"] == "boom"
+
+    def test_failed_future_polls_complete(self):
+        sim = Simulator()
+        fut = Future(sim)
+        fut.fail(TransientError("x"))
+        assert fut.poll()  # hybrid polling must converge on failures
+        assert fut.error is not None
+
+    def test_wait_after_fail_raises_immediately(self):
+        sim = Simulator()
+        fut = Future(sim)
+        fut.fail(TransientError("x"))
+
+        def prog():
+            with pytest.raises(TransientError):
+                fut.wait()
+
+        sim.spawn(prog)
+        sim.run()
+
+    def test_done_callback_runs_on_fire_and_fail(self):
+        sim = Simulator()
+        seen = []
+        ok, bad = Future(sim), Future(sim)
+        ok.add_done_callback(lambda f: seen.append(("ok", f.error)))
+        bad.add_done_callback(lambda f: seen.append(("bad", type(f.error))))
+        ok.fire(42)
+        bad.fail(TransientError("x"))
+        assert seen == [("ok", None), ("bad", TransientError)]
+
+    def test_done_callback_on_already_complete_future(self):
+        sim = Simulator()
+        fut = Future(sim)
+        fut.fire(1)
+        seen = []
+        fut.add_done_callback(lambda f: seen.append(f.value))
+        assert seen == [1]
+
+    def test_taxonomy(self):
+        for cls in (TransientError, TimeoutError, FatalError):
+            assert issubclass(cls, FaultError)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(op_timeout=0.0)
+
+    def test_exponential_backoff_with_ceiling(self):
+        p = RetryPolicy(base_backoff=1e-6, backoff_factor=2.0, max_backoff=3e-6)
+        assert p.backoff(1) == pytest.approx(1e-6)
+        assert p.backoff(2) == pytest.approx(2e-6)
+        assert p.backoff(3) == pytest.approx(3e-6)  # clamped
+        assert p.backoff(10) == pytest.approx(3e-6)
+
+
+def _flaky_issue(sim, fail_first_n, value="done", latency=1e-5):
+    """An issue() closure failing its first ``fail_first_n`` attempts."""
+    calls = {"n": 0}
+
+    def issue():
+        calls["n"] += 1
+        fut = Future(sim, description=f"attempt{calls['n']}")
+        if calls["n"] <= fail_first_n:
+            fut.fail(TransientError(f"boom {calls['n']}"), delay=latency)
+        else:
+            fut.fire(value, delay=latency)
+        return fut
+
+    return issue, calls
+
+
+class TestRetryingOp:
+    def test_success_without_failure_is_passthrough(self):
+        sim = Simulator()
+        issue, calls = _flaky_issue(sim, fail_first_n=0)
+        op = RetryingOp(sim, issue, RetryPolicy())
+        out = {}
+        sim.spawn(lambda: out.setdefault("v", op.future.wait()))
+        sim.run()
+        assert out["v"] == "done"
+        assert calls["n"] == 1 and op.retries == 0
+
+    def test_transient_retried_to_success(self):
+        sim = Simulator()
+        issue, calls = _flaky_issue(sim, fail_first_n=2)
+        op = RetryingOp(sim, issue, RetryPolicy(max_attempts=4))
+        out = {}
+        sim.spawn(lambda: out.setdefault("v", op.future.wait()))
+        sim.run()
+        assert out["v"] == "done"
+        assert calls["n"] == 3 and op.retries == 2
+
+    def test_backoff_advances_virtual_clock(self):
+        sim = Simulator()
+        issue, _ = _flaky_issue(sim, fail_first_n=1, latency=1e-5)
+        policy = RetryPolicy(base_backoff=1e-3, max_backoff=1e-3)
+        op = RetryingOp(sim, issue, policy)
+        out = {}
+
+        def prog():
+            op.future.wait()
+            out["t"] = sim.now
+
+        sim.spawn(prog)
+        sim.run()
+        # attempt1 (1e-5) + backoff (1e-3) + attempt2 (1e-5)
+        assert out["t"] == pytest.approx(1e-3 + 2e-5)
+
+    def test_exhausted_attempts_raise_fatal_with_cause(self):
+        sim = Simulator()
+        issue, calls = _flaky_issue(sim, fail_first_n=99)
+        op = RetryingOp(sim, issue, RetryPolicy(max_attempts=3))
+        out = {}
+
+        def prog():
+            try:
+                op.future.wait()
+            except FatalError as e:
+                out["cause"] = e.__cause__
+
+        sim.spawn(prog)
+        sim.run()
+        assert isinstance(out["cause"], TransientError)
+        assert calls["n"] == 3  # budget respected
+
+    def test_fatal_error_not_retried(self):
+        sim = Simulator()
+        calls = {"n": 0}
+
+        def issue():
+            calls["n"] += 1
+            fut = Future(sim)
+            fut.fail(FatalError("dead link"), delay=1e-6)
+            return fut
+
+        op = RetryingOp(sim, issue, RetryPolicy(max_attempts=5))
+        out = {}
+
+        def prog():
+            with pytest.raises(FatalError, match="dead link"):
+                op.future.wait()
+            out["calls"] = calls["n"]
+
+        sim.spawn(prog)
+        sim.run()
+        assert out["calls"] == 1
+
+    def test_timeout_rescues_dropped_completion(self):
+        sim = Simulator()
+        calls = {"n": 0}
+
+        def issue():
+            calls["n"] += 1
+            fut = Future(sim, description=f"attempt{calls['n']}")
+            if calls["n"] == 1:
+                return fut  # dropped: never fires
+            fut.fire("late-but-fine", delay=1e-6)
+            return fut
+
+        op = RetryingOp(sim, issue, RetryPolicy(op_timeout=1e-4))
+        out = {}
+        sim.spawn(lambda: out.setdefault("v", op.future.wait()))
+        sim.run()
+        assert out["v"] == "late-but-fine"
+        assert op.timeouts == 1
+
+    def test_stale_completion_after_timeout_is_ignored(self):
+        sim = Simulator()
+        calls = {"n": 0}
+        attempts = []
+
+        def issue():
+            calls["n"] += 1
+            fut = Future(sim, description=f"attempt{calls['n']}")
+            attempts.append(fut)
+            if calls["n"] == 1:
+                # Completes long after the timeout has reissued.
+                fut.fire("stale", delay=1.0)
+            else:
+                fut.fire("fresh", delay=1e-6)
+            return fut
+
+        op = RetryingOp(sim, issue, RetryPolicy(op_timeout=1e-3))
+        out = {}
+        sim.spawn(lambda: out.setdefault("v", op.future.wait()))
+        sim.run()
+        assert out["v"] == "fresh"  # the stale firing did not double-fire
+
+    def test_metrics_counters(self):
+        sim = Simulator()
+        obs = Observability()
+        issue, _ = _flaky_issue(sim, fail_first_n=1)
+        op = RetryingOp(
+            sim, issue, RetryPolicy(), obs=obs, labels=dict(conduit="gasnet", op="put")
+        )
+        sim.spawn(op.future.wait)
+        sim.run()
+        assert obs.value("conduit.retries", conduit="gasnet", op="put") == 1
+        assert obs.value("conduit.backoff_seconds") > 0
+
+    def test_giveup_counted(self):
+        sim = Simulator()
+        obs = Observability()
+        issue, _ = _flaky_issue(sim, fail_first_n=99)
+        op = RetryingOp(sim, issue, RetryPolicy(max_attempts=2), obs=obs)
+
+        def prog():
+            with pytest.raises(FatalError):
+                op.future.wait()
+
+        sim.spawn(prog)
+        sim.run()
+        assert obs.value("conduit.giveups") == 1
+
+    def test_eta_forwarded_from_attempt(self):
+        sim = Simulator()
+
+        def issue():
+            fut = Future(sim)
+            fut.eta = 42.0
+            fut.fire(delay=1e-6)
+            return fut
+
+        op = RetryingOp(sim, issue, RetryPolicy())
+        assert op.future.eta == 42.0
