@@ -1,0 +1,130 @@
+"""Ablation — small-message RMA aggregation and pointer prefetch.
+
+Many fine-grained puts issued between fences pay one conduit software
+overhead plus one NIC message overhead *each*; the aggregation engine
+coalesces them into one conduit message per destination (GASNet-EX
+access-region batching), amortizing both.  This bench sweeps small
+messages cross-node and reports conduit message counts and simulated
+wall-clock for both modes, asserting the acceptance bar: >= 2x fewer
+conduit operations, lower elapsed time, bit-identical received data.
+The prefetch half measures asymmetric-access pointer misses with and
+without the allocation-time bulk exchange.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.bench.report import Table
+from repro.cluster import MemRef, World, run_spmd
+from repro.core import DiompParams, DiompRuntime, RmaAggregationParams
+from repro.hardware import platform_a
+from repro.util.units import KiB
+
+MSGS = 16
+MSG_BYTES = 1 * KiB
+
+
+def _sweep(aggregate: bool) -> dict:
+    """8 ranks over 2 nodes; every rank puts MSGS small messages to
+    its cross-node peer, then fences."""
+    world = World(platform_a(with_quirk=False), num_nodes=2, ranks_per_node=4)
+    DiompRuntime(
+        world,
+        DiompParams(aggregation=RmaAggregationParams(enabled=aggregate)),
+    )
+    received = {}
+
+    def prog(ctx):
+        g = ctx.diomp.alloc(MSGS * MSG_BYTES)
+        g.typed(np.uint8)[:] = 0
+        ctx.diomp.barrier()
+        peer = (ctx.rank + 4) % 8
+        for i in range(MSGS):
+            src = np.full(MSG_BYTES, (ctx.rank + i) % 251 + 1, dtype=np.uint8)
+            ctx.diomp.put(
+                peer, g, MemRef.host(ctx.node, src), target_offset=i * MSG_BYTES
+            )
+        ctx.diomp.fence()
+        ctx.diomp.barrier()
+        received[ctx.rank] = g.typed(np.uint8).copy()
+
+    res = run_spmd(world, prog)
+    return {
+        "elapsed": res.elapsed,
+        "messages": world.obs.value("conduit.messages", op="put"),
+        "batches": world.obs.value("rma.agg.batches"),
+        "received": np.concatenate([received[r] for r in sorted(received)]),
+    }
+
+
+def _prefetch(enabled: bool) -> dict:
+    world = World(platform_a(with_quirk=False), num_nodes=2, ranks_per_node=2)
+    DiompRuntime(world, DiompParams(pointer_prefetch=enabled))
+
+    def prog(ctx):
+        abuf = ctx.diomp.alloc_asymmetric((ctx.rank + 1) * KiB)
+        if abuf.data is not None:
+            abuf.data.as_array(np.uint8)[:] = ctx.rank
+        ctx.diomp.barrier()
+        dst = np.zeros(KiB, dtype=np.uint8)
+        for target in range(4):
+            if target != ctx.rank:
+                ctx.diomp.get(target, abuf, MemRef.host(ctx.node, dst))
+                ctx.diomp.fence()
+        ctx.diomp.barrier()
+
+    res = run_spmd(world, prog)
+    return {
+        "elapsed": res.elapsed,
+        "misses": world.obs.value("rma.pointer_cache", event="miss"),
+        "prefetched": world.obs.value("rma.pointer_cache", event="prefetch"),
+    }
+
+
+def _run():
+    return {
+        "agg_off": _sweep(False),
+        "agg_on": _sweep(True),
+        "prefetch_off": _prefetch(False),
+        "prefetch_on": _prefetch(True),
+    }
+
+
+def test_ablation_aggregation(benchmark):
+    data = run_once(benchmark, _run)
+    table = Table(
+        f"Ablation - RMA aggregation ({MSGS} x {MSG_BYTES // KiB} KiB "
+        "puts/rank, 8 ranks cross-node)",
+        ["config", "conduit put msgs", "batches", "elapsed (us)"],
+    )
+    for name in ("agg_off", "agg_on"):
+        stats = data[name]
+        table.add_row(
+            name,
+            int(stats["messages"]),
+            int(stats["batches"]),
+            f"{stats['elapsed'] * 1e6:.2f}",
+        )
+    table.print()
+    ptable = Table(
+        "Ablation - pointer prefetch (asymmetric gets, 4 ranks)",
+        ["config", "pointer misses", "prefetched", "elapsed (us)"],
+    )
+    for name in ("prefetch_off", "prefetch_on"):
+        stats = data[name]
+        ptable.add_row(
+            name,
+            int(stats["misses"]),
+            int(stats["prefetched"]),
+            f"{stats['elapsed'] * 1e6:.2f}",
+        )
+    ptable.print()
+    # Acceptance: >= 2x fewer conduit operations, lower wall-clock,
+    # bit-identical received bytes.
+    assert data["agg_off"]["messages"] >= 2 * data["agg_on"]["messages"]
+    assert data["agg_on"]["elapsed"] < data["agg_off"]["elapsed"]
+    assert np.array_equal(data["agg_off"]["received"], data["agg_on"]["received"])
+    # Prefetch removes every per-miss pointer round-trip.
+    assert data["prefetch_off"]["misses"] > 0
+    assert data["prefetch_on"]["misses"] == 0

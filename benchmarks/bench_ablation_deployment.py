@@ -54,7 +54,8 @@ def _hierarchical_time() -> float:
 
     def prog(ctx):
         comm = mpi.comm_world(ctx.rank)
-        bufs = [d.malloc(SIZE, virtual=True) for d in ctx.devices]
+        for d in ctx.devices:
+            d.malloc(SIZE, virtual=True)
         acc = ctx.devices[0].malloc(SIZE, virtual=True)
         mpi_coll.barrier(comm)
         t0 = ctx.sim.now

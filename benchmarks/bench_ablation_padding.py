@@ -11,7 +11,6 @@ measures remote access to ragged per-rank data both ways:
   size; direct offset translation, no pointer protocol, wasted memory.
 """
 
-import numpy as np
 
 from conftest import run_once
 

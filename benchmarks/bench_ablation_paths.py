@@ -16,7 +16,7 @@ from repro.util.units import MiB
 
 def _put_time(hierarchical: bool, size: int = 16 * MiB) -> float:
     world = World(platform_a(with_quirk=False), num_nodes=1)
-    runtime = DiompRuntime(
+    DiompRuntime(
         world,
         DiompParams(
             segment_size=4 * size + (1 << 20), hierarchical_paths=hierarchical

@@ -5,7 +5,6 @@ second-level pointer, then move the data).  The cache removes the
 first step after the first access; this bench quantifies the saving.
 """
 
-import numpy as np
 
 from conftest import run_once
 
@@ -18,7 +17,7 @@ from repro.util.units import KiB
 
 def _access_time(pointer_cache: bool, accesses: int = 16) -> dict:
     world = World(platform_a(with_quirk=False), num_nodes=2)
-    runtime = DiompRuntime(world, DiompParams(pointer_cache=pointer_cache))
+    DiompRuntime(world, DiompParams(pointer_cache=pointer_cache))
     out = {}
 
     def prog(ctx):

@@ -7,7 +7,6 @@ grows past the bound (the memory/scheduling pressure the policy
 exists to cap).
 """
 
-import numpy as np
 
 from conftest import run_once
 
@@ -20,7 +19,7 @@ from repro.util.units import MiB
 
 def _burst_time(max_streams: int, ops: int = 12) -> dict:
     world = World(platform_a(with_quirk=False), num_nodes=1)
-    runtime = DiompRuntime(
+    DiompRuntime(
         world,
         DiompParams(
             segment_size=ops * 2 * MiB + (1 << 20),

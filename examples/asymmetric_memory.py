@@ -78,12 +78,12 @@ def main() -> None:
     results = run_spmd(world, program).results
     s = results[0]
     print(f"cold asymmetric get: {s['cold_us']:.2f} us "
-          f"(pointer fetch + data transfer)")
+          "(pointer fetch + data transfer)")
     print(f"warm asymmetric get: {s['warm_us']:.2f} us "
-          f"(cache hit, data transfer only)")
+          "(cache hit, data transfer only)")
     print(f"pointer fetches over the wire: {s['fetches']}, "
           f"cache hits: {s['hits']}")
-    print(f"rank 5 read rank 2's OpenMP-mapped array: "
+    print("rank 5 read rank 2's OpenMP-mapped array: "
           f"value {results[5]['mapped_peek']:.0f} (zero extra registration)")
 
 

@@ -76,7 +76,7 @@ def phase_multi_gpu() -> None:
 
     for rank, values in run_spmd(world, program).results:
         print(f"  rank {rank}: every device sees {values[0]:.0f} "
-              f"(digit i set by device slot i)")
+              "(digit i set by device slot i)")
 
 
 if __name__ == "__main__":

@@ -30,7 +30,7 @@ def correctness_pass() -> None:
     ref = minimod_reference(cfg)
     np.testing.assert_allclose(u, ref, rtol=1e-5, atol=1e-7)
     wavefront = np.count_nonzero(np.abs(u) > 1e-12)
-    print(f"  wavefield matches the single-domain reference "
+    print("  wavefield matches the single-domain reference "
           f"({wavefront} active cells after {cfg.steps} steps)")
 
 

@@ -69,7 +69,7 @@ def main() -> None:
                 Map(right, MapType.TO),
                 Map(joined, MapType.FROM),
             ],
-            body=lambda l, r, j: j.__iadd__(l + r),
+            body=lambda a, b, j: j.__iadd__(a + b),
             depends_in=[left, right],
             depends_out=[joined],
         )

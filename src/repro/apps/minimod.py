@@ -23,7 +23,7 @@ a single-rank reference); ``execute=False`` models paper scale
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -52,7 +52,7 @@ def diomp_collective_latency(
     if op not in ("bcast", "allreduce"):
         raise ConfigurationError(f"op must be bcast|allreduce, got {op!r}")
     world = World(platform, num_nodes=num_nodes)
-    runtime = DiompRuntime(world, DiompParams(segment_size=4 * size + (1 << 20)))
+    DiompRuntime(world, DiompParams(segment_size=4 * size + (1 << 20)))
 
     def prog(ctx):
         send = ctx.diomp.alloc(size, virtual=True)

@@ -8,10 +8,17 @@ crossovers) are unaffected because the simulator is deterministic.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.bench import appbench, collective, microbench, programmability, registration
-from repro.bench.report import Series, Table, fmt_gbs, fmt_ratio, fmt_speedup, fmt_us, series_table
+from repro.bench.report import (
+    Series,
+    Table,
+    fmt_gbs,
+    fmt_ratio,
+    fmt_speedup,
+    series_table,
+)
 from repro.hardware.platforms import get_platform
 from repro.util.units import KiB, MiB, format_bytes
 

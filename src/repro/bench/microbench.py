@@ -15,7 +15,7 @@ GASNet-EX and GPI-2 on the InfiniBand platform.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster.memref import MemRef
 from repro.cluster.spmd import run_spmd
@@ -63,7 +63,7 @@ def diomp_p2p(
     results: List[Tuple[int, float]] = []
     for size in sizes:
         world = World(platform, num_nodes=2)
-        runtime = DiompRuntime(
+        DiompRuntime(
             world,
             DiompParams(segment_size=_segment_for(sizes), conduit=conduit),
         )

@@ -26,7 +26,7 @@ from repro.cluster.memref import MemRef
 from repro.cluster.spmd import SpmdResult, run_spmd
 from repro.cluster.world import RankContext, World
 from repro.hardware import platform_a
-from repro.obs.export import write_chrome_trace, write_metrics_snapshot
+from repro.obs.export import write_metrics_snapshot
 
 
 @dataclasses.dataclass(frozen=True)

@@ -16,7 +16,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict
 
-import numpy as np
 
 from repro.cluster.memref import MemRef
 from repro.cluster.spmd import run_spmd
@@ -77,7 +76,7 @@ def diomp_workflow(n_buffers: int = 16, size: int = 256 * KiB) -> RegistrationSt
     """DiOMP (Fig. 1b): the plugin places every mapping inside the
     once-registered global segment — zero per-buffer registrations."""
     world = World(get_platform("A"), num_nodes=2)
-    runtime = DiompRuntime(
+    DiompRuntime(
         world, DiompParams(segment_size=4 * n_buffers * size + (1 << 20))
     )
     stats = {}

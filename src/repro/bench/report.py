@@ -9,9 +9,8 @@ benchmarks/ -s`` reads like the evaluation section.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Sequence
 
-from repro.util.units import format_bandwidth, format_bytes, format_time
 
 
 @dataclasses.dataclass

@@ -10,7 +10,7 @@ and ``gpu_memory`` to apply NIC quirks.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.cluster.world import RankContext, World
+from repro.cluster.world import World
 
 
 @dataclasses.dataclass

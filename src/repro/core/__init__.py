@@ -34,6 +34,7 @@ from repro.core.globalmem import (
     HostGlobalBuffer,
 )
 from repro.core.asymmetric import AsymmetricBuffer, RemotePointerCache
+from repro.core.rma import RmaAggregationParams
 from repro.core.streams import StreamPool, StreamPoolParams
 from repro.core.group import DiompGroup
 from repro.core.ompccl import Ompccl
@@ -50,6 +51,7 @@ __all__ = [
     "HostGlobalBuffer",
     "AsymmetricBuffer",
     "RemotePointerCache",
+    "RmaAggregationParams",
     "StreamPool",
     "StreamPoolParams",
     "DiompGroup",

@@ -14,7 +14,7 @@ yields identical offsets for the same collective call sequence.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.util.errors import AllocationError
 

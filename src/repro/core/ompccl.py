@@ -136,7 +136,7 @@ class Ompccl:
     def _check_buffers(self, ctx: RankContext, buffers: Sequence[MemRef]) -> None:
         if len(buffers) != len(ctx.devices):
             raise CommunicationError(
-                f"OMPCCL needs one buffer per bound device "
+                "OMPCCL needs one buffer per bound device "
                 f"({len(ctx.devices)}), got {len(buffers)}"
             )
 

@@ -11,7 +11,6 @@ must register each communicated buffer into a window separately.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.device.driver import Device
 from repro.device.memory import DeviceBuffer

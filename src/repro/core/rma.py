@@ -17,11 +17,25 @@ Device-side operations occupy streams from the rank's
 :class:`~repro.core.streams.StreamPool` (lazy/reused/bounded);
 ``ompx_fence`` drains network events and streams together through the
 pool's hybrid polling loop.
+
+**Small-message aggregation** (off by default, see
+:class:`RmaAggregationParams`): conduit-path operations at or below an
+eligibility size are parked in per-(rank, op, endpoint) coalescing
+queues instead of being issued immediately, and flushed as *one*
+conduit message per destination — at the next ``ompx_fence``, or
+earlier when a queue hits its op-count or byte threshold.  This
+amortizes the per-operation conduit cost (initiator software + NIC
+message overhead) that dominates the small-message regime of the
+paper's Fig. 3/4 sweeps, mirroring GASNet-EX access-region batching.
+One-sided semantics are unchanged: nothing completes before the fence
+either way, and batch data still lands atomically at the simulated
+completion time.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple, Union
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -30,11 +44,61 @@ from repro.core.asymmetric import AsymmetricBuffer
 from repro.core.globalmem import GlobalBuffer, HostGlobalBuffer
 from repro.faults import RetryingOp
 from repro.hardware.topology import PathKind
-from repro.util.errors import CommunicationError, FatalError
+from repro.util.errors import CommunicationError, ConfigurationError, FatalError
+from repro.util.units import KiB
 
 #: put/get targets: symmetric device buffer, host buffer, asymmetric
 #: buffer, or raw address
 RmaTarget = Union[GlobalBuffer, HostGlobalBuffer, AsymmetricBuffer, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class RmaAggregationParams:
+    """Small-message aggregation knobs (ablation switch, off by
+    default so baseline runs stay bit-identical)."""
+
+    enabled: bool = False
+    #: operations of at most this many bytes are coalesced; larger
+    #: ones always take the direct conduit path
+    eligible_bytes: int = 4 * KiB
+    #: a queue is flushed early once it holds this many operations
+    max_batch_ops: int = 64
+    #: ... or once its payload reaches this many bytes
+    max_batch_bytes: int = 64 * KiB
+
+    def __post_init__(self) -> None:
+        if self.eligible_bytes < 0:
+            raise ConfigurationError("eligible_bytes must be non-negative")
+        if self.max_batch_ops < 1:
+            raise ConfigurationError("max_batch_ops must be >= 1")
+        if self.max_batch_bytes < 1:
+            raise ConfigurationError("max_batch_bytes must be >= 1")
+
+
+@dataclasses.dataclass
+class _PendingOp:
+    """One issued-but-unfenced operation (conduit or intra-node)."""
+
+    target_rank: int
+    event: object
+    #: pooled stream the operation occupies (intra-node path only) —
+    #: lets a group-scoped fence drain exactly the streams its member
+    #: operations ride on
+    stream: Optional[object] = None
+
+    @property
+    def failure(self):
+        return getattr(self.event, "failure", None)
+
+
+@dataclasses.dataclass
+class _AggBatch:
+    """One destination's coalescing queue between fences."""
+
+    target_rank: int
+    op: str
+    ops: List[Tuple[int, MemRef]] = dataclasses.field(default_factory=list)
+    nbytes: int = 0
 
 
 class _FutureEvent:
@@ -65,8 +129,12 @@ class DiompRma:
 
     def __init__(self, diomp) -> None:
         self.diomp = diomp
-        #: outstanding (target_rank, event) pairs drained by fences
-        self._outstanding: List[Tuple[int, object]] = []
+        #: outstanding operations drained by fences
+        self._outstanding: List[_PendingOp] = []
+        #: small-message coalescing queues, keyed by
+        #: (target_rank, op, remote space, local endpoint)
+        self._agg_queues: Dict[Tuple, _AggBatch] = {}
+        self._agg = diomp.runtime.params.aggregation
         #: (target_rank, device_num) pairs whose segment IPC handle is open
         self._ipc_opened: Set[Tuple[int, int]] = set()
         #: ordered device pairs with peer access enabled by this rank
@@ -74,6 +142,15 @@ class DiompRma:
         # -- metrics (one registry per world; see repro.obs) --
         self._obs = diomp.runtime.obs
         registry = self._obs.registry
+        self._m_agg_batches = registry.counter(
+            "rma.agg.batches", "flushed aggregation batches by op/reason/rank"
+        )
+        self._m_agg_ops = registry.counter(
+            "rma.agg.batched_ops", "operations coalesced into batches by op/rank"
+        )
+        self._m_agg_bytes = registry.counter(
+            "rma.agg.bytes", "payload bytes moved in batches by op/rank"
+        )
         self._m_ops = registry.counter(
             "rma.ops", "one-sided operations by op/path/rank"
         )
@@ -177,21 +254,78 @@ class DiompRma:
         data_addr = cache.lookup(target.handle_id, target_rank)
         if data_addr is None:
             # First step: fetch the 8-byte pointer value from the
-            # symmetric slot on the target (a real network get).
-            runtime = self.diomp.runtime
-            seg = runtime.segment_of(target_rank, target.device_num)
-            slot_addr = seg.address_of(target.slot_offset)
-            scratch = np.zeros(8, dtype=np.uint8)
-            event = self.diomp.client.get_nb(
-                target_rank, slot_addr, MemRef.host(self.diomp.ctx.node, scratch)
-            )
-            event.wait()
+            # symmetric slot on the target (a real, blocking get,
+            # routed and counted like any other get).
+            self._pointer_fetch(target, target_rank)
             self._m_ptr.inc(event="miss", rank=self.diomp.rank)
             data_addr = target.data_addresses[target_rank]
             cache.insert(target.handle_id, target_rank, data_addr)
         else:
             self._m_ptr.inc(event="hit", rank=self.diomp.rank)
         return data_addr + offset
+
+    def _pointer_fetch(self, target: AsymmetricBuffer, target_rank: int) -> None:
+        """One blocking 8-byte get of the remote second-level pointer.
+
+        The fetch honours hierarchical path selection (a same-node
+        target is read over IPC / a local D2H copy, not the NIC) and
+        shows up in ``rma.ops``/``rma.bytes`` like any other get.  It
+        stays off the stream pool: the issuing rank blocks on it, so
+        there is no asynchronous device occupancy to account.
+        """
+        diomp = self.diomp
+        runtime = diomp.runtime
+        world = runtime.world
+        seg = runtime.segment_of(target_rank, target.device_num)
+        slot_addr = seg.address_of(target.slot_offset)
+        scratch = np.zeros(8, dtype=np.uint8)
+        local = MemRef.host(diomp.ctx.node, scratch)
+        if (
+            world.same_node(diomp.rank, target_rank)
+            and runtime.params.hierarchical_paths
+        ):
+            remote = seg.conduit_segment.resolve(slot_addr, 8)
+            if target_rank != diomp.rank:
+                path_kind = "ipc"
+                key = (target_rank, target.device_num)
+                if key not in self._ipc_opened:
+                    diomp.ctx.sim.sleep(world.platform.node.gpu.ipc_open_overhead)
+                    self._ipc_opened.add(key)
+                    self._m_ipc.inc(rank=diomp.rank)
+            else:
+                path_kind = "local"
+            params = runtime.params
+
+            def issue():
+                return world.fabric.transfer(
+                    remote.endpoint,
+                    local.endpoint,
+                    8,
+                    operation="get",
+                    gpu_memory=True,
+                    on_complete=lambda: local.copy_from(remote),
+                    extra_latency=params.ipc_op_overhead,
+                    fault_site="rma.intra",
+                    initiator=diomp.rank,
+                )
+
+            plan = getattr(world, "fault_plan", None)
+            if plan is None:
+                fut = issue()
+            else:
+                fut = RetryingOp(
+                    world.sim,
+                    issue,
+                    runtime.conduit.params.retry,
+                    obs=runtime.obs,
+                    labels=dict(conduit="intra", op="get", rank=diomp.rank),
+                    description=f"ptr-fetch-r{diomp.rank}",
+                ).future
+            self._count_op("get", path_kind, 8)
+            fut.wait()
+        else:
+            self._count_op("get", "conduit", 8)
+            diomp.client.get_nb(target_rank, slot_addr, local).wait()
 
     # -- data movement -----------------------------------------------------------
 
@@ -241,19 +375,82 @@ class DiompRma:
             and not isinstance(target, HostGlobalBuffer)
         ):
             self._intra_node(op, target_rank, addr, local, device_num)
+        elif (
+            self._agg.enabled
+            and not isinstance(target, int)
+            and local.nbytes <= self._agg.eligible_bytes
+        ):
+            # Raw-address targets bypass aggregation: without the
+            # buffer handle the remote memory space is unknown, so the
+            # queue key cannot guarantee endpoint uniformity.
+            self._enqueue_aggregated(op, target_rank, target, addr, local, device_num)
+            self._count_op(op, "conduit", local.nbytes)
         else:
             client = diomp.client
             if op == "put":
                 event = client.put_nb(target_rank, addr, local)
             else:
                 event = client.get_nb(target_rank, addr, local)
-            self._outstanding.append((target_rank, event))
+            self._outstanding.append(_PendingOp(target_rank, event))
             self._count_op(op, "conduit", local.nbytes)
 
     def _count_op(self, op: str, path: str, nbytes: int) -> None:
         rank = self.diomp.rank
         self._m_ops.inc(op=op, path=path, rank=rank)
         self._m_bytes.inc(nbytes, op=op, path=path, rank=rank)
+
+    # -- small-message aggregation -------------------------------------------------
+
+    def _enqueue_aggregated(
+        self,
+        op: str,
+        target_rank: int,
+        target: RmaTarget,
+        addr: int,
+        local: MemRef,
+        device_num: int,
+    ) -> None:
+        """Park one small conduit operation in its coalescing queue."""
+        space = (
+            ("host",)
+            if isinstance(target, HostGlobalBuffer)
+            else ("dev", device_num)
+        )
+        key = (target_rank, op, space, local.endpoint)
+        batch = self._agg_queues.get(key)
+        if batch is None:
+            batch = self._agg_queues[key] = _AggBatch(target_rank, op)
+        batch.ops.append((addr, local))
+        batch.nbytes += local.nbytes
+        if len(batch.ops) >= self._agg.max_batch_ops:
+            self._flush_batch(key, reason="count")
+        elif batch.nbytes >= self._agg.max_batch_bytes:
+            self._flush_batch(key, reason="size")
+
+    def _flush_batch(self, key: Tuple, reason: str) -> None:
+        """Issue one queue as a single conduit message."""
+        batch = self._agg_queues.pop(key)
+        client = self.diomp.client
+        if batch.op == "put":
+            event = client.put_batch_nb(batch.target_rank, batch.ops)
+        else:
+            event = client.get_batch_nb(batch.target_rank, batch.ops)
+        self._outstanding.append(_PendingOp(batch.target_rank, event))
+        rank = self.diomp.rank
+        self._m_agg_batches.inc(op=batch.op, reason=reason, rank=rank)
+        self._m_agg_ops.inc(len(batch.ops), op=batch.op, rank=rank)
+        self._m_agg_bytes.inc(batch.nbytes, op=batch.op, rank=rank)
+
+    def _flush_aggregation(self, group=None, reason: str = "fence") -> None:
+        """Flush coalescing queues (all, or only those a group fence
+        is responsible for)."""
+        keys = [
+            key
+            for key, batch in self._agg_queues.items()
+            if group is None or group.contains(batch.target_rank)
+        ]
+        for key in keys:
+            self._flush_batch(key, reason=reason)
 
     def _intra_node(
         self, op: str, target_rank: int, addr: int, local: MemRef, device_num: int
@@ -308,27 +505,39 @@ class DiompRma:
                 initiator=diomp.rank,
             )
 
+        # The transfer occupies a pooled stream (the device DMA engine)
+        # for its unloaded duration; the fence drains both.
+        pool = diomp.pool_for_endpoint(local.endpoint)
+        est = world.fabric.unloaded_time(
+            src_ref.endpoint, dst_ref.endpoint, local.nbytes, operation=op
+        )
         plan = getattr(world, "fault_plan", None)
         if plan is None:
             fut = issue()
+            stream = pool.acquire()
+            stream.enqueue(est, label=f"diomp-{op}")
         else:
+            # Under fault injection the stream is acquired up front and
+            # occupied from inside the issue closure: every retry
+            # attempt redoes the DMA work, so each re-issue must
+            # re-enqueue the stream, not just the first.
+            stream = pool.acquire()
+
+            def issue_attempt():
+                stream.enqueue(est, label=f"diomp-{op}")
+                return issue()
+
             fut = RetryingOp(
                 world.sim,
-                issue,
+                issue_attempt,
                 diomp.runtime.conduit.params.retry,
                 obs=diomp.runtime.obs,
                 labels=dict(conduit="intra", op=op, rank=diomp.rank),
                 description=f"intra-{op}-r{diomp.rank}",
             ).future
-        # The transfer occupies a pooled stream (the device DMA engine)
-        # for its unloaded duration; the fence drains both.
-        pool = diomp.pool_for_endpoint(local.endpoint)
-        stream = pool.acquire()
-        est = world.fabric.unloaded_time(
-            src_ref.endpoint, dst_ref.endpoint, local.nbytes, operation=op
+        self._outstanding.append(
+            _PendingOp(target_rank, _FutureEvent(fut), stream)
         )
-        stream.enqueue(est, label=f"diomp-{op}")
-        self._outstanding.append((target_rank, _FutureEvent(fut)))
 
     # -- completion --------------------------------------------------------------
 
@@ -338,37 +547,47 @@ class DiompRma:
         With a :class:`~repro.core.group.DiompGroup`, only operations
         targeting the group's members are completed (the paper's
         group-scoped fence, §3.3); operations to other ranks remain in
-        flight.  Returns the number of hybrid-poll iterations.
+        flight — including their device streams, which keep executing.
+        Returns the number of hybrid-poll iterations.
 
-        All of this rank's stream pools are drained, not just
+        A full fence drains all of this rank's stream pools, not just
         ``device_num``'s: intra-node RMA enqueues onto the pool of the
         local endpoint's device, which may differ from the fence's
-        device.  Operations whose recovery was exhausted surface here
-        as :class:`~repro.util.errors.FatalError`.
+        device.  A group-scoped fence instead drains exactly the
+        streams its member operations ride on.  Aggregation queues for
+        fenced destinations are flushed first, so a fence always
+        completes every operation issued before it.  Operations whose
+        recovery was exhausted surface here as
+        :class:`~repro.util.errors.FatalError`.
         """
+        self._flush_aggregation(group=group)
         if group is None:
-            events, self._outstanding = self._outstanding, []
+            pending, self._outstanding = self._outstanding, []
         else:
-            events = [
-                (rank, ev)
-                for rank, ev in self._outstanding
-                if group.contains(rank)
+            pending = [
+                p for p in self._outstanding if group.contains(p.target_rank)
             ]
             self._outstanding = [
-                (rank, ev)
-                for rank, ev in self._outstanding
-                if not group.contains(rank)
+                p for p in self._outstanding if not group.contains(p.target_rank)
             ]
+        events = [p.event for p in pending]
         pool = self.diomp.stream_pool(device_num)
         with self._obs.span("rma.fence", rank=self.diomp.rank, events=len(events)):
-            iterations = pool.hybrid_fence([ev for _rank, ev in events])
-            for other_num, other_pool in self.diomp.stream_pools().items():
-                if other_num != device_num:
-                    iterations += other_pool.hybrid_fence([])
+            if group is None:
+                iterations = pool.hybrid_fence(events)
+                for other_num, other_pool in self.diomp.stream_pools().items():
+                    if other_num != device_num:
+                        iterations += other_pool.hybrid_fence([])
+            else:
+                # Drain only the streams attributable to member-targeted
+                # operations; non-member work stays in flight.
+                streams: List[object] = []
+                for p in pending:
+                    if p.stream is not None and p.stream not in streams:
+                        streams.append(p.stream)
+                iterations = pool.hybrid_fence(events, streams=streams)
         failed = [
-            (rank, ev.failure)
-            for rank, ev in events
-            if getattr(ev, "failure", None) is not None
+            (p.target_rank, p.failure) for p in pending if p.failure is not None
         ]
         if failed:
             rank, first = failed[0]
@@ -383,7 +602,17 @@ class DiompRma:
 
     @property
     def pending_ops(self) -> int:
+        """Operations not yet completed (issued + queued-for-aggregation).
+
+        Successfully completed operations are pruned, but *failed* ones
+        are retained: a conduit event's ``test()`` also returns True on
+        terminal failure, and polling this property must never swallow
+        an error the next fence is obligated to raise.
+        """
         self._outstanding = [
-            (rank, ev) for rank, ev in self._outstanding if not ev.test()
+            p
+            for p in self._outstanding
+            if not p.event.test() or p.failure is not None
         ]
-        return len(self._outstanding)
+        queued = sum(len(b.ops) for b in self._agg_queues.values())
+        return len(self._outstanding) + queued

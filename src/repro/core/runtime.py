@@ -22,7 +22,7 @@ paper requires of all participating nodes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,7 +42,7 @@ from repro.core.globalmem import (
 from repro.core.group import DiompGroup
 from repro.core.ompccl import Ompccl
 from repro.core.plugin import DiompPlugin
-from repro.core.rma import DiompRma, RmaTarget
+from repro.core.rma import DiompRma, RmaAggregationParams, RmaTarget
 from repro.core.streams import StreamPool, StreamPoolParams
 from repro.gasnet import GasnetConduit
 from repro.gpi2 import Gpi2Conduit
@@ -68,6 +68,15 @@ class DiompParams:
     stream_params: StreamPoolParams = dataclasses.field(default_factory=StreamPoolParams)
     #: remote second-level-pointer cache (ablation switch)
     pointer_cache: bool = True
+    #: bulk second-level-pointer prefetch at asymmetric allocation
+    #: time (ablation switch; requires ``pointer_cache``): one AM round
+    #: pre-populates every rank's cache so remote accesses never pay a
+    #: per-miss blocking pointer fetch
+    pointer_prefetch: bool = False
+    #: small-message aggregation on the conduit path (off by default)
+    aggregation: RmaAggregationParams = dataclasses.field(
+        default_factory=RmaAggregationParams
+    )
     #: topology-aware hierarchical path selection (ablation switch:
     #: False forces every transfer through the conduit/NIC path)
     hierarchical_paths: bool = True
@@ -253,6 +262,12 @@ class Diomp:
         self.client = runtime.conduit.client(ctx.rank)
         self.pointer_cache = RemotePointerCache(enabled=runtime.params.pointer_cache)
         self.rma = DiompRma(self)
+        if runtime.params.pointer_prefetch:
+            # Ack-only handler for the allocation-time address exchange
+            # round (the addresses themselves ride the AM payload).
+            self.client.register_handler(
+                "diomp.asym-prefetch", lambda _src, _payload: None
+            )
         self._pools: Dict[int, StreamPool] = {}
         self.plugin = DiompPlugin(self)
         #: libomptarget with the DiOMP allocator installed (Fig. 1b)
@@ -428,7 +443,34 @@ class Diomp:
         # All ranks must share one handle id for cache coherence: derive
         # it deterministically from the allocation sequence.
         buf.handle_id = ("asym", id(self.runtime), seq)  # type: ignore[assignment]
+        if self.runtime.params.pointer_prefetch and self.pointer_cache.enabled:
+            self._prefetch_pointers(buf, addrs)
         return buf
+
+    def _prefetch_pointers(
+        self, buf: AsymmetricBuffer, addrs: Tuple[int, ...]
+    ) -> None:
+        """Bulk second-level-pointer prefetch: every rank already holds
+        all data addresses from the allocation rendezvous, so one AM
+        round (one ``8 * nranks``-byte exchange with a neighbour, the
+        cost of an all-gather round in the ring model) publishes them
+        into the local :class:`RemotePointerCache`.  Later remote
+        accesses then never pay the per-miss blocking pointer fetch."""
+        if self.nranks > 1:
+            peer = (self.rank + 1) % self.nranks
+            self.client.am_request(
+                peer,
+                "diomp.asym-prefetch",
+                buf.handle_id,
+                payload_bytes=SECOND_LEVEL_POINTER_BYTES * self.nranks,
+            ).wait()
+        inserted = 0
+        for rank, addr in enumerate(addrs):
+            if addr != 0:
+                self.pointer_cache.insert(buf.handle_id, rank, addr)
+                inserted += 1
+        if inserted:
+            self.rma._m_ptr.inc(inserted, event="prefetch", rank=self.rank)
 
     def free_asymmetric(self, abuf: AsymmetricBuffer) -> None:
         """Collective free; centrally invalidates pointer caches."""

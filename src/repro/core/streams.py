@@ -189,7 +189,11 @@ class StreamPool:
 
     # -- hybrid event polling ---------------------------------------------------
 
-    def hybrid_fence(self, network_events: Sequence[object]) -> int:
+    def hybrid_fence(
+        self,
+        network_events: Sequence[object],
+        streams: Optional[Sequence[Stream]] = None,
+    ) -> int:
         """The unified polling loop of ``ompx_fence``.
 
         Polls GASNet/GPI-2 events (objects with ``test()``/``wait()``)
@@ -201,26 +205,46 @@ class StreamPool:
         last, which degrades to issue order when no ETA is known.
         Returns the number of poll iterations (traced for the ablation
         bench).
+
+        With ``streams`` given, only those streams are drained — the
+        group-scoped fence: operations parked on *other* streams (to
+        ranks outside the group) keep executing.  The streams need not
+        belong to this pool; synchronizing a foreign pool's stream is
+        safe, its owner reclaims it at the next acquire.  ``streams``
+        of ``None`` (the default) drains this whole pool.
         """
 
         def event_eta(event: object) -> float:
             eta = getattr(event, "eta", None)
             return float("inf") if eta is None else eta
 
+        scoped = streams is not None
+        if scoped:
+            targets: List[Stream] = []
+            for stream in streams:
+                if stream not in targets:
+                    targets.append(stream)
+
+        def busy_streams() -> List[Stream]:
+            if scoped:
+                return [s for s in targets if not s.idle]
+            self._reclaim_idle()
+            return self._busy
+
         pending_events = [e for e in network_events if not e.test()]
-        self._reclaim_idle()
+        pending_streams = busy_streams()
         iterations = 0
-        while pending_events or self._busy:
+        while pending_events or pending_streams:
             iterations += 1
             self.poll_iterations += 1
             self.sim.sleep(self.params.poll_cost)
             pending_events = [e for e in pending_events if not e.test()]
-            self._reclaim_idle()
-            if not pending_events and not self._busy:
+            pending_streams = busy_streams()
+            if not pending_events and not pending_streams:
                 break
             # Block on whichever side completes first.
             next_stream = min(
-                (s for s in self._busy), key=lambda s: s.available_at, default=None
+                pending_streams, key=lambda s: s.available_at, default=None
             )
             next_event = min(pending_events, key=event_eta, default=None)
             if next_stream is not None and (

@@ -11,7 +11,7 @@ performs (§3.2).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from repro.device.kernel import Kernel
 from repro.device.memory import DeviceBuffer, DeviceMemorySpace

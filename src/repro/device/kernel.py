@@ -17,7 +17,7 @@ plus the per-launch overhead from the GPU spec.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 from repro.hardware.specs import GPUSpec
 from repro.util.errors import DeviceError

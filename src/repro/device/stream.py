@@ -17,7 +17,7 @@ event polling*) or synchronized.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro.sim import Future, Simulator
 from repro.util.errors import DeviceError

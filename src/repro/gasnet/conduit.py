@@ -22,7 +22,7 @@ slightly better (matching measured GASNet-EX behaviour).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.memref import MemRef
 from repro.cluster.world import World
@@ -303,7 +303,8 @@ class GasnetClient:
                 operation="put",
                 gpu_memory=src.is_device or dst.is_device,
                 on_complete=lambda: dst.copy_from(src),
-                extra_latency=params.put_overhead + nic_overhead,
+                extra_latency=params.put_overhead,
+                occupancy_overhead=nic_overhead,
                 bandwidth_factor=params.bw_efficiency(src.nbytes),
                 rails=params.rails_for(
                     src.nbytes, world.platform.node.nics_per_node
@@ -336,7 +337,8 @@ class GasnetClient:
                 operation="get",
                 gpu_memory=src.is_device or dst.is_device,
                 on_complete=lambda: dst.copy_from(src),
-                extra_latency=params.get_overhead + nic_overhead,
+                extra_latency=params.get_overhead,
+                occupancy_overhead=nic_overhead,
                 bandwidth_factor=params.bw_efficiency(dst.nbytes),
                 rails=params.rails_for(
                     dst.nbytes, world.platform.node.nics_per_node
@@ -350,6 +352,95 @@ class GasnetClient:
         fut = self._launch(issue, "get")
         self.gets_issued += 1
         self._count_message("get", dst.nbytes)
+        event = GasnetEvent(fut)
+        self._pending.append(event)
+        return event
+
+    def put_batch_nb(
+        self, dst_rank: int, ops: Sequence[Tuple[int, MemRef]]
+    ) -> GasnetEvent:
+        """Aggregated one-sided puts (GASNet-EX access-region batching).
+
+        ``ops`` is a sequence of ``(dst_address, src_memref)`` pairs
+        coalesced into **one** conduit message: one initiator software
+        overhead, one NIC message overhead, summed payload.  All pairs
+        must share the same (source, destination) endpoints — the RMA
+        aggregation layer keys its queues to guarantee this.  Under a
+        fault plan a transient failure retries the whole batch (the
+        member puts are idempotent).
+        """
+        return self._batch_nb("put", dst_rank, ops)
+
+    def get_batch_nb(
+        self, src_rank: int, ops: Sequence[Tuple[int, MemRef]]
+    ) -> GasnetEvent:
+        """Aggregated one-sided gets: ``(src_address, dst_memref)``
+        pairs as one conduit message (see :meth:`put_batch_nb`)."""
+        return self._batch_nb("get", src_rank, ops)
+
+    def _batch_nb(
+        self, op: str, peer_rank: int, ops: Sequence[Tuple[int, MemRef]]
+    ) -> GasnetEvent:
+        if not ops:
+            raise CommunicationError(f"empty {op} batch for rank {peer_rank}")
+        resolved = [
+            (self._resolve_remote(peer_rank, address, local.nbytes), local)
+            for address, local in ops
+        ]
+        remote0, local0 = resolved[0]
+        for remote, local in resolved[1:]:
+            if (
+                remote.endpoint != remote0.endpoint
+                or local.endpoint != local0.endpoint
+            ):
+                raise CommunicationError(
+                    f"{op} batch mixes endpoints: "
+                    f"{local.endpoint}->{remote.endpoint} vs "
+                    f"{local0.endpoint}->{remote0.endpoint}"
+                )
+        total = sum(local.nbytes for _remote, local in resolved)
+        params = self.conduit.params
+        world = self.conduit.world
+        nic_overhead = world.platform.node.nic.message_overhead
+        if op == "put":
+            src_ep, dst_ep = local0.endpoint, remote0.endpoint
+            overhead = params.put_overhead
+        else:
+            src_ep, dst_ep = remote0.endpoint, local0.endpoint
+            overhead = params.get_overhead
+
+        def complete() -> None:
+            for remote, local in resolved:
+                if op == "put":
+                    remote.copy_from(local)
+                else:
+                    local.copy_from(remote)
+
+        def issue() -> Future:
+            return world.fabric.transfer(
+                src_ep,
+                dst_ep,
+                total,
+                operation=op,
+                gpu_memory=any(
+                    rem.is_device or loc.is_device for rem, loc in resolved
+                ),
+                on_complete=complete,
+                extra_latency=overhead,
+                occupancy_overhead=nic_overhead,
+                bandwidth_factor=params.bw_efficiency(total),
+                rails=params.rails_for(total, world.platform.node.nics_per_node),
+                force_network=src_ep != dst_ep and src_ep.node == dst_ep.node,
+                fault_site=f"conduit.{op}",
+                initiator=self.rank,
+            )
+
+        fut = self._launch(issue, op)
+        if op == "put":
+            self.puts_issued += 1
+        else:
+            self.gets_issued += 1
+        self._count_message(op, total)
         event = GasnetEvent(fut)
         self._pending.append(event)
         return event

@@ -10,7 +10,7 @@ GASPI's replacement for target-side events).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.memref import MemRef
 from repro.cluster.world import World
@@ -213,7 +213,8 @@ class Gpi2Client:
                 operation="put",
                 gpu_memory=src.is_device or dst.is_device,
                 on_complete=lambda: dst.copy_from(src),
-                extra_latency=params.write_overhead + nic_overhead,
+                extra_latency=params.write_overhead,
+                occupancy_overhead=nic_overhead,
                 bandwidth_factor=params.bw_efficiency(src.nbytes),
                 rails=params.rails_for(
                     src.nbytes, world.platform.node.nics_per_node
@@ -249,7 +250,8 @@ class Gpi2Client:
                 operation="get",
                 gpu_memory=src.is_device or dst.is_device,
                 on_complete=lambda: dst.copy_from(src),
-                extra_latency=params.read_overhead + nic_overhead,
+                extra_latency=params.read_overhead,
+                occupancy_overhead=nic_overhead,
                 bandwidth_factor=params.bw_efficiency(dst.nbytes),
                 rails=params.rails_for(
                     dst.nbytes, world.platform.node.nics_per_node
@@ -263,6 +265,91 @@ class Gpi2Client:
         fut = self._launch(issue, "get")
         self.gets_issued += 1
         self._count_message("get", dst.nbytes)
+        event = GasnetEvent(fut)
+        self._queues[queue].append(event)
+        return event
+
+    def put_batch_nb(
+        self, dst_rank: int, ops: Sequence[Tuple[int, MemRef]], queue: int = 0
+    ) -> GasnetEvent:
+        """Aggregated ``gaspi_write_list``: ``(dst_address, src_memref)``
+        pairs coalesced into one conduit message posted to one queue —
+        one write overhead, one NIC message overhead, summed payload.
+        All pairs must share the same endpoints (the RMA aggregation
+        layer guarantees this); a transient retries the whole batch.
+        """
+        return self._batch_nb("put", dst_rank, ops, queue)
+
+    def get_batch_nb(
+        self, src_rank: int, ops: Sequence[Tuple[int, MemRef]], queue: int = 0
+    ) -> GasnetEvent:
+        """Aggregated ``gaspi_read_list`` (see :meth:`put_batch_nb`)."""
+        return self._batch_nb("get", src_rank, ops, queue)
+
+    def _batch_nb(
+        self, op: str, peer_rank: int, ops: Sequence[Tuple[int, MemRef]], queue: int
+    ) -> GasnetEvent:
+        self._check_queue(queue)
+        if not ops:
+            raise CommunicationError(f"empty {op} batch for rank {peer_rank}")
+        resolved = [
+            (self._resolve_remote(peer_rank, address, local.nbytes), local)
+            for address, local in ops
+        ]
+        remote0, local0 = resolved[0]
+        for remote, local in resolved[1:]:
+            if (
+                remote.endpoint != remote0.endpoint
+                or local.endpoint != local0.endpoint
+            ):
+                raise CommunicationError(
+                    f"{op} batch mixes endpoints: "
+                    f"{local.endpoint}->{remote.endpoint} vs "
+                    f"{local0.endpoint}->{remote0.endpoint}"
+                )
+        total = sum(local.nbytes for _remote, local in resolved)
+        params = self.conduit.params
+        world = self.conduit.world
+        nic_overhead = world.platform.node.nic.message_overhead
+        if op == "put":
+            src_ep, dst_ep = local0.endpoint, remote0.endpoint
+            overhead = params.write_overhead
+        else:
+            src_ep, dst_ep = remote0.endpoint, local0.endpoint
+            overhead = params.read_overhead
+
+        def complete() -> None:
+            for remote, local in resolved:
+                if op == "put":
+                    remote.copy_from(local)
+                else:
+                    local.copy_from(remote)
+
+        def issue() -> Future:
+            return world.fabric.transfer(
+                src_ep,
+                dst_ep,
+                total,
+                operation=op,
+                gpu_memory=any(
+                    rem.is_device or loc.is_device for rem, loc in resolved
+                ),
+                on_complete=complete,
+                extra_latency=overhead,
+                occupancy_overhead=nic_overhead,
+                bandwidth_factor=params.bw_efficiency(total),
+                rails=params.rails_for(total, world.platform.node.nics_per_node),
+                force_network=src_ep != dst_ep and src_ep.node == dst_ep.node,
+                fault_site=f"conduit.{op}",
+                initiator=self.rank,
+            )
+
+        fut = self._launch(issue, op)
+        if op == "put":
+            self.puts_issued += 1
+        else:
+            self.gets_issued += 1
+        self._count_message(op, total)
         event = GasnetEvent(fut)
         self._queues[queue].append(event)
         return event

@@ -36,7 +36,6 @@ from repro.hardware.catalog import (
     XGMI_INTRA_MODULE,
 )
 from repro.hardware.node import NodeSpec, all_to_all, mi250x_wiring
-from repro.hardware.specs import NICSpec
 from repro.hardware.topology import ClusterTopology
 from repro.util.errors import ConfigurationError
 

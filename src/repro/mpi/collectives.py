@@ -352,7 +352,7 @@ def scatter(comm: Communicator, send: Optional[MemRef], recv: MemRef, root: int 
             raise CommunicationError("scatter root needs a send buffer")
         if send.nbytes != block * comm.size:
             raise CommunicationError(
-                f"scatter send buffer must hold size*block "
+                "scatter send buffer must hold size*block "
                 f"({block * comm.size}), got {send.nbytes}"
             )
         reqs = []
@@ -380,7 +380,7 @@ def gather(comm: Communicator, send: MemRef, recv: Optional[MemRef], root: int =
             raise CommunicationError("gather root needs a receive buffer")
         if recv.nbytes != block * comm.size:
             raise CommunicationError(
-                f"gather receive buffer must hold size*block "
+                "gather receive buffer must hold size*block "
                 f"({block * comm.size}), got {recv.nbytes}"
             )
         reqs = []
@@ -430,7 +430,7 @@ def allgather(comm: Communicator, send: MemRef, recv: MemRef) -> None:
     """Ring allgather: every rank contributes ``send`` (equal sizes)."""
     if recv.nbytes != send.nbytes * comm.size:
         raise CommunicationError(
-            f"allgather receive buffer must hold size*nbytes "
+            "allgather receive buffer must hold size*nbytes "
             f"({send.nbytes * comm.size}), got {recv.nbytes}"
         )
     comm.sim.sleep(comm.mpi.params.collective_overhead)

@@ -15,7 +15,7 @@ microbenchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.cluster.memref import MemRef
 from repro.mpi.comm import Communicator

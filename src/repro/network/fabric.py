@@ -89,6 +89,7 @@ class Fabric:
         gpu_memory: bool = True,
         on_complete: Optional[Callable[[], None]] = None,
         extra_latency: float = 0.0,
+        occupancy_overhead: float = 0.0,
         bandwidth_factor: float = 1.0,
         rails: int = 1,
         force_network: bool = False,
@@ -103,7 +104,12 @@ class Fabric:
         per-operation overhead (e.g. MPI window synchronization), and
         ``bandwidth_factor`` their protocol efficiency (fraction of the
         physical link they sustain), without re-implementing the
-        contention model.
+        contention model.  ``occupancy_overhead`` is per-*message* cost
+        charged as resource occupancy (NIC message processing): unlike
+        ``extra_latency`` it serializes across messages sharing a
+        resource, which is what makes many small messages slower than
+        one aggregated message of the same total payload.  For a single
+        uncontended transfer the two are equivalent.
 
         ``fault_site``/``initiator`` key this transfer for the world's
         :class:`~repro.faults.FaultPlan` (site defaults to
@@ -115,8 +121,14 @@ class Fabric:
             raise CommunicationError(f"negative transfer size: {nbytes}")
         if extra_latency < 0:
             raise CommunicationError(f"negative extra latency: {extra_latency}")
+        if occupancy_overhead < 0:
+            raise CommunicationError(
+                f"negative occupancy overhead: {occupancy_overhead}"
+            )
         if not (0.0 < bandwidth_factor <= 1.0):
-            raise CommunicationError(f"bandwidth_factor must be in (0, 1]")
+            raise CommunicationError(
+                f"bandwidth_factor must be in (0, 1], got {bandwidth_factor}"
+            )
         action = None
         if self.faults is not None:
             action = self.faults.draw(
@@ -146,15 +158,16 @@ class Fabric:
         )
         now = self.sim.now
         wire_time = nbytes / (path.bandwidth * bandwidth_factor)
+        occupied = wire_time + occupancy_overhead
         # Each resource serializes independently (packets from distinct
         # flows interleave at the switch, so a busy egress on one hop
         # does not idle the ingress of another); the transfer completes
         # when its slowest resource finishes.
         earliest = now + extra_latency
-        finish = earliest + wire_time
+        finish = earliest + occupied
         for key in path.resources:
             start_r = max(earliest, self._busy_until.get(key, 0.0))
-            end_r = start_r + wire_time
+            end_r = start_r + occupied
             self._busy_until[key] = end_r
             finish = max(finish, end_r)
         end = finish + path.latency

@@ -11,7 +11,7 @@ in microseconds.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.spans import SpanRecord
@@ -197,14 +197,42 @@ def dashboard_tables(registry: MetricsRegistry):
             )
             tables.append(t)
 
+    if "rma.agg.batches" in registry:
+        batches = registry.value("rma.agg.batches")
+        batched = registry.value("rma.agg.batched_ops")
+        t = Table(
+            "RMA aggregation",
+            ["op", "batches", "coalesced ops", "bytes", "ops/batch"],
+        )
+        for op in ("put", "get"):
+            n = registry.value("rma.agg.batches", op=op)
+            k = registry.value("rma.agg.batched_ops", op=op)
+            t.add_row(
+                op,
+                _fmt(n),
+                _fmt(k),
+                _fmt(registry.value("rma.agg.bytes", op=op)),
+                f"{k / n:.1f}" if n else "n/a",
+            )
+        t.add_row(
+            "all",
+            _fmt(batches),
+            _fmt(batched),
+            _fmt(registry.value("rma.agg.bytes")),
+            f"{batched / batches:.1f}" if batches else "n/a",
+        )
+        tables.append(t)
+
     if "rma.pointer_cache" in registry:
         hits = registry.value("rma.pointer_cache", event="hit")
         misses = registry.value("rma.pointer_cache", event="miss")
+        prefetched = registry.value("rma.pointer_cache", event="prefetch")
         total = hits + misses
-        t = Table("Pointer cache", ["hits", "misses", "hit rate"])
+        t = Table("Pointer cache", ["hits", "misses", "prefetched", "hit rate"])
         t.add_row(
             _fmt(hits),
             _fmt(misses),
+            _fmt(prefetched),
             f"{hits / total:.1%}" if total else "n/a",
         )
         tables.append(t)

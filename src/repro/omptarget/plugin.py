@@ -9,7 +9,7 @@ is the minimal surface that trick needs.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, runtime_checkable
+from typing import Protocol, runtime_checkable
 
 from repro.device.driver import Device
 from repro.device.memory import DeviceBuffer

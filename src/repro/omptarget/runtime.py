@@ -22,11 +22,10 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.cluster.memref import MemRef
 from repro.cluster.world import RankContext
 from repro.device.driver import Device
 from repro.device.kernel import Kernel, KernelCost
-from repro.omptarget.mapping import Map, MappingTable, MapType, VirtualArray
+from repro.omptarget.mapping import Map, MappingTable
 from repro.omptarget.plugin import DevicePlugin, NativePlugin
 from repro.sim import Future
 from repro.util.errors import ConfigurationError, DeviceError

@@ -21,7 +21,7 @@ simulator:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.device.kernel import KernelCost
 from repro.omptarget.mapping import Map

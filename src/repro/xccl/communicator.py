@@ -24,7 +24,7 @@ stream-synchronized NCCL call.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -308,7 +308,7 @@ class XcclComm:
         """Ring AllGather: ``recv`` holds ndev blocks in slot order."""
         if recv.nbytes != send.nbytes * self.ndev:
             raise CommunicationError(
-                f"all_gather recv must hold ndev*send bytes "
+                "all_gather recv must hold ndev*send bytes "
                 f"({send.nbytes * self.ndev}), got {recv.nbytes}"
             )
 
@@ -333,7 +333,7 @@ class XcclComm:
         """Ring ReduceScatter: each slot receives its reduced block."""
         if send.nbytes != recv.nbytes * self.ndev:
             raise CommunicationError(
-                f"reduce_scatter send must hold ndev*recv bytes "
+                "reduce_scatter send must hold ndev*recv bytes "
                 f"({recv.nbytes * self.ndev}), got {send.nbytes}"
             )
         dtype = np.dtype(dtype)

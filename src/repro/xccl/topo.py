@@ -12,7 +12,7 @@ reproduce the two properties the evaluation depends on:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.hardware.topology import ClusterTopology, DeviceId, PathKind
 from repro.util.errors import ConfigurationError

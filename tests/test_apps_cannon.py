@@ -7,7 +7,6 @@ from repro.apps import CannonConfig, cannon_reference, run_cannon
 from repro.cluster import World
 from repro.hardware import platform_a, platform_b
 from repro.util.errors import ConfigurationError
-from repro.util.units import MiB
 
 
 def assemble_c(results, cfg, nranks):

@@ -2,14 +2,13 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.bench import appbench, collective, microbench, programmability, registration
 from repro.bench.report import Series, Table, fmt_gbs, fmt_ratio, fmt_speedup, fmt_us, series_table
 from repro.hardware import get_platform, platform_a, platform_c
 from repro.util.errors import ConfigurationError
-from repro.util.units import KiB, MiB
+from repro.util.units import KiB
 
 
 class TestReport:
@@ -20,7 +19,7 @@ class TestReport:
         text = t.render()
         assert "Title" in text
         lines = text.splitlines()
-        assert len({len(l) for l in lines[2:]}) == 1  # aligned widths
+        assert len({len(line) for line in lines[2:]}) == 1  # aligned widths
 
     def test_table_row_arity_checked(self):
         t = Table("T", ["a", "b"])

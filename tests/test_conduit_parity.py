@@ -10,7 +10,7 @@ from repro.core import DiompParams, DiompRuntime
 from repro.gasnet import GasnetConduit
 from repro.gpi2 import Gpi2Conduit
 from repro.hardware import platform_c
-from repro.util.units import KiB, MiB
+from repro.util.units import KiB
 
 INTERFACE = [
     "attach_segment",

@@ -4,11 +4,10 @@ import numpy as np
 import pytest
 
 from repro.cluster import MemRef, World, run_spmd
-from repro.core import DiompGroup, DiompParams, DiompRuntime
+from repro.core import DiompParams, DiompRuntime
 from repro.core.directives import execute_pragma, parse_pragma
-from repro.hardware import platform_a, platform_b
+from repro.hardware import platform_a
 from repro.util.errors import CommunicationError, ConfigurationError
-from repro.util.units import KiB, MiB
 
 
 def make(nodes=2, platform=None, **kw):
@@ -42,9 +41,8 @@ class TestGroupHandles:
         w, rt = make()
 
         def prog(ctx):
-            sub = None
             if ctx.rank < 4:
-                sub = ctx.diomp.group_create([0, 1, 2, 3])
+                ctx.diomp.group_create([0, 1, 2, 3])
             ctx.diomp.barrier()
             if ctx.rank == 7:
                 with pytest.raises(CommunicationError, match="not in"):
@@ -214,7 +212,7 @@ class TestOmpcclCollectives:
         """§3.3's headline: one rank drives 4 GPUs; the collective runs
         over 8 device slots across 2 ranks."""
         w = World(platform_a(with_quirk=False), num_nodes=2, devices_per_rank=4)
-        rt = DiompRuntime(w)
+        DiompRuntime(w)
         out = {}
 
         def prog(ctx):

@@ -6,7 +6,7 @@ import pytest
 
 from repro.cluster import MemRef, World, run_spmd
 from repro.core import Diomp, DiompParams, DiompRuntime
-from repro.hardware import platform_a, platform_b, platform_c
+from repro.hardware import platform_a, platform_c
 from repro.util.errors import CommunicationError, ConfigurationError
 from repro.util.units import KiB, MiB
 
@@ -253,7 +253,7 @@ class TestHierarchicalPaths:
 
     def test_same_process_multi_gpu_uses_peer_access(self):
         w = World(platform_a(with_quirk=False), num_nodes=1, devices_per_rank=2)
-        rt = DiompRuntime(w)
+        DiompRuntime(w)
         enabled = {}
 
         def prog(ctx):

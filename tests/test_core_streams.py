@@ -5,7 +5,7 @@ import pytest
 from repro.cluster import World
 from repro.core import StreamPool, StreamPoolParams
 from repro.hardware import platform_a
-from repro.sim import Future, Simulator
+from repro.sim import Future
 from repro.util.errors import ConfigurationError
 
 

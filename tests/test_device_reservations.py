@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.device import DeviceMemorySpace
-from repro.util.errors import AllocationError, DeviceError
+from repro.util.errors import AllocationError
 from repro.util.units import KiB, MiB
 
 

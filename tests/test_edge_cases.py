@@ -24,11 +24,11 @@ class TestSpaceSegmentResolution:
 
         def prog(ctx):
             a = ctx.diomp.alloc(1 * KiB)
-            b = ctx.diomp.alloc(1 * KiB)
+            ctx.diomp.alloc(1 * KiB)  # adjacent allocation
             ctx.diomp.barrier()
             if ctx.rank == 0:
                 # Address range starting inside rank 1's copy of `a`
-                # and running into its copy of `b`.
+                # and running into the adjacent allocation.
                 remote_seg = ctx.diomp.runtime.segment_of(1, 0)
                 addr = remote_seg.address_of(a.offset) + 512
                 dst = np.zeros(1024, dtype=np.uint8)
@@ -187,7 +187,7 @@ class TestMultipleWindows:
             b1 = ctx.device.malloc(64)
             b2 = ctx.device.malloc(64)
             bufs[ctx.rank] = (b1, b2)
-            w1 = Window.create(comm, MemRef.device(b1), win_key=1)
+            Window.create(comm, MemRef.device(b1), win_key=1)
             w2 = Window.create(comm, MemRef.device(b2), win_key=2)
             if ctx.rank == 0:
                 src = ctx.device.malloc(64)

@@ -10,7 +10,7 @@ from repro.core import DiompRuntime
 from repro.faults import FaultPlan, FaultSpec, RetryPolicy
 from repro.gasnet import GasnetConduit, GasnetParams
 from repro.hardware import platform_a, platform_c
-from repro.util.errors import AllocationError, CommunicationError, FatalError
+from repro.util.errors import FatalError
 from repro.util.units import KiB
 
 

@@ -1,7 +1,6 @@
 """Smoke tests: the lightweight figure entry points produce printable,
 shape-correct data (the heavy sweeps live under benchmarks/)."""
 
-import pytest
 
 from repro.bench import figures
 

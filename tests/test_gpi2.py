@@ -5,7 +5,7 @@ import pytest
 
 from repro.cluster import MemRef, World, run_spmd
 from repro.gasnet import GasnetConduit
-from repro.gpi2 import Gpi2Conduit, Gpi2Params
+from repro.gpi2 import Gpi2Conduit
 from repro.hardware import platform_a, platform_c
 from repro.util.errors import CommunicationError, ConfigurationError
 from repro.util.units import KiB, MiB

@@ -11,11 +11,9 @@ from repro.hardware import (
     NVLINK3,
     PCIE4_X16,
     SLINGSHOT_11,
-    ClusterTopology,
     DeviceId,
     GPUSpec,
     NICQuirk,
-    NICSpec,
     NodeSpec,
     PathKind,
     get_platform,
@@ -26,7 +24,7 @@ from repro.hardware import (
 from repro.hardware.node import all_to_all, mi250x_wiring, no_direct_link
 from repro.hardware.catalog import EPYC_7763
 from repro.util.errors import ConfigurationError
-from repro.util.units import GB, KiB, MiB, US
+from repro.util.units import MiB
 
 
 class TestSpecs:

@@ -1,7 +1,6 @@
 """End-to-end integration scenarios crossing the full stack."""
 
 import numpy as np
-import pytest
 
 from repro.cluster import MemRef, World, run_spmd
 from repro.core import DiompParams, DiompRuntime

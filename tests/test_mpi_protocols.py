@@ -6,7 +6,7 @@ import pytest
 
 from repro.cluster import MemRef, World, run_spmd
 from repro.hardware import platform_a
-from repro.mpi import ANY_SOURCE, ANY_TAG, MpiParams, MpiWorld, waitall
+from repro.mpi import ANY_SOURCE, MpiParams, MpiWorld, waitall
 from repro.mpi import testall as mpi_testall
 from repro.util.units import KiB, MiB
 

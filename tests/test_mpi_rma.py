@@ -7,9 +7,9 @@ from repro.cluster import MemRef, World, run_spmd
 from repro.gasnet import GasnetConduit
 from repro.hardware import platform_a
 from repro.mpi import MpiWorld, Window
-from repro.mpi.rma import LOCK_EXCLUSIVE, LOCK_SHARED
+from repro.mpi.rma import LOCK_EXCLUSIVE
 from repro.util.errors import CommunicationError
-from repro.util.units import KiB, MiB
+from repro.util.units import KiB
 
 
 def make_mpi(nodes=2):
@@ -217,7 +217,6 @@ class TestCostStructure:
                 t0 = ctx.sim.now
                 if ctx.rank == 0:
                     src = ctx.device.malloc(size, virtual=True)
-                    target_buf = w.ranks[4].device.memory
                     # address of rank 4's segment == its buffer address
                     addr = conduit.client(4).segments[0].base_address
                     conduit.client(0).put_nb(4, addr, MemRef.device(src)).wait()

@@ -4,7 +4,7 @@ resource modelling."""
 import pytest
 
 from repro.cluster import MemRef, World, run_spmd
-from repro.gasnet import GasnetConduit, GasnetParams
+from repro.gasnet import GasnetConduit
 from repro.hardware import platform_a, platform_c
 from repro.network import Fabric
 from repro.sim import Simulator

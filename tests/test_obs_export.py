@@ -140,7 +140,7 @@ class TestJsonl:
 class TestProfileRun:
     def test_profiled_cannon_outputs(self, tmp_path):
         out = tmp_path / "prof.json"
-        res = write_profile(str(out), ProfileConfig(n=64))
+        write_profile(str(out), ProfileConfig(n=64))
         trace = json.loads(out.read_text())
         events = trace["traceEvents"]
         assert any(e["ph"] == "X" for e in events)

@@ -241,7 +241,7 @@ class TestRuntimeIntegration:
         w, rt = make()
 
         def prog(ctx):
-            buf = ctx.diomp.alloc(4096)
+            ctx.diomp.alloc(4096)
             ctx.diomp.barrier()
 
         run_spmd(w, prog)

@@ -2,7 +2,6 @@
 for arbitrary payloads, dtypes, roots and reduction operators."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import MemRef, World, run_spmd
@@ -10,7 +9,6 @@ from repro.core import DiompRuntime
 from repro.hardware import platform_a
 from repro.mpi import MpiWorld
 from repro.mpi import collectives as coll
-from repro.util.units import KiB
 from repro.xccl import NCCL_PARAMS, UniqueId, XcclComm, XcclContext
 
 _DTYPES = [np.float64, np.float32, np.int64, np.int32]

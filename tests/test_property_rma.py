@@ -7,7 +7,6 @@ ordering is deterministic — and the distributed state is compared
 against a plain-numpy shadow model applying the same schedule."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import MemRef, World, run_spmd

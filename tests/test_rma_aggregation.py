@@ -1,0 +1,409 @@
+"""Small-message aggregation, pointer prefetch, and the fence/stream
+regressions fixed alongside them:
+
+* a failed-but-polled operation must still raise at the next fence,
+* a group-scoped fence must not drain non-member streams,
+* retried intra-node transfers must re-occupy their pooled stream,
+* pointer-cache miss fetches must be routed and counted like any get.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import CannonConfig, cannon_reference, run_cannon
+from repro.cluster import MemRef, World, run_spmd
+from repro.core import DiompParams, DiompRuntime, RmaAggregationParams
+from repro.faults import FaultPlan, FaultSpec
+from repro.hardware import platform_a
+from repro.util.errors import ConfigurationError, FatalError
+from repro.util.units import KiB
+
+
+def make_world(nodes=2, ranks_per_node=1, params=None, **kw):
+    w = World(
+        platform_a(with_quirk=False),
+        num_nodes=nodes,
+        ranks_per_node=ranks_per_node,
+        **kw,
+    )
+    DiompRuntime(w, params)
+    return w
+
+
+def agg_params(**kw):
+    return DiompParams(aggregation=RmaAggregationParams(enabled=True, **kw))
+
+
+class TestAggregation:
+    def test_small_puts_coalesce_into_one_conduit_message(self):
+        """16 × 1 KiB puts between fences become one conduit message;
+        the data landing on the target is bit-identical either way."""
+        results = {}
+        for enabled in (False, True):
+            params = agg_params() if enabled else DiompParams()
+            w = make_world(params=params)
+
+            def prog(ctx):
+                g = ctx.diomp.alloc(16 * KiB)
+                g.typed(np.uint8)[:] = 0
+                ctx.diomp.barrier()
+                if ctx.rank == 0:
+                    for i in range(16):
+                        src = np.full(KiB, i + 1, dtype=np.uint8)
+                        ctx.diomp.put(
+                            1, g, MemRef.host(ctx.node, src), target_offset=i * KiB
+                        )
+                    ctx.diomp.fence()
+                ctx.diomp.barrier()
+                if ctx.rank == 1:
+                    results[enabled] = g.typed(np.uint8).copy()
+
+            res = run_spmd(w, prog)
+            results[enabled, "elapsed"] = res.elapsed
+            results[enabled, "messages"] = w.obs.value("conduit.messages", op="put")
+            # Logical operation accounting is mode-independent.
+            assert w.obs.value("rma.ops", op="put", path="conduit") == 16
+            assert w.obs.value("rma.bytes", op="put") == 16 * KiB
+            if enabled:
+                assert w.obs.value("rma.agg.batches") == 1
+                assert w.obs.value("rma.agg.batched_ops") == 16
+                assert w.obs.value("rma.agg.bytes") == 16 * KiB
+        assert np.array_equal(results[False], results[True])
+        # The acceptance bar: >= 2x fewer conduit messages, faster.
+        assert results[False, "messages"] >= 2 * results[True, "messages"]
+        assert results[True, "elapsed"] < results[False, "elapsed"]
+
+    def test_threshold_flushes_and_fence_flush(self):
+        """A queue flushes early at max_batch_ops; the remainder
+        flushes at the fence — nothing is lost, order per address
+        is respected."""
+        w = make_world(params=agg_params(max_batch_ops=4))
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(8 * KiB)
+            g.typed(np.uint8)[:] = 0
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                for i in range(6):
+                    src = np.full(KiB, i + 1, dtype=np.uint8)
+                    ctx.diomp.put(
+                        1, g, MemRef.host(ctx.node, src), target_offset=i * KiB
+                    )
+                # 4 flushed by the count threshold, 2 still queued.
+                assert ctx.diomp.rma.pending_ops >= 2
+                ctx.diomp.fence()
+                assert ctx.diomp.rma.pending_ops == 0
+            ctx.diomp.barrier()
+            if ctx.rank == 1:
+                got = g.typed(np.uint8)[: 6 * KiB]
+                expect = np.repeat(np.arange(1, 7, dtype=np.uint8), KiB)
+                assert np.array_equal(got, expect)
+
+        run_spmd(w, prog)
+        assert w.obs.value("rma.agg.batches", reason="count") == 1
+        assert w.obs.value("rma.agg.batches", reason="fence") == 1
+        assert w.obs.value("rma.agg.batched_ops") == 6
+
+    def test_size_threshold_flush(self):
+        w = make_world(
+            params=agg_params(eligible_bytes=4 * KiB, max_batch_bytes=8 * KiB)
+        )
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(16 * KiB)
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                for i in range(4):
+                    src = np.full(4 * KiB, i + 1, dtype=np.uint8)
+                    ctx.diomp.put(
+                        1, g, MemRef.host(ctx.node, src), target_offset=i * 4 * KiB
+                    )
+                ctx.diomp.fence()
+            ctx.diomp.barrier()
+
+        run_spmd(w, prog)
+        assert w.obs.value("rma.agg.batches", reason="size") == 2
+
+    def test_large_ops_bypass_aggregation(self):
+        """Operations above eligible_bytes go straight to the conduit."""
+        w = make_world(params=agg_params(eligible_bytes=1 * KiB))
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(64 * KiB)
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                src = np.ones(64 * KiB, dtype=np.uint8)
+                ctx.diomp.put(1, g, MemRef.host(ctx.node, src))
+                ctx.diomp.fence()
+            ctx.diomp.barrier()
+
+        run_spmd(w, prog)
+        assert w.obs.value("rma.agg.batches") == 0
+        assert w.obs.value("conduit.messages", op="put") == 1
+
+    def test_gets_aggregate_too(self):
+        w = make_world(params=agg_params())
+        got = {}
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(8 * KiB)
+            g.typed(np.uint8)[:] = ctx.rank + 10
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                dsts = [np.zeros(KiB, dtype=np.uint8) for _ in range(8)]
+                for i, dst in enumerate(dsts):
+                    ctx.diomp.get(
+                        1, g, MemRef.host(ctx.node, dst), target_offset=i * KiB
+                    )
+                ctx.diomp.fence()
+                got["data"] = np.concatenate(dsts)
+            ctx.diomp.barrier()
+
+        run_spmd(w, prog)
+        assert (got["data"] == 11).all()
+        assert w.obs.value("conduit.messages", op="get") == 1
+        assert w.obs.value("rma.agg.batched_ops", op="get") == 8
+
+    def test_cannon_bit_identical_with_aggregation(self):
+        """The ablation acceptance check: Cannon's result must be
+        bit-identical with aggregation on and off."""
+        cfg = CannonConfig(n=32, execute=True)
+
+        def assemble(params):
+            w = World(platform_a(with_quirk=False), num_nodes=4, ranks_per_node=1)
+            DiompRuntime(w, params)
+            res = run_cannon(w, cfg, impl="diomp")
+            ordered = sorted(res.results, key=lambda r: r["rank"])
+            return np.concatenate([r["C"] for r in ordered])
+
+        clean = assemble(DiompParams())
+        aggregated = assemble(agg_params())
+        assert np.array_equal(clean, aggregated)
+        np.testing.assert_allclose(aggregated, cannon_reference(cfg, 4))
+
+    def test_transient_inside_batch_retries_whole_batch(self):
+        """A transient on the aggregated message retries the entire
+        batch; member puts are idempotent so the data is exact."""
+        plan = FaultPlan([FaultSpec(site="conduit.put", kind="transient", nth=1)])
+        w = make_world(params=agg_params(), faults=plan)
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(8 * KiB)
+            g.typed(np.uint8)[:] = 0
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                for i in range(8):
+                    src = np.full(KiB, i + 1, dtype=np.uint8)
+                    ctx.diomp.put(
+                        1, g, MemRef.host(ctx.node, src), target_offset=i * KiB
+                    )
+                ctx.diomp.fence()
+            ctx.diomp.barrier()
+            if ctx.rank == 1:
+                expect = np.repeat(np.arange(1, 9, dtype=np.uint8), KiB)
+                assert np.array_equal(g.typed(np.uint8), expect)
+
+        run_spmd(w, prog)
+        assert plan.injected == 1
+        assert w.obs.value("conduit.retries") == 1
+        assert w.obs.value("conduit.giveups") == 0
+        assert w.obs.value("rma.agg.batches") == 1
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            RmaAggregationParams(max_batch_ops=0)
+        with pytest.raises(ConfigurationError):
+            RmaAggregationParams(max_batch_bytes=0)
+        with pytest.raises(ConfigurationError):
+            RmaAggregationParams(eligible_bytes=-1)
+
+
+class TestPointerPrefetch:
+    def test_prefetch_eliminates_misses(self):
+        """With prefetch, remote asymmetric accesses never pay the
+        per-miss blocking pointer fetch."""
+        for prefetch in (False, True):
+            w = make_world(
+                nodes=2,
+                ranks_per_node=2,
+                params=DiompParams(pointer_prefetch=prefetch),
+            )
+
+            def prog(ctx):
+                a = ctx.diomp.alloc_asymmetric(256 * (ctx.rank + 1))
+                a.data.as_array(np.uint8)[:] = ctx.rank
+                ctx.diomp.barrier()
+                if ctx.rank == 0:
+                    for t in (1, 2, 3):
+                        dst = np.zeros(64, dtype=np.uint8)
+                        ctx.diomp.get(t, a, MemRef.host(ctx.node, dst))
+                        ctx.diomp.fence()
+                        assert (dst == t).all()
+                ctx.diomp.barrier()
+
+            run_spmd(w, prog)
+            misses = w.obs.value("rma.pointer_cache", event="miss")
+            if prefetch:
+                assert misses == 0
+                assert w.obs.value("rma.pointer_cache", event="prefetch") > 0
+            else:
+                assert misses == 3
+                assert w.obs.value("rma.pointer_cache", event="prefetch") == 0
+
+
+class TestFailedOpSurvivesPolling:
+    def test_polled_failure_still_raises_at_fence(self):
+        """Regression: pending_ops used to prune any op whose event
+        tested complete — including *failed* ones, silently dropping
+        the error the fence owes the caller."""
+        plan = FaultPlan(
+            [FaultSpec(site="conduit.put", kind="transient", fatal=True, nth=1)]
+        )
+        w = make_world(faults=plan)
+        polled = {}
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(64)
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                ctx.diomp.put(1, g, g.memref())
+                # Let the failure land, then poll: the failed op must
+                # be retained, not pruned.
+                ctx.sim.sleep(1e-3)
+                polled["pending"] = ctx.diomp.rma.pending_ops
+                ctx.diomp.fence()
+
+        with pytest.raises(FatalError):
+            run_spmd(w, prog)
+        assert polled["pending"] == 1
+
+
+class TestGroupFenceScoping:
+    def test_group_fence_leaves_nonmember_streams_running(self):
+        """Regression: fence(group=...) used to hybrid_fence([]) every
+        stream pool, draining streams carrying non-member operations —
+        an over-synchronization that forfeits the point of group
+        scoping."""
+        w = make_world(nodes=1, ranks_per_node=3)
+        big = 4 * 1024 * 1024
+        checks = {}
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(big)
+            ctx.diomp.barrier()
+            if ctx.rank in (0, 1):
+                grp = ctx.diomp.group_create([0, 1])
+            if ctx.rank == 0:
+                small = np.ones(KiB, dtype=np.uint8)
+                huge = np.ones(big, dtype=np.uint8)
+                # Member-targeted small op, non-member-targeted huge op.
+                ctx.diomp.put(1, g, MemRef.host(ctx.node, small))
+                ctx.diomp.put(2, g, MemRef.host(ctx.node, huge))
+                t0 = ctx.sim.now
+                ctx.diomp.fence(group=grp)
+                checks["scoped_elapsed"] = ctx.sim.now - t0
+                # The huge non-member transfer must still be in flight.
+                checks["pending_after_scoped"] = ctx.diomp.rma.pending_ops
+                ctx.diomp.fence()
+                checks["pending_after_full"] = ctx.diomp.rma.pending_ops
+            ctx.diomp.barrier()
+
+        run_spmd(w, prog)
+        assert checks["pending_after_scoped"] == 1
+        assert checks["pending_after_full"] == 0
+
+    def test_group_fence_flushes_only_member_batches(self):
+        """Aggregation queues to non-members survive a group fence."""
+        w = make_world(nodes=3, params=agg_params())
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(4 * KiB)
+            ctx.diomp.barrier()
+            if ctx.rank in (0, 1):
+                grp = ctx.diomp.group_create([0, 1])
+            if ctx.rank == 0:
+                src = np.ones(KiB, dtype=np.uint8)
+                ctx.diomp.put(1, g, MemRef.host(ctx.node, src))
+                ctx.diomp.put(2, g, MemRef.host(ctx.node, src))
+                ctx.diomp.fence(group=grp)
+                # The rank-2 put is still parked in its queue.
+                assert ctx.diomp.rma.pending_ops == 1
+                ctx.diomp.fence()
+            ctx.diomp.barrier()
+
+        run_spmd(w, prog)
+        assert w.obs.value("rma.agg.batches", reason="fence") == 2
+
+
+class TestRetriedIntraNodeStream:
+    def test_retry_reoccupies_pooled_stream(self):
+        """Regression: a retried intra-node transfer re-issued on the
+        fabric but its pooled stream was enqueued only once, so the
+        second DMA pass was invisible to stream accounting."""
+        plan = FaultPlan([FaultSpec(site="rma.intra", kind="transient", nth=1)])
+        w = make_world(nodes=1, ranks_per_node=2, faults=plan)
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(KiB)
+            g.typed(np.uint8)[:] = 0
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                src = np.full(KiB, 7, dtype=np.uint8)
+                ctx.diomp.put(1, g, MemRef.host(ctx.node, src))
+                ctx.diomp.fence()
+            ctx.diomp.barrier()
+            if ctx.rank == 1:
+                assert (g.typed(np.uint8) == 7).all()
+
+        run_spmd(w, prog)
+        assert plan.injected == 1
+        assert w.obs.value("conduit.retries", conduit="intra") == 1
+        pool = w.ranks[0].diomp.stream_pool(0)
+        streams = pool._idle + pool._busy
+        # One stream, occupied once per attempt.
+        assert sum(s.ops_enqueued for s in streams) == 2
+
+
+class TestPointerFetchRouting:
+    def test_same_node_fetch_uses_ipc_and_is_counted(self):
+        """Regression: the pointer-cache miss fetch bypassed
+        hierarchical path selection (always a conduit get) and never
+        showed up in rma.ops/rma.bytes."""
+        w = make_world(nodes=1, ranks_per_node=2)
+
+        def prog(ctx):
+            a = ctx.diomp.alloc_asymmetric(256)
+            a.data.as_array(np.uint8)[:] = ctx.rank + 1
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                dst = np.zeros(256, dtype=np.uint8)
+                ctx.diomp.get(1, a, MemRef.host(ctx.node, dst))
+                ctx.diomp.fence()
+                assert (dst == 2).all()
+            ctx.diomp.barrier()
+
+        run_spmd(w, prog)
+        # Both the 8-byte pointer fetch and the 256-byte data get ride
+        # the intra-node IPC path; the NIC is never touched.
+        assert w.obs.value("rma.ops", op="get", path="ipc") == 2
+        assert w.obs.value("rma.bytes", op="get", path="ipc") == 256 + 8
+        assert w.obs.value("conduit.messages", op="get") == 0
+        assert w.obs.value("rma.pointer_cache", event="miss") == 1
+
+    def test_cross_node_fetch_counted_as_conduit_get(self):
+        w = make_world(nodes=2)
+
+        def prog(ctx):
+            a = ctx.diomp.alloc_asymmetric(128)
+            a.data.as_array(np.uint8)[:] = ctx.rank + 1
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                dst = np.zeros(128, dtype=np.uint8)
+                ctx.diomp.get(1, a, MemRef.host(ctx.node, dst))
+                ctx.diomp.fence()
+                assert (dst == 2).all()
+            ctx.diomp.barrier()
+
+        run_spmd(w, prog)
+        assert w.obs.value("rma.ops", op="get", path="conduit") == 2
+        assert w.obs.value("rma.bytes", op="get", path="conduit") == 128 + 8

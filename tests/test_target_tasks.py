@@ -162,7 +162,6 @@ class TestDependences:
 
     def test_program_order_between_writers(self):
         """Two writers to one object run strictly in submission order."""
-        completions = []
 
         def program(ctx):
             rt = OmpTargetRuntime(ctx)

@@ -7,7 +7,7 @@ from repro.core import DiompRuntime
 from repro.hardware import platform_a, platform_b
 from repro.sim import Simulator, Tracer
 from repro.util.units import MiB
-from repro.xccl import NCCL_PARAMS, build_ring, ring_hop_latency
+from repro.xccl import build_ring, ring_hop_latency
 
 
 class TestTracer:

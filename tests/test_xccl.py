@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.cluster import MemRef, World, run_spmd
-from repro.hardware import platform_a, platform_b, platform_c
+from repro.hardware import platform_a, platform_b
 from repro.util.errors import CommunicationError
-from repro.util.units import KiB, MiB
+from repro.util.units import MiB
 from repro.xccl import (
     NCCL_PARAMS,
     RCCL_PARAMS,
