@@ -6,10 +6,14 @@ Usage::
     python -m repro.bench fig4 fig6       # a subset
     python -m repro.bench --full fig3     # full repetitions/sweeps
     python -m repro.bench --profile out.json   # profiled cannon run
+    python -m repro.bench regress              # benchmark regression gate
+    python -m repro.bench regress --write      # refresh BENCH_baseline.json
 
 ``--profile`` runs an instrumented 4-rank Cannon workload and writes a
 Chrome trace (Perfetto-loadable) plus a metrics snapshot next to it;
-see :mod:`repro.bench.profile`.
+see :mod:`repro.bench.profile`.  ``regress`` compares key benchmark
+figures against the committed baseline and exits nonzero on
+regression; see :mod:`repro.bench.regress`.
 
 Fast mode trims repetitions and sweep points; the simulator is
 deterministic, so values are identical where coverage overlaps.
@@ -36,6 +40,13 @@ _RUNNERS = {
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "regress":
+        # The regression gate has its own flags; dispatch before the
+        # figure parser (whose positional has fixed choices) sees them.
+        from repro.bench.regress import main as regress_main
+
+        return regress_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the DiOMP-Offloading evaluation figures.",

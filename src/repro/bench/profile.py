@@ -96,7 +96,7 @@ def write_profile(out_path: str, pcfg: Optional[ProfileConfig] = None) -> SpmdRe
         world.obs.registry,
         extra={"elapsed_virtual_s": res.elapsed, "nranks": world.nranks},
     )
-    print(world.obs.dashboard(title="profiled cannon run"))
+    print(world.obs.dashboard(title="profiled cannon run", with_spans=True))
     print(f"chrome trace : {out_path} ({nevents} events)")
     print(f"metrics      : {metrics_path}")
     return res

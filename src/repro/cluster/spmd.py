@@ -36,6 +36,17 @@ class SpmdResult:
     #: metrics snapshot taken when the run finished (repro.obs)
     metrics: Optional[Dict[str, Any]] = None
 
+    @property
+    def critical_path(self):
+        """Cross-rank critical-path summary of this run (computed lazily).
+
+        See :mod:`repro.obs.critical_path`; the breakdown's category
+        times sum to the critical-path length.
+        """
+        from repro.obs.critical_path import critical_path
+
+        return critical_path(self.world.obs.spans)
+
 
 def run_spmd(
     world: World,

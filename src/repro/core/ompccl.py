@@ -67,6 +67,11 @@ class Ompccl:
         )
         self._m_bytes.inc(nbytes, kind=kind, rank=ctx.rank)
 
+    def _trace_rendezvous(self, kind: str, group: DiompGroup, ctx: RankContext) -> None:
+        """Cross-link this rank's open collective span with its peers'
+        (see :meth:`repro.obs.Observability.rendezvous`)."""
+        self._obs.rendezvous(f"ompccl.{kind}", group.group_id, ctx.rank)
+
     # -- channel management ------------------------------------------------------
 
     def _ensure_channels(self, group: DiompGroup, ctx: RankContext) -> List[XcclComm]:
@@ -154,6 +159,7 @@ class Ompccl:
         comms = self._ensure_channels(group, ctx)
         self._record("bcast", group, ctx, buffers)
         with self._obs.span("ompccl.bcast", rank=ctx.rank, group=group.group_id):
+            self._trace_rendezvous("bcast", group, ctx)
             self._run_on_slots(
                 ctx, comms, lambda comm, i: comm.broadcast(buffers[i], root=root_slot)
             )
@@ -173,6 +179,7 @@ class Ompccl:
         comms = self._ensure_channels(group, ctx)
         self._record("allreduce", group, ctx, send)
         with self._obs.span("ompccl.allreduce", rank=ctx.rank, group=group.group_id):
+            self._trace_rendezvous("allreduce", group, ctx)
             self._run_on_slots(
                 ctx,
                 comms,
@@ -194,6 +201,7 @@ class Ompccl:
         comms = self._ensure_channels(group, ctx)
         self._record("reduce", group, ctx, send)
         with self._obs.span("ompccl.reduce", rank=ctx.rank, group=group.group_id):
+            self._trace_rendezvous("reduce", group, ctx)
             self._run_on_slots(
                 ctx,
                 comms,

@@ -492,6 +492,23 @@ class DiompRma:
         else:
             src_ref, dst_ref = remote, local
 
+        # Causal context: the open rma.put/rma.get span issuing this
+        # transfer.  Delivery lands on the target rank's track (IPC /
+        # P2P arrows in the trace); the stream completion links back
+        # onto our own track so a draining fence observes it.
+        obs = self._obs
+        ctx = obs.capture(track=f"rank{diomp.rank}")
+        sim = world.sim
+
+        def apply_copy() -> None:
+            dst_ref.copy_from(src_ref)
+            if ctx is not None and target_rank != diomp.rank:
+                obs.deliver(f"rma.deliver.{path_kind}", ctx, sim.now, rank=target_rank)
+
+        def stream_done() -> None:
+            if ctx is not None:
+                obs.deliver("stream.complete", ctx, sim.now, rank=diomp.rank)
+
         def issue():
             return world.fabric.transfer(
                 src_ref.endpoint,
@@ -499,7 +516,7 @@ class DiompRma:
                 local.nbytes,
                 operation=op,
                 gpu_memory=True,
-                on_complete=lambda: dst_ref.copy_from(src_ref),
+                on_complete=apply_copy,
                 extra_latency=params.ipc_op_overhead,
                 fault_site="rma.intra",
                 initiator=diomp.rank,
@@ -515,7 +532,7 @@ class DiompRma:
         if plan is None:
             fut = issue()
             stream = pool.acquire()
-            stream.enqueue(est, label=f"diomp-{op}")
+            stream.enqueue(est, on_complete=stream_done, label=f"diomp-{op}")
         else:
             # Under fault injection the stream is acquired up front and
             # occupied from inside the issue closure: every retry
@@ -524,7 +541,7 @@ class DiompRma:
             stream = pool.acquire()
 
             def issue_attempt():
-                stream.enqueue(est, label=f"diomp-{op}")
+                stream.enqueue(est, on_complete=stream_done, label=f"diomp-{op}")
                 return issue()
 
             fut = RetryingOp(

@@ -531,9 +531,11 @@ class Diomp:
                 "it does not belong to"
             )
         self.fence()
-        rounds = max(1, int(np.ceil(np.log2(max(group.size, 2)))))
-        self.ctx.sim.sleep(rounds * self.runtime.params.barrier_step_overhead)
-        self.runtime.group_barrier(group).wait()
+        with self.runtime.obs.span("barrier", rank=self.rank, group=group.group_id):
+            rounds = max(1, int(np.ceil(np.log2(max(group.size, 2)))))
+            self.ctx.sim.sleep(rounds * self.runtime.params.barrier_step_overhead)
+            self.runtime.obs.rendezvous("barrier", group.group_id, self.rank)
+            self.runtime.group_barrier(group).wait()
 
     # -- groups ------------------------------------------------------------------
 

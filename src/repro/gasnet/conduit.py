@@ -203,6 +203,32 @@ class GasnetClient:
             )
         else:
             self._m_msgs = self._m_bytes = None
+        self._obs = obs
+
+    def _trace_delivery(
+        self, name: str, peer_rank: int, on_complete: Callable[[], Any]
+    ) -> Callable[[], Any]:
+        """Wrap a completion callback with causal delivery recording.
+
+        Captures the initiating rank's innermost open span *now* (task
+        context, span still open) and, when the transfer lands, links
+        it into the peer rank's track — either into a span open there
+        (a fence/barrier genuinely waiting) or as a standalone
+        zero-duration delivery span.
+        """
+        obs = self._obs
+        if obs is None or not obs.enabled:
+            return on_complete
+        ctx = obs.capture(track=f"rank{self.rank}")
+        if ctx is None:
+            return on_complete
+        world = self.conduit.world
+
+        def wrapped() -> None:
+            on_complete()
+            obs.deliver(name, ctx, world.sim.now, rank=peer_rank)
+
+        return wrapped
 
     def _count_message(self, op: str, nbytes: int) -> None:
         if self._m_msgs is None:
@@ -294,6 +320,9 @@ class GasnetClient:
         params = self.conduit.params
         world = self.conduit.world
         nic_overhead = world.platform.node.nic.message_overhead
+        complete = self._trace_delivery(
+            "conduit.deliver", dst_rank, lambda: dst.copy_from(src)
+        )
 
         def issue() -> Future:
             return world.fabric.transfer(
@@ -302,7 +331,7 @@ class GasnetClient:
                 src.nbytes,
                 operation="put",
                 gpu_memory=src.is_device or dst.is_device,
-                on_complete=lambda: dst.copy_from(src),
+                on_complete=complete,
                 extra_latency=params.put_overhead,
                 occupancy_overhead=nic_overhead,
                 bandwidth_factor=params.bw_efficiency(src.nbytes),
@@ -328,6 +357,9 @@ class GasnetClient:
         params = self.conduit.params
         world = self.conduit.world
         nic_overhead = world.platform.node.nic.message_overhead
+        complete = self._trace_delivery(
+            "conduit.deliver", src_rank, lambda: dst.copy_from(src)
+        )
 
         def issue() -> Future:
             return world.fabric.transfer(
@@ -336,7 +368,7 @@ class GasnetClient:
                 dst.nbytes,
                 operation="get",
                 gpu_memory=src.is_device or dst.is_device,
-                on_complete=lambda: dst.copy_from(src),
+                on_complete=complete,
                 extra_latency=params.get_overhead,
                 occupancy_overhead=nic_overhead,
                 bandwidth_factor=params.bw_efficiency(dst.nbytes),
@@ -409,12 +441,14 @@ class GasnetClient:
             src_ep, dst_ep = remote0.endpoint, local0.endpoint
             overhead = params.get_overhead
 
-        def complete() -> None:
+        def apply_batch() -> None:
             for remote, local in resolved:
                 if op == "put":
                     remote.copy_from(local)
                 else:
                     local.copy_from(remote)
+
+        complete = self._trace_delivery("conduit.deliver", peer_rank, apply_batch)
 
         def issue() -> Future:
             return world.fabric.transfer(
@@ -484,6 +518,8 @@ class GasnetClient:
         dst_host = world.topology.host(world.ranks[dst_rank].node)
         self.ams_sent += 1
         self._count_message("am", payload_bytes)
+        obs = self._obs
+        send_ctx = obs.capture(track=f"rank{self.rank}") if obs is not None else None
 
         def issue() -> Future:
             # One attempt = request leg + handler + reply leg.  A
@@ -504,13 +540,31 @@ class GasnetClient:
                         f"rank {dst_rank} has no AM handler {handler!r}"
                     ) from None
                 reply = handler_fn(self.rank, payload)
+                handler_ctx = (
+                    obs.deliver(
+                        "conduit.am.deliver", send_ctx, world.sim.now, rank=dst_rank
+                    )
+                    if obs is not None
+                    else None
+                )
+
+                def reply_done() -> None:
+                    attempt.fire(reply)
+                    if obs is not None:
+                        obs.deliver(
+                            "conduit.am.reply",
+                            handler_ctx,
+                            world.sim.now,
+                            rank=self.rank,
+                        )
+
                 rep = world.fabric.transfer(
                     dst_host,
                     src_host,
                     payload_bytes,
                     operation="put",
                     gpu_memory=False,
-                    on_complete=lambda: attempt.fire(reply),
+                    on_complete=reply_done,
                     extra_latency=params.am_overhead,
                     fault_site="conduit.am",
                     initiator=dst_rank,

@@ -130,6 +130,25 @@ class Gpi2Client:
             )
         else:
             self._m_msgs = self._m_bytes = None
+        self._obs = obs
+
+    def _trace_delivery(
+        self, name: str, peer_rank: int, on_complete: Callable[[], Any]
+    ) -> Callable[[], Any]:
+        """Causal delivery wrapper (see GasnetClient._trace_delivery)."""
+        obs = self._obs
+        if obs is None or not obs.enabled:
+            return on_complete
+        ctx = obs.capture(track=f"rank{self.rank}")
+        if ctx is None:
+            return on_complete
+        world = self.conduit.world
+
+        def wrapped() -> None:
+            on_complete()
+            obs.deliver(name, ctx, world.sim.now, rank=peer_rank)
+
+        return wrapped
 
     def _count_message(self, op: str, nbytes: int) -> None:
         if self._m_msgs is None:
@@ -204,6 +223,9 @@ class Gpi2Client:
         params = self.conduit.params
         world = self.conduit.world
         nic_overhead = world.platform.node.nic.message_overhead
+        complete = self._trace_delivery(
+            "conduit.deliver", dst_rank, lambda: dst.copy_from(src)
+        )
 
         def issue() -> Future:
             return world.fabric.transfer(
@@ -212,7 +234,7 @@ class Gpi2Client:
                 src.nbytes,
                 operation="put",
                 gpu_memory=src.is_device or dst.is_device,
-                on_complete=lambda: dst.copy_from(src),
+                on_complete=complete,
                 extra_latency=params.write_overhead,
                 occupancy_overhead=nic_overhead,
                 bandwidth_factor=params.bw_efficiency(src.nbytes),
@@ -241,6 +263,9 @@ class Gpi2Client:
         params = self.conduit.params
         world = self.conduit.world
         nic_overhead = world.platform.node.nic.message_overhead
+        complete = self._trace_delivery(
+            "conduit.deliver", src_rank, lambda: dst.copy_from(src)
+        )
 
         def issue() -> Future:
             return world.fabric.transfer(
@@ -249,7 +274,7 @@ class Gpi2Client:
                 dst.nbytes,
                 operation="get",
                 gpu_memory=src.is_device or dst.is_device,
-                on_complete=lambda: dst.copy_from(src),
+                on_complete=complete,
                 extra_latency=params.read_overhead,
                 occupancy_overhead=nic_overhead,
                 bandwidth_factor=params.bw_efficiency(dst.nbytes),
@@ -318,12 +343,14 @@ class Gpi2Client:
             src_ep, dst_ep = remote0.endpoint, local0.endpoint
             overhead = params.read_overhead
 
-        def complete() -> None:
+        def apply_batch() -> None:
             for remote, local in resolved:
                 if op == "put":
                     remote.copy_from(local)
                 else:
                     local.copy_from(remote)
+
+        complete = self._trace_delivery("conduit.deliver", peer_rank, apply_batch)
 
         def issue() -> Future:
             return world.fabric.transfer(
@@ -410,6 +437,11 @@ class Gpi2Client:
         src_host = world.topology.host(world.ranks[self.rank].node)
         dst_host = world.topology.host(world.ranks[dst_rank].node)
         target = self.conduit.client(dst_rank)
+        complete = self._trace_delivery(
+            "conduit.notify.deliver",
+            dst_rank,
+            lambda: target.notification(notification_id).post(value),
+        )
 
         def issue() -> Future:
             return world.fabric.transfer(
@@ -418,7 +450,7 @@ class Gpi2Client:
                 8,
                 operation="put",
                 gpu_memory=False,
-                on_complete=lambda: target.notification(notification_id).post(value),
+                on_complete=complete,
                 extra_latency=self.conduit.params.notify_overhead,
                 fault_site="conduit.notify",
                 initiator=self.rank,
@@ -448,6 +480,8 @@ class Gpi2Client:
         dst_host = world.topology.host(world.ranks[dst_rank].node)
         self.ams_sent += 1
         self._count_message("am", payload_bytes)
+        obs = self._obs
+        send_ctx = obs.capture(track=f"rank{self.rank}") if obs is not None else None
 
         def issue() -> Future:
             attempt = Future(world.sim, description=f"gaspi-am:{handler}->r{dst_rank}")
@@ -464,13 +498,31 @@ class Gpi2Client:
                         f"rank {dst_rank} has no AM handler {handler!r}"
                     ) from None
                 reply = handler_fn(self.rank, payload)
+                handler_ctx = (
+                    obs.deliver(
+                        "conduit.am.deliver", send_ctx, world.sim.now, rank=dst_rank
+                    )
+                    if obs is not None
+                    else None
+                )
+
+                def reply_done() -> None:
+                    attempt.fire(reply)
+                    if obs is not None:
+                        obs.deliver(
+                            "conduit.am.reply",
+                            handler_ctx,
+                            world.sim.now,
+                            rank=self.rank,
+                        )
+
                 rep = world.fabric.transfer(
                     dst_host,
                     src_host,
                     payload_bytes,
                     operation="put",
                     gpu_memory=False,
-                    on_complete=lambda: attempt.fire(reply),
+                    on_complete=reply_done,
                     extra_latency=params.am_overhead,
                     fault_site="conduit.am",
                     initiator=dst_rank,

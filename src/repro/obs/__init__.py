@@ -26,6 +26,7 @@ from repro.obs.export import (
     chrome_trace_events,
     dashboard_tables,
     events_jsonl,
+    flow_events,
     render_dashboard,
     write_chrome_trace,
     write_metrics_snapshot,
@@ -37,7 +38,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     size_class,
 )
-from repro.obs.spans import SpanProfiler, SpanRecord
+from repro.obs.spans import SpanProfiler, SpanRecord, TraceContext
 
 
 class Observability:
@@ -51,6 +52,10 @@ class Observability:
         self.enabled = enabled
         self.registry = MetricsRegistry(enabled=enabled)
         self.profiler = SpanProfiler(clock=clock, enabled=enabled)
+        #: per-(kind, ident, rank) rendezvous sequence numbers
+        self._rdv_seq: Dict[Any, int] = {}
+        #: (kind, ident, seq) -> {rank: TraceContext} arrival registry
+        self._rdv_ctxs: Dict[Any, Dict[int, TraceContext]] = {}
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the virtual clock (done by the world at construction)."""
@@ -82,6 +87,67 @@ class Observability:
     def spans(self):
         return self.profiler.records
 
+    # -- causal tracing --------------------------------------------------------
+
+    def capture(self, track: Optional[str] = None, **args: Any) -> Optional[TraceContext]:
+        """Context of the innermost open span (sender side of a message)."""
+        return self.profiler.capture(track=track, **args)
+
+    def link(self, ctx: Optional[TraceContext], track: Optional[str] = None, **args: Any) -> bool:
+        """Attach an incoming link to the innermost open span (receiver side)."""
+        return self.profiler.link(ctx, track=track, **args)
+
+    def deliver(
+        self,
+        name: str,
+        ctx: Optional[TraceContext],
+        when: float,
+        track: Optional[str] = None,
+        **args: Any,
+    ) -> Optional[TraceContext]:
+        """Record a message delivery on the receiving track.
+
+        Links into the receiver's open span when one exists (a blocking
+        fence/wait); otherwise records a standalone zero-duration
+        delivery span carrying the causal link, so the arrow always has
+        somewhere to land.  ``when`` is the simulated delivery time
+        (the caller usually runs in scheduler context, after the clock
+        already advanced past it).  Returns the context of the span
+        that received the link, so multi-hop flows (request → handler →
+        reply) can chain.
+        """
+        if not self.enabled or ctx is None:
+            return None
+        if self.profiler.link(ctx, track=track, **args):
+            return self.profiler.capture(track=track, **args)
+        rec = self.profiler.record(name, when, when, track=track, links=(ctx,), **args)
+        return TraceContext(self.profiler.trace_id, rec.span_id) if rec else None
+
+    def rendezvous(self, kind: str, ident: Any, rank: int) -> None:
+        """Cross-link this rank's open span with peers at a rendezvous.
+
+        Barriers and collectives are all-to-all synchronization: no
+        member leaves before the last arrival.  Each arriving rank
+        registers its innermost open span under the point's
+        ``(kind, ident, sequence)`` identity and links bidirectionally
+        with the members already registered — earlier arrivals into
+        this span, and this span into the earlier arrivals' still-open
+        spans — so the span DAG records that everyone's completion
+        depended on the last arriver.  Sequence numbers are counted
+        per rank, so the Nth barrier on a group pairs across ranks.
+        """
+        mine = self.capture(track=f"rank{rank}")
+        if mine is None:
+            return
+        seq_key = (kind, ident, rank)
+        seq = self._rdv_seq.get(seq_key, 0)
+        self._rdv_seq[seq_key] = seq + 1
+        peers = self._rdv_ctxs.setdefault((kind, ident, seq), {})
+        for peer_rank, peer_ctx in peers.items():
+            self.profiler.link(peer_ctx, track=f"rank{rank}")
+            self.profiler.link_span(peer_ctx, mine, track=f"rank{peer_rank}")
+        peers[rank] = mine
+
     # -- export ----------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
@@ -94,8 +160,13 @@ class Observability:
     def write_chrome_trace(self, path: str, tracer=None, metadata: Optional[Dict[str, Any]] = None) -> int:
         return write_chrome_trace(path, self.profiler.records, tracer, metadata)
 
-    def dashboard(self, title: str = "Observability dashboard") -> str:
-        return render_dashboard(self.registry, title)
+    def dashboard(
+        self, title: str = "Observability dashboard", with_spans: bool = False
+    ) -> str:
+        """The plain-text dashboard; ``with_spans=True`` appends the
+        critical-path breakdown and wait-state tables."""
+        spans = self.profiler.records if with_spans else None
+        return render_dashboard(self.registry, title, spans=spans)
 
 
 __all__ = [
@@ -106,9 +177,11 @@ __all__ = [
     "Histogram",
     "SpanProfiler",
     "SpanRecord",
+    "TraceContext",
     "size_class",
     "chrome_trace",
     "chrome_trace_events",
+    "flow_events",
     "write_chrome_trace",
     "write_metrics_snapshot",
     "events_jsonl",

@@ -1,0 +1,311 @@
+"""Cross-rank critical-path and wait-state analysis.
+
+Given the spans of one run — each carrying per-track nesting
+(``parent_id``) and cross-track causal ``links`` from message
+deliveries — this module reconstructs the span DAG and walks the
+**critical path**: the single causal chain of work that determined the
+run's makespan.  Scalasca-style, the path is reported as a time
+*breakdown by category* (network / device / host / wait) whose parts
+tile the interval ``[0, T]`` exactly, so they always sum to the
+critical-path length.
+
+Alongside the path itself, :func:`critical_path` computes per-track
+(per-rank) busy/wait statistics and a load-imbalance factor — the
+tables a user reads to decide whether the run is communication-bound,
+compute-bound, or simply lopsided.
+
+Typical use::
+
+    summary = result.critical_path          # SpmdResult property
+    print(summary.render())                 # text tables
+    summary.breakdown["network"]            # seconds on the path
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.spans import SpanRecord
+
+#: span-name prefixes -> breakdown category; longest dotted prefix wins.
+#: Anything unmatched is "host" (CPU-side runtime work).
+DEFAULT_CATEGORIES: Dict[str, str] = {
+    "conduit": "network",
+    "gaspi": "network",
+    "am": "network",
+    "rma.put": "network",
+    "rma.get": "network",
+    "rma.deliver": "network",
+    "rma.notify": "network",
+    "rma.fence": "wait",
+    "barrier": "wait",
+    "fence": "wait",
+    "wait": "wait",
+    "stream": "device",
+    "kernel": "device",
+    "device": "device",
+    "ompccl": "device",
+    "xccl": "device",
+}
+
+#: the four categories, in dashboard display order
+CATEGORY_ORDER: Tuple[str, ...] = ("network", "device", "host", "wait")
+
+
+def categorize(name: str, categories: Optional[Dict[str, str]] = None) -> str:
+    """Map a span name to a breakdown category by longest dotted prefix."""
+    table = DEFAULT_CATEGORIES if categories is None else categories
+    prefix = name
+    while True:
+        if prefix in table:
+            return table[prefix]
+        if "." not in prefix:
+            return "host"
+        prefix = prefix.rsplit(".", 1)[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class PathSegment:
+    """One contiguous stretch of the critical path."""
+
+    start: float
+    end: float
+    category: str
+    #: span name charged for this stretch ("(idle)" for wait gaps)
+    name: str
+    #: track the stretch ran on
+    track: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class TrackStats:
+    """Busy/wait accounting for one track over the whole run."""
+
+    track: str
+    #: union of span intervals on this track (overlaps counted once)
+    busy: float
+    #: makespan minus busy
+    wait: float
+    spans: int
+
+
+@dataclasses.dataclass
+class CriticalPathSummary:
+    """The critical path of one run, plus per-track wait statistics."""
+
+    #: critical-path length == trace makespan (last span end)
+    total: float
+    #: path segments in time order; they tile [0, total] exactly
+    segments: List[PathSegment]
+    #: category -> seconds on the path; values sum to ``total``
+    breakdown: Dict[str, float]
+    #: per-track busy/wait, sorted by track
+    tracks: List[TrackStats]
+    #: max busy / mean busy across tracks (1.0 = perfectly balanced)
+    imbalance: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by the regression harness)."""
+        return {
+            "total": self.total,
+            "breakdown": {c: self.breakdown.get(c, 0.0) for c in CATEGORY_ORDER},
+            "imbalance": self.imbalance,
+            "tracks": [dataclasses.asdict(t) for t in self.tracks],
+            "segments": len(self.segments),
+        }
+
+    def render(self) -> str:
+        """The dashboard tables: breakdown, per-track waits, hot spans."""
+        from repro.bench.report import Table
+
+        out = []
+        breakdown = Table(
+            "Critical path breakdown", ["category", "seconds", "share"]
+        )
+        for cat in CATEGORY_ORDER:
+            sec = self.breakdown.get(cat, 0.0)
+            share = sec / self.total if self.total else 0.0
+            breakdown.add_row(cat, f"{sec:.9f}", f"{share * 100:5.1f}%")
+        breakdown.add_row("total", f"{self.total:.9f}", "100.0%")
+        out.append(breakdown.render())
+
+        waits = Table(
+            "Per-track wait states", ["track", "busy s", "wait s", "busy %", "spans"]
+        )
+        for t in self.tracks:
+            pct = t.busy / self.total * 100 if self.total else 0.0
+            waits.add_row(t.track, f"{t.busy:.9f}", f"{t.wait:.9f}", f"{pct:5.1f}", t.spans)
+        waits.add_row("imbalance", f"{self.imbalance:.3f}x", "", "", "")
+        out.append(waits.render())
+
+        hot = Table("Hottest path spans", ["name", "track", "seconds", "share"])
+        by_name: Dict[Tuple[str, str], float] = {}
+        for seg in self.segments:
+            key = (seg.name, seg.track)
+            by_name[key] = by_name.get(key, 0.0) + seg.duration
+        top = sorted(by_name.items(), key=lambda kv: (-kv[1], kv[0]))[:8]
+        for (name, track), sec in top:
+            share = sec / self.total if self.total else 0.0
+            hot.add_row(name, track, f"{sec:.9f}", f"{share * 100:5.1f}%")
+        out.append(hot.render())
+        return "\n\n".join(out)
+
+
+def _track_stats(spans: Sequence[SpanRecord], total: float) -> List[TrackStats]:
+    by_track: Dict[str, List[Tuple[float, float]]] = {}
+    counts: Dict[str, int] = {}
+    for r in spans:
+        by_track.setdefault(r.track, []).append((r.start, r.end))
+        counts[r.track] = counts.get(r.track, 0) + 1
+    stats = []
+    for track in sorted(by_track, key=_track_key):
+        busy = 0.0
+        cur_s = cur_e = None
+        for s, e in sorted(by_track[track]):
+            if cur_e is None or s > cur_e:
+                if cur_e is not None:
+                    busy += cur_e - cur_s
+                cur_s, cur_e = s, e
+            else:
+                cur_e = max(cur_e, e)
+        if cur_e is not None:
+            busy += cur_e - cur_s
+        stats.append(
+            TrackStats(
+                track=track,
+                busy=busy,
+                wait=max(0.0, total - busy),
+                spans=counts[track],
+            )
+        )
+    return stats
+
+
+def _track_key(track: str) -> Tuple[int, object]:
+    if track.startswith("rank") and track[4:].isdigit():
+        return (0, int(track[4:]))
+    return (1, track)
+
+
+def critical_path(
+    spans: Iterable[SpanRecord],
+    categories: Optional[Dict[str, str]] = None,
+    categorizer: Optional[Callable[[str], str]] = None,
+) -> CriticalPathSummary:
+    """Walk the cross-rank span DAG backward from the last span to end.
+
+    The walk starts at the globally last-ending span and moves backward
+    through time, at each step charging the current stretch to the
+    active span's category and then jumping to the most recent causal
+    predecessor:
+
+    * an incoming cross-track **link** whose sender span ended while the
+      current span was running (a message delivery the span waited on),
+    * else the **parent** span on the same track (nesting),
+    * else the latest earlier span — same-track sibling or linked
+      sender — with any gap in between charged as ``wait``.
+
+    Because each hop continues exactly where the previous stretch
+    began, the emitted segments tile ``[0, T]`` and the category
+    breakdown sums to the critical-path length by construction.
+    """
+    cat = categorizer or (lambda name: categorize(name, categories))
+    records = [r for r in spans if r.end >= r.start]
+    if not records:
+        return CriticalPathSummary(0.0, [], {}, [], 0.0)
+
+    by_id = {r.span_id: r for r in records}
+    by_track: Dict[str, List[SpanRecord]] = {}
+    for r in records:
+        by_track.setdefault(r.track, []).append(r)
+    for track_spans in by_track.values():
+        track_spans.sort(key=lambda r: (r.end, r.span_id))
+
+    root = max(records, key=lambda r: (r.end, r.span_id))
+    total = root.end
+    segments: List[PathSegment] = []
+    visited = set()
+    cur = root
+    t = cur.end
+
+    def emit(start: float, end: float, rec: Optional[SpanRecord]) -> None:
+        if end <= start:
+            return
+        if rec is None:
+            segments.append(PathSegment(start, end, "wait", "(idle)", track))
+        else:
+            segments.append(
+                PathSegment(start, end, cat(rec.name), rec.name, rec.track)
+            )
+
+    # Bounded by construction (each iteration marks a span visited or
+    # terminates), but keep an explicit fuse against pathological input.
+    for _ in range(2 * len(records) + 2):
+        track = cur.track
+        # A message arriving mid-span: jump across tracks at its arrival.
+        arriving = [
+            by_id[link]
+            for link in cur.links
+            if link in by_id
+            and link not in visited
+            and cur.start < by_id[link].end <= t
+        ]
+        if arriving:
+            pred = max(arriving, key=lambda r: (r.end, r.span_id))
+            emit(pred.end, t, cur)
+            visited.add(cur.span_id)
+            cur, t = pred, pred.end
+            continue
+
+        emit(cur.start, t, cur)
+        visited.add(cur.span_id)
+        t = cur.start
+
+        # Nesting: time before a child began belongs to its parent.
+        parent = by_id.get(cur.parent_id) if cur.parent_id is not None else None
+        if parent is not None and parent.span_id not in visited:
+            cur = parent
+            continue
+
+        # Latest earlier predecessor: same-track sibling or linked sender.
+        candidates: List[SpanRecord] = []
+        for r in reversed(by_track[track]):
+            if r.end <= t and r.span_id not in visited:
+                candidates.append(r)
+                break
+        for link in cur.links:
+            r = by_id.get(link)
+            if r is not None and r.end <= t and r.span_id not in visited:
+                candidates.append(r)
+        if not candidates:
+            break
+        pred = max(candidates, key=lambda r: (r.end, r.span_id))
+        emit(pred.end, t, None)
+        cur, t = pred, pred.end
+
+    if t > 0:
+        track = cur.track
+        emit(0.0, t, None)
+
+    segments.reverse()
+    breakdown: Dict[str, float] = {}
+    for seg in segments:
+        breakdown[seg.category] = breakdown.get(seg.category, 0.0) + seg.duration
+
+    tracks = _track_stats(records, total)
+    busies = [s.busy for s in tracks]
+    mean_busy = sum(busies) / len(busies) if busies else 0.0
+    imbalance = (max(busies) / mean_busy) if mean_busy > 0 else 1.0
+
+    return CriticalPathSummary(
+        total=total,
+        segments=segments,
+        breakdown=breakdown,
+        tracks=tracks,
+        imbalance=imbalance,
+    )

@@ -30,6 +30,89 @@ def _track_order(track: str) -> tuple:
     return (1, 0, track)
 
 
+def flow_events(
+    spans: Optional[Sequence[SpanRecord]] = None,
+    tids: Optional[Dict[str, int]] = None,
+    pid: int = 0,
+) -> List[Dict[str, Any]]:
+    """Perfetto flow events (``"ph": "s"/"t"/"f"``) from span links.
+
+    Each causal edge — a receiver span whose ``links`` name a sender
+    span — becomes a flow arrow from the sender's end to the point the
+    message lands inside the receiver.  Edges that chain through
+    *interior* spans (exactly one incoming and one outgoing link) merge
+    into a single multi-hop flow with ``"t"`` step events, so e.g.
+    put → delivery → downstream-wait renders as one arrowed path.
+    """
+    spans = spans or ()
+    if tids is None:
+        tids = {
+            track: tid
+            for tid, track in enumerate(
+                sorted({s.track for s in spans}, key=_track_order)
+            )
+        }
+    by_id = {s.span_id: s for s in spans if s.span_id}
+    incoming: Dict[int, List[int]] = {}
+    outgoing: Dict[int, List[int]] = {}
+    for s in spans:
+        for link in s.links:
+            if link == s.span_id or link not in by_id:
+                continue
+            incoming.setdefault(s.span_id, []).append(link)
+            outgoing.setdefault(link, []).append(s.span_id)
+    for targets in outgoing.values():
+        targets.sort()
+
+    def interior(n: int) -> bool:
+        return len(incoming.get(n, ())) == 1 and len(outgoing.get(n, ())) == 1
+
+    def land_ts(prev: SpanRecord, node: SpanRecord) -> float:
+        # Arrive inside the receiving slice, never before departure.
+        return min(max(prev.end, node.start), node.end) * 1e6
+
+    def flow(ph: str, fid: int, name: str, rec: SpanRecord, ts: float) -> Dict[str, Any]:
+        ev = {
+            "ph": ph,
+            "id": fid,
+            "name": name,
+            "cat": "flow",
+            "pid": pid,
+            "tid": tids[rec.track],
+            "ts": ts,
+        }
+        if ph == "f":
+            ev["bp"] = "e"  # bind to the enclosing receiver slice
+        return ev
+
+    events: List[Dict[str, Any]] = []
+    emitted = set()
+    next_id = 1
+    for head in sorted(outgoing):
+        if interior(head):
+            continue  # reached mid-chain from its upstream head
+        for first in outgoing[head]:
+            if (head, first) in emitted:
+                continue
+            emitted.add((head, first))
+            chain = [by_id[head], by_id[first]]
+            node = first
+            while interior(node) and (node, outgoing[node][0]) not in emitted:
+                nxt = outgoing[node][0]
+                emitted.add((node, nxt))
+                chain.append(by_id[nxt])
+                node = nxt
+            fid, next_id = next_id, next_id + 1
+            name = chain[0].name
+            events.append(flow("s", fid, name, chain[0], chain[0].end * 1e6))
+            for prev, mid in zip(chain, chain[1:-1]):
+                events.append(flow("t", fid, name, mid, land_ts(prev, mid)))
+            events.append(
+                flow("f", fid, name, chain[-1], land_ts(chain[-2], chain[-1]))
+            )
+    return events
+
+
 def chrome_trace_events(
     spans: Optional[Sequence[SpanRecord]] = None,
     tracer: Optional["Tracer"] = None,
@@ -65,6 +148,7 @@ def chrome_trace_events(
                 "args": {k: str(v) for k, v in span.args.items()},
             }
         )
+    events.extend(flow_events(spans, tids, pid))
     if tracer is not None:
         tid = tids.get("events", 0)
         for rec in tracer:
@@ -251,6 +335,30 @@ def dashboard_tables(registry: MetricsRegistry):
         t.add_row("all", _fmt(gauge.value()), _fmt(gauge.high_water()))
         tables.append(t)
 
+    hist_rows = []
+    for metric in registry:
+        if not isinstance(metric, Histogram):
+            continue
+        for entry in metric.snapshot():
+            labels = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+            hist_rows.append((metric.name, labels, entry))
+    if hist_rows:
+        t = Table(
+            "Histogram quantiles",
+            ["histogram", "labels", "n", "mean", "p50", "p95", "p99"],
+        )
+        for name, labels, entry in hist_rows:
+            t.add_row(
+                name,
+                labels,
+                entry["count"],
+                f"{entry['mean']:.2f}",
+                _fmt(entry["p50"]),
+                _fmt(entry["p95"]),
+                _fmt(entry["p99"]),
+            )
+        tables.append(t)
+
     catalog = Table("Metric catalog", ["metric", "kind", "labels", "value"])
     for metric in registry:
         for entry in metric.snapshot():
@@ -269,8 +377,21 @@ def dashboard_tables(registry: MetricsRegistry):
     return tables
 
 
-def render_dashboard(registry: MetricsRegistry, title: str = "Observability dashboard") -> str:
-    """The full dashboard as one printable string."""
+def render_dashboard(
+    registry: MetricsRegistry,
+    title: str = "Observability dashboard",
+    spans: Optional[Sequence[SpanRecord]] = None,
+) -> str:
+    """The full dashboard as one printable string.
+
+    When ``spans`` is given, the cross-rank critical-path breakdown and
+    per-track wait-state tables are appended (see
+    :mod:`repro.obs.critical_path`).
+    """
     parts = [title, "#" * len(title)]
     parts.extend(t.render() for t in dashboard_tables(registry))
+    if spans:
+        from repro.obs.critical_path import critical_path
+
+        parts.append(critical_path(spans).render())
     return "\n\n".join(parts)

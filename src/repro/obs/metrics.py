@@ -17,6 +17,7 @@ All label values are stringified on write, so ``rank=3`` and
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.util.errors import ConfigurationError
@@ -81,6 +82,37 @@ class HistogramStats:
                 return
         self.buckets[-1] += 1  # overflow bucket
 
+    def percentile(self, q: float, bounds: Sequence[float]) -> float:
+        """Bucket-estimated ``q``-quantile (``q`` in [0, 1]).
+
+        Walks the cumulative bucket counts and interpolates linearly
+        inside the bucket containing the target rank; the first bucket
+        is anchored at the observed minimum, the overflow bucket at the
+        observed maximum.  Exact when observations fall on bucket
+        bounds; within one bucket width otherwise — the standard
+        Prometheus ``histogram_quantile`` trade-off.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ConfigurationError(f"percentile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lo = self.minimum if i == 0 else float(bounds[i - 1])
+                hi = float(bounds[i]) if i < len(bounds) else self.maximum
+                lo = max(lo, self.minimum)
+                hi = min(hi, self.maximum)
+                if hi <= lo:
+                    return lo
+                frac = (target - cumulative) / n
+                return lo + (hi - lo) * min(1.0, max(0.0, frac))
+            cumulative += n
+        return self.maximum  # pragma: no cover - target beyond all buckets
+
 
 class Metric:
     """Base class: one named family of labeled series."""
@@ -91,10 +123,37 @@ class Metric:
         self.registry = registry
         self.name = name
         self.help = help
+        #: True once this family hit the label-cardinality cap
+        self.overflowed = False
 
     @property
     def enabled(self) -> bool:
         return self.registry.enabled
+
+    def _admit(self, series: Dict[LabelKey, Any], key: LabelKey) -> bool:
+        """Label-cardinality guard: may ``key`` become a new series?
+
+        Existing series always pass.  A new series passes while the
+        family is below the registry's ``max_series_per_metric`` cap;
+        beyond it the write is dropped (and counted) with a one-time
+        warning, so one buggy instrumentation site — say a label
+        carrying a message address — cannot grow snapshots unboundedly.
+        """
+        if key in series:
+            return True
+        if len(series) < self.registry.max_series_per_metric:
+            return True
+        if not self.overflowed:
+            self.overflowed = True
+            warnings.warn(
+                f"metric {self.name!r} exceeded the label-cardinality cap "
+                f"({self.registry.max_series_per_metric} series); further "
+                "new label sets are dropped",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        self.registry.dropped_series += 1
+        return False
 
     def label_keys(self) -> List[LabelKey]:
         raise NotImplementedError
@@ -118,6 +177,8 @@ class Counter(Metric):
         if amount < 0:
             raise ConfigurationError(f"counter {self.name}: negative increment")
         key = _label_key(labels)
+        if not self._admit(self._series, key):
+            return
         self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
@@ -148,6 +209,8 @@ class Gauge(Metric):
         if not self.registry.enabled:
             return
         key = _label_key(labels)
+        if not self._admit(self._series, key):
+            return
         self._series[key] = value
         if value > self._high.get(key, float("-inf")):
             self._high[key] = value
@@ -204,6 +267,8 @@ class Histogram(Metric):
         key = _label_key(labels)
         stats = self._series.get(key)
         if stats is None:
+            if not self._admit(self._series, key):
+                return
             stats = self._series[key] = HistogramStats()
         stats.observe(value, self.bounds)
 
@@ -240,6 +305,9 @@ class Histogram(Metric):
                     "min": s.minimum if s.count else 0.0,
                     "max": s.maximum if s.count else 0.0,
                     "mean": s.mean,
+                    "p50": s.percentile(0.50, self.bounds),
+                    "p95": s.percentile(0.95, self.bounds),
+                    "p99": s.percentile(0.99, self.bounds),
                     "buckets": list(s.buckets),
                 }
             )
@@ -249,8 +317,16 @@ class Histogram(Metric):
 class MetricsRegistry:
     """One world's metric families, get-or-create by name."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, max_series_per_metric: int = 1000) -> None:
+        if max_series_per_metric < 1:
+            raise ConfigurationError(
+                f"max_series_per_metric must be >= 1, got {max_series_per_metric}"
+            )
         self.enabled = enabled
+        #: label-cardinality cap applied per metric family
+        self.max_series_per_metric = max_series_per_metric
+        #: total writes dropped by the cardinality guard (all families)
+        self.dropped_series = 0
         self._metrics: Dict[str, Metric] = {}
 
     def _get(self, name: str, factory, kind: str) -> Metric:

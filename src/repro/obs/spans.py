@@ -1,4 +1,4 @@
-"""Span profiling on the virtual clock.
+"""Span profiling on the virtual clock, with causal links.
 
 A :class:`SpanProfiler` records nested timed regions::
 
@@ -8,16 +8,37 @@ A :class:`SpanProfiler` records nested timed regions::
 Each span captures the virtual start/end times, its nesting depth, and
 a *track* — the timeline it renders on in a Chrome trace (per-rank by
 convention: passing ``rank=3`` selects track ``rank3``).  Nesting is
-maintained per OS thread, which in the simulator means per simulated
-task, since every task is a real thread and exactly one runs at a
-time.
+maintained **per track**: two ranks' tasks interleave freely in an
+SPMD run, yet each rank's spans nest against that rank's own open
+spans, never a sibling's.
+
+Causal tracing
+--------------
+Every span carries a unique ``span_id``; a :class:`TraceContext`
+``(trace_id, span_id)`` names one span so it can travel on a simulated
+message.  The send side captures the context of its innermost open
+span (:meth:`SpanProfiler.capture`) and attaches it to the message; at
+delivery time the receive side either links the context into its own
+open span (:meth:`SpanProfiler.link`) or records a standalone delivery
+span carrying the link (:meth:`SpanProfiler.record`).  The resulting
+``links`` tuples are what the Chrome-trace exporter turns into
+Perfetto flow arrows and the critical-path analyzer turns into
+cross-rank DAG edges.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import threading
-from typing import Any, Callable, Dict, List, Optional
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """A reference to one span, small enough to ride every message."""
+
+    trace_id: str
+    span_id: int
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,6 +51,13 @@ class SpanRecord:
     end: float
     depth: int
     args: Dict[str, Any]
+    #: unique id within the profiler's trace
+    span_id: int = 0
+    #: span_id of the enclosing span on the same track (None at depth 0)
+    parent_id: Optional[int] = None
+    #: span_ids of causal predecessors on *other* tracks (message sends
+    #: whose delivery this span observed)
+    links: Tuple[int, ...] = ()
 
     @property
     def duration(self) -> float:
@@ -65,25 +93,48 @@ _NULL_SPAN = _NullSpan()
 class _ActiveSpan:
     """Context manager recording one span into the profiler."""
 
-    __slots__ = ("profiler", "name", "track", "args", "start", "depth")
+    __slots__ = (
+        "profiler",
+        "name",
+        "track",
+        "args",
+        "start",
+        "depth",
+        "span_id",
+        "parent_id",
+        "links",
+    )
 
     def __init__(self, profiler: "SpanProfiler", name: str, track: str, args: Dict[str, Any]) -> None:
         self.profiler = profiler
         self.name = name
         self.track = track
         self.args = args
+        self.links: List[int] = []
 
     def __enter__(self) -> "_ActiveSpan":
         prof = self.profiler
-        stack = prof._stack()
+        stack = prof._stack(self.track)
         self.depth = len(stack)
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = prof._next_id()
         self.start = prof._clock()
-        stack.append(self.name)
+        stack.append(self)
         return self
 
     def __exit__(self, *exc: Any) -> bool:
         prof = self.profiler
-        prof._stack().pop()
+        stack = prof._stack(self.track)
+        # Remove *this* span, not blindly the top: concurrent tasks on
+        # one rank (e.g. multi-device OMPCCL slot tasks) may interleave
+        # enter/exit order on a shared track.
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - interleaved same-track tasks
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
         prof.records.append(
             SpanRecord(
                 name=self.name,
@@ -92,9 +143,17 @@ class _ActiveSpan:
                 end=prof._clock(),
                 depth=self.depth,
                 args=self.args,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                links=tuple(self.links),
             )
         )
         return False
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's :class:`TraceContext` (while it is open)."""
+        return TraceContext(self.profiler.trace_id, self.span_id)
 
 
 class SpanProfiler:
@@ -104,22 +163,34 @@ class SpanProfiler:
         self,
         clock: Optional[Callable[[], float]] = None,
         enabled: bool = True,
+        trace_id: str = "trace0",
     ) -> None:
         self.enabled = enabled
+        self.trace_id = trace_id
         self._clock = clock or (lambda: 0.0)
         self.records: List[SpanRecord] = []
-        self._stacks: Dict[int, List[str]] = {}
+        #: per-track stacks of currently open spans
+        self._stacks: Dict[str, List[_ActiveSpan]] = {}
+        self._ids = itertools.count(1)
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the virtual clock (done once by the world)."""
         self._clock = clock
 
-    def _stack(self) -> List[str]:
-        ident = threading.get_ident()
-        stack = self._stacks.get(ident)
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _stack(self, track: str) -> List[_ActiveSpan]:
+        stack = self._stacks.get(track)
         if stack is None:
-            stack = self._stacks[ident] = []
+            stack = self._stacks[track] = []
         return stack
+
+    @staticmethod
+    def _resolve_track(track: Optional[str], args: Dict[str, Any]) -> str:
+        if track is not None:
+            return track
+        return f"rank{args['rank']}" if "rank" in args else "main"
 
     def span(self, name: str, track: Optional[str] = None, **args: Any):
         """A context manager timing one region.
@@ -129,9 +200,114 @@ class SpanProfiler:
         """
         if not self.enabled:
             return _NULL_SPAN
-        if track is None:
-            track = f"rank{args['rank']}" if "rank" in args else "main"
-        return _ActiveSpan(self, name, track, args)
+        return _ActiveSpan(self, name, self._resolve_track(track, args), args)
+
+    # -- causal tracing --------------------------------------------------------
+
+    def capture(self, track: Optional[str] = None, **args: Any) -> Optional[TraceContext]:
+        """The context of the innermost open span on a track.
+
+        This is what a message *sender* attaches to an outgoing
+        operation.  Returns None when the profiler is disabled or no
+        span is open on the track (nothing to point an arrow at).
+        """
+        if not self.enabled:
+            return None
+        stack = self._stacks.get(self._resolve_track(track, args))
+        if not stack:
+            return None
+        return stack[-1].context
+
+    def link(self, ctx: Optional[TraceContext], track: Optional[str] = None, **args: Any) -> bool:
+        """Attach an incoming causal link to the innermost open span.
+
+        Called at message *delivery* time on the receiving track.
+        Returns True when a span was open to receive the link; False
+        otherwise (caller may then :meth:`record` a standalone delivery
+        span instead).  Self-links are dropped.
+        """
+        if not self.enabled or ctx is None or ctx.trace_id != self.trace_id:
+            return False
+        stack = self._stacks.get(self._resolve_track(track, args))
+        if not stack:
+            return False
+        target = stack[-1]
+        if target.span_id != ctx.span_id and ctx.span_id not in target.links:
+            target.links.append(ctx.span_id)
+        return True
+
+    def link_span(
+        self,
+        target: Optional[TraceContext],
+        link: Optional[TraceContext],
+        track: Optional[str] = None,
+        **args: Any,
+    ) -> bool:
+        """Attach ``link`` to a *specific* still-open span.
+
+        Unlike :meth:`link` (which targets the innermost open span),
+        this addresses the target by its own context — used by
+        collective rendezvous, where a later-arriving rank must link
+        itself into the earlier arrivals' still-open collective spans,
+        whatever those tracks are doing now.  Returns False when the
+        target span already closed (the link is then dropped; the
+        reverse edge recorded by the later arrival still captures the
+        dependency).
+        """
+        if (
+            not self.enabled
+            or target is None
+            or link is None
+            or target.trace_id != self.trace_id
+            or link.trace_id != self.trace_id
+            or target.span_id == link.span_id
+        ):
+            return False
+        stack = self._stacks.get(self._resolve_track(track, args))
+        for open_span in stack or ():
+            if open_span.span_id == target.span_id:
+                if link.span_id not in open_span.links:
+                    open_span.links.append(link.span_id)
+                return True
+        return False
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        track: Optional[str] = None,
+        links: Sequence[TraceContext] = (),
+        **args: Any,
+    ) -> Optional[SpanRecord]:
+        """Append one completed span directly (no context manager).
+
+        Used for receiver-side *delivery* spans emitted from scheduler
+        context (transfer completion callbacks), where no task is
+        running and no span is open.  ``links`` are the sender contexts
+        the delivery observed.
+        """
+        if not self.enabled:
+            return None
+        resolved = self._resolve_track(track, args)
+        stack = self._stacks.get(resolved)
+        rec = SpanRecord(
+            name=name,
+            track=resolved,
+            start=start,
+            end=end,
+            depth=len(stack) if stack else 0,
+            args=args,
+            span_id=self._next_id(),
+            parent_id=stack[-1].span_id if stack else None,
+            links=tuple(
+                c.span_id
+                for c in links
+                if c is not None and c.trace_id == self.trace_id
+            ),
+        )
+        self.records.append(rec)
+        return rec
 
     # -- queries -------------------------------------------------------------
 

@@ -1,0 +1,134 @@
+"""Tests for the benchmark regression gate (``repro.bench.regress``)."""
+
+import json
+
+import pytest
+
+from repro.bench.regress import (
+    GATED_METRICS,
+    MetricSpec,
+    compare,
+    load_snapshot,
+    main,
+    render_report,
+    write_snapshot,
+)
+
+
+class TestMetricSpec:
+    def test_lower_is_better(self):
+        spec = MetricSpec(0.05, better="lower")
+        assert not spec.regressed(1.0, 1.04)
+        assert spec.regressed(1.0, 1.06)
+        assert not spec.regressed(1.0, 0.5)  # improvement
+
+    def test_higher_is_better(self):
+        spec = MetricSpec(0.05, better="higher")
+        assert not spec.regressed(100.0, 96.0)
+        assert spec.regressed(100.0, 94.0)
+        assert not spec.regressed(100.0, 200.0)
+
+    def test_zero_baseline_uses_absolute_threshold(self):
+        spec = MetricSpec(0.1)
+        assert not spec.regressed(0.0, 0.05)
+        assert spec.regressed(0.0, 0.2)
+
+    def test_gated_metrics_have_sane_directions(self):
+        for name, spec in GATED_METRICS.items():
+            assert spec.better in ("lower", "higher")
+            expected = "higher" if name.startswith("bandwidth") else "lower"
+            assert spec.better == expected
+
+
+class TestCompare:
+    def test_statuses(self):
+        specs = {
+            "lat": MetricSpec(0.05),
+            "bw": MetricSpec(0.05, better="higher"),
+        }
+        baseline = {"lat": 1.0, "bw": 100.0, "gone": 5.0}
+        current = {"lat": 1.2, "bw": 150.0, "fresh": 7.0}
+        rows = {name: status for name, status, _, _ in compare(current, baseline, specs)}
+        assert rows == {
+            "lat": "regressed",
+            "bw": "improved",
+            "gone": "missing",
+            "fresh": "new",
+        }
+
+    def test_identical_is_ok(self):
+        metrics = {"a": 1.0, "b": 2.0}
+        rows = compare(dict(metrics), dict(metrics))
+        assert all(status == "ok" for _, status, _, _ in rows)
+
+    def test_render_report_lists_every_metric(self):
+        rows = compare({"a": 1.0, "c": 3.0}, {"a": 1.0, "b": 2.0})
+        text = render_report(rows)
+        for token in ("a", "b", "c", "missing", "new", "ok"):
+            assert token in text
+
+
+class TestSnapshotIO:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        write_snapshot(path, {"m": 1.5}, name="x")
+        assert load_snapshot(path) == {"m": 1.5}
+        doc = json.loads(open(path).read())
+        assert doc["name"] == "x"
+
+
+class TestCli:
+    METRICS = {"latency.put.4B": 1e-6, "bandwidth.put.4MiB": 9e10}
+
+    @pytest.fixture(autouse=True)
+    def stub_collect(self, monkeypatch):
+        # collect() runs real benchmarks; the CLI contract is tested
+        # against a canned result.
+        monkeypatch.setattr(
+            "repro.bench.regress.collect", lambda: dict(self.METRICS)
+        )
+
+    def test_write_then_pass(self, tmp_path, capsys):
+        base = str(tmp_path / "BENCH_baseline.json")
+        assert main(["--write", "--baseline", base]) == 0
+        assert main(["--baseline", base]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_perturbed_baseline_fails_nonzero(self, tmp_path, capsys):
+        base = str(tmp_path / "BENCH_baseline.json")
+        assert main(["--write", "--baseline", base]) == 0
+        doc = json.loads(open(base).read())
+        doc["metrics"]["latency.put.4B"] *= 0.5  # baseline was "faster"
+        with open(base, "w") as fh:
+            json.dump(doc, fh)
+        assert main(["--baseline", base]) == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out and "FAIL" in out
+
+    def test_missing_baseline_exits_2(self, tmp_path):
+        assert main(["--baseline", str(tmp_path / "absent.json")]) == 2
+
+    def test_out_writes_snapshot(self, tmp_path):
+        base = str(tmp_path / "BENCH_baseline.json")
+        out = str(tmp_path / "BENCH_pr.json")
+        main(["--write", "--baseline", base, "--out", out])
+        assert load_snapshot(out) == self.METRICS
+
+    def test_module_dispatch(self, tmp_path):
+        from repro.bench.__main__ import main as bench_main
+
+        base = str(tmp_path / "BENCH_baseline.json")
+        assert bench_main(["regress", "--write", "--baseline", base]) == 0
+        assert bench_main(["regress", "--baseline", base]) == 0
+
+
+class TestCommittedBaseline:
+    def test_gate_passes_against_repo_baseline(self):
+        # The real thing, end to end: the committed baseline must match
+        # what the deterministic simulator produces today.
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        baseline = repo_root / "BENCH_baseline.json"
+        assert baseline.exists(), "BENCH_baseline.json must be committed"
+        assert main(["--baseline", str(baseline)]) == 0

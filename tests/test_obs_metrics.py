@@ -97,6 +97,92 @@ class TestHistogram:
             reg.histogram("bad", bounds=(4, 2))
 
 
+class TestPercentiles:
+    def make(self):
+        h = MetricsRegistry().histogram("h", bounds=(1, 2, 4))
+        for v in (0, 1, 2, 3, 100):
+            h.observe(v, rank=0)
+        return h
+
+    def test_interpolated_quantiles(self):
+        h = self.make()
+        s = h.stats()
+        # buckets [2, 1, 1, 1]; p50 rank 2.5 falls in the (1, 2] bucket
+        assert s.percentile(0.50, h.bounds) == pytest.approx(1.5)
+        # p99 rank 4.95 falls in the overflow bucket, anchored at max
+        assert s.percentile(0.99, h.bounds) == pytest.approx(95.2)
+
+    def test_extremes_anchor_at_min_max(self):
+        h = self.make()
+        s = h.stats()
+        assert s.percentile(0.0, h.bounds) == s.minimum
+        assert s.percentile(1.0, h.bounds) == s.maximum
+
+    def test_empty_is_zero(self):
+        h = MetricsRegistry().histogram("h")
+        from repro.obs.metrics import HistogramStats
+
+        assert HistogramStats().percentile(0.5, h.bounds) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        h = self.make()
+        with pytest.raises(ConfigurationError, match="percentile"):
+            h.stats().percentile(1.5, h.bounds)
+
+    def test_snapshot_carries_quantiles(self):
+        h = self.make()
+        (entry,) = h.snapshot()
+        assert {"p50", "p95", "p99"} <= set(entry)
+        assert entry["p50"] == pytest.approx(1.5)
+
+
+class TestCardinalityGuard:
+    def test_counter_drops_series_beyond_cap(self):
+        reg = MetricsRegistry(max_series_per_metric=2)
+        c = reg.counter("c")
+        c.inc(rank=0)
+        c.inc(rank=1)
+        with pytest.warns(RuntimeWarning, match="cardinality"):
+            c.inc(rank=2)
+        assert c.value() == 2
+        assert c.value(rank=2) == 0
+        assert reg.dropped_series == 1
+        # Existing series still admit new observations.
+        c.inc(rank=0)
+        assert c.value(rank=0) == 2
+
+    def test_warns_only_once_per_metric(self):
+        import warnings
+
+        reg = MetricsRegistry(max_series_per_metric=1)
+        c = reg.counter("c")
+        c.inc(rank=0)
+        with pytest.warns(RuntimeWarning):
+            c.inc(rank=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            c.inc(rank=2)  # silent: warned already
+        assert reg.dropped_series == 2
+
+    def test_gauge_and_histogram_guarded(self):
+        reg = MetricsRegistry(max_series_per_metric=1)
+        g = reg.gauge("g")
+        h = reg.histogram("h")
+        g.set(5, rank=0)
+        h.observe(1, rank=0)
+        with pytest.warns(RuntimeWarning):
+            g.set(7, rank=1)
+        with pytest.warns(RuntimeWarning):
+            h.observe(2, rank=1)
+        assert g.value() == 5
+        assert h.count() == 1
+        assert reg.dropped_series == 2
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_series_per_metric"):
+            MetricsRegistry(max_series_per_metric=0)
+
+
 class TestRegistry:
     def test_get_or_create_same_object(self):
         reg = MetricsRegistry()
