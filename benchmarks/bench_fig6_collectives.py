@@ -9,9 +9,13 @@ C; on RCCL platform B the broadcast advantage concentrates at medium
 sizes and large AllReduce lands near parity.
 """
 
+import numpy as np
 from conftest import run_once
 
-from repro.bench import figures
+from repro.bench import collective, figures
+from repro.cluster import World, run_spmd
+from repro.core import DiompParams, DiompRuntime
+from repro.hardware.platforms import get_platform
 from repro.util.units import KiB, MiB
 
 
@@ -35,3 +39,57 @@ def test_fig6_collective_ratio(benchmark):
     # ...and large AllReduce much closer to MPI than on NCCL platform A.
     assert cells[("B", "allreduce")][large] < cells[("A", "allreduce")][large]
     assert cells[("B", "allreduce")][large] < 0.3
+
+
+def test_fig6_allreduce_algorithm_ablation(benchmark):
+    """Algorithm ablation on a 2-node x 4-GPU slice of platform A.
+
+    The hierarchical ring (NVLink reduce-scatter / NIC ring / NVLink
+    all-gather) must beat the flat ring strictly at 64 MiB, the
+    auto-selector must pick it, and the selected algorithm must also
+    beat the MPI baseline.
+    """
+    size = 64 * MiB
+    spec = get_platform("A")
+    times, selected = run_once(
+        benchmark, collective.allreduce_algorithm_ablation, spec, 2, size, reps=2
+    )
+    print("\nAllReduce 64 MiB, platform A, 2 nodes x 4 GPUs:")
+    for algo, t in sorted(times.items(), key=lambda kv: kv[1]):
+        print(f"  {algo:>10}: {t * 1e6:9.1f} us")
+    assert selected == "hier_ring"
+    assert times["hier_ring"] < times["ring"]
+    assert times["auto"] == times["hier_ring"]
+    t_mpi = collective.mpi_collective_latency(spec, 2, "allreduce", size, reps=2)
+    assert times["auto"] < t_mpi
+
+
+def test_fig6_hier_allreduce_bit_identical(benchmark):
+    """Forced hierarchical and flat-ring AllReduce produce the same
+    bytes: the simulator applies reductions in device-slot order for
+    every algorithm, so results cannot drift with the schedule."""
+
+    def result_for(algo):
+        size = 256 * KiB
+        n = size // 8
+        world = World(get_platform("A"), num_nodes=2)
+        DiompRuntime(world, DiompParams(segment_size=4 * size + (1 << 20)))
+        out = {}
+
+        def prog(ctx):
+            send = ctx.diomp.alloc(size)
+            recv = ctx.diomp.alloc(size)
+            rng = np.random.default_rng(7 + ctx.rank)
+            send.typed(np.float64)[:] = rng.standard_normal(n)
+            ctx.diomp.barrier()
+            ctx.diomp.allreduce(send, recv, algo=algo)
+            out[ctx.rank] = recv.typed(np.float64).copy()
+
+        run_spmd(world, prog)
+        return out
+
+    ring, hier = run_once(
+        benchmark, lambda: (result_for("ring"), result_for("hier_ring"))
+    )
+    for rank in ring:
+        np.testing.assert_array_equal(ring[rank], hier[rank])

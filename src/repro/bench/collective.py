@@ -30,8 +30,9 @@ from repro.core.runtime import DiompParams, DiompRuntime
 from repro.hardware.platforms import PlatformSpec, get_platform
 from repro.mpi import MpiWorld
 from repro.mpi import collectives as mpi_coll
-from repro.util.errors import ConfigurationError
+from repro.util.errors import CommunicationError, ConfigurationError
 from repro.util.units import KiB, MiB
+from repro.xccl.algorithms import ALGORITHMS
 
 #: Fig. 6 message sizes (128 KiB .. 64 MiB)
 COLLECTIVE_SIZES = [128 * KiB, 512 * KiB, 2 * MiB, 8 * MiB, 32 * MiB, 64 * MiB]
@@ -111,6 +112,54 @@ def mpi_collective_latency(
 
     res = run_spmd(world, prog)
     return max(res.results)
+
+
+def allreduce_algorithm_ablation(
+    platform: PlatformSpec,
+    num_nodes: int,
+    size: int,
+    reps: int = 3,
+    warmup: int = 1,
+) -> Tuple[Dict[str, float], str]:
+    """AllReduce latency per collective algorithm at one message size.
+
+    Runs the same AllReduce once under auto-selection and once per
+    forced algorithm, each in a fresh world (algorithms the topology
+    cannot run are skipped).  Returns ``(times, selected)`` where
+    ``times`` maps ``"auto"`` and each runnable algorithm name to the
+    average per-iteration latency and ``selected`` names the algorithm
+    the auto-selector picked.
+    """
+    times: Dict[str, float] = {}
+    selected = ""
+    for algo in (None, *ALGORITHMS):
+        world = World(platform, num_nodes=num_nodes)
+        DiompRuntime(world, DiompParams(segment_size=4 * size + (1 << 20)))
+
+        def prog(ctx, algo=algo):
+            send = ctx.diomp.alloc(size, virtual=True)
+            recv = ctx.diomp.alloc(size, virtual=True)
+            ctx.diomp.barrier()
+            for _ in range(warmup):
+                ctx.diomp.allreduce(send, recv, algo=algo)
+            ctx.diomp.barrier()
+            t0 = ctx.sim.now
+            for _ in range(reps):
+                ctx.diomp.allreduce(send, recv, algo=algo)
+            return (ctx.sim.now - t0) / reps
+
+        try:
+            res = run_spmd(world, prog)
+        except CommunicationError:
+            continue  # algorithm not runnable on this topology
+        times[algo or "auto"] = max(res.results)
+        if algo is None:
+            counts = {
+                name: world.obs.value("xccl.algo", op="all_reduce", algo=name)
+                for name in ALGORITHMS
+            }
+            selected = max(counts, key=counts.get)
+    return times, selected
 
 
 def ratio_heatmap(

@@ -62,6 +62,11 @@ GATED_METRICS: Dict[str, MetricSpec] = {
     "cannon.cp.host": MetricSpec(0.10),
     "cannon.cp.wait": MetricSpec(0.15),
     "cannon.cp.imbalance": MetricSpec(0.10),
+    "fig6.allreduce.64MiB": MetricSpec(0.05),
+    "fig6.allreduce.64MiB.ring": MetricSpec(0.05),
+    # 1.0 when the auto-selector picks the hierarchical ring on the
+    # 2-node x 4-GPU slice; any drop to 0.0 fails the gate.
+    "fig6.allreduce.hier_selected": MetricSpec(0.0, better="higher"),
 }
 
 
@@ -95,6 +100,18 @@ def collect() -> Dict[str, float]:
     for category in ("network", "device", "host", "wait"):
         out[f"cannon.cp.{category}"] = summary.breakdown.get(category, 0.0)
     out["cannon.cp.imbalance"] = summary.imbalance
+
+    # Fig. 6 collective gate: a 2-node x 4-GPU slice of platform A at
+    # 64 MiB, where the hierarchical ring must be selected and must
+    # hold its wall-clock advantage over the flat ring.
+    from repro.bench.collective import allreduce_algorithm_ablation
+
+    times, selected = allreduce_algorithm_ablation(
+        platform, 2, 64 * MiB, reps=1, warmup=1
+    )
+    out["fig6.allreduce.64MiB"] = times["auto"]
+    out["fig6.allreduce.64MiB.ring"] = times["ring"]
+    out["fig6.allreduce.hier_selected"] = 1.0 if selected == "hier_ring" else 0.0
     return out
 
 
@@ -136,7 +153,10 @@ def compare(
 def write_snapshot(path: str, metrics: Dict[str, float], name: str) -> None:
     doc = {
         "name": name,
-        "workload": "diomp-p2p microbench + profiled cannon (n=128)",
+        "workload": (
+            "diomp-p2p microbench + profiled cannon (n=128) + "
+            "fig6 allreduce algorithm ablation (64 MiB, 2 nodes)"
+        ),
         "metrics": metrics,
     }
     with open(path, "w") as fh:

@@ -14,11 +14,16 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.hardware.topology import DeviceId
 from repro.util.errors import ConfigurationError
 
+#: process-wide fallback allocator, used only when no runtime supplies
+#: an id.  Runtime-created groups draw from the runtime's own counter
+#: (``DiompRuntime.next_group_id``) so that two identical sequential
+#: runs in one process produce identical group ids and stable
+#: ``group=`` metric/trace labels.
 _group_ids = itertools.count()
 
 
@@ -33,8 +38,17 @@ class DiompGroup:
     devices: Tuple[DeviceId, ...]
 
     @staticmethod
-    def create(ranks: Sequence[int], devices_by_rank: dict) -> "DiompGroup":
-        """Build a group over ``ranks`` (runtime-internal constructor)."""
+    def create(
+        ranks: Sequence[int],
+        devices_by_rank: dict,
+        group_id: Optional[int] = None,
+    ) -> "DiompGroup":
+        """Build a group over ``ranks`` (runtime-internal constructor).
+
+        ``group_id`` should come from the owning runtime's allocator;
+        the module-global counter is only a fallback for standalone
+        construction outside any runtime.
+        """
         ranks = tuple(ranks)
         if not ranks:
             raise ConfigurationError("a group needs at least one rank")
@@ -43,7 +57,9 @@ class DiompGroup:
         devices: List[DeviceId] = []
         for r in ranks:
             devices.extend(devices_by_rank[r])
-        return DiompGroup(next(_group_ids), ranks, tuple(devices))
+        if group_id is None:
+            group_id = next(_group_ids)
+        return DiompGroup(group_id, ranks, tuple(devices))
 
     @property
     def size(self) -> int:
@@ -78,11 +94,16 @@ class DiompGroup:
         gr = self.group_rank(world_rank)
         return list(range(gr * per_rank, (gr + 1) * per_rank))
 
-    def merged_with(self, other: "DiompGroup", devices_by_rank: dict) -> "DiompGroup":
+    def merged_with(
+        self,
+        other: "DiompGroup",
+        devices_by_rank: dict,
+        group_id: Optional[int] = None,
+    ) -> "DiompGroup":
         """Union of two groups (this group's order first), as the
         paper's *group recomposition*."""
         combined = list(self.ranks) + [r for r in other.ranks if r not in self.ranks]
-        return DiompGroup.create(combined, devices_by_rank)
+        return DiompGroup.create(combined, devices_by_rank, group_id=group_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<DiompGroup {self.group_id} ranks={self.ranks}>"

@@ -7,10 +7,15 @@ libraries.  Responsibilities reproduced from the paper:
   group root mints an XCCL UniqueId and the other member ranks fetch
   it over the CPU-side network (an active-message round trip); every
   member then joins one communicator *slot per bound device*,
-* **device-slot collectives** — ``bcast``/``allreduce``/``reduce``
-  take one buffer per local device; a multi-device rank drives all its
-  slots concurrently (the group-launch pattern a single process needs,
-  cf. ncclGroupStart/End),
+* **device-slot collectives** — ``bcast``/``allreduce``/``reduce``/
+  ``allgather``/``reduce_scatter``/``alltoall`` take one buffer per
+  local device; a multi-device rank drives all its slots concurrently
+  (the group-launch pattern a single process needs, cf.
+  ncclGroupStart/End),
+* **algorithm attribution** — every launch records the XCCL-selected
+  algorithm (ring / tree / hierarchical ring) as an ``ompccl.algo``
+  metric label and span argument so traces and the critical path
+  separate intra-node from inter-node collective time,
 * **vendor dispatch** — the platform's library (NCCL or RCCL) is
   selected by the runtime; OMPCCL itself is vendor-neutral.
 """
@@ -56,6 +61,9 @@ class Ompccl:
         self._m_bytes = self._obs.counter(
             "ompccl.bytes", "collective payload bytes by kind"
         )
+        self._m_algo = self._obs.counter(
+            "ompccl.algo", "collective launches by selected XCCL algorithm"
+        )
 
     def _record(self, kind: str, group: DiompGroup, ctx: RankContext, buffers: Sequence[MemRef]) -> None:
         nbytes = sum(b.nbytes for b in buffers)
@@ -66,6 +74,33 @@ class Ompccl:
             rank=ctx.rank,
         )
         self._m_bytes.inc(nbytes, kind=kind, rank=ctx.rank)
+
+    def _selected(
+        self,
+        comms: Sequence[XcclComm],
+        kind: str,
+        xccl_op: str,
+        nbytes: int,
+        group: DiompGroup,
+        ctx: RankContext,
+        algo: Optional[str],
+    ) -> str:
+        """Resolve (and label) the algorithm one launch will use.
+
+        Previews the communicator's selection so the ``ompccl.algo``
+        counter and the collective span carry the algorithm before the
+        rendezvous completes; a forced-but-ineligible ``algo`` raises
+        here, before any member arrives.
+        """
+        selected = comms[0].select(xccl_op, nbytes, algo=algo).algo
+        self._m_algo.inc(
+            kind=kind,
+            algo=selected,
+            library=self.xccl.params.name,
+            group=group.group_id,
+            rank=ctx.rank,
+        )
+        return selected
 
     def _trace_rendezvous(self, kind: str, group: DiompGroup, ctx: RankContext) -> None:
         """Cross-link this rank's open collective span with its peers'
@@ -153,15 +188,23 @@ class Ompccl:
         ctx: RankContext,
         buffers: Sequence[MemRef],
         root_slot: int = 0,
+        algo: Optional[str] = None,
     ) -> None:
         """``ompx_bcast``: broadcast from a device slot of the group."""
         self._check_buffers(ctx, buffers)
         comms = self._ensure_channels(group, ctx)
         self._record("bcast", group, ctx, buffers)
-        with self._obs.span("ompccl.bcast", rank=ctx.rank, group=group.group_id):
+        selected = self._selected(
+            comms, "bcast", "broadcast", buffers[0].nbytes, group, ctx, algo
+        )
+        with self._obs.span(
+            "ompccl.bcast", rank=ctx.rank, group=group.group_id, algo=selected
+        ):
             self._trace_rendezvous("bcast", group, ctx)
             self._run_on_slots(
-                ctx, comms, lambda comm, i: comm.broadcast(buffers[i], root=root_slot)
+                ctx,
+                comms,
+                lambda comm, i: comm.broadcast(buffers[i], root=root_slot, algo=algo),
             )
 
     def allreduce(
@@ -172,18 +215,26 @@ class Ompccl:
         recv: Sequence[MemRef],
         dtype=np.float64,
         op: Callable = np.add,
+        algo: Optional[str] = None,
     ) -> None:
         """``ompx_allreduce`` over every device of the group."""
         self._check_buffers(ctx, send)
         self._check_buffers(ctx, recv)
         comms = self._ensure_channels(group, ctx)
         self._record("allreduce", group, ctx, send)
-        with self._obs.span("ompccl.allreduce", rank=ctx.rank, group=group.group_id):
+        selected = self._selected(
+            comms, "allreduce", "all_reduce", send[0].nbytes, group, ctx, algo
+        )
+        with self._obs.span(
+            "ompccl.allreduce", rank=ctx.rank, group=group.group_id, algo=selected
+        ):
             self._trace_rendezvous("allreduce", group, ctx)
             self._run_on_slots(
                 ctx,
                 comms,
-                lambda comm, i: comm.all_reduce(send[i], recv[i], dtype=dtype, op=op),
+                lambda comm, i: comm.all_reduce(
+                    send[i], recv[i], dtype=dtype, op=op, algo=algo
+                ),
             )
 
     def reduce(
@@ -195,17 +246,107 @@ class Ompccl:
         root_slot: int = 0,
         dtype=np.float64,
         op: Callable = np.add,
+        algo: Optional[str] = None,
     ) -> None:
         """``ompx_reduce`` toward one device slot."""
         self._check_buffers(ctx, send)
         comms = self._ensure_channels(group, ctx)
         self._record("reduce", group, ctx, send)
-        with self._obs.span("ompccl.reduce", rank=ctx.rank, group=group.group_id):
+        selected = self._selected(
+            comms, "reduce", "reduce", send[0].nbytes, group, ctx, algo
+        )
+        with self._obs.span(
+            "ompccl.reduce", rank=ctx.rank, group=group.group_id, algo=selected
+        ):
             self._trace_rendezvous("reduce", group, ctx)
             self._run_on_slots(
                 ctx,
                 comms,
                 lambda comm, i: comm.reduce(
-                    send[i], recv[i], root=root_slot, dtype=dtype, op=op
+                    send[i], recv[i], root=root_slot, dtype=dtype, op=op, algo=algo
                 ),
+            )
+
+    def allgather(
+        self,
+        group: DiompGroup,
+        ctx: RankContext,
+        send: Sequence[MemRef],
+        recv: Sequence[MemRef],
+        algo: Optional[str] = None,
+    ) -> None:
+        """``ompx_allgather``: every device slot contributes its send
+        block; each receive buffer holds all blocks in slot order."""
+        self._check_buffers(ctx, send)
+        self._check_buffers(ctx, recv)
+        comms = self._ensure_channels(group, ctx)
+        self._record("allgather", group, ctx, send)
+        selected = self._selected(
+            comms, "allgather", "all_gather", send[0].nbytes, group, ctx, algo
+        )
+        with self._obs.span(
+            "ompccl.allgather", rank=ctx.rank, group=group.group_id, algo=selected
+        ):
+            self._trace_rendezvous("allgather", group, ctx)
+            self._run_on_slots(
+                ctx,
+                comms,
+                lambda comm, i: comm.all_gather(send[i], recv[i], algo=algo),
+            )
+
+    def reduce_scatter(
+        self,
+        group: DiompGroup,
+        ctx: RankContext,
+        send: Sequence[MemRef],
+        recv: Sequence[MemRef],
+        dtype=np.float64,
+        op: Callable = np.add,
+        algo: Optional[str] = None,
+    ) -> None:
+        """``ompx_reduce_scatter``: element-wise reduction of every
+        slot's send buffer; slot ``i`` keeps reduced block ``i``."""
+        self._check_buffers(ctx, send)
+        self._check_buffers(ctx, recv)
+        comms = self._ensure_channels(group, ctx)
+        self._record("reduce_scatter", group, ctx, send)
+        selected = self._selected(
+            comms, "reduce_scatter", "reduce_scatter", send[0].nbytes, group, ctx, algo
+        )
+        with self._obs.span(
+            "ompccl.reduce_scatter", rank=ctx.rank, group=group.group_id, algo=selected
+        ):
+            self._trace_rendezvous("reduce_scatter", group, ctx)
+            self._run_on_slots(
+                ctx,
+                comms,
+                lambda comm, i: comm.reduce_scatter(
+                    send[i], recv[i], dtype=dtype, op=op, algo=algo
+                ),
+            )
+
+    def alltoall(
+        self,
+        group: DiompGroup,
+        ctx: RankContext,
+        send: Sequence[MemRef],
+        recv: Sequence[MemRef],
+        algo: Optional[str] = None,
+    ) -> None:
+        """``ompx_alltoall``: pairwise block exchange over the group."""
+        self._check_buffers(ctx, send)
+        self._check_buffers(ctx, recv)
+        comms = self._ensure_channels(group, ctx)
+        self._record("alltoall", group, ctx, send)
+        selected = self._selected(
+            comms, "alltoall", "alltoall", send[0].nbytes, group, ctx, algo
+        )
+        with self._obs.span(
+            "ompccl.alltoall", rank=ctx.rank, group=group.group_id, algo=selected
+        ):
+            self._trace_rendezvous("alltoall", group, ctx)
+            self._run_on_slots(
+                ctx,
+                comms,
+                lambda comm, i: comm.alltoall(send[i], recv[i], algo=algo),
             )

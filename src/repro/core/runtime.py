@@ -22,6 +22,7 @@ paper requires of all participating nodes.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -158,8 +159,12 @@ class DiompRuntime:
             ctx.rank: [d.device_id for d in ctx.devices] for ctx in world.ranks
         }
         self._devices_by_rank = devices_by_rank
+        #: per-runtime group-id allocator: ids restart at 0 for every
+        #: runtime, so identical sequential runs in one process get
+        #: identical ids and stable ``group=`` metric/trace labels
+        self._group_ids = itertools.count()
         self.world_group = DiompGroup.create(
-            list(range(world.nranks)), devices_by_rank
+            list(range(world.nranks)), devices_by_rank, group_id=self.next_group_id()
         )
         self.handles: List[Diomp] = []
         for ctx in world.ranks:
@@ -215,6 +220,10 @@ class DiompRuntime:
             return self.host_segments[rank]
         except KeyError:
             raise ConfigurationError(f"no host segment for rank {rank}") from None
+
+    def next_group_id(self) -> int:
+        """Allocate the next deterministic group id for this runtime."""
+        return next(self._group_ids)
 
     def group_barrier(self, group: DiompGroup) -> Barrier:
         if group.group_id not in self._group_barriers:
@@ -523,14 +532,20 @@ class Diomp:
         self.rma.fence(device_num, group=group)
 
     def barrier(self, group: Optional[DiompGroup] = None) -> None:
-        """``ompx_barrier``: fence + group-wide synchronization."""
+        """``ompx_barrier``: fence + group-wide synchronization.
+
+        A sub-group barrier fences only the RMA targeting that group's
+        members; operations aimed at non-members stay pending until
+        their own fence (§3.3 group-scoped completion).
+        """
+        scope = group
         group = group or self.world_group
         if not group.contains(self.rank):
             raise CommunicationError(
                 f"rank {self.rank} called barrier on group {group.group_id} "
                 "it does not belong to"
             )
-        self.fence()
+        self.fence(group=scope)
         with self.runtime.obs.span("barrier", rank=self.rank, group=group.group_id):
             rounds = max(1, int(np.ceil(np.log2(max(group.size, 2)))))
             self.ctx.sim.sleep(rounds * self.runtime.params.barrier_step_overhead)
@@ -557,7 +572,11 @@ class Diomp:
             f"group-{ranks!r}",
             seq,
             key_rank,
-            DiompGroup.create(ranks, self.runtime._devices_by_rank)
+            DiompGroup.create(
+                ranks,
+                self.runtime._devices_by_rank,
+                group_id=self.runtime.next_group_id(),
+            )
             if key_rank == 0
             else None,
             len(ranks),
@@ -594,23 +613,40 @@ class Diomp:
             return [buf.memref()]
         return [b.memref() if isinstance(b, GlobalBuffer) else b for b in buf]
 
-    def bcast(self, buf, root_rank: int = 0, group: Optional[DiompGroup] = None) -> None:
+    def bcast(
+        self,
+        buf,
+        root_rank: int = 0,
+        group: Optional[DiompGroup] = None,
+        algo: Optional[str] = None,
+    ) -> None:
         """``ompx_bcast(ptr, size, group)``: device-side broadcast.
 
         ``root_rank`` is a world rank; the broadcast originates from
-        its first device slot in the group.
+        its first device slot in the group.  ``algo`` forces a
+        collective algorithm ("ring" | "tree" | "hier_ring"); the
+        default auto-selects from topology and message size.
         """
         group = group or self.world_group
         root_slot = group.device_slots(root_rank)[0]
-        self.runtime.ompccl.bcast(group, self.ctx, self._buffers(buf), root_slot)
+        self.runtime.ompccl.bcast(
+            group, self.ctx, self._buffers(buf), root_slot, algo=algo
+        )
 
     def allreduce(
-        self, send, recv, dtype=np.float64, op=np.add, group: Optional[DiompGroup] = None
+        self,
+        send,
+        recv,
+        dtype=np.float64,
+        op=np.add,
+        group: Optional[DiompGroup] = None,
+        algo: Optional[str] = None,
     ) -> None:
         """``ompx_allreduce``: device-side allreduce over the group."""
         group = group or self.world_group
         self.runtime.ompccl.allreduce(
-            group, self.ctx, self._buffers(send), self._buffers(recv), dtype, op
+            group, self.ctx, self._buffers(send), self._buffers(recv), dtype, op,
+            algo=algo,
         )
 
     def reduce(
@@ -621,6 +657,7 @@ class Diomp:
         dtype=np.float64,
         op=np.add,
         group: Optional[DiompGroup] = None,
+        algo: Optional[str] = None,
     ) -> None:
         """``ompx_reduce`` toward ``root_rank``'s first device slot."""
         group = group or self.world_group
@@ -629,5 +666,51 @@ class Diomp:
             self.ctx.devices
         )
         self.runtime.ompccl.reduce(
-            group, self.ctx, self._buffers(send), recv_list, root_slot, dtype, op
+            group, self.ctx, self._buffers(send), recv_list, root_slot, dtype, op,
+            algo=algo,
+        )
+
+    def allgather(
+        self,
+        send,
+        recv,
+        group: Optional[DiompGroup] = None,
+        algo: Optional[str] = None,
+    ) -> None:
+        """``ompx_allgather``: each device slot contributes its send
+        buffer; every receive buffer holds all blocks in slot order."""
+        group = group or self.world_group
+        self.runtime.ompccl.allgather(
+            group, self.ctx, self._buffers(send), self._buffers(recv), algo=algo
+        )
+
+    def reduce_scatter(
+        self,
+        send,
+        recv,
+        dtype=np.float64,
+        op=np.add,
+        group: Optional[DiompGroup] = None,
+        algo: Optional[str] = None,
+    ) -> None:
+        """``ompx_reduce_scatter``: element-wise reduction of every
+        slot's send buffer; slot ``i`` receives reduced block ``i``."""
+        group = group or self.world_group
+        self.runtime.ompccl.reduce_scatter(
+            group, self.ctx, self._buffers(send), self._buffers(recv), dtype, op,
+            algo=algo,
+        )
+
+    def alltoall(
+        self,
+        send,
+        recv,
+        group: Optional[DiompGroup] = None,
+        algo: Optional[str] = None,
+    ) -> None:
+        """``ompx_alltoall``: block ``j`` of slot ``i``'s send buffer
+        lands as block ``i`` of slot ``j``'s receive buffer."""
+        group = group or self.world_group
+        self.runtime.ompccl.alltoall(
+            group, self.ctx, self._buffers(send), self._buffers(recv), algo=algo
         )

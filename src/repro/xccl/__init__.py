@@ -16,6 +16,9 @@ matters for the evaluation:
   membership, so a single process can drive several GPUs, with
   analytic ring-pipeline completion models and real numpy data
   application,
+* **algorithms** (:mod:`repro.xccl.algorithms`) — per-algorithm
+  analytic cost models (flat ring, binomial tree, two-level
+  hierarchical ring) and the topology/size-driven auto-selector,
 * **calibration** (:mod:`repro.xccl.params`) — NCCL vs RCCL constants;
   the RCCL numbers are deliberately weaker, matching the paper's
   observation that "RCCL still has room for further optimization".
@@ -23,7 +26,20 @@ matters for the evaluation:
 
 from repro.xccl.params import XcclParams, NCCL_PARAMS, RCCL_PARAMS, params_for
 from repro.xccl.uniqueid import UniqueId
-from repro.xccl.topo import build_ring, ring_bandwidth, ring_hop_latency
+from repro.xccl.topo import (
+    CommTopology,
+    analyze,
+    build_ring,
+    ring_bandwidth,
+    ring_hop_latency,
+)
+from repro.xccl.algorithms import (
+    ALGORITHMS,
+    Phase,
+    Selection,
+    plan,
+    select_algorithm,
+)
 from repro.xccl.communicator import XcclContext, XcclComm
 
 __all__ = [
@@ -32,9 +48,16 @@ __all__ = [
     "RCCL_PARAMS",
     "params_for",
     "UniqueId",
+    "CommTopology",
+    "analyze",
     "build_ring",
     "ring_bandwidth",
     "ring_hop_latency",
+    "ALGORITHMS",
+    "Phase",
+    "Selection",
+    "plan",
+    "select_algorithm",
     "XcclContext",
     "XcclComm",
 ]

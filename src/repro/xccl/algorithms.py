@@ -1,0 +1,299 @@
+"""Collective algorithms and the topology-aware auto-selector.
+
+The paper's §3.2/§4 headline is topology-aware path selection; for
+collectives that means the library does not price every operation as
+one flat ring.  Three algorithm families are modelled, each with an
+analytic cost built from :class:`~repro.xccl.topo.CommTopology`:
+
+* ``ring`` — the flat node-major pipelined ring (the historical
+  ``_model_time`` path).  Always eligible; optimal for single-node
+  communicators and bandwidth-bound operations whose wire volume
+  cannot be reduced by hierarchy (broadcast, allgather).
+* ``tree`` — a binomial/double tree for the latency-bound regime:
+  ``O(log n)`` steps instead of ``O(n)``, at the price of sending the
+  whole message every round.  Considered for rooted/vector ops up to
+  ``params.tree_max_bytes``.
+* ``hier_ring`` — the two-level decomposition (cf. the PGAS-based
+  distributed OpenMP precursor and Intel SHMEM): an intra-node phase
+  over NVLink/xGMI, an inter-node ring among one leader per node whose
+  crossing aggregates the node's NICs, and a mirrored intra-node
+  phase.  For AllReduce this is reduce-scatter → inter-node ring
+  allreduce on the ``1/p`` shard → allgather, which divides the
+  fabric traffic by the number of co-located members ``p``.
+  Considered for multi-node communicators with a uniform ``p >= 2``
+  from ``params.hier_min_bytes`` up.
+
+The selector evaluates every eligible candidate's cost model and picks
+the cheapest, so "tree for small, flat ring for single-node,
+hierarchical ring for multi-node large" emerges from the topology and
+message size rather than from hard-coded op tables.  A caller may
+force an algorithm (the ablation hook); forcing one the communicator
+is structurally unable to run raises ``CommunicationError``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.util.errors import CommunicationError
+from repro.xccl.params import XcclParams
+from repro.xccl.topo import CommTopology
+
+#: every modelled collective operation
+OPS = (
+    "all_reduce",
+    "broadcast",
+    "reduce",
+    "reduce_scatter",
+    "all_gather",
+    "alltoall",
+)
+
+#: algorithm names, in preference order for cost ties
+ALGORITHMS = ("ring", "tree", "hier_ring")
+
+#: operations the binomial tree applies to (rooted or whole-vector)
+_TREE_OPS = frozenset({"all_reduce", "broadcast", "reduce"})
+
+#: operations with a two-level decomposition
+_HIER_OPS = frozenset({"all_reduce", "broadcast", "reduce_scatter", "all_gather"})
+
+
+@dataclasses.dataclass(frozen=True)
+class Phase:
+    """One timed stage of an algorithm (the unit of span attribution)."""
+
+    #: stage name, e.g. "reduce-scatter"
+    name: str
+    #: "intra" | "inter" | "flat" — which tier the stage occupies
+    scope: str
+    #: pipelined steps (each charges ``params.step_latency``)
+    steps: int
+    #: latency rounds (each charges ``hop_latency``)
+    rounds: int
+    hop_latency: float
+    #: per-member wire volume of the stage
+    wire_bytes: float
+    #: raw tier bandwidth (efficiency applied at pricing time)
+    bandwidth: float
+
+    def time(self, params: XcclParams, efficiency: float) -> float:
+        bw = self.bandwidth * efficiency
+        return (
+            self.steps * params.step_latency
+            + self.rounds * self.hop_latency
+            + (self.wire_bytes / bw if self.wire_bytes else 0.0)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Selection:
+    """The selector's verdict for one collective launch."""
+
+    algo: str
+    op: str
+    nbytes: int
+    #: modelled completion time (includes launch overhead)
+    seconds: float
+    phases: Tuple[Phase, ...]
+
+    def phase_times(self, params: XcclParams, efficiency: float) -> List[float]:
+        return [ph.time(params, efficiency) for ph in self.phases]
+
+
+def ring_wire_bytes(op: str, nbytes: int, n: int) -> float:
+    """Per-member wire volume of the flat pipelined ring.
+
+    Conventions (``nbytes`` is what the collective entry point passes):
+    AllReduce/broadcast/reduce take the full vector size; reduce-
+    scatter takes the total send size (``n`` blocks); allgather takes
+    the per-member send block; alltoall takes the full local buffer.
+    """
+    if n <= 1:
+        return 0.0
+    if op == "all_reduce":
+        return 2.0 * nbytes * (n - 1) / n
+    if op in ("broadcast", "reduce"):
+        return float(nbytes)
+    if op == "reduce_scatter":
+        return nbytes * (n - 1) / n
+    if op == "all_gather":
+        # n-1 forwarding steps of the member's whole block.
+        return float(nbytes) * (n - 1)
+    if op == "alltoall":
+        return nbytes * (n - 1) / n
+    raise CommunicationError(f"unknown collective {op!r}")
+
+
+def _efficiency(op: str, params: XcclParams) -> float:
+    return params.bcast_efficiency if op == "broadcast" else params.efficiency
+
+
+def _ring_phases(op: str, nbytes: int, ctopo: CommTopology) -> List[Phase]:
+    n = ctopo.ndev
+    if op == "all_reduce":
+        steps = 2 * (n - 1)
+    elif op == "alltoall":
+        steps = n - 1
+    else:
+        steps = n - 1
+    return [
+        Phase(
+            name="pairwise" if op == "alltoall" else "ring",
+            scope="flat",
+            steps=steps,
+            rounds=ctopo.rounds(n),
+            hop_latency=ctopo.flat_hop_latency,
+            wire_bytes=ring_wire_bytes(op, nbytes, n),
+            bandwidth=ctopo.flat_bw,
+        )
+    ]
+
+
+def _tree_phases(op: str, nbytes: int, ctopo: CommTopology) -> List[Phase]:
+    n = ctopo.ndev
+    rounds = ctopo.rounds(n)
+    # AllReduce = reduce up the tree + broadcast down; rooted ops are
+    # one traversal.  Every round moves the whole vector.
+    factor = 2 if op == "all_reduce" else 1
+    return [
+        Phase(
+            name="tree",
+            scope="flat",
+            steps=factor * rounds,
+            rounds=factor * rounds,
+            hop_latency=ctopo.flat_hop_latency,
+            wire_bytes=float(factor * rounds * nbytes),
+            bandwidth=ctopo.flat_bw,
+        )
+    ]
+
+
+def _hier_phases(op: str, nbytes: int, ctopo: CommTopology) -> List[Phase]:
+    p = ctopo.per_node or 1
+    nnodes = ctopo.nnodes
+    n = ctopo.ndev
+
+    def intra(name: str, steps: int, wire: float) -> Phase:
+        return Phase(
+            name=name,
+            scope="intra",
+            steps=steps,
+            rounds=ctopo.rounds(p),
+            hop_latency=ctopo.intra_hop_latency,
+            wire_bytes=wire,
+            bandwidth=ctopo.intra_bw,
+        )
+
+    def inter(name: str, steps: int, wire: float) -> Phase:
+        return Phase(
+            name=name,
+            scope="inter",
+            steps=steps,
+            rounds=ctopo.rounds(nnodes),
+            hop_latency=ctopo.inter_hop_latency,
+            wire_bytes=wire,
+            bandwidth=ctopo.inter_bw,
+        )
+
+    if op == "all_reduce":
+        # reduce-scatter within the node, ring-allreduce the 1/p shard
+        # across leaders, allgather within the node.
+        shard = nbytes / p
+        return [
+            intra("reduce-scatter", p - 1, nbytes * (p - 1) / p),
+            inter("ring-allreduce", 2 * (nnodes - 1), 2.0 * shard * (nnodes - 1) / nnodes),
+            intra("all-gather", p - 1, nbytes * (p - 1) / p),
+        ]
+    if op == "reduce_scatter":
+        # nbytes is the total send size; the node-local phase reduces
+        # it to a 1/p shard per member, the leader phase scatters the
+        # shard across nodes.
+        return [
+            intra("reduce-scatter", p - 1, nbytes * (p - 1) / p),
+            inter("reduce-scatter", nnodes - 1, (nbytes / p) * (nnodes - 1) / nnodes),
+        ]
+    if op == "all_gather":
+        # nbytes is the per-member block: gather blocks within the
+        # node, exchange node aggregates across leaders, fan the
+        # remote aggregates out within the node.
+        node_block = float(p * nbytes)
+        remote = node_block * (nnodes - 1)
+        return [
+            intra("all-gather", p - 1, float(nbytes) * (p - 1)),
+            inter("ring-allgather", nnodes - 1, node_block * (nnodes - 1)),
+            intra("fanout", p - 1, remote * (p - 1) / p),
+        ]
+    if op == "broadcast":
+        return [
+            inter("broadcast", nnodes - 1, float(nbytes)),
+            intra("broadcast", p - 1, float(nbytes)),
+        ]
+    raise CommunicationError(f"no hierarchical decomposition for {op!r}")
+
+
+def eligible(algo: str, op: str, ctopo: CommTopology) -> bool:
+    """Whether the communicator can structurally run ``algo`` for ``op``
+    (size thresholds are *policy*, applied only to auto-selection)."""
+    if algo == "ring":
+        return True
+    if algo == "tree":
+        return op in _TREE_OPS and ctopo.ndev >= 2
+    if algo == "hier_ring":
+        return op in _HIER_OPS and ctopo.hierarchical
+    return False
+
+
+def plan(
+    algo: str, op: str, nbytes: int, ctopo: CommTopology, params: XcclParams
+) -> Selection:
+    """Price one algorithm for one launch; raises if ineligible."""
+    if op not in OPS:
+        raise CommunicationError(f"unknown collective {op!r}")
+    if not eligible(algo, op, ctopo):
+        raise CommunicationError(
+            f"algorithm {algo!r} is not runnable for {op} on this "
+            f"communicator ({ctopo.ndev} devices over {ctopo.nnodes} node(s))"
+        )
+    if ctopo.ndev <= 1:
+        phases: List[Phase] = []
+    elif algo == "ring":
+        phases = _ring_phases(op, nbytes, ctopo)
+    elif algo == "tree":
+        phases = _tree_phases(op, nbytes, ctopo)
+    else:
+        phases = _hier_phases(op, nbytes, ctopo)
+    eff = _efficiency(op, params)
+    seconds = params.launch_overhead + sum(ph.time(params, eff) for ph in phases)
+    return Selection(algo=algo, op=op, nbytes=nbytes, seconds=seconds, phases=tuple(phases))
+
+
+def select_algorithm(
+    op: str,
+    nbytes: int,
+    ctopo: CommTopology,
+    params: XcclParams,
+    force: Optional[str] = None,
+) -> Selection:
+    """Pick the cheapest eligible algorithm for one launch.
+
+    Candidates are policy-gated: the tree only competes below
+    ``tree_max_bytes``, the hierarchy only competes at or above
+    ``hier_min_bytes`` on multi-node communicators; the flat ring
+    always competes.  ``force`` bypasses the policy gates (but not
+    structural eligibility) — the ablation hook.
+    """
+    if force is not None:
+        if force not in ALGORITHMS:
+            raise CommunicationError(
+                f"unknown algorithm {force!r}; available: {ALGORITHMS}"
+            )
+        return plan(force, op, nbytes, ctopo, params)
+    candidates = ["ring"]
+    if nbytes <= params.tree_max_bytes and eligible("tree", op, ctopo):
+        candidates.append("tree")
+    if nbytes >= params.hier_min_bytes and eligible("hier_ring", op, ctopo):
+        candidates.append("hier_ring")
+    plans = [plan(c, op, nbytes, ctopo, params) for c in candidates]
+    return min(plans, key=lambda s: (s.seconds, ALGORITHMS.index(s.algo)))

@@ -5,15 +5,16 @@ joins device slot ``i`` of ``n`` — so one process may hold several
 communicator handles, one per GPU it drives (the deployment model
 DiOMP's single-process multi-GPU mode depends on, §3.3).
 
-Completion model (ring algorithms, per collective):
-
-    ``t = launch + steps * step_latency + hop_latency * log2(n)
-         + wire_bytes / (efficiency * bottleneck_bw)``
-
-with ``wire_bytes`` the per-rank wire volume of the pipelined ring:
-``2·size·(n−1)/n`` for allreduce, ``size`` for broadcast (pipelined),
-``size·(n−1)/n`` for reduce-scatter and allgather.  Data application
-is real numpy arithmetic for real buffers at the completion instant.
+Completion times come from the per-algorithm cost models of
+:mod:`repro.xccl.algorithms`: the flat pipelined ring (the historical
+single model), a binomial tree for the latency-bound regime, and the
+two-level hierarchical decomposition for multi-node large messages —
+auto-selected per launch from the communicator's
+:class:`~repro.xccl.topo.CommTopology` and the message size, or forced
+via ``algo=`` for ablations.  Data application is real numpy
+arithmetic for real buffers at the completion instant, identical for
+every algorithm (contributions are always combined in slot order, so
+results are bit-identical across algorithms).
 
 A collective call blocks until every member has arrived (matching
 launch order per communicator), then all members complete together at
@@ -34,8 +35,9 @@ from repro.device.driver import Device
 from repro.hardware.topology import DeviceId
 from repro.sim import Future
 from repro.util.errors import CommunicationError
+from repro.xccl.algorithms import Selection, select_algorithm
 from repro.xccl.params import XcclParams
-from repro.xccl.topo import build_ring, ring_bandwidth, ring_hop_latency
+from repro.xccl.topo import CommTopology, analyze, build_ring
 from repro.xccl.uniqueid import UniqueId
 
 
@@ -44,6 +46,10 @@ class _PendingCollective:
     """Rendezvous state for one in-flight collective."""
 
     op: str
+    #: message size the first arriver declared (members must agree)
+    nbytes: int
+    #: forced algorithm of the first arriver (None = auto-select)
+    algo: Optional[str]
     arrivals: Dict[int, dict] = dataclasses.field(default_factory=dict)
     futures: Dict[int, Future] = dataclasses.field(default_factory=dict)
 
@@ -56,6 +62,7 @@ class _CommState:
     ndev: int
     devices: Dict[int, DeviceId] = dataclasses.field(default_factory=dict)
     ring: Optional[List[DeviceId]] = None
+    ctopo: Optional[CommTopology] = None
     bottleneck_bw: float = 0.0
     hop_latency: float = 0.0
     init_barrier_waiters: List[Future] = dataclasses.field(default_factory=list)
@@ -76,10 +83,13 @@ class XcclContext:
                 "xccl.launches", "device-slot collective launches by op"
             )
             self._m_wire = obs.counter(
-                "xccl.wire_bytes", "modeled per-rank ring wire bytes by op"
+                "xccl.wire_bytes", "modeled per-rank wire bytes by op/algorithm"
+            )
+            self._m_algo = obs.counter(
+                "xccl.algo", "completed collectives by selected algorithm"
             )
         else:
-            self._m_launches = self._m_wire = None
+            self._m_launches = self._m_wire = self._m_algo = None
 
     def _state(self, uid: UniqueId, ndev: int) -> _CommState:
         state = self._comms.get(uid)
@@ -135,8 +145,9 @@ class XcclComm:
             # Last joiner: detect topology, charge init, release everyone.
             ring = build_ring([state.devices[i] for i in range(ndev)])
             state.ring = ring
-            state.bottleneck_bw = ring_bandwidth(ctx.world.topology, ring, ctx.params)
-            state.hop_latency = ring_hop_latency(ctx.world.topology, ring)
+            state.ctopo = analyze(ctx.world.topology, ring, ctx.params)
+            state.bottleneck_bw = state.ctopo.flat_bw
+            state.hop_latency = state.ctopo.flat_hop_latency
             sim.sleep(ctx.params.init_overhead)
             waiters, state.init_barrier_waiters = state.init_barrier_waiters, []
             for fut in waiters:
@@ -149,35 +160,41 @@ class XcclComm:
 
     # -- completion-time model -----------------------------------------------------
 
-    def _wire_bytes(self, op: str, nbytes: int) -> float:
-        n = self._state.ndev
-        if n == 1:
-            return 0.0
-        if op == "all_reduce":
-            return 2.0 * nbytes * (n - 1) / n
-        if op == "broadcast":
-            return float(nbytes)
-        if op in ("reduce", "reduce_scatter", "all_gather"):
-            return nbytes * (n - 1) / n if op != "reduce" else float(nbytes)
-        raise CommunicationError(f"unknown collective {op!r}")
+    def select(self, op: str, nbytes: int, algo: Optional[str] = None) -> Selection:
+        """The algorithm (and modeled time) one launch would use.
 
-    def _model_time(self, op: str, nbytes: int) -> float:
-        params = self.ctx.params
+        Pure preview — prices the candidates against the communicator's
+        :class:`CommTopology` without arriving at any rendezvous.
+        """
         state = self._state
-        n = state.ndev
-        efficiency = (
-            params.bcast_efficiency if op == "broadcast" else params.efficiency
+        if state.ctopo is None:
+            raise CommunicationError("communicator is not initialized")
+        return select_algorithm(op, nbytes, state.ctopo, self.ctx.params, force=algo)
+
+    def _record_phases(self, sel: Selection, start: float) -> None:
+        """Emit per-phase spans so traces attribute intra vs inter time."""
+        obs = getattr(self.ctx.world, "obs", None)
+        if obs is None or not obs.profiler.enabled:
+            return
+        params = self.ctx.params
+        eff = (
+            params.bcast_efficiency if sel.op == "broadcast" else params.efficiency
         )
-        steps = 2 * (n - 1) if op == "all_reduce" else (n - 1)
-        rounds = max(1, int(np.ceil(np.log2(max(n, 2)))))
-        wire = self._wire_bytes(op, nbytes)
-        bw = state.bottleneck_bw * efficiency
-        return (
-            params.launch_overhead
-            + steps * params.step_latency
-            + rounds * state.hop_latency
-            + (wire / bw if wire else 0.0)
-        )
+        t = start + params.launch_overhead
+        for ph in sel.phases:
+            dt = ph.time(params, eff)
+            obs.profiler.record(
+                f"xccl.{sel.algo}.{ph.name}",
+                t,
+                t + dt,
+                track=f"xccl.{params.name}",
+                scope=ph.scope,
+                op=sel.op,
+                algo=sel.algo,
+                bytes=sel.nbytes,
+                ndev=self._state.ndev,
+            )
+            t += dt
 
     # -- rendezvous machinery ------------------------------------------------------
 
@@ -187,6 +204,7 @@ class XcclComm:
         nbytes: int,
         arrival: dict,
         apply_fn: Callable[[Dict[int, dict]], None],
+        algo: Optional[str] = None,
     ) -> None:
         """Arrive at collective #seq; last arrival schedules completion."""
         state = self._state
@@ -195,13 +213,25 @@ class XcclComm:
         self._op_seq += 1
         pending = state.pending.get(seq)
         if pending is None:
-            pending = _PendingCollective(op=op)
+            pending = _PendingCollective(op=op, nbytes=nbytes, algo=algo)
             state.pending[seq] = pending
         if pending.op != op:
             raise CommunicationError(
                 f"collective mismatch at sequence {seq}: "
                 f"{pending.op} vs {op} (all members must call the same op "
                 "in the same order)"
+            )
+        if pending.nbytes != nbytes:
+            raise CommunicationError(
+                f"collective size mismatch at sequence {seq}: device rank "
+                f"{self.dev_rank} passed {nbytes} bytes for {op} but earlier "
+                f"members passed {pending.nbytes} (all members must agree)"
+            )
+        if pending.algo != algo:
+            raise CommunicationError(
+                f"collective algorithm mismatch at sequence {seq}: device rank "
+                f"{self.dev_rank} forced {algo!r} but earlier members forced "
+                f"{pending.algo!r}"
             )
         if self.dev_rank in pending.arrivals:
             raise CommunicationError(f"device rank {self.dev_rank} arrived twice")
@@ -212,12 +242,19 @@ class XcclComm:
             self.ctx._m_launches.inc(
                 op=op, library=self.ctx.params.name, ndev=state.ndev
             )
-            self.ctx._m_wire.inc(
-                self._wire_bytes(op, nbytes), op=op, library=self.ctx.params.name
-            )
         if len(pending.arrivals) == state.ndev:
             del state.pending[seq]
-            duration = self._model_time(op, nbytes)
+            sel = self.select(op, nbytes, algo=algo)
+            duration = sel.seconds
+            if self.ctx._m_algo is not None:
+                labels = dict(
+                    op=op, algo=sel.algo, library=self.ctx.params.name, ndev=state.ndev
+                )
+                self.ctx._m_algo.inc(**labels)
+                self.ctx._m_wire.inc(
+                    state.ndev * sum(ph.wire_bytes for ph in sel.phases), **labels
+                )
+            self._record_phases(sel, sim.now)
             arrivals = pending.arrivals
             futures = pending.futures
 
@@ -242,8 +279,9 @@ class XcclComm:
         recv: MemRef,
         dtype: np.dtype = np.float64,
         op: Callable = np.add,
+        algo: Optional[str] = None,
     ) -> None:
-        """Ring AllReduce over all member devices."""
+        """AllReduce over all member devices (auto-selected algorithm)."""
         if send.nbytes != recv.nbytes:
             raise CommunicationError("all_reduce buffers must match in size")
         dtype = np.dtype(dtype)
@@ -258,10 +296,18 @@ class XcclComm:
             for i in range(self.ndev):
                 arrivals[i]["recv"].typed(dtype)[:] = total
 
-        self._collective("all_reduce", send.nbytes, {"send": send, "recv": recv}, apply)
+        self._collective(
+            "all_reduce", send.nbytes, {"send": send, "recv": recv}, apply, algo=algo
+        )
 
-    def broadcast(self, buf: MemRef, root: int, dtype: np.dtype = np.uint8) -> None:
-        """Ring broadcast from device slot ``root``."""
+    def broadcast(
+        self,
+        buf: MemRef,
+        root: int,
+        dtype: np.dtype = np.uint8,
+        algo: Optional[str] = None,
+    ) -> None:
+        """Broadcast from device slot ``root``."""
         if not 0 <= root < self.ndev:
             raise CommunicationError(f"broadcast root {root} out of range")
 
@@ -273,7 +319,7 @@ class XcclComm:
                 if i != root:
                     arrivals[i]["buf"].copy_from(src)
 
-        self._collective("broadcast", buf.nbytes, {"buf": buf}, apply)
+        self._collective("broadcast", buf.nbytes, {"buf": buf}, apply, algo=algo)
 
     def reduce(
         self,
@@ -282,6 +328,7 @@ class XcclComm:
         root: int,
         dtype: np.dtype = np.float64,
         op: Callable = np.add,
+        algo: Optional[str] = None,
     ) -> None:
         """Reduce to device slot ``root``."""
         if not 0 <= root < self.ndev:
@@ -302,10 +349,14 @@ class XcclComm:
                 total = contrib.copy() if total is None else op(total, contrib)
             root_recv.typed(dtype)[:] = total
 
-        self._collective("reduce", send.nbytes, {"send": send, "recv": recv}, apply)
+        self._collective(
+            "reduce", send.nbytes, {"send": send, "recv": recv}, apply, algo=algo
+        )
 
-    def all_gather(self, send: MemRef, recv: MemRef) -> None:
-        """Ring AllGather: ``recv`` holds ndev blocks in slot order."""
+    def all_gather(
+        self, send: MemRef, recv: MemRef, algo: Optional[str] = None
+    ) -> None:
+        """AllGather: ``recv`` holds ndev blocks in slot order."""
         if recv.nbytes != send.nbytes * self.ndev:
             raise CommunicationError(
                 "all_gather recv must hold ndev*send bytes "
@@ -321,7 +372,9 @@ class XcclComm:
                 for j in range(self.ndev):
                     arrivals[j]["recv"].slice(i * block, block).copy_from(src)
 
-        self._collective("all_gather", send.nbytes, {"send": send, "recv": recv}, apply)
+        self._collective(
+            "all_gather", send.nbytes, {"send": send, "recv": recv}, apply, algo=algo
+        )
 
     def reduce_scatter(
         self,
@@ -329,8 +382,9 @@ class XcclComm:
         recv: MemRef,
         dtype: np.dtype = np.float64,
         op: Callable = np.add,
+        algo: Optional[str] = None,
     ) -> None:
-        """Ring ReduceScatter: each slot receives its reduced block."""
+        """ReduceScatter: each slot receives its reduced block."""
         if send.nbytes != recv.nbytes * self.ndev:
             raise CommunicationError(
                 "reduce_scatter send must hold ndev*recv bytes "
@@ -350,5 +404,35 @@ class XcclComm:
                 arrivals[j]["recv"].typed(dtype)[:] = total
 
         self._collective(
-            "reduce_scatter", recv.nbytes * self.ndev, {"send": send, "recv": recv}, apply
+            "reduce_scatter",
+            recv.nbytes * self.ndev,
+            {"send": send, "recv": recv},
+            apply,
+            algo=algo,
+        )
+
+    def alltoall(self, send: MemRef, recv: MemRef, algo: Optional[str] = None) -> None:
+        """Pairwise AllToAll: block ``j`` of slot ``i``'s send buffer
+        lands as block ``i`` of slot ``j``'s receive buffer."""
+        if send.nbytes != recv.nbytes:
+            raise CommunicationError("alltoall buffers must match in size")
+        if send.nbytes % self.ndev:
+            raise CommunicationError(
+                f"alltoall buffer of {send.nbytes} bytes does not divide "
+                f"into {self.ndev} blocks"
+            )
+
+        def apply(arrivals: Dict[int, dict]) -> None:
+            if not self._all_real(arrivals, "send", "recv"):
+                return
+            block = send.nbytes // self.ndev
+            for i in range(self.ndev):
+                src = arrivals[i]["send"]
+                for j in range(self.ndev):
+                    arrivals[j]["recv"].slice(i * block, block).copy_from(
+                        src.slice(j * block, block)
+                    )
+
+        self._collective(
+            "alltoall", send.nbytes, {"send": send, "recv": recv}, apply, algo=algo
         )

@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.util.errors import ConfigurationError
-from repro.util.units import US
+from repro.util.units import KiB, MiB, US
 
 
 @dataclasses.dataclass(frozen=True)
@@ -40,12 +40,21 @@ class XcclParams:
     #: one-time communicator init cost (topology detection, transport
     #: setup) — the "OMPCCL initialization overhead" of §4.3
     init_overhead: float
+    #: largest message the binomial/double tree is considered for (the
+    #: latency-bound regime; NCCL_TREE_THRESHOLD analogue)
+    tree_max_bytes: int = 64 * KiB
+    #: smallest message the two-level hierarchical decomposition is
+    #: considered for (below this the extra phases cost more latency
+    #: than the intra/inter split saves)
+    hier_min_bytes: int = 4 * MiB
 
     def __post_init__(self) -> None:
         if not (0.0 < self.efficiency <= 1.0 and 0.0 < self.bcast_efficiency <= 1.0):
             raise ConfigurationError(f"{self.name}: efficiency out of range")
         if self.max_channels <= 0:
             raise ConfigurationError(f"{self.name}: max_channels must be positive")
+        if self.tree_max_bytes < 0 or self.hier_min_bytes < 0:
+            raise ConfigurationError(f"{self.name}: algorithm thresholds must be >= 0")
 
 
 NCCL_PARAMS = XcclParams(

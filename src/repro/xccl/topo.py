@@ -1,18 +1,25 @@
 """Topology detection: ring construction and bottleneck analysis.
 
 NCCL/RCCL build their rings from the detected hardware graph.  We
-reproduce the two properties the evaluation depends on:
+reproduce the properties the evaluation depends on:
 
 * **node-major ring order** — consecutive ranks on a node are joined
   by NVLink/xGMI; the ring crosses the network once per node pair,
 * **NIC channel aggregation** — every inter-node crossing may be
   striped over up to ``min(max_channels, nics, local member GPUs)``
-  NICs, which is the large-message advantage over a single MPI ring.
+  NICs, which is the large-message advantage over a single MPI ring,
+* **two-level decomposition** (:class:`CommTopology`) — the intra-node
+  and inter-node tiers are characterized separately so the
+  hierarchical algorithms of :mod:`repro.xccl.algorithms` can price an
+  intra-node reduce-scatter/allgather over NVLink/xGMI and an
+  inter-node ring over the fabric with one leader per node.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import dataclasses
+import math
+from typing import List, Optional, Sequence
 
 from repro.hardware.topology import ClusterTopology, DeviceId, PathKind
 from repro.util.errors import ConfigurationError
@@ -76,3 +83,102 @@ def ring_hop_latency(topology: ClusterTopology, ring: Sequence[DeviceId]) -> flo
         dst = ring[(i + 1) % len(ring)]
         lats.append(topology.path(src, dst).latency)
     return max(lats)
+
+
+@dataclasses.dataclass(frozen=True)
+class CommTopology:
+    """The two-level structure of one communicator's member set.
+
+    Computed once at init (NCCL's topology-detection phase) and
+    consumed by the per-algorithm cost models: the flat ring sees only
+    ``flat_bw``/``flat_hop_latency``; the hierarchical algorithms see
+    the intra-node tier (NVLink/xGMI bottleneck among co-located
+    members) and the inter-node tier (the leader-per-node fabric
+    crossing with NIC channel aggregation) separately.
+    """
+
+    #: node-major member ring
+    ring: tuple
+    ndev: int
+    #: distinct nodes hosting members
+    nnodes: int
+    #: members per node when uniform, else None (hierarchy disabled)
+    per_node: Optional[int]
+    #: bottleneck ring-hop bandwidth / worst hop latency (flat model)
+    flat_bw: float
+    flat_hop_latency: float
+    #: bottleneck intra-node hop among co-located members
+    intra_bw: float
+    intra_hop_latency: float
+    #: leader-per-node fabric crossing (NIC channels aggregated)
+    inter_bw: float
+    inter_hop_latency: float
+
+    @property
+    def multi_node(self) -> bool:
+        return self.nnodes > 1
+
+    @property
+    def hierarchical(self) -> bool:
+        """Whether a two-level decomposition exists at all."""
+        return self.multi_node and self.per_node is not None and self.per_node > 1
+
+    def rounds(self, n: int) -> int:
+        """Latency rounds of a log2 schedule over ``n`` participants."""
+        return max(1, int(math.ceil(math.log2(max(n, 2)))))
+
+
+def analyze(
+    topology: ClusterTopology, ring: Sequence[DeviceId], params: XcclParams
+) -> CommTopology:
+    """Characterize both tiers of a member ring.
+
+    The intra tier is the bottleneck hop over consecutive co-located
+    members (what the node-major ring uses inside a node); the inter
+    tier is the worst node-to-node crossing with channel aggregation
+    (what one leader per node drives during the inter-node phase).
+    """
+    ring = list(ring)
+    per_node_counts = {}
+    for dev in ring:
+        per_node_counts[dev.node] = per_node_counts.get(dev.node, 0) + 1
+    nnodes = len(per_node_counts)
+    counts = set(per_node_counts.values())
+    per_node = counts.pop() if len(counts) == 1 else None
+    flat_bw = ring_bandwidth(topology, ring, params)
+    flat_hop = ring_hop_latency(topology, ring)
+    # -- intra tier: consecutive co-located members ---------------------------
+    intra_bws: List[float] = []
+    intra_lats: List[float] = []
+    inter_bws: List[float] = []
+    inter_lats: List[float] = []
+    for i, src in enumerate(ring[:-1] if len(ring) > 1 else []):
+        dst = ring[i + 1]
+        if src.node == dst.node:
+            path = topology.path(src, dst, operation="ccl", gpu_memory=True)
+            intra_bws.append(path.bandwidth)
+            intra_lats.append(path.latency)
+    # -- inter tier: adjacent node pairs in ring order ------------------------
+    if nnodes > 1:
+        for i, src in enumerate(ring):
+            dst = ring[(i + 1) % len(ring)]
+            if src.node != dst.node:
+                inter_bws.append(
+                    _crossing_bandwidth(
+                        topology, src, dst, per_node_counts[src.node], params
+                    )
+                )
+                inter_lats.append(topology.path(src, dst).latency)
+    gpu_mem_bw = topology.node_spec.gpu.mem_bandwidth
+    return CommTopology(
+        ring=tuple(ring),
+        ndev=len(ring),
+        nnodes=nnodes,
+        per_node=per_node,
+        flat_bw=flat_bw,
+        flat_hop_latency=flat_hop,
+        intra_bw=min(intra_bws) if intra_bws else gpu_mem_bw,
+        intra_hop_latency=max(intra_lats) if intra_lats else 0.0,
+        inter_bw=min(inter_bws) if inter_bws else flat_bw,
+        inter_hop_latency=max(inter_lats) if inter_lats else flat_hop,
+    )

@@ -308,3 +308,158 @@ class TestDirectives:
             execute_pragma(ctx.diomp, "#pragma ompx barrier")
 
         run_spmd(w, prog)
+
+
+class TestNewCollectives:
+    def test_allgather_world(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            send = ctx.diomp.alloc(8)
+            recv = ctx.diomp.alloc(8 * 8)
+            send.typed(np.float64)[:] = float(ctx.rank)
+            ctx.diomp.barrier()
+            ctx.diomp.allgather(send, recv)
+            out[ctx.rank] = recv.typed(np.float64).copy()
+
+        run_spmd(w, prog)
+        for r in range(8):
+            np.testing.assert_array_equal(out[r], np.arange(8.0))
+
+    def test_reduce_scatter_world(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            send = ctx.diomp.alloc(8 * 8)
+            recv = ctx.diomp.alloc(8)
+            send.typed(np.float64)[:] = np.arange(8.0)
+            ctx.diomp.barrier()
+            ctx.diomp.reduce_scatter(send, recv)
+            out[ctx.rank] = recv.typed(np.float64)[0]
+
+        run_spmd(w, prog)
+        # Block j summed over 8 identical contributions = 8 j.
+        assert out == {r: 8.0 * r for r in range(8)}
+
+    def test_alltoall_world(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            send = ctx.diomp.alloc(8 * 8)
+            recv = ctx.diomp.alloc(8 * 8)
+            send.typed(np.float64)[:] = 10.0 * ctx.rank + np.arange(8.0)
+            ctx.diomp.barrier()
+            ctx.diomp.alltoall(send, recv)
+            out[ctx.rank] = recv.typed(np.float64).copy()
+
+        run_spmd(w, prog)
+        for r in range(8):
+            np.testing.assert_array_equal(out[r], 10.0 * np.arange(8) + r)
+
+    def test_chained_merge_split_allgather_reduce_scatter_multi_device(self):
+        """Chained recomposition on a multi-device world: split the
+        world, merge the halves back, then run the new group-scoped
+        collectives over both the merged group and a split half."""
+        w = World(platform_a(with_quirk=False), num_nodes=2, devices_per_rank=2)
+        DiompRuntime(w)
+        halves = {}
+        out = {}
+
+        def prog(ctx):
+            half = ctx.diomp.group_split(ctx.diomp.world_group, ctx.rank % 2)
+            halves[ctx.rank] = half
+            ctx.diomp.barrier()
+            merged = ctx.diomp.group_merge(halves[0], halves[1])
+            assert merged.device_count == 8
+
+            # allgather over the merged group: 8 slots, 2 per rank.
+            sends, recvs = [], []
+            for d, dev in enumerate(ctx.devices):
+                slot = merged.device_slots(ctx.rank)[d]
+                s = dev.malloc(8)
+                s.as_array(np.float64)[:] = float(slot)
+                sends.append(MemRef.device(s))
+                recvs.append(MemRef.device(dev.malloc(8 * 8)))
+            ctx.diomp.allgather(sends, recvs, group=merged)
+            out[("ag", ctx.rank)] = [r.typed(np.float64).copy() for r in recvs]
+
+            # reduce_scatter over the split half (4 slots).
+            sends, recvs = [], []
+            for dev in ctx.devices:
+                s = dev.malloc(8 * 4)
+                s.as_array(np.float64)[:] = np.arange(4.0)
+                sends.append(MemRef.device(s))
+                recvs.append(MemRef.device(dev.malloc(8)))
+            ctx.diomp.reduce_scatter(sends, recvs, group=half)
+            out[("rs", ctx.rank)] = [
+                (half.device_slots(ctx.rank)[d], r.typed(np.float64)[0])
+                for d, r in enumerate(recvs)
+            ]
+
+        run_spmd(w, prog)
+        for r in range(4):
+            for got in out[("ag", r)]:
+                np.testing.assert_array_equal(got, np.arange(8.0))
+            for slot, val in out[("rs", r)]:
+                # Block j summed over 4 identical arange contributions.
+                assert val == 4.0 * slot
+
+    def test_group_scoped_allgather_after_split(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            sub = ctx.diomp.group_split(ctx.diomp.world_group, ctx.rank % 2)
+            send = ctx.diomp.alloc(8)
+            recv = ctx.diomp.alloc(8 * 4)
+            send.typed(np.float64)[:] = float(ctx.rank)
+            ctx.diomp.barrier()
+            ctx.diomp.allgather(send, recv, group=sub)
+            out[ctx.rank] = recv.typed(np.float64).copy()
+
+        run_spmd(w, prog)
+        np.testing.assert_array_equal(out[0], [0.0, 2.0, 4.0, 6.0])
+        np.testing.assert_array_equal(out[1], [1.0, 3.0, 5.0, 7.0])
+
+
+class TestGroupIdDeterminism:
+    def _run_once(self):
+        w, rt = make()
+        ids = {}
+
+        def prog(ctx):
+            sub = ctx.diomp.group_split(ctx.diomp.world_group, ctx.rank % 2)
+            quarter = ctx.diomp.group_split(sub, ctx.rank // 4)
+            ids[ctx.rank] = (
+                ctx.diomp.world_group.group_id,
+                sub.group_id,
+                quarter.group_id,
+            )
+            send = ctx.diomp.alloc(8)
+            recv = ctx.diomp.alloc(8)
+            send.typed(np.float64)[:] = 1.0
+            ctx.diomp.barrier(sub)
+            ctx.diomp.allreduce(send, recv, group=sub)
+
+        run_spmd(w, prog)
+        labels = sorted(
+            {(s.name, s.args["group"]) for s in w.obs.spans if "group" in s.args}
+        )
+        return ids, labels
+
+    def test_back_to_back_runs_yield_identical_ids_and_labels(self):
+        """Regression: group ids came from a module-global counter, so a
+        second identical run in the same process saw different ids (and
+        different ``group=`` span/metric labels)."""
+        first = self._run_once()
+        second = self._run_once()
+        assert first == second
+
+    def test_world_group_is_id_zero(self):
+        w, rt = make()
+        assert rt.world_group.group_id == 0
+        w2, rt2 = make()
+        assert rt2.world_group.group_id == 0

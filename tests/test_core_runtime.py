@@ -552,3 +552,58 @@ class TestOmpTargetIntegration:
 
         run_spmd(w, prog)
         assert out["v"] == 2.0
+
+
+class TestGroupScopedBarrier:
+    def test_sub_group_barrier_spares_non_member_ops(self):
+        """Regression: ``ompx_barrier(group)`` used to call ``fence()``
+        with no group, draining every pending op — including a slow
+        transfer to a rank outside the group — before releasing the
+        barrier.  The scoped fence must leave non-member ops pending."""
+        w, rt = make(segment_size=128 * MiB)
+        out = {}
+
+        def prog(ctx):
+            big = ctx.diomp.alloc(32 * MiB, virtual=True)
+            small = ctx.diomp.alloc(64, virtual=True)
+            ctx.diomp.barrier()
+            if ctx.rank < 4:
+                sub = ctx.diomp.group_create([0, 1, 2, 3])
+                if ctx.rank == 0:
+                    # Slow inter-node put to a NON-member (rank 4) plus a
+                    # small put to a member: only the latter is barrier
+                    # scope.
+                    ctx.diomp.put(4, big, big.memref())
+                    ctx.diomp.put(1, small, small.memref())
+                    assert ctx.diomp.rma.pending_ops == 2
+                t0 = ctx.sim.now
+                ctx.diomp.barrier(sub)
+                if ctx.rank == 0:
+                    out["barrier_time"] = ctx.sim.now - t0
+                    out["pending_after_sub"] = ctx.diomp.rma.pending_ops
+                    ctx.diomp.fence()  # full fence before shutdown
+                    out["pending_after_full"] = ctx.diomp.rma.pending_ops
+            ctx.world.global_barrier.wait()
+
+        run_spmd(w, prog)
+        # The 32 MiB transfer to rank 4 survived the sub-group barrier...
+        assert out["pending_after_sub"] == 1
+        # ...and the barrier did not wait out its ~ms wire time.
+        assert out["barrier_time"] < 1e-3
+        assert out["pending_after_full"] == 0
+
+    def test_world_barrier_still_drains_everything(self):
+        w, rt = make()
+        out = {}
+
+        def prog(ctx):
+            g = ctx.diomp.alloc(64 * KiB, virtual=True)
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                ctx.diomp.put(4, g, g.memref())
+            ctx.diomp.barrier()
+            if ctx.rank == 0:
+                out["pending"] = ctx.diomp.rma.pending_ops
+
+        run_spmd(w, prog)
+        assert out["pending"] == 0

@@ -6,16 +6,18 @@ import pytest
 from repro.cluster import MemRef, World, run_spmd
 from repro.hardware import platform_a, platform_b
 from repro.util.errors import CommunicationError
-from repro.util.units import MiB
+from repro.util.units import KiB, MiB
 from repro.xccl import (
     NCCL_PARAMS,
     RCCL_PARAMS,
     UniqueId,
     XcclComm,
     XcclContext,
+    analyze,
     build_ring,
     params_for,
     ring_bandwidth,
+    select_algorithm,
 )
 
 
@@ -290,3 +292,192 @@ class TestCalibration:
         assert params_for("rccl") is RCCL_PARAMS
         with pytest.raises(Exception):
             params_for("occl")
+
+
+class TestAlgorithmSelection:
+    def _ctopo(self, nodes=2, gpus=None, platform=None, params=NCCL_PARAMS):
+        w = World(platform or platform_a(with_quirk=False), num_nodes=nodes)
+        if gpus is None:
+            devs = w.topology.all_gpus()
+        else:
+            devs = [w.topology.gpu(n, i) for n, i in gpus]
+        return analyze(w.topology, build_ring(devs), params)
+
+    def test_tree_for_small_messages(self):
+        ct = self._ctopo()
+        sel = select_algorithm("all_reduce", 8 * KiB, ct, NCCL_PARAMS)
+        assert sel.algo == "tree"
+
+    def test_ring_for_single_node(self):
+        ct = self._ctopo(nodes=1)
+        assert not ct.hierarchical
+        sel = select_algorithm("all_reduce", 64 * MiB, ct, NCCL_PARAMS)
+        assert sel.algo == "ring"
+
+    def test_hier_for_multi_node_large(self):
+        ct = self._ctopo()
+        assert ct.hierarchical and ct.per_node == 4
+        sel = select_algorithm("all_reduce", 64 * MiB, ct, NCCL_PARAMS)
+        assert sel.algo == "hier_ring"
+        scopes = [ph.scope for ph in sel.phases]
+        assert scopes == ["intra", "inter", "intra"]
+
+    def test_hier_strictly_faster_than_ring(self):
+        ct = self._ctopo()
+        auto = select_algorithm("all_reduce", 64 * MiB, ct, NCCL_PARAMS)
+        ring = select_algorithm("all_reduce", 64 * MiB, ct, NCCL_PARAMS, force="ring")
+        assert auto.algo == "hier_ring"
+        assert auto.seconds < ring.seconds
+
+    def test_ring_kept_where_hier_costs_more(self):
+        # Large broadcast moves the whole vector through both tiers, so
+        # the decomposition cannot win; cost-min keeps the flat ring.
+        ct = self._ctopo()
+        sel = select_algorithm("broadcast", 64 * MiB, ct, NCCL_PARAMS)
+        assert sel.algo == "ring"
+
+    def test_thresholds_gate_policy(self):
+        # Mid-sized messages stay on the ring even where a hierarchy
+        # structurally exists (below hier_min_bytes, above tree_max).
+        ct = self._ctopo()
+        assert select_algorithm("all_reduce", 2 * MiB, ct, NCCL_PARAMS).algo == "ring"
+        assert select_algorithm("all_reduce", 128 * KiB, ct, NCCL_PARAMS).algo == "ring"
+
+    def test_no_hierarchy_with_one_gpu_per_node(self):
+        ct = self._ctopo(nodes=2, gpus=[(0, 0), (1, 0)])
+        assert not ct.hierarchical
+        sel = select_algorithm("all_reduce", 64 * MiB, ct, NCCL_PARAMS)
+        assert sel.algo == "ring"
+
+    def test_no_hierarchy_with_nonuniform_nodes(self):
+        ct = self._ctopo(nodes=2, gpus=[(0, 0), (0, 1), (0, 2), (1, 0)])
+        assert ct.per_node is None and not ct.hierarchical
+        sel = select_algorithm("all_reduce", 64 * MiB, ct, NCCL_PARAMS)
+        assert sel.algo == "ring"
+
+    def test_forced_ineligible_raises(self):
+        ct = self._ctopo(nodes=1)
+        with pytest.raises(CommunicationError, match="not runnable"):
+            select_algorithm("all_reduce", 64 * MiB, ct, NCCL_PARAMS, force="hier_ring")
+
+    def test_unknown_algorithm_rejected(self):
+        ct = self._ctopo()
+        with pytest.raises(CommunicationError, match="unknown algorithm"):
+            select_algorithm("all_reduce", 8, ct, NCCL_PARAMS, force="butterfly")
+
+    def test_forced_ring_matches_legacy_model(self):
+        # The ring plan must reproduce the historical _model_time
+        # formula exactly (the calibration contract).
+        ct = self._ctopo()
+        params = NCCL_PARAMS
+        n = ct.ndev
+        for size in (8, 128 * KiB, 2 * MiB, 64 * MiB):
+            sel = select_algorithm("all_reduce", size, ct, params, force="ring")
+            wire = 2.0 * size * (n - 1) / n
+            expect = (
+                params.launch_overhead
+                + 2 * (n - 1) * params.step_latency
+                + 3 * ct.flat_hop_latency
+                + wire / (ct.flat_bw * params.efficiency)
+            )
+            assert sel.seconds == pytest.approx(expect, rel=1e-12)
+
+
+class TestCollectiveValidation:
+    def test_mismatched_nbytes_rejected(self):
+        w, ctx = make_ctx(nodes=1)
+        uid = UniqueId.create()
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            size = 16 if rc.rank == 2 else 8
+            send = MemRef.device(rc.device.malloc(size))
+            recv = MemRef.device(rc.device.malloc(size))
+            comm.all_reduce(send, recv)
+
+        with pytest.raises(CommunicationError, match="size mismatch"):
+            run_spmd(w, prog)
+
+    def test_mismatched_forced_algo_rejected(self):
+        w, ctx = make_ctx(nodes=1)
+        uid = UniqueId.create()
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            send = MemRef.device(rc.device.malloc(8))
+            recv = MemRef.device(rc.device.malloc(8))
+            comm.all_reduce(send, recv, algo="ring" if rc.rank == 0 else None)
+
+        with pytest.raises(CommunicationError, match="algorithm mismatch"):
+            run_spmd(w, prog)
+
+    def test_alltoall_exchanges_blocks(self):
+        w, ctx = make_ctx(nodes=1)
+        uid = UniqueId.create()
+        out = {}
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            send = rc.device.malloc(8 * w.nranks)
+            # Block j of rank i holds 10*i + j.
+            send.as_array(np.float64)[:] = 10.0 * rc.rank + np.arange(w.nranks)
+            recv = rc.device.malloc(8 * w.nranks)
+            comm.alltoall(MemRef.device(send), MemRef.device(recv))
+            out[rc.rank] = recv.as_array(np.float64).copy()
+
+        run_spmd(w, prog)
+        for j in range(4):
+            # Block i of rank j's recv came from rank i's block j.
+            np.testing.assert_array_equal(out[j], 10.0 * np.arange(4) + j)
+
+    def test_alltoall_size_validation(self):
+        w, ctx = make_ctx(nodes=1)
+        uid = UniqueId.create()
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            send = MemRef.device(rc.device.malloc(10))
+            recv = MemRef.device(rc.device.malloc(10))
+            comm.alltoall(send, recv)  # 10 bytes not divisible into 4
+
+        with pytest.raises(CommunicationError, match="does not divide"):
+            run_spmd(w, prog)
+
+    def test_hier_bit_identical_to_ring(self):
+        # Same 2-node/8-GPU world, same inputs, forced ring vs forced
+        # hierarchy: results must match bit for bit (contributions are
+        # always combined in slot order, whatever the transport).
+        results = {}
+        for algo in ("ring", "hier_ring"):
+            w, ctx = make_ctx(nodes=2)
+            uid = UniqueId.create()
+            out = {}
+
+            def prog(rc, algo=algo, ctx=ctx, uid=uid, w=w, out=out):
+                comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+                send = rc.device.malloc(1024)
+                rng = np.random.default_rng(rc.rank)
+                send.as_array(np.float64)[:] = rng.standard_normal(128)
+                recv = rc.device.malloc(1024)
+                comm.all_reduce(MemRef.device(send), MemRef.device(recv), algo=algo)
+                out[rc.rank] = recv.as_array(np.float64).copy()
+
+            run_spmd(w, prog)
+            results[algo] = out
+        for r in range(8):
+            np.testing.assert_array_equal(
+                results["ring"][r], results["hier_ring"][r]
+            )
+
+    def test_algo_metric_labels(self):
+        w, ctx = make_ctx(nodes=2)
+        uid = UniqueId.create()
+
+        def prog(rc):
+            comm = XcclComm.init_rank(ctx, uid, rc.rank, w.nranks, rc.device)
+            send = MemRef.device(rc.device.malloc(64 * MiB, virtual=True))
+            recv = MemRef.device(rc.device.malloc(64 * MiB, virtual=True))
+            comm.all_reduce(send, recv)
+
+        run_spmd(w, prog)
+        assert w.obs.value("xccl.algo", algo="hier_ring", op="all_reduce") == 1
