@@ -1,0 +1,62 @@
+"""Telemetry at scale: a 1024-rank allreduce sweep under a span budget.
+
+The observability layer must not become the bottleneck it measures: at
+1024 ranks an unbudgeted span store and per-rank metric series grow
+linearly with the world, while the budgeted store holds a fixed
+memory ceiling and rollups keep the export size flat.  This benchmark
+drives the full telemetry pipeline — engine self-profiling, budgeted
+span collection, cross-rank rollups, anomaly detection — at the
+paper-scale rank count and asserts the retention contract holds.
+"""
+
+from conftest import run_once
+
+from repro.bench import collective
+from repro.hardware.platforms import get_platform
+from repro.obs.sampling import SPAN_COST_BYTES, SpanBudget
+from repro.util.units import KiB, MiB
+
+#: 256 nodes x 4 GPUs on platform A = 1024 ranks
+SCALE_NODES = 256
+SCALE_RANKS = 1024
+
+#: hard span-memory ceiling for the sweep (2048 spans at 512 B/span)
+SCALE_BUDGET = SpanBudget(max_bytes=1 * MiB, per_track_head=1, per_track_reservoir=4)
+
+
+def test_scale_allreduce_telemetry_1024(benchmark):
+    """1024-rank allreduce with full telemetry inside a 1 MiB span budget."""
+    spec = get_platform("A")
+    stats = run_once(
+        benchmark,
+        collective.allreduce_engine_stats,
+        spec,
+        SCALE_NODES,
+        256 * KiB,
+        reps=2,
+        span_budget=SCALE_BUDGET,
+    )
+    spans = stats["span_stats"]
+    print(
+        f"\n1024-rank allreduce sweep: {stats['events']} events, "
+        f"{stats['events_per_sec']:,.0f} events/s, "
+        f"wall/simsec {stats['wall_per_simsec']:,.0f}"
+    )
+    print(
+        f"span store: recorded {spans['recorded']}, kept {spans['kept']}, "
+        f"dropped {spans['dropped']}, resident "
+        f"{spans['memory_bytes'] / 1024:.0f} KiB "
+        f"(budget {SCALE_BUDGET.max_bytes / 1024:.0f} KiB)"
+    )
+    # The engine numbers feeding the regression gate are populated.
+    assert stats["events"] > SCALE_RANKS
+    assert stats["events_per_sec"] > 0
+    assert stats["wall_per_simsec"] > 0
+    # The retention contract: the hard budget held, sampling engaged,
+    # and the bookkeeping is consistent.
+    assert spans["memory_bytes"] <= SCALE_BUDGET.max_bytes
+    assert spans["kept"] <= SCALE_BUDGET.max_spans
+    assert spans["sampling"]
+    assert spans["recorded"] == spans["kept"] + spans["dropped"]
+    assert spans["recorded"] > SCALE_BUDGET.max_spans
+    assert spans["memory_bytes"] == spans["kept"] * SPAN_COST_BYTES

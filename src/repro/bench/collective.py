@@ -162,6 +162,43 @@ def allreduce_algorithm_ablation(
     return times, selected
 
 
+def allreduce_engine_stats(
+    platform: PlatformSpec,
+    num_nodes: int,
+    size: int,
+    reps: int = 2,
+    span_budget=None,
+) -> Dict[str, float]:
+    """Engine self-profiler numbers for a telemetry-on allreduce sweep.
+
+    Runs ``reps`` AllReduce iterations per rank with the full
+    observability stack enabled (spans, metrics, engine profiling,
+    optionally a :class:`~repro.obs.sampling.SpanBudget`) and returns
+    ``world.obs.engine.to_dict()`` extended with the span store's
+    retention stats under ``"span_stats"`` — the numbers the regression
+    gate and the scale benchmark report (``sim.events_per_sec``,
+    ``sim.wall_per_simsec``).
+    """
+    from repro.cluster.spmd import SpmdConfig, TelemetryConfig
+
+    world = World(platform, num_nodes=num_nodes)
+    DiompRuntime(world, DiompParams(segment_size=4 * size + (1 << 20)))
+
+    def prog(ctx):
+        send = ctx.diomp.alloc(size, virtual=True)
+        recv = ctx.diomp.alloc(size, virtual=True)
+        ctx.diomp.barrier()
+        for _ in range(reps):
+            ctx.diomp.allreduce(send, recv)
+        ctx.diomp.barrier()
+
+    config = SpmdConfig(telemetry=TelemetryConfig(span_budget=span_budget))
+    run_spmd(world, prog, config=config)
+    stats: Dict[str, float] = world.obs.engine.to_dict()
+    stats["span_stats"] = world.obs.span_stats().to_dict()
+    return stats
+
+
 def ratio_heatmap(
     platforms: Sequence[str] = ("A", "B", "C"),
     ops: Sequence[str] = ("bcast", "allreduce"),

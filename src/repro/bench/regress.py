@@ -67,6 +67,14 @@ GATED_METRICS: Dict[str, MetricSpec] = {
     # 1.0 when the auto-selector picks the hierarchical ring on the
     # 2-node x 4-GPU slice; any drop to 0.0 fails the gate.
     "fig6.allreduce.hier_selected": MetricSpec(0.0, better="higher"),
+    # Engine self-profiling (telemetry-on allreduce sweep).  The event
+    # count is deterministic — any drift is a scheduling/code change;
+    # the throughput figures are host wall-clock and vary across
+    # machines, so their tolerances only catch order-of-magnitude
+    # slowdowns (an accidentally quadratic event loop), not noise.
+    "engine.events": MetricSpec(0.02),
+    "engine.events_per_sec": MetricSpec(0.90, better="higher"),
+    "engine.wall_per_simsec": MetricSpec(4.0),
 }
 
 
@@ -112,6 +120,16 @@ def collect() -> Dict[str, float]:
     out["fig6.allreduce.64MiB"] = times["auto"]
     out["fig6.allreduce.64MiB.ring"] = times["ring"]
     out["fig6.allreduce.hier_selected"] = 1.0 if selected == "hier_ring" else 0.0
+
+    # Engine throughput gate: one telemetry-on allreduce sweep on a
+    # 2-node slice; events is deterministic, the throughput pair is
+    # wall-clock (loose tolerances, see GATED_METRICS).
+    from repro.bench.collective import allreduce_engine_stats
+
+    engine = allreduce_engine_stats(platform, 2, 1 * MiB, reps=2)
+    out["engine.events"] = float(engine["events"])
+    out["engine.events_per_sec"] = engine["events_per_sec"]
+    out["engine.wall_per_simsec"] = engine["wall_per_simsec"]
     return out
 
 

@@ -15,12 +15,37 @@ from repro.cluster.world import World
 
 
 @dataclasses.dataclass
+class TelemetryConfig:
+    """What telemetry one SPMD run collects and attaches to its result.
+
+    Defaults match the pre-telemetry behavior (engine stats published,
+    nothing else): rollups and anomaly detection cost a pass over the
+    registry/spans at run end, so they are opt-in per run.
+    """
+
+    #: span retention budget installed on the world's profiler before
+    #: launch (:class:`~repro.obs.sampling.SpanBudget`); None keeps the
+    #: store's existing budget
+    span_budget: Optional[Any] = None
+    #: export the engine profiler's numbers as ``sim.*`` gauges after
+    #: the run (events/sec, wall per sim-second, per-phase wall)
+    publish_engine: bool = True
+    #: attach cross-rank metric rollups to the result
+    rollups: bool = False
+    #: run the anomaly rules and attach the report to the result;
+    #: a sequence of rules overrides the default rule set
+    anomalies: Any = False
+
+
+@dataclasses.dataclass
 class SpmdConfig:
     """Per-run knobs orthogonal to the world's hardware shape."""
 
     #: fault-injection plan installed on the world before launch
     #: (:class:`~repro.faults.FaultPlan`); None = perfect hardware
     faults: Optional[Any] = None
+    #: telemetry collection knobs (:class:`TelemetryConfig`)
+    telemetry: Optional[TelemetryConfig] = None
 
 
 @dataclasses.dataclass
@@ -35,6 +60,10 @@ class SpmdResult:
     world: World
     #: metrics snapshot taken when the run finished (repro.obs)
     metrics: Optional[Dict[str, Any]] = None
+    #: cross-rank metric rollups (TelemetryConfig.rollups)
+    rollups: Optional[Dict[str, Any]] = None
+    #: anomaly report (TelemetryConfig.anomalies)
+    anomalies: Optional[Any] = None
 
     @property
     def critical_path(self):
@@ -63,14 +92,27 @@ def run_spmd(
     """
     if config is not None and config.faults is not None:
         world.install_fault_plan(config.faults)
+    telemetry = (config.telemetry if config is not None else None) or TelemetryConfig()
+    if telemetry.span_budget is not None:
+        world.obs.set_span_budget(telemetry.span_budget)
     tasks = [
         world.sim.spawn(program, ctx, *args, name=f"{name}{ctx.rank}")
         for ctx in world.ranks
     ]
     elapsed = world.sim.run()
+    obs = world.obs
+    if telemetry.publish_engine:
+        obs.publish_engine()
+    rollups = obs.rollup() if telemetry.rollups else None
+    anomalies = None
+    if telemetry.anomalies:
+        rules = telemetry.anomalies if telemetry.anomalies is not True else None
+        anomalies = obs.detect_anomalies(rules=rules)
     return SpmdResult(
         results=[t.result for t in tasks],
         elapsed=elapsed,
         world=world,
-        metrics=world.obs.snapshot() if world.obs.registry.enabled else None,
+        metrics=obs.snapshot() if obs.registry.enabled else None,
+        rollups=rollups,
+        anomalies=anomalies,
     )

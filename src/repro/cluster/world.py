@@ -100,6 +100,11 @@ class World:
         #: pass Observability(enabled=False) to turn it off wholesale
         self.obs = obs if obs is not None else Observability()
         self.obs.bind_clock(lambda: self.sim.now)
+        engine = getattr(self.obs, "engine", None)
+        if engine is not None and engine.enabled:
+            # Engine self-profiling: the simulator accounts host
+            # wall-clock per dispatch into obs.engine (sim.* gauges).
+            self.sim.profiler = engine
         self.topology: ClusterTopology = platform.cluster(num_nodes)
         self.fabric = Fabric(self.sim, self.topology, tracer=self.tracer)
         self.peer_access = PeerAccessManager(self.topology)

@@ -21,14 +21,28 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Sequence
 
+from repro.obs.anomaly import (
+    AnomalyReport,
+    AnomalyRule,
+    BarrierSkewRule,
+    DroppedSeriesRule,
+    EngineThroughputRule,
+    Finding,
+    RetrySloRule,
+    WaitImbalanceRule,
+    detect,
+)
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_events,
     dashboard_tables,
     events_jsonl,
     flow_events,
+    health_table,
+    iter_chrome_trace_events,
     render_dashboard,
     write_chrome_trace,
+    write_events_jsonl,
     write_metrics_snapshot,
 )
 from repro.obs.metrics import (
@@ -38,6 +52,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     size_class,
 )
+from repro.obs.rollup import (
+    exact_percentile,
+    rollup_metric,
+    rollup_registry,
+    rollup_snapshot,
+)
+from repro.obs.sampling import SpanBudget, SpanStore, SpanStoreStats, read_spill
+from repro.obs.selfprof import EngineProfiler
 from repro.obs.spans import SpanProfiler, SpanRecord, TraceContext
 
 
@@ -48,10 +70,21 @@ class Observability:
         self,
         enabled: bool = True,
         clock: Optional[Callable[[], float]] = None,
+        span_budget: Optional[SpanBudget] = None,
+        max_series_per_metric: int = 1000,
     ) -> None:
         self.enabled = enabled
-        self.registry = MetricsRegistry(enabled=enabled)
-        self.profiler = SpanProfiler(clock=clock, enabled=enabled)
+        self.registry = MetricsRegistry(
+            enabled=enabled, max_series_per_metric=max_series_per_metric
+        )
+        self.profiler = SpanProfiler(
+            clock=clock,
+            enabled=enabled,
+            store=SpanStore(span_budget) if span_budget is not None else None,
+        )
+        #: host wall-clock engine self-profiler; the world hands this to
+        #: its Simulator, and run_spmd publishes it into the registry
+        self.engine = EngineProfiler(enabled=enabled)
         #: per-(kind, ident, rank) rendezvous sequence numbers
         self._rdv_seq: Dict[Any, int] = {}
         #: (kind, ident, seq) -> {rank: TraceContext} arrival registry
@@ -148,6 +181,35 @@ class Observability:
             self.profiler.link_span(peer_ctx, mine, track=f"rank{peer_rank}")
         peers[rank] = mine
 
+    # -- retention and rollups -------------------------------------------------
+
+    def set_span_budget(self, budget: SpanBudget) -> None:
+        """Install a memory budget on the span store (see
+        :mod:`repro.obs.sampling`); existing spans are re-admitted."""
+        self.profiler.set_budget(budget)
+
+    def span_stats(self) -> SpanStoreStats:
+        """Retention accounting of the span store."""
+        return self.profiler.records.stats()
+
+    def publish_engine(self) -> None:
+        """Export the engine profiler's numbers as ``sim.*`` gauges."""
+        self.engine.publish(self.registry)
+
+    def rollup(self, label: str = "rank") -> Dict[str, Any]:
+        """Cross-rank rollups of every rank-labeled family."""
+        return rollup_registry(self.registry, label)
+
+    def rollup_snapshot(self, label: str = "rank") -> Dict[str, Any]:
+        """Snapshot-shaped export with rank series collapsed to rollups."""
+        return rollup_snapshot(self.registry, label)
+
+    def detect_anomalies(self, rules: Optional[Sequence[AnomalyRule]] = None) -> AnomalyReport:
+        """Run the anomaly rules over this world's spans and metrics."""
+        return detect(
+            spans=self.profiler.records, registry=self.registry, rules=rules
+        )
+
     # -- export ----------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
@@ -161,12 +223,21 @@ class Observability:
         return write_chrome_trace(path, self.profiler.records, tracer, metadata)
 
     def dashboard(
-        self, title: str = "Observability dashboard", with_spans: bool = False
+        self,
+        title: str = "Observability dashboard",
+        with_spans: bool = False,
+        with_anomalies: bool = False,
     ) -> str:
         """The plain-text dashboard; ``with_spans=True`` appends the
-        critical-path breakdown and wait-state tables."""
-        spans = self.profiler.records if with_spans else None
-        return render_dashboard(self.registry, title, spans=spans)
+        critical-path breakdown and wait-state tables,
+        ``with_anomalies=True`` the anomaly findings section."""
+        spans = self.profiler.records if (with_spans or with_anomalies) else None
+        return render_dashboard(
+            self.registry,
+            title,
+            spans=spans if with_spans else None,
+            anomalies=self.detect_anomalies() if with_anomalies else None,
+        )
 
 
 __all__ = [
@@ -178,13 +249,34 @@ __all__ = [
     "SpanProfiler",
     "SpanRecord",
     "TraceContext",
+    "EngineProfiler",
+    "SpanBudget",
+    "SpanStore",
+    "SpanStoreStats",
+    "read_spill",
     "size_class",
+    "exact_percentile",
+    "rollup_metric",
+    "rollup_registry",
+    "rollup_snapshot",
+    "AnomalyReport",
+    "AnomalyRule",
+    "BarrierSkewRule",
+    "WaitImbalanceRule",
+    "RetrySloRule",
+    "DroppedSeriesRule",
+    "EngineThroughputRule",
+    "Finding",
+    "detect",
     "chrome_trace",
     "chrome_trace_events",
+    "iter_chrome_trace_events",
     "flow_events",
     "write_chrome_trace",
     "write_metrics_snapshot",
     "events_jsonl",
+    "write_events_jsonl",
     "render_dashboard",
     "dashboard_tables",
+    "health_table",
 ]

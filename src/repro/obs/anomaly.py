@@ -1,0 +1,527 @@
+"""Anomaly and straggler detection over one run's telemetry.
+
+The tracing layer *records* load imbalance and fault recovery; this
+module *detects* them.  A set of pluggable :class:`AnomalyRule`
+objects examines the run's spans and metrics and emits
+:class:`Finding` entries — the report a user (or CI job) reads to
+learn that rank 17 arrived 300 µs late at every barrier, or that the
+conduit retry rate blew through its SLO.
+
+Built-in rules:
+
+* :class:`BarrierSkewRule` — per-rank arrival lateness at rendezvous
+  points (barriers, OMPCCL collectives).  A rank whose mean lateness
+  is a robust outlier (median + z·MAD across ranks) *and* exceeds an
+  absolute/relative floor is flagged as a straggler.
+* :class:`WaitImbalanceRule` — busy-time outliers from the per-track
+  wait-state statistics (the critical-path tiles): an overloaded rank
+  plus a cluster-level load-imbalance finding.
+* :class:`RetrySloRule` — fault-recovery SLOs from the metrics:
+  conduit retry rate, timeouts, and give-ups.
+* :class:`DroppedSeriesRule` — telemetry self-check: the metric
+  cardinality guard dropped writes, so per-rank views are incomplete.
+* :class:`EngineThroughputRule` — optional engine-speed floor
+  (``sim.events_per_sec``), disabled unless configured.
+
+Rules read metrics through :class:`MetricsView`, which answers
+aggregating ``value(name, **labels)`` queries from either a live
+:class:`~repro.obs.metrics.MetricsRegistry` or a loaded snapshot
+dict — so ``python -m repro.obs report`` works offline on exported
+files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+#: finding severities, mildest first
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "critical")
+
+#: span-name prefixes treated as all-to-all rendezvous points
+RENDEZVOUS_PREFIXES: Tuple[str, ...] = ("barrier", "ompccl.", "xccl.")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One detected anomaly."""
+
+    rule: str
+    severity: str
+    #: what the finding is about — "rank3", "cluster", "engine", ...
+    subject: str
+    message: str
+    #: the measured value that tripped the rule
+    value: float
+    #: the threshold it was compared against
+    threshold: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class MetricsView:
+    """Aggregating metric reads from a registry *or* a snapshot dict.
+
+    ``value(name, **labels)`` sums every series of the family whose
+    labels include the query subset — the same semantics as
+    ``MetricsRegistry.value`` — regardless of the backing store.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        snapshot: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.registry = registry
+        self.snapshot = snapshot
+
+    @property
+    def empty(self) -> bool:
+        return self.registry is None and self.snapshot is None
+
+    def value(self, name: str, **labels: Any) -> float:
+        if self.registry is not None:
+            return self.registry.value(name, **labels)
+        if self.snapshot is None:
+            return 0.0
+        query = {k: str(v) for k, v in labels.items()}
+        total = 0.0
+        for kind in ("counters", "gauges"):
+            family = self.snapshot.get(kind, {}).get(name)
+            if not family:
+                continue
+            for entry in family.get("series", ()):
+                entry_labels = entry.get("labels", {})
+                if all(entry_labels.get(k) == v for k, v in query.items()):
+                    total += float(entry.get("value", 0.0))
+        return total
+
+    def dropped_series(self) -> float:
+        if self.registry is not None:
+            return float(self.registry.dropped_series)
+        if self.snapshot is not None:
+            return float(
+                self.snapshot.get("health", {}).get("dropped_series", 0)
+            )
+        return 0.0
+
+
+@dataclasses.dataclass
+class AnomalyInputs:
+    """Everything a rule may look at."""
+
+    spans: Sequence[SpanRecord] = ()
+    metrics: MetricsView = dataclasses.field(default_factory=MetricsView)
+
+    @property
+    def makespan(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+
+class AnomalyRule:
+    """Base class: examine one run, emit findings."""
+
+    name = "rule"
+
+    def evaluate(self, inputs: AnomalyInputs) -> List[Finding]:
+        raise NotImplementedError
+
+
+class BarrierSkewRule(AnomalyRule):
+    """Stragglers from rendezvous arrival skew.
+
+    For every rendezvous span name (``barrier``, ``ompccl.*``, ...),
+    the k-th occurrence on each track forms one rendezvous instance;
+    a track's *lateness* at an instance is its arrival (span start)
+    minus the earliest arrival.  A track is flagged when its mean
+    lateness is a robust outlier — above ``median + zscore * MAD``
+    across tracks — and above the floor
+    ``max(min_lateness, min_share * makespan)``, which keeps the
+    detector quiet on structurally skewed but healthy runs.
+    """
+
+    name = "barrier_skew"
+
+    def __init__(
+        self,
+        prefixes: Sequence[str] = RENDEZVOUS_PREFIXES,
+        zscore: float = 6.0,
+        min_lateness: float = 0.0,
+        min_share: float = 0.02,
+        severity: str = "warning",
+    ) -> None:
+        self.prefixes = tuple(prefixes)
+        self.zscore = zscore
+        self.min_lateness = min_lateness
+        self.min_share = min_share
+        self.severity = severity
+
+    def _is_rendezvous(self, name: str) -> bool:
+        return any(
+            name == p or (p.endswith(".") and name.startswith(p))
+            for p in self.prefixes
+        )
+
+    def lateness_by_track(
+        self, spans: Iterable[SpanRecord]
+    ) -> Dict[str, Tuple[float, int]]:
+        """track -> (mean lateness seconds, instances participated)."""
+        per_name: Dict[str, Dict[str, List[SpanRecord]]] = {}
+        for s in spans:
+            if self._is_rendezvous(s.name):
+                per_name.setdefault(s.name, {}).setdefault(s.track, []).append(s)
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for tracks in per_name.values():
+            if len(tracks) < 2:
+                continue
+            for lst in tracks.values():
+                lst.sort(key=lambda s: (s.start, s.span_id))
+            depth = max(len(lst) for lst in tracks.values())
+            for k in range(depth):
+                arrivals = {
+                    t: lst[k].start for t, lst in tracks.items() if len(lst) > k
+                }
+                if len(arrivals) < 2:
+                    continue
+                first = min(arrivals.values())
+                for track, at in arrivals.items():
+                    sums[track] = sums.get(track, 0.0) + (at - first)
+                    counts[track] = counts.get(track, 0) + 1
+        return {
+            t: (sums[t] / counts[t], counts[t]) for t in sums if counts[t]
+        }
+
+    def evaluate(self, inputs: AnomalyInputs) -> List[Finding]:
+        scores = self.lateness_by_track(inputs.spans)
+        if len(scores) < 3:
+            return []
+        values = [v for v, _ in scores.values()]
+        med = _median(values)
+        mad = _median([abs(v - med) for v in values])
+        floor = max(self.min_lateness, self.min_share * inputs.makespan)
+        threshold = max(med + self.zscore * mad, floor)
+        findings = []
+        for track in sorted(scores):
+            score, instances = scores[track]
+            if score > threshold:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=self.severity,
+                        subject=track,
+                        message=(
+                            f"straggler: mean rendezvous lateness "
+                            f"{score * 1e6:.1f} us over {instances} "
+                            f"instance(s), cluster median {med * 1e6:.1f} us"
+                        ),
+                        value=score,
+                        threshold=threshold,
+                    )
+                )
+        return findings
+
+
+class WaitImbalanceRule(AnomalyRule):
+    """Load imbalance from per-track busy/wait statistics.
+
+    Flags the cluster when max-busy / mean-busy exceeds
+    ``max_imbalance``, and any individual track whose busy time is a
+    robust outlier above the cluster median.
+    """
+
+    name = "wait_imbalance"
+
+    def __init__(
+        self,
+        max_imbalance: float = 1.5,
+        zscore: float = 6.0,
+        min_share: float = 0.05,
+        severity: str = "warning",
+    ) -> None:
+        self.max_imbalance = max_imbalance
+        self.zscore = zscore
+        self.min_share = min_share
+        self.severity = severity
+
+    def evaluate(self, inputs: AnomalyInputs) -> List[Finding]:
+        from repro.obs.critical_path import track_stats
+
+        makespan = inputs.makespan
+        stats = [
+            t
+            for t in track_stats(inputs.spans, makespan)
+            if t.track.startswith("rank")
+        ]
+        if len(stats) < 3:
+            return []
+        busies = [t.busy for t in stats]
+        mean_busy = sum(busies) / len(busies)
+        findings: List[Finding] = []
+        if mean_busy > 0:
+            imbalance = max(busies) / mean_busy
+            if imbalance > self.max_imbalance:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=self.severity,
+                        subject="cluster",
+                        message=(
+                            f"load imbalance {imbalance:.2f}x "
+                            f"(max busy / mean busy over {len(stats)} ranks)"
+                        ),
+                        value=imbalance,
+                        threshold=self.max_imbalance,
+                    )
+                )
+        med = _median(busies)
+        mad = _median([abs(b - med) for b in busies])
+        floor = self.min_share * makespan
+        threshold = max(med + self.zscore * mad, med + floor)
+        for t in stats:
+            if t.busy > threshold:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=self.severity,
+                        subject=t.track,
+                        message=(
+                            f"busy-time outlier: {t.busy * 1e6:.1f} us busy "
+                            f"vs cluster median {med * 1e6:.1f} us"
+                        ),
+                        value=t.busy,
+                        threshold=threshold,
+                    )
+                )
+        return findings
+
+
+class RetrySloRule(AnomalyRule):
+    """Fault-recovery SLOs from the conduit retry metrics."""
+
+    name = "retry_slo"
+
+    def __init__(
+        self,
+        max_retry_rate: float = 0.05,
+        max_giveups: float = 0.0,
+        severity: str = "warning",
+    ) -> None:
+        self.max_retry_rate = max_retry_rate
+        self.max_giveups = max_giveups
+        self.severity = severity
+
+    def evaluate(self, inputs: AnomalyInputs) -> List[Finding]:
+        m = inputs.metrics
+        if m.empty:
+            return []
+        findings: List[Finding] = []
+        retries = m.value("conduit.retries")
+        messages = m.value("conduit.messages")
+        ops = messages if messages else m.value("rma.ops")
+        if ops > 0:
+            rate = retries / ops
+            if rate > self.max_retry_rate:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=self.severity,
+                        subject="cluster",
+                        message=(
+                            f"conduit retry rate {rate:.1%} over "
+                            f"{ops:.0f} message(s) exceeds the "
+                            f"{self.max_retry_rate:.0%} SLO"
+                        ),
+                        value=rate,
+                        threshold=self.max_retry_rate,
+                    )
+                )
+        giveups = m.value("conduit.giveups")
+        if giveups > self.max_giveups:
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity="critical",
+                    subject="cluster",
+                    message=f"{giveups:.0f} conduit operation(s) exhausted retries",
+                    value=giveups,
+                    threshold=self.max_giveups,
+                )
+            )
+        injected = m.value("faults.injected")
+        if injected > 0:
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity="info",
+                    subject="cluster",
+                    message=f"{injected:.0f} fault(s) injected by the active plan",
+                    value=injected,
+                    threshold=0.0,
+                )
+            )
+        return findings
+
+
+class DroppedSeriesRule(AnomalyRule):
+    """Telemetry self-check: the cardinality guard dropped writes."""
+
+    name = "dropped_series"
+
+    def __init__(self, severity: str = "info") -> None:
+        self.severity = severity
+
+    def evaluate(self, inputs: AnomalyInputs) -> List[Finding]:
+        dropped = inputs.metrics.dropped_series()
+        if dropped <= 0:
+            return []
+        return [
+            Finding(
+                rule=self.name,
+                severity=self.severity,
+                subject="telemetry",
+                message=(
+                    f"{dropped:.0f} metric write(s) dropped by the "
+                    "cardinality guard; per-rank series are incomplete "
+                    "(use rollups at this scale)"
+                ),
+                value=dropped,
+                threshold=0.0,
+            )
+        ]
+
+
+class EngineThroughputRule(AnomalyRule):
+    """Engine-speed floor; disabled until given a threshold."""
+
+    name = "engine_throughput"
+
+    def __init__(
+        self,
+        min_events_per_sec: Optional[float] = None,
+        severity: str = "warning",
+    ) -> None:
+        self.min_events_per_sec = min_events_per_sec
+        self.severity = severity
+
+    def evaluate(self, inputs: AnomalyInputs) -> List[Finding]:
+        if self.min_events_per_sec is None:
+            return []
+        eps = inputs.metrics.value("sim.events_per_sec")
+        if eps <= 0 or eps >= self.min_events_per_sec:
+            return []
+        return [
+            Finding(
+                rule=self.name,
+                severity=self.severity,
+                subject="engine",
+                message=(
+                    f"engine retired {eps:,.0f} events/s, below the "
+                    f"{self.min_events_per_sec:,.0f} floor"
+                ),
+                value=eps,
+                threshold=self.min_events_per_sec,
+            )
+        ]
+
+
+def default_rules() -> List[AnomalyRule]:
+    return [
+        BarrierSkewRule(),
+        WaitImbalanceRule(),
+        RetrySloRule(),
+        DroppedSeriesRule(),
+        EngineThroughputRule(),
+    ]
+
+
+@dataclasses.dataclass
+class AnomalyReport:
+    """The findings of one detection pass."""
+
+    findings: List[Finding]
+    rules: List[str]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing at warning severity or above was found."""
+        return not any(f.severity in ("warning", "critical") for f in self.findings)
+
+    def by_severity(self, severity: str) -> List[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "rules": self.rules,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        from repro.bench.report import Table
+
+        title = "Anomaly findings"
+        if not self.findings:
+            rules = ", ".join(self.rules)
+            return f"{title}: none ({len(self.rules)} rule(s) ran: {rules})"
+        t = Table(title, ["severity", "rule", "subject", "finding"])
+        for f in self.findings:
+            t.add_row(f.severity, f.rule, f.subject, f.message)
+        return t.render()
+
+
+def detect(
+    spans: Sequence[SpanRecord] = (),
+    registry: Optional[MetricsRegistry] = None,
+    snapshot: Optional[Dict[str, Any]] = None,
+    rules: Optional[Sequence[AnomalyRule]] = None,
+) -> AnomalyReport:
+    """Run the rules over one run's telemetry.
+
+    ``spans`` may be the live profiler store or records loaded from an
+    exported trace; metrics come from a live ``registry`` or a loaded
+    snapshot dict.  Findings are ordered most severe first.
+    """
+    chosen = list(rules) if rules is not None else default_rules()
+    inputs = AnomalyInputs(
+        spans=list(spans),
+        metrics=MetricsView(registry=registry, snapshot=snapshot),
+    )
+    findings: List[Finding] = []
+    for rule in chosen:
+        findings.extend(rule.evaluate(inputs))
+    order = {s: i for i, s in enumerate(reversed(SEVERITIES))}
+    findings.sort(key=lambda f: (order.get(f.severity, len(order)), f.rule, f.subject))
+    return AnomalyReport(findings=findings, rules=[r.name for r in chosen])
+
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "MetricsView",
+    "AnomalyInputs",
+    "AnomalyRule",
+    "BarrierSkewRule",
+    "WaitImbalanceRule",
+    "RetrySloRule",
+    "DroppedSeriesRule",
+    "EngineThroughputRule",
+    "AnomalyReport",
+    "default_rules",
+    "detect",
+]

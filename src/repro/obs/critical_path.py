@@ -156,6 +156,15 @@ class CriticalPathSummary:
         return "\n\n".join(out)
 
 
+def track_stats(spans: Sequence[SpanRecord], total: float) -> List[TrackStats]:
+    """Per-track busy/wait accounting (union of span intervals).
+
+    Public entry point shared with the anomaly rules; ``total`` is the
+    run makespan the wait time is measured against.
+    """
+    return _track_stats(spans, total)
+
+
 def _track_stats(spans: Sequence[SpanRecord], total: float) -> List[TrackStats]:
     by_track: Dict[str, List[Tuple[float, float]]] = {}
     counts: Dict[str, int] = {}

@@ -11,7 +11,7 @@ in microseconds.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Dict, Iterator, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.spans import SpanRecord
@@ -113,58 +113,64 @@ def flow_events(
     return events
 
 
-def chrome_trace_events(
+def iter_chrome_trace_events(
     spans: Optional[Sequence[SpanRecord]] = None,
     tracer: Optional["Tracer"] = None,
     pid: int = 0,
-) -> List[Dict[str, Any]]:
-    """The ``traceEvents`` list for the given spans and trace records."""
-    events: List[Dict[str, Any]] = []
+) -> Iterator[Dict[str, Any]]:
+    """Yield ``traceEvents`` one at a time (streaming-writer friendly).
+
+    Only the flow-arrow pass needs the whole span set at once; slice and
+    instant events are produced incrementally, so a streaming writer
+    never materializes the full event list.
+    """
     tids: Dict[str, int] = {}
     tracks = sorted({s.track for s in spans or ()}, key=_track_order)
     if tracer is not None and len(tracer):
         tracks.append("events")
     for tid, track in enumerate(tracks):
         tids[track] = tid
-        events.append(
-            {
-                "ph": "M",
-                "name": "thread_name",
-                "pid": pid,
-                "tid": tid,
-                "args": {"name": track},
-            }
-        )
+        yield {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": track},
+        }
     for span in spans or ():
-        events.append(
-            {
-                "ph": "X",
-                "name": span.name,
-                "cat": span.category,
-                "pid": pid,
-                "tid": tids[span.track],
-                "ts": span.start * 1e6,
-                "dur": span.duration * 1e6,
-                "args": {k: str(v) for k, v in span.args.items()},
-            }
-        )
-    events.extend(flow_events(spans, tids, pid))
+        yield {
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category,
+            "pid": pid,
+            "tid": tids[span.track],
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "args": {k: str(v) for k, v in span.args.items()},
+        }
+    yield from flow_events(spans, tids, pid)
     if tracer is not None:
         tid = tids.get("events", 0)
         for rec in tracer:
-            events.append(
-                {
-                    "ph": "i",
-                    "s": "t",
-                    "name": f"{rec.category}.{rec.name}",
-                    "cat": rec.category,
-                    "pid": pid,
-                    "tid": tid,
-                    "ts": rec.time * 1e6,
-                    "args": {k: str(v) for k, v in rec.payload.items()},
-                }
-            )
-    return events
+            yield {
+                "ph": "i",
+                "s": "t",
+                "name": f"{rec.category}.{rec.name}",
+                "cat": rec.category,
+                "pid": pid,
+                "tid": tid,
+                "ts": rec.time * 1e6,
+                "args": {k: str(v) for k, v in rec.payload.items()},
+            }
+
+
+def chrome_trace_events(
+    spans: Optional[Sequence[SpanRecord]] = None,
+    tracer: Optional["Tracer"] = None,
+    pid: int = 0,
+) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list for the given spans and trace records."""
+    return list(iter_chrome_trace_events(spans, tracer, pid))
 
 
 def chrome_trace(
@@ -188,27 +194,55 @@ def write_chrome_trace(
     tracer: Optional["Tracer"] = None,
     metadata: Optional[Dict[str, Any]] = None,
 ) -> int:
-    """Write the trace document to ``path``; returns the event count."""
-    doc = chrome_trace(spans, tracer, metadata)
+    """Stream the trace document to ``path``; returns the event count.
+
+    Events are written one at a time as they are produced — the full
+    ``traceEvents`` list is never materialized, so exporting a
+    thousand-rank trace costs O(1) extra memory over the kept spans.
+    The output is the same JSON-object-format document
+    :func:`chrome_trace` builds.
+    """
+    count = 0
     with open(path, "w") as fh:
-        json.dump(doc, fh)
-    return len(doc["traceEvents"])
+        fh.write('{"traceEvents": [')
+        for ev in iter_chrome_trace_events(spans, tracer):
+            if count:
+                fh.write(",\n")
+            fh.write(json.dumps(ev))
+            count += 1
+        fh.write('], "displayTimeUnit": "ms"')
+        if metadata:
+            fh.write(', "otherData": ')
+            fh.write(json.dumps({k: str(v) for k, v in metadata.items()}))
+        fh.write("}")
+    return count
+
+
+def _event_line(rec) -> str:
+    return json.dumps(
+        {
+            "time": rec.time,
+            "category": rec.category,
+            "name": rec.name,
+            "payload": {k: str(v) for k, v in rec.payload.items()},
+        }
+    )
 
 
 def events_jsonl(tracer: "Tracer") -> str:
     """Tracer records as one JSON object per line."""
-    lines = [
-        json.dumps(
-            {
-                "time": rec.time,
-                "category": rec.category,
-                "name": rec.name,
-                "payload": {k: str(v) for k, v in rec.payload.items()},
-            }
-        )
-        for rec in tracer
-    ]
-    return "\n".join(lines)
+    return "\n".join(_event_line(rec) for rec in tracer)
+
+
+def write_events_jsonl(path: str, tracer: "Tracer") -> int:
+    """Stream tracer records to a JSONL file; returns the line count."""
+    count = 0
+    with open(path, "w") as fh:
+        for rec in tracer:
+            fh.write(_event_line(rec))
+            fh.write("\n")
+            count += 1
+    return count
 
 
 def write_metrics_snapshot(path: str, registry: MetricsRegistry, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
@@ -374,19 +408,48 @@ def dashboard_tables(registry: MetricsRegistry):
                 value = _fmt(entry["value"])
             catalog.add_row(metric.name, metric.kind, labels, value)
     tables.append(catalog)
+    tables.append(health_table(registry))
     return tables
+
+
+def health_table(registry: MetricsRegistry):
+    """Registry self-check: per-family series counts and the guard.
+
+    Shows each family's series count against the cardinality cap and
+    the total number of writes the guard dropped, so an operator can
+    see at a glance when per-rank views became incomplete.
+    """
+    from repro.bench.report import Table
+
+    health = registry.health()
+    t = Table("Telemetry health", ["metric", "kind", "series", "overflowed"])
+    for name, fam in sorted(health["families"].items()):
+        t.add_row(name, fam["kind"], fam["series"], "yes" if fam["overflowed"] else "")
+    t.add_row(
+        "total",
+        "",
+        health["total_series"],
+        f"dropped {health['dropped_series']} write(s)"
+        if health["dropped_series"]
+        else "",
+    )
+    return t
 
 
 def render_dashboard(
     registry: MetricsRegistry,
     title: str = "Observability dashboard",
     spans: Optional[Sequence[SpanRecord]] = None,
+    anomalies: Optional[Any] = None,
 ) -> str:
     """The full dashboard as one printable string.
 
     When ``spans`` is given, the cross-rank critical-path breakdown and
     per-track wait-state tables are appended (see
-    :mod:`repro.obs.critical_path`).
+    :mod:`repro.obs.critical_path`).  ``anomalies`` may be an
+    :class:`~repro.obs.anomaly.AnomalyReport` (rendered as a findings
+    section) or ``True`` to run the default detection rules over the
+    given spans and registry here.
     """
     parts = [title, "#" * len(title)]
     parts.extend(t.render() for t in dashboard_tables(registry))
@@ -394,4 +457,10 @@ def render_dashboard(
         from repro.obs.critical_path import critical_path
 
         parts.append(critical_path(spans).render())
+    if anomalies is True:
+        from repro.obs.anomaly import detect
+
+        anomalies = detect(spans=spans or (), registry=registry)
+    if anomalies is not None and anomalies is not False:
+        parts.append(anomalies.render())
     return "\n\n".join(parts)

@@ -91,11 +91,26 @@ class HistogramStats:
         observed maximum.  Exact when observations fall on bucket
         bounds; within one bucket width otherwise — the standard
         Prometheus ``histogram_quantile`` trade-off.
+
+        Edge cases are pinned, never estimated:
+
+        * ``q`` outside [0, 1] (including NaN) raises
+          :class:`~repro.util.errors.ConfigurationError`;
+        * an empty series returns 0.0;
+        * a single observation returns that observation for every q;
+        * ``q == 0`` returns the observed minimum, ``q == 1`` the
+          observed maximum, exactly.
         """
-        if not (0.0 <= q <= 1.0):
+        if not (0.0 <= q <= 1.0):  # also catches NaN (comparisons fail)
             raise ConfigurationError(f"percentile q must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if self.count == 1 or self.minimum == self.maximum:
+            return self.minimum
+        if q == 0.0:
+            return self.minimum
+        if q == 1.0:
+            return self.maximum
         target = q * self.count
         cumulative = 0
         for i, n in enumerate(self.buckets):
@@ -157,6 +172,10 @@ class Metric:
 
     def label_keys(self) -> List[LabelKey]:
         raise NotImplementedError
+
+    def series_count(self) -> int:
+        """How many labeled series this family currently holds."""
+        return len(self.label_keys())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name}>"
@@ -366,12 +385,42 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
+    def health(self) -> Dict[str, Any]:
+        """Cardinality-guard visibility: per-family series counts,
+        which families overflowed the cap, and total dropped writes."""
+        families = {
+            m.name: {
+                "kind": m.kind,
+                "series": m.series_count(),
+                "overflowed": m.overflowed,
+            }
+            for m in self
+        }
+        return {
+            "dropped_series": self.dropped_series,
+            "max_series_per_metric": self.max_series_per_metric,
+            "total_series": sum(f["series"] for f in families.values()),
+            "families": families,
+        }
+
     def snapshot(self) -> Dict[str, Any]:
-        """A JSON-serializable dump of every family and series."""
+        """A JSON-serializable dump of every family and series.
+
+        Each family entry carries ``series_count``/``overflowed``, and
+        the top-level ``health`` block totals the cardinality-guard
+        drops — so capped families are visible in the export, not just
+        in a one-time warning.
+        """
         out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
         for metric in self:
-            entry: Dict[str, Any] = {"help": metric.help, "series": metric.snapshot()}  # type: ignore[attr-defined]
+            entry: Dict[str, Any] = {
+                "help": metric.help,
+                "series": metric.snapshot(),  # type: ignore[attr-defined]
+                "series_count": metric.series_count(),
+                "overflowed": metric.overflowed,
+            }
             if isinstance(metric, Histogram):
                 entry["bounds"] = list(metric.bounds)
             out[metric.kind + "s"][metric.name] = entry
+        out["health"] = self.health()
         return out

@@ -1,0 +1,234 @@
+"""``python -m repro.obs report`` — offline anomaly reports.
+
+Runs the :mod:`repro.obs.anomaly` rules over telemetry *files* — an
+exported Chrome trace (plus, optionally, a metrics snapshot and a span
+spill) — so straggler detection works after the fact, in CI, or on a
+trace somebody mailed you::
+
+    python -m repro.obs report TRACE.json --metrics METRICS.json
+    python -m repro.obs report --spill SPANS.jsonl --json report.json
+    python -m repro.obs report --demo --ranks 16 --straggler 5
+
+``--demo`` runs a built-in put-ring workload (optionally with a
+fault-stalled rank) and reports on it directly — the quickest way to
+see the detector fire.  Exit status is 0 unless ``--strict`` is given
+and findings at warning severity or above exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.spans import SpanRecord
+
+#: virtual stall injected on the demo straggler (seconds)
+DEMO_STALL = 300e-6
+
+
+def load_trace(path: str) -> Tuple[List[SpanRecord], Dict[str, Any]]:
+    """Reconstruct spans from an exported Chrome trace document.
+
+    Complete (``"ph": "X"``) events become :class:`SpanRecord` objects;
+    ``thread_name`` metadata recovers the track names.  Flow/instant
+    events are ignored (links are not needed by the detection rules).
+    Returns ``(spans, otherData)``.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    tracks: Dict[int, str] = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tracks[ev.get("tid", 0)] = ev.get("args", {}).get("name", "")
+    spans: List[SpanRecord] = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        start = ev.get("ts", 0.0) / 1e6
+        spans.append(
+            SpanRecord(
+                name=ev.get("name", ""),
+                track=tracks.get(ev.get("tid", 0), f"tid{ev.get('tid', 0)}"),
+                start=start,
+                end=start + ev.get("dur", 0.0) / 1e6,
+                depth=0,
+                args=dict(ev.get("args", {})),
+                span_id=len(spans) + 1,
+            )
+        )
+    other = doc.get("otherData", {}) if isinstance(doc, dict) else {}
+    return spans, other
+
+
+def load_metrics(path: str) -> Dict[str, Any]:
+    """Load a metrics snapshot JSON (bare or ``{"metrics": ...}``)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    return doc.get("metrics", doc) if isinstance(doc, dict) else {}
+
+
+def straggler_workload(ctx, iters: int = 4, payload: int = 1024):
+    """Put-ring demo program: each rank puts to its right neighbor,
+    fences, and barriers, ``iters`` times.
+
+    Per-rank conduit traffic is what makes rank-targeted fault
+    injection *visible*: a stalled rank arrives late at every barrier,
+    which is exactly the signature
+    :class:`~repro.obs.anomaly.BarrierSkewRule` detects.
+    """
+    import numpy as np
+
+    from repro.cluster import MemRef
+
+    g = ctx.diomp.alloc(payload)
+    g.typed(np.uint8)[:] = 0
+    ctx.diomp.barrier()
+    right = (ctx.rank + 1) % ctx.world.nranks
+    src = np.full(payload, (ctx.rank + 1) % 256, dtype=np.uint8)
+    for _ in range(iters):
+        ctx.diomp.put(right, g, MemRef.host(ctx.node, src))
+        ctx.diomp.fence()
+        ctx.diomp.barrier()
+    return ctx.rank
+
+
+def run_demo(
+    ranks: int = 8,
+    straggler: Optional[int] = None,
+    iters: int = 4,
+    span_budget: Optional[Any] = None,
+):
+    """Run the demo workload; returns the :class:`SpmdResult` (with
+    rollups and the anomaly report attached)."""
+    from repro.cluster import World, run_spmd
+    from repro.cluster.spmd import SpmdConfig, TelemetryConfig
+    from repro.core import DiompRuntime
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.hardware import platform_a
+
+    ranks_per_node = 4  # platform_a GPUs per node
+    num_nodes = max(1, (ranks + ranks_per_node - 1) // ranks_per_node)
+    world = World(
+        platform_a(),
+        num_nodes=num_nodes,
+        ranks_per_node=min(ranks, ranks_per_node),
+    )
+    DiompRuntime(world)
+    faults = None
+    if straggler is not None:
+        # site="*" catches the straggler's transfers wherever they
+        # route (conduit issue or the fabric path for intra-node RMA).
+        faults = FaultPlan(
+            [
+                FaultSpec(
+                    site="*",
+                    rank=straggler,
+                    kind="stall",
+                    latency=DEMO_STALL,
+                )
+            ]
+        )
+    config = SpmdConfig(
+        faults=faults,
+        telemetry=TelemetryConfig(
+            span_budget=span_budget, rollups=True, anomalies=True
+        ),
+    )
+    return run_spmd(world, straggler_workload, iters, config=config)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Offline telemetry reports (anomaly/straggler detection).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser("report", help="detect anomalies in exported telemetry")
+    rep.add_argument(
+        "trace",
+        nargs="?",
+        help="Chrome trace JSON exported by write_chrome_trace()",
+    )
+    rep.add_argument(
+        "--metrics", help="metrics snapshot JSON (write_metrics_snapshot output)"
+    )
+    rep.add_argument(
+        "--spill",
+        help="span spill JSONL (SpanBudget.spill_path) — full-fidelity "
+        "alternative to the sampled trace",
+    )
+    rep.add_argument("--json", dest="json_out", help="also write the report as JSON")
+    rep.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when findings at warning severity or above exist",
+    )
+    rep.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the built-in put-ring demo instead of reading files",
+    )
+    rep.add_argument("--ranks", type=int, default=8, help="demo: world size")
+    rep.add_argument(
+        "--straggler",
+        type=int,
+        default=None,
+        help="demo: stall this rank so the detector fires",
+    )
+    rep.add_argument("--iters", type=int, default=4, help="demo: put-ring rounds")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    from repro.obs.anomaly import detect
+
+    if args.demo:
+        result = run_demo(
+            ranks=args.ranks, straggler=args.straggler, iters=args.iters
+        )
+        report = result.anomalies
+        print(
+            f"demo: {args.ranks} rank(s), {args.iters} round(s), "
+            f"elapsed {result.elapsed * 1e6:.1f} us"
+            + (
+                f", rank {args.straggler} stalled {DEMO_STALL * 1e6:.0f} us/op"
+                if args.straggler is not None
+                else ""
+            )
+        )
+    else:
+        spans: List[SpanRecord] = []
+        if args.spill:
+            from repro.obs.sampling import read_spill
+
+            spans = read_spill(args.spill)
+        elif args.trace:
+            spans, _ = load_trace(args.trace)
+        else:
+            print("error: give a trace file, --spill, or --demo")
+            return 2
+        snapshot = load_metrics(args.metrics) if args.metrics else None
+        report = detect(spans=spans, snapshot=snapshot)
+        print(f"analyzed {len(spans)} span(s)")
+
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote {args.json_out}")
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
+__all__ = [
+    "DEMO_STALL",
+    "load_trace",
+    "load_metrics",
+    "straggler_workload",
+    "run_demo",
+    "main",
+]

@@ -1,0 +1,154 @@
+"""Cross-rank metric rollups: cluster summaries with flat cardinality.
+
+Per-rank label sets are what make metric exports grow linearly with
+rank count — a 1024-rank run carries 1024 series per family.  A
+*rollup* collapses every group of series that differ only in their
+``rank`` label into one summary — ``ranks`` / ``min`` / ``mean`` /
+``max`` / ``p99`` / ``sum`` — computed from the **exact** per-rank
+values, so cluster-level exports stay O(label-combinations), not
+O(ranks).
+
+Two entry points:
+
+* :func:`rollup_registry` — the rollup document alone
+  (family -> groups), attached to :class:`~repro.cluster.spmd.SpmdResult`.
+* :func:`rollup_snapshot` — a full snapshot-shaped document where
+  rank-labeled series are *replaced* by their rollups (series without a
+  rank label pass through verbatim); drop-in for
+  ``registry.snapshot()`` when exporting at scale.
+
+Percentiles are exact (linear interpolation over the sorted per-rank
+values, numpy-style), unlike the bucket-estimated histogram quantiles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.util.errors import ConfigurationError
+
+
+def exact_percentile(values: Sequence[float], q: float) -> float:
+    """Exact ``q``-quantile of ``values`` (linear interpolation).
+
+    ``q`` in [0, 1]; empty input returns 0.0, a single value returns
+    itself.  This matches ``numpy.percentile(..., method="linear")``.
+    """
+    if not (0.0 <= q <= 1.0):
+        raise ConfigurationError(f"percentile q must be in [0, 1], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+def _summary(values: Sequence[float]) -> Dict[str, float]:
+    """The rollup statistics block over exact per-rank values."""
+    return {
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+        "p99": exact_percentile(values, 0.99),
+        "sum": sum(values),
+    }
+
+
+def _split_label(
+    labels: Dict[str, str], label: str
+) -> Tuple[Optional[str], Tuple[Tuple[str, str], ...]]:
+    """(rank value or None, remaining labels as a hashable key)."""
+    rank = labels.get(label)
+    rest = tuple(sorted((k, v) for k, v in labels.items() if k != label))
+    return rank, rest
+
+
+def rollup_metric(metric, label: str = "rank") -> List[Dict[str, Any]]:
+    """Collapse one family's rank-labeled series into summary groups.
+
+    Each group is one combination of the non-rank labels.  Counter and
+    gauge groups summarize the per-rank values; histogram groups
+    summarize the per-rank observation counts and per-rank means.
+    Series without the rank label are not included (they are already
+    cluster-level; :func:`rollup_snapshot` passes them through).
+    """
+    groups: Dict[Tuple[Tuple[str, str], ...], List[Dict[str, Any]]] = {}
+    for entry in metric.snapshot():
+        rank, rest = _split_label(entry["labels"], label)
+        if rank is None:
+            continue
+        groups.setdefault(rest, []).append(entry)
+
+    out: List[Dict[str, Any]] = []
+    for rest, entries in sorted(groups.items()):
+        group: Dict[str, Any] = {"labels": dict(rest), "ranks": len(entries)}
+        if isinstance(metric, Histogram):
+            counts = [float(e["count"]) for e in entries]
+            means = [float(e["mean"]) for e in entries]
+            group["count"] = _summary(counts)
+            group["mean"] = _summary(means)
+        else:
+            group.update(_summary([float(e["value"]) for e in entries]))
+        out.append(group)
+    return out
+
+
+def rollup_registry(
+    registry: MetricsRegistry, label: str = "rank"
+) -> Dict[str, Any]:
+    """Every family's rollup groups: ``{name: {kind, groups}}``.
+
+    Families with no rank-labeled series are omitted.
+    """
+    out: Dict[str, Any] = {}
+    for metric in registry:
+        groups = rollup_metric(metric, label)
+        if groups:
+            out[metric.name] = {"kind": metric.kind, "groups": groups}
+    return out
+
+
+def rollup_snapshot(
+    registry: MetricsRegistry, label: str = "rank"
+) -> Dict[str, Any]:
+    """A snapshot-shaped export with rank series collapsed to rollups.
+
+    Shaped like ``registry.snapshot()`` — same top-level kind buckets
+    and health block — but each family carries ``series`` holding only
+    its non-rank series plus a ``rollup`` list of groups, keeping the
+    document size flat in rank count.
+    """
+    out: Dict[str, Any] = {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "rollup_label": label,
+    }
+    for metric in registry:
+        keep = [
+            e for e in metric.snapshot() if label not in e["labels"]
+        ]
+        entry: Dict[str, Any] = {
+            "help": metric.help,
+            "series": keep,
+            "rollup": rollup_metric(metric, label),
+        }
+        if isinstance(metric, Histogram):
+            entry["bounds"] = list(metric.bounds)
+        out[metric.kind + "s"][metric.name] = entry
+    out["health"] = registry.health()
+    return out
+
+
+__all__ = [
+    "exact_percentile",
+    "rollup_metric",
+    "rollup_registry",
+    "rollup_snapshot",
+]

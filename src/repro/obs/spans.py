@@ -68,6 +68,34 @@ class SpanRecord:
         """Dotted-name prefix ("rma.put" -> "rma")."""
         return self.name.split(".", 1)[0]
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL-friendly form (used by the spill writer and CLI)."""
+        return {
+            "name": self.name,
+            "track": self.track,
+            "start": self.start,
+            "end": self.end,
+            "depth": self.depth,
+            "args": {k: str(v) for k, v in self.args.items()},
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "links": list(self.links),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "SpanRecord":
+        return cls(
+            name=doc["name"],
+            track=doc["track"],
+            start=float(doc["start"]),
+            end=float(doc["end"]),
+            depth=int(doc.get("depth", 0)),
+            args=dict(doc.get("args", {})),
+            span_id=int(doc.get("span_id", 0)),
+            parent_id=doc.get("parent_id"),
+            links=tuple(doc.get("links", ())),
+        )
+
     def __str__(self) -> str:
         return (
             f"[{self.start:.9f}..{self.end:.9f}] {'  ' * self.depth}{self.name} "
@@ -164,14 +192,25 @@ class SpanProfiler:
         clock: Optional[Callable[[], float]] = None,
         enabled: bool = True,
         trace_id: str = "trace0",
+        store: Optional[Any] = None,
     ) -> None:
+        from repro.obs.sampling import SpanStore
+
         self.enabled = enabled
         self.trace_id = trace_id
         self._clock = clock or (lambda: 0.0)
-        self.records: List[SpanRecord] = []
+        #: completed spans — a budgeted, list-like
+        #: :class:`~repro.obs.sampling.SpanStore` (lossless append order
+        #: until its memory budget is hit, then per-track sampling)
+        self.records: Any = store if store is not None else SpanStore()
         #: per-track stacks of currently open spans
         self._stacks: Dict[str, List[_ActiveSpan]] = {}
         self._ids = itertools.count(1)
+
+    def set_budget(self, budget: Any) -> None:
+        """Install a :class:`~repro.obs.sampling.SpanBudget` on the
+        store (existing spans are re-admitted under it)."""
+        self.records.set_budget(budget)
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the virtual clock (done once by the world)."""

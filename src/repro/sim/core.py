@@ -36,6 +36,7 @@ import enum
 import heapq
 import itertools
 import threading
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 from repro.util.errors import DeadlockError, SimulationError
@@ -165,9 +166,15 @@ class Simulator:
     given, in which case :meth:`run` may be called again to continue.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, profiler: Optional[Any] = None) -> None:
         #: current virtual time in seconds
         self.now: float = 0.0
+        #: optional engine self-profiler (duck-typed:
+        #: :class:`repro.obs.selfprof.EngineProfiler`); accounts host
+        #: wall-clock per scheduler event when enabled
+        self.profiler = profiler if profiler is not None and getattr(
+            profiler, "enabled", True
+        ) else None
         self._seq = itertools.count()
         self._queue: list = []  # heap of (time, seq, kind, payload)
         self._tasks: List[Task] = []
@@ -284,6 +291,8 @@ class Simulator:
         if self._in_run:
             raise SimulationError("run() is not reentrant")
         self._in_run = True
+        prof = self.profiler
+        run_t0 = perf_counter() if prof is not None else 0.0
         try:
             while self._queue:
                 when, _seq, kind, payload = self._queue[0]
@@ -295,9 +304,19 @@ class Simulator:
                 if kind == "resume":
                     if payload.finished:
                         continue  # task was killed/finished after scheduling
-                    self._give_control(payload)
+                    if prof is None:
+                        self._give_control(payload)
+                    else:
+                        t0 = perf_counter()
+                        self._give_control(payload)
+                        prof.account_task(perf_counter() - t0)
                 elif kind == "call":
-                    payload()
+                    if prof is None:
+                        payload()
+                    else:
+                        t0 = perf_counter()
+                        payload()
+                        prof.account_callback(perf_counter() - t0)
                 else:  # pragma: no cover - internal invariant
                     raise SimulationError(f"unknown event kind {kind!r}")
             blocked = [t for t in self._tasks if t.state is TaskState.BLOCKED]
@@ -312,6 +331,8 @@ class Simulator:
             return self.now
         finally:
             self._in_run = False
+            if prof is not None:
+                prof.finish_run(perf_counter() - run_t0, self.now)
 
     # -- teardown ---------------------------------------------------------
 

@@ -36,11 +36,13 @@ class TestMetricSpec:
     def test_gated_metrics_have_sane_directions(self):
         for name, spec in GATED_METRICS.items():
             assert spec.better in ("lower", "higher")
-            # Bandwidth and boolean selection indicators go up; times
-            # go down.
+            # Bandwidth, throughput, and boolean selection indicators
+            # go up; times go down.
             expected = (
                 "higher"
-                if name.startswith("bandwidth") or name.endswith("selected")
+                if name.startswith("bandwidth")
+                or name.endswith("selected")
+                or name.endswith("per_sec")
                 else "lower"
             )
             assert spec.better == expected

@@ -1,0 +1,240 @@
+"""Anomaly rules: straggler, imbalance, SLO, and telemetry checks."""
+
+import pytest
+
+from repro.obs.anomaly import (
+    AnomalyInputs,
+    BarrierSkewRule,
+    DroppedSeriesRule,
+    EngineThroughputRule,
+    MetricsView,
+    RetrySloRule,
+    WaitImbalanceRule,
+    detect,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+
+def barrier_spans(lateness, rounds=3, dur=1e-6, gap=1e-4):
+    """Synthetic rendezvous spans: rank r arrives lateness[r] late."""
+    spans = []
+    sid = 0
+    for k in range(rounds):
+        base = k * gap
+        for r, late in enumerate(lateness):
+            sid += 1
+            spans.append(
+                SpanRecord(
+                    name="barrier",
+                    track=f"rank{r}",
+                    start=base + late,
+                    end=base + late + dur,
+                    depth=0,
+                    args={},
+                    span_id=sid,
+                )
+            )
+    return spans
+
+
+class TestBarrierSkew:
+    def test_flags_straggler(self):
+        # Seven on-time ranks (small structural skew), one 300 us late.
+        lateness = [0.0, 1e-7, 2e-7, 1e-7, 0.0, 300e-6, 2e-7, 1e-7]
+        findings = BarrierSkewRule().evaluate(
+            AnomalyInputs(spans=barrier_spans(lateness))
+        )
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.subject == "rank5"
+        assert f.severity == "warning"
+        assert f.value == pytest.approx(300e-6, rel=0.01)
+
+    def test_quiet_on_structural_skew(self):
+        # Uniformly spread arrivals: no outlier, nothing flagged.
+        lateness = [i * 1e-6 for i in range(8)]
+        assert BarrierSkewRule().evaluate(
+            AnomalyInputs(spans=barrier_spans(lateness))
+        ) == []
+
+    def test_quiet_below_three_tracks(self):
+        assert BarrierSkewRule().evaluate(
+            AnomalyInputs(spans=barrier_spans([0.0, 1e-3]))
+        ) == []
+
+    def test_collective_prefixes_count_as_rendezvous(self):
+        spans = barrier_spans([0.0, 0.0, 0.0, 500e-6])
+        renamed = [
+            SpanRecord(
+                name="ompccl.allreduce",
+                track=s.track,
+                start=s.start,
+                end=s.end,
+                depth=0,
+                args={},
+                span_id=s.span_id,
+            )
+            for s in spans
+        ]
+        (f,) = BarrierSkewRule().evaluate(AnomalyInputs(spans=renamed))
+        assert f.subject == "rank3"
+
+    def test_non_rendezvous_spans_ignored(self):
+        spans = [
+            SpanRecord("rma.put", f"rank{r}", r * 1e-3, r * 1e-3 + 1e-6, 0, {}, r + 1)
+            for r in range(6)
+        ]
+        assert BarrierSkewRule().evaluate(AnomalyInputs(spans=spans)) == []
+
+    def test_lateness_by_track_pairs_kth_instances(self):
+        scores = BarrierSkewRule().lateness_by_track(
+            barrier_spans([0.0, 10e-6], rounds=2)
+        )
+        assert scores["rank1"][0] == pytest.approx(10e-6)
+        assert scores["rank1"][1] == 2  # participated in both rounds
+        assert scores["rank0"][0] == 0.0
+
+
+class TestWaitImbalance:
+    def make(self, busy_us):
+        spans = []
+        for r, busy in enumerate(busy_us):
+            spans.append(
+                SpanRecord(
+                    "compute", f"rank{r}", 0.0, busy * 1e-6, 0, {}, r + 1
+                )
+            )
+        return AnomalyInputs(spans=spans)
+
+    def test_flags_overloaded_rank_and_cluster(self):
+        findings = WaitImbalanceRule().evaluate(
+            self.make([10, 11, 10, 12, 11, 95])
+        )
+        subjects = {f.subject for f in findings}
+        assert "cluster" in subjects and "rank5" in subjects
+
+    def test_quiet_when_balanced(self):
+        assert WaitImbalanceRule().evaluate(self.make([10, 11, 10, 12])) == []
+
+
+class TestRetrySlo:
+    def test_retry_rate_and_giveups(self):
+        reg = MetricsRegistry()
+        reg.counter("conduit.messages").inc(100)
+        reg.counter("conduit.retries").inc(20)
+        reg.counter("conduit.giveups").inc(1)
+        findings = RetrySloRule().evaluate(
+            AnomalyInputs(metrics=MetricsView(registry=reg))
+        )
+        rates = [f for f in findings if "retry rate" in f.message]
+        assert rates and rates[0].value == pytest.approx(0.2)
+        assert any(f.severity == "critical" for f in findings)
+
+    def test_quiet_under_slo(self):
+        reg = MetricsRegistry()
+        reg.counter("conduit.messages").inc(100)
+        reg.counter("conduit.retries").inc(2)
+        assert RetrySloRule().evaluate(
+            AnomalyInputs(metrics=MetricsView(registry=reg))
+        ) == []
+
+    def test_fault_injections_reported_info(self):
+        reg = MetricsRegistry()
+        reg.counter("faults.injected").inc(3)
+        (f,) = RetrySloRule().evaluate(
+            AnomalyInputs(metrics=MetricsView(registry=reg))
+        )
+        assert f.severity == "info" and "3 fault" in f.message
+
+
+class TestTelemetryRules:
+    def test_dropped_series(self):
+        reg = MetricsRegistry(max_series_per_metric=2)
+        c = reg.counter("x")
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for r in range(5):
+                c.inc(rank=r)
+        (f,) = DroppedSeriesRule().evaluate(
+            AnomalyInputs(metrics=MetricsView(registry=reg))
+        )
+        assert f.value == 3.0
+
+    def test_engine_throughput_disabled_by_default(self):
+        reg = MetricsRegistry()
+        reg.gauge("sim.events_per_sec").set(10.0)
+        inputs = AnomalyInputs(metrics=MetricsView(registry=reg))
+        assert EngineThroughputRule().evaluate(inputs) == []
+        (f,) = EngineThroughputRule(min_events_per_sec=1000.0).evaluate(inputs)
+        assert f.subject == "engine"
+
+
+class TestMetricsView:
+    def test_snapshot_backed_values(self):
+        reg = MetricsRegistry()
+        reg.counter("conduit.retries").inc(4, rank=0)
+        reg.counter("conduit.retries").inc(6, rank=1)
+        view = MetricsView(snapshot=reg.snapshot())
+        assert view.value("conduit.retries") == 10.0
+        assert view.value("conduit.retries", rank=1) == 6.0
+        assert view.value("missing") == 0.0
+
+    def test_snapshot_backed_dropped_series(self):
+        snap = {"health": {"dropped_series": 7}}
+        assert MetricsView(snapshot=snap).dropped_series() == 7.0
+
+    def test_empty_view(self):
+        view = MetricsView()
+        assert view.empty
+        assert view.value("anything") == 0.0
+
+
+class TestDetect:
+    def test_report_ordering_and_dict(self):
+        lateness = [0.0, 1e-7, 2e-7, 300e-6]
+        reg = MetricsRegistry()
+        reg.counter("faults.injected").inc(1)
+        report = detect(spans=barrier_spans(lateness), registry=reg)
+        assert not report.ok
+        # Most severe first.
+        severities = [f.severity for f in report.findings]
+        assert severities == sorted(
+            severities, key=["critical", "warning", "info"].index
+        )
+        doc = report.to_dict()
+        assert doc["ok"] is False
+        assert doc["findings"][0]["rule"] == "barrier_skew"
+        assert "barrier_skew" in doc["rules"]
+
+    def test_clean_run_ok_and_renders(self):
+        report = detect(spans=barrier_spans([0.0, 1e-7, 2e-7, 1e-7]))
+        assert report.ok
+        assert "none" in report.render()
+
+    def test_custom_rules(self):
+        report = detect(
+            spans=barrier_spans([0.0, 0.0, 0.0, 1.0]),
+            rules=[WaitImbalanceRule()],
+        )
+        assert report.rules == ["wait_imbalance"]
+
+    def test_render_with_findings_is_table(self):
+        report = detect(spans=barrier_spans([0.0, 1e-7, 2e-7, 300e-6]))
+        out = report.render()
+        assert "rank3" in out and "straggler" in out
+
+
+class TestDashboardSection:
+    def test_anomaly_section_in_dashboard(self):
+        from repro.obs.export import render_dashboard
+
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        out = render_dashboard(
+            reg, spans=barrier_spans([0.0, 1e-7, 1e-7, 400e-6]), anomalies=True
+        )
+        assert "Anomaly findings" in out
+        assert "rank3" in out

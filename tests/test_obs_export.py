@@ -178,3 +178,88 @@ class TestProfileRun:
         assert loaded == doc
         assert loaded["k"] == 1
         assert loaded["metrics"]["counters"]["c"]["series"][0]["value"] == 1
+
+
+class TestStreamingWriters:
+    """S1: file exports stream events instead of buffering the doc."""
+
+    def _populated(self):
+        obs = make_obs([0.0, 1e-6, 2e-6, 3e-6])
+        with obs.span("a", rank=0):
+            pass
+        with obs.span("b", rank=1):
+            pass
+        tracer = Tracer()
+        tracer.bind_clock(lambda: 5e-6)
+        tracer.emit("cat", "evt", k=1)
+        return obs, tracer
+
+    def test_streamed_trace_equals_buffered_doc(self, tmp_path):
+        from repro.obs.export import write_chrome_trace
+
+        obs, tracer = self._populated()
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(
+            str(path), obs.spans, tracer, metadata={"run": "x"}
+        )
+        streamed = json.loads(path.read_text())
+        buffered = chrome_trace(obs.spans, tracer, metadata={"run": "x"})
+        assert streamed == buffered
+        assert n == len(buffered["traceEvents"])
+        assert streamed["otherData"] == {"run": "x"}
+
+    def test_empty_trace_is_valid_json(self, tmp_path):
+        from repro.obs.export import write_chrome_trace
+
+        path = tmp_path / "empty.json"
+        assert write_chrome_trace(str(path)) == 0
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+    def test_iter_events_matches_list(self):
+        from repro.obs.export import iter_chrome_trace_events
+
+        obs, tracer = self._populated()
+        assert list(iter_chrome_trace_events(obs.spans, tracer)) == (
+            chrome_trace_events(obs.spans, tracer)
+        )
+
+    def test_write_events_jsonl(self, tmp_path):
+        from repro.obs.export import write_events_jsonl
+
+        tracer = Tracer()
+        tracer.bind_clock(lambda: 1e-6)
+        tracer.emit("cat", "one", a=1)
+        tracer.emit("cat", "two", b=2)
+        path = tmp_path / "events.jsonl"
+        assert write_events_jsonl(str(path), tracer) == 2
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert lines == events_jsonl(tracer).splitlines()
+        assert json.loads(lines[1])["name"] == "two"
+
+
+class TestHealthTable:
+    """S3: dropped series and per-metric series counts are visible."""
+
+    def test_health_in_dashboard(self):
+        obs = Observability()
+        obs.counter("a").inc(rank=0)
+        obs.counter("a").inc(rank=1)
+        text = render_dashboard(obs.registry)
+        assert "Telemetry health" in text
+        assert "a" in text
+
+    def test_dropped_writes_called_out(self):
+        import warnings
+
+        from repro.obs.export import health_table
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry(max_series_per_metric=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for r in range(5):
+                reg.counter("a").inc(rank=r)
+        text = health_table(reg).render()
+        assert "dropped 3 write(s)" in text
+        assert "yes" in text  # the overflowed column

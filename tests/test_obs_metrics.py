@@ -353,3 +353,80 @@ class TestRuntimeIntegration:
         w, rt = make(obs=Observability(enabled=False))
         res = run_spmd(w, ring_put)
         assert res.metrics is None
+
+
+class TestPercentileEdgeCases:
+    """S2 hardening: degenerate series and boundary q values."""
+
+    def test_nan_q_rejected(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ConfigurationError, match="percentile"):
+            h.stats().percentile(float("nan"), h.bounds)
+
+    def test_negative_q_rejected(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ConfigurationError, match="percentile"):
+            h.stats().percentile(-0.01, h.bounds)
+
+    def test_single_observation_every_q(self):
+        h = MetricsRegistry().histogram("h", bounds=(1, 10, 100))
+        h.observe(7.0)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.stats().percentile(q, h.bounds) == 7.0
+
+    def test_constant_series_every_q(self):
+        h = MetricsRegistry().histogram("h", bounds=(1, 10, 100))
+        for _ in range(10):
+            h.observe(42.0)
+        for q in (0.0, 0.5, 1.0):
+            assert h.stats().percentile(q, h.bounds) == 42.0
+
+    def test_extreme_q_exact_not_estimated(self):
+        h = MetricsRegistry().histogram("h", bounds=(1, 10, 100))
+        for v in (0.5, 3.0, 55.0, 700.0):
+            h.observe(v)
+        assert h.stats().percentile(0.0, h.bounds) == 0.5
+        assert h.stats().percentile(1.0, h.bounds) == 700.0
+
+    def test_estimates_clamped_to_observed_range(self):
+        h = MetricsRegistry().histogram("h", bounds=(1, 10, 100))
+        for v in (2.0, 3.0, 4.0, 5.0):
+            h.observe(v)
+        for q in (0.01, 0.5, 0.99):
+            est = h.stats().percentile(q, h.bounds)
+            assert 2.0 <= est <= 5.0
+
+
+class TestRegistryHealth:
+    def test_series_counts_and_totals(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc(rank=0)
+        c.inc(rank=1)
+        reg.gauge("b").set(1.0)
+        health = reg.health()
+        assert health["families"]["a"]["series"] == 2
+        assert health["families"]["b"]["series"] == 1
+        assert health["total_series"] == 3
+        assert health["dropped_series"] == 0
+        assert not health["families"]["a"]["overflowed"]
+        assert c.series_count() == 2
+
+    def test_overflow_surfaces_in_health_and_snapshot(self):
+        import warnings
+
+        reg = MetricsRegistry(max_series_per_metric=2)
+        c = reg.counter("a")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for r in range(5):
+                c.inc(rank=r)
+        health = reg.health()
+        assert health["dropped_series"] == 3
+        assert health["families"]["a"]["overflowed"]
+        snap = reg.snapshot()
+        assert snap["health"]["dropped_series"] == 3
+        assert snap["counters"]["a"]["series_count"] == 2
+        assert snap["counters"]["a"]["overflowed"]

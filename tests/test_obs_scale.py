@@ -1,0 +1,201 @@
+"""The telemetry pipeline at 256 simulated ranks, plus the report CLI.
+
+S4 of the streaming-telemetry issue: at 256 ranks the span store must
+hold its memory budget while sampling, and the cross-rank rollups must
+match the exact per-rank series still present in the registry (the cap
+is 1000 series, so nothing is dropped at this scale and the rollup can
+be checked value-for-value).
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import World, run_spmd
+from repro.cluster.spmd import SpmdConfig, TelemetryConfig
+from repro.core import DiompRuntime
+from repro.hardware import platform_a
+from repro.obs.rollup import exact_percentile
+from repro.obs.sampling import SPAN_COST_BYTES, SpanBudget
+from repro.util.units import KiB
+
+#: 64 nodes x 4 GPUs = 256 ranks
+SCALE_NODES = 64
+SCALE_RANKS = 256
+
+
+@pytest.fixture(scope="module")
+def scale_run():
+    """One 256-rank allreduce run with a tight span budget (module-
+    scoped: the run costs about a second, the assertions are many)."""
+    budget = SpanBudget(
+        max_bytes=256 * SPAN_COST_BYTES, per_track_head=1, per_track_reservoir=2
+    )
+    world = World(platform_a(), num_nodes=SCALE_NODES)
+    DiompRuntime(world)
+
+    def prog(ctx):
+        send = ctx.diomp.alloc(16 * KiB, virtual=True)
+        recv = ctx.diomp.alloc(16 * KiB, virtual=True)
+        ctx.diomp.barrier()
+        ctx.diomp.allreduce(send, recv)
+        ctx.diomp.barrier()
+        return ctx.rank
+
+    config = SpmdConfig(
+        telemetry=TelemetryConfig(span_budget=budget, rollups=True, anomalies=True)
+    )
+    result = run_spmd(world, prog, config=config)
+    return world, result, budget
+
+
+class TestSpanBudgetAtScale:
+    def test_all_ranks_ran(self, scale_run):
+        _, result, _ = scale_run
+        assert result.results == list(range(SCALE_RANKS))
+
+    def test_memory_budget_held(self, scale_run):
+        world, _, budget = scale_run
+        stats = world.obs.span_stats()
+        assert stats.sampling  # 256 ranks overflow a 256-span budget
+        assert stats.kept <= budget.max_spans
+        assert stats.memory_bytes <= budget.max_bytes
+        assert stats.recorded == stats.kept + stats.dropped
+        assert stats.recorded > budget.max_spans
+
+    def test_engine_numbers_published(self, scale_run):
+        world, _, _ = scale_run
+        assert world.obs.value("sim.events") == world.obs.engine.events
+        assert world.obs.value("sim.events_per_sec") > 0
+        assert world.obs.value("sim.wall_per_simsec") > 0
+
+
+class TestRollupsAtScale:
+    def test_no_series_dropped_at_256(self, scale_run):
+        world, _, _ = scale_run
+        assert world.obs.registry.dropped_series == 0
+
+    def test_rollups_match_exact_per_rank_values(self, scale_run):
+        """Every rollup group reproduces min/mean/max/p99/sum of the
+        exact per-rank series still present in the registry."""
+        world, result, _ = scale_run
+        by_name = {m.name: m for m in world.obs.registry}
+        checked = 0
+        for name, fam in result.rollups.items():
+            metric = by_name[name]
+            if fam["kind"] == "histogram":
+                continue
+            for group in fam["groups"]:
+                rest = group["labels"]
+                values = [
+                    float(e["value"])
+                    for e in metric.snapshot()
+                    if "rank" in e["labels"]
+                    and all(e["labels"].get(k) == v for k, v in rest.items())
+                    and {k for k in e["labels"] if k != "rank"} == set(rest)
+                ]
+                assert len(values) == group["ranks"]
+                assert group["min"] == min(values)
+                assert group["max"] == max(values)
+                assert group["mean"] == pytest.approx(sum(values) / len(values))
+                assert group["sum"] == pytest.approx(sum(values))
+                assert group["p99"] == pytest.approx(
+                    exact_percentile(values, 0.99)
+                )
+                checked += 1
+        assert checked > 0
+
+    def test_rollup_groups_cover_all_ranks(self, scale_run):
+        _, result, _ = scale_run
+        full = [
+            g
+            for fam in result.rollups.values()
+            for g in fam["groups"]
+            if g["ranks"] == SCALE_RANKS
+        ]
+        assert full  # at least one family has a series on every rank
+
+    def test_clean_run_has_no_anomalies(self, scale_run):
+        _, result, _ = scale_run
+        assert result.anomalies.ok, result.anomalies.render()
+
+
+class TestStragglerDetection:
+    def test_faulted_rank_flagged(self):
+        from repro.obs.report import run_demo
+
+        result = run_demo(ranks=16, straggler=11)
+        report = result.anomalies
+        assert not report.ok
+        stragglers = [
+            f for f in report.findings if f.rule == "barrier_skew"
+        ]
+        assert [f.subject for f in stragglers] == ["rank11"]
+
+    def test_clean_demo_quiet(self):
+        from repro.obs.report import run_demo
+
+        result = run_demo(ranks=16)
+        assert result.anomalies.ok, result.anomalies.render()
+
+
+class TestReportCli:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        from repro.obs.export import write_metrics_snapshot
+        from repro.obs.report import run_demo
+
+        tmp = tmp_path_factory.mktemp("telemetry")
+        result = run_demo(ranks=8, straggler=5)
+        trace = str(tmp / "trace.json")
+        metrics = str(tmp / "metrics.json")
+        result.world.obs.write_chrome_trace(trace)
+        write_metrics_snapshot(metrics, result.world.obs.registry)
+        return trace, metrics, tmp
+
+    def test_report_from_files_flags_straggler(self, exported, capsys):
+        from repro.obs.report import main
+
+        trace, metrics, tmp = exported
+        out_json = str(tmp / "report.json")
+        code = main(
+            ["report", trace, "--metrics", metrics, "--json", out_json, "--strict"]
+        )
+        assert code == 1  # strict + straggler finding
+        out = capsys.readouterr().out
+        assert "rank5" in out
+        doc = json.load(open(out_json))
+        assert doc["ok"] is False
+        assert any(f["subject"] == "rank5" for f in doc["findings"])
+
+    def test_report_not_strict_exits_zero(self, exported):
+        from repro.obs.report import main
+
+        trace, metrics, _ = exported
+        assert main(["report", trace]) == 0
+
+    def test_report_requires_input(self, capsys):
+        from repro.obs.report import main
+
+        assert main(["report"]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_demo_mode(self, capsys):
+        from repro.obs.report import main
+
+        assert main(["report", "--demo", "--ranks", "8", "--strict"]) == 0
+        assert (
+            main(["report", "--demo", "--ranks", "8", "--straggler", "3", "--strict"])
+            == 1
+        )
+        assert "rank3" in capsys.readouterr().out
+
+    def test_load_trace_roundtrip(self, exported):
+        from repro.obs.report import load_trace
+
+        trace, _, _ = exported
+        spans, _ = load_trace(trace)
+        assert spans
+        tracks = {s.track for s in spans}
+        assert "rank0" in tracks
+        assert all(s.end >= s.start for s in spans)

@@ -1,0 +1,151 @@
+"""Engine self-profiling: wall-clock accounting of the event loop."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.selfprof import EngineProfiler
+from repro.sim.core import Simulator
+
+
+def drive(sim):
+    """A tiny workload: two tasks sleeping, plus one callback."""
+
+    def worker(n):
+        for _ in range(n):
+            sim.sleep(1e-6)
+        return n
+
+    fired = []
+    sim.call_later(2e-6, lambda: fired.append(1))
+    tasks = [sim.spawn(worker, 3, name="a"), sim.spawn(worker, 2, name="b")]
+    sim.run()
+    assert [t.result for t in tasks] == [3, 2]
+    assert fired == [1]
+
+
+class TestEngineProfiler:
+    def test_counts_and_phases(self):
+        prof = EngineProfiler()
+        sim = Simulator(profiler=prof)
+        drive(sim)
+        # Every resume and callback dispatched is one retired event.
+        assert prof.events == prof.task_events + prof.callback_events
+        assert prof.task_events > 0
+        assert prof.callback_events == 1
+        assert prof.runs == 1
+        # Wall-clock accounting: phases sum to the run wall exactly.
+        assert prof.run_wall > 0
+        assert prof.task_wall >= 0 and prof.callback_wall >= 0
+        assert prof.scheduler_wall == pytest.approx(
+            prof.run_wall - prof.task_wall - prof.callback_wall
+        )
+        assert prof.events_per_sec == pytest.approx(prof.events / prof.run_wall)
+        assert prof.sim_elapsed == pytest.approx(sim.now)
+        assert prof.wall_per_simsec == pytest.approx(prof.run_wall / sim.now)
+
+    def test_accumulates_across_run_slices(self):
+        prof = EngineProfiler()
+        sim = Simulator(profiler=prof)
+
+        def worker():
+            sim.sleep(5e-6)
+
+        sim.spawn(worker)
+        sim.run(until=2e-6)
+        first = prof.events
+        assert prof.runs == 1
+        sim.run()
+        assert prof.runs == 2
+        assert prof.events > first
+
+    def test_disabled_profiler_not_installed(self):
+        sim = Simulator(profiler=EngineProfiler(enabled=False))
+        assert sim.profiler is None
+        drive(sim)
+
+    def test_no_profiler_default(self):
+        sim = Simulator()
+        assert sim.profiler is None
+        drive(sim)
+
+    def test_to_dict_keys(self):
+        prof = EngineProfiler()
+        sim = Simulator(profiler=prof)
+        drive(sim)
+        doc = prof.to_dict()
+        for key in (
+            "events",
+            "events_per_sec",
+            "wall_per_simsec",
+            "task_wall_seconds",
+            "scheduler_wall_seconds",
+        ):
+            assert key in doc
+
+    def test_zero_division_guards(self):
+        prof = EngineProfiler()
+        assert prof.events_per_sec == 0.0
+        assert prof.wall_per_simsec == 0.0
+        assert prof.scheduler_wall == 0.0
+
+
+class TestPublish:
+    def test_gauges_published(self):
+        prof = EngineProfiler()
+        sim = Simulator(profiler=prof)
+        drive(sim)
+        reg = MetricsRegistry()
+        prof.publish(reg)
+        assert reg.value("sim.events") == prof.events
+        assert reg.value("sim.events_per_sec") == pytest.approx(prof.events_per_sec)
+        assert reg.value("sim.wall_per_simsec") == pytest.approx(prof.wall_per_simsec)
+        assert reg.value("sim.wall_seconds", phase="task") == pytest.approx(
+            prof.task_wall
+        )
+        assert reg.value("sim.wall_seconds", phase="scheduler") == pytest.approx(
+            prof.scheduler_wall
+        )
+
+    def test_publish_noop_when_disabled(self):
+        prof = EngineProfiler(enabled=False)
+        reg = MetricsRegistry()
+        prof.publish(reg)
+        assert "sim.events" not in reg
+        enabled_prof = EngineProfiler()
+        disabled_reg = MetricsRegistry(enabled=False)
+        enabled_prof.publish(disabled_reg)
+        assert "sim.events" not in disabled_reg
+
+
+class TestWorldIntegration:
+    def test_world_installs_engine_profiler(self):
+        from repro.cluster import World, run_spmd
+        from repro.hardware import platform_a
+
+        w = World(platform_a(), num_nodes=1)
+        assert w.sim.profiler is w.obs.engine
+
+        def prog(ctx):
+            ctx.sim.sleep(1e-6)
+            return ctx.rank
+
+        run_spmd(w, prog)
+        # run_spmd publishes the engine numbers as sim.* gauges.
+        assert w.obs.engine.events > 0
+        assert w.obs.value("sim.events") == w.obs.engine.events
+        assert w.obs.value("sim.events_per_sec") > 0
+
+    def test_disabled_obs_skips_engine_profiling(self):
+        from repro.cluster import World, run_spmd
+        from repro.hardware import platform_a
+
+        w = World(platform_a(), num_nodes=1, obs=Observability(enabled=False))
+        assert w.sim.profiler is None
+
+        def prog(ctx):
+            return ctx.rank
+
+        res = run_spmd(w, prog)
+        assert res.metrics is None
+        assert w.obs.engine.events == 0
