@@ -1,0 +1,125 @@
+"""The 1024-rank scaling sweep: allreduce + Cannon in seconds.
+
+ROADMAP's scale goal made concrete: a 1024-rank (platform A, 256
+nodes x 4 GPUs) AllReduce sweep and a Cannon ring rotation, both in
+analytic-rank mode, completing in seconds of wall clock.  Before the
+calendar-queue/lazy-thread scheduler and the O(P) rendezvous linking,
+the same allreduce sweep took ~27 s at 1024 ranks; the hard wall-clock
+bound below keeps the engine honest.
+
+Also runnable standalone (the CI scale step)::
+
+    PYTHONPATH=src python benchmarks/bench_scale_1024.py --out scale_profile.json
+
+which writes the engine profile numbers as JSON and exits nonzero if
+the wall-clock bound is violated.
+"""
+
+import json
+import sys
+
+from repro.bench import scale
+from repro.hardware.platforms import get_platform
+from repro.util.units import KiB
+
+#: hard wall-clock bound (seconds) for each 1024-rank sweep — the
+#: acceptance criterion; generous vs the ~2 s measured at refactor
+#: time to absorb slow CI hardware.
+WALL_BOUND = 30.0
+
+#: allreduce sweep message size
+SWEEP_SIZE = 256 * KiB
+
+
+def _run_allreduce():
+    spec = get_platform("A")
+    return scale.allreduce_scale_stats(spec, scale.SCALE_NODES, SWEEP_SIZE, reps=2)
+
+
+def _run_cannon():
+    spec = get_platform("A")
+    return scale.cannon_scale_stats(spec, scale.SCALE_NODES)
+
+
+def _check_allreduce(stats):
+    assert stats["ranks"] == scale.SCALE_RANKS
+    assert stats["wall_seconds"] <= WALL_BOUND, (
+        f"1024-rank allreduce sweep took {stats['wall_seconds']:.1f}s "
+        f"(bound {WALL_BOUND:.0f}s)"
+    )
+    assert stats["events"] > scale.SCALE_RANKS
+    assert stats["allreduce_seconds"] > 0
+
+
+def _check_cannon(stats):
+    assert stats["ranks"] == scale.SCALE_RANKS
+    assert stats["wall_seconds"] <= WALL_BOUND, (
+        f"1024-rank cannon rotation took {stats['wall_seconds']:.1f}s "
+        f"(bound {WALL_BOUND:.0f}s)"
+    )
+    assert stats["per_step_seconds"] > 0
+    assert stats["predicted_full_seconds"] == (
+        stats["per_step_seconds"] * scale.SCALE_RANKS
+    )
+
+
+def test_scale_allreduce_1024(benchmark):
+    """1024-rank analytic allreduce sweep under the wall-clock bound."""
+    from conftest import run_once
+
+    stats = run_once(benchmark, _run_allreduce)
+    print(
+        f"\n1024-rank allreduce ({SWEEP_SIZE // KiB} KiB): "
+        f"{stats['allreduce_seconds'] * 1e3:.3f} ms modelled, "
+        f"{stats['events']} events in {stats['wall_seconds']:.2f}s wall "
+        f"({stats['events_per_sec']:,.0f} events/s)"
+    )
+    _check_allreduce(stats)
+
+
+def test_scale_cannon_1024(benchmark):
+    """Truncated 1024-rank Cannon rotation + full-rotation extrapolation."""
+    from conftest import run_once
+
+    stats = run_once(benchmark, _run_cannon)
+    print(
+        f"\n1024-rank cannon (n={scale.CANNON_N}, {stats['steps']} steps): "
+        f"{stats['per_step_seconds'] * 1e3:.3f} ms/step, full rotation "
+        f"{stats['predicted_full_seconds']:.3f}s modelled, "
+        f"{stats['events']} events in {stats['wall_seconds']:.2f}s wall"
+    )
+    _check_cannon(stats)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the profile numbers as JSON")
+    args = parser.parse_args(argv)
+    ar = _run_allreduce()
+    cn = _run_cannon()
+    doc = {"allreduce_1024": ar, "cannon_1024": cn}
+    print(
+        f"allreduce: {ar['events']} events, {ar['wall_seconds']:.2f}s wall, "
+        f"{ar['events_per_sec']:,.0f} events/s\n"
+        f"cannon   : {cn['events']} events, {cn['wall_seconds']:.2f}s wall, "
+        f"{cn['per_step_seconds'] * 1e3:.3f} ms/step"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"profile written to {args.out}")
+    try:
+        _check_allreduce(ar)
+        _check_cannon(cn)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print("PASS: 1024-rank sweeps within the wall-clock bound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

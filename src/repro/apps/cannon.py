@@ -47,6 +47,24 @@ class CannonConfig:
     dtype: type = np.float64
     #: sustained fraction of the matrix-engine peak for the stripe GEMM
     gemm_efficiency: float = 0.85
+    #: cap on ring steps (None = the full P).  A truncated run measures
+    #: the steady-state per-step cost for scaling sweeps where the full
+    #: P-step rotation would cost O(P^2) simulated events; only valid
+    #: with ``execute=False`` (the result stripe is incomplete).
+    steps: Optional[int] = None
+
+    def ring_steps(self, nranks: int) -> int:
+        if self.steps is None:
+            return nranks
+        if self.execute:
+            raise ConfigurationError(
+                "truncated Cannon (steps=) is timing-only; use execute=False"
+            )
+        if not 1 <= self.steps <= nranks:
+            raise ConfigurationError(
+                f"steps={self.steps} out of range 1..{nranks}"
+            )
+        return self.steps
 
     @property
     def itemsize(self) -> int:
@@ -132,7 +150,8 @@ def cannon_diomp(ctx: RankContext, cfg: CannonConfig) -> Dict[str, object]:
     diomp.barrier()
     t0 = ctx.sim.now
     cur, nxt = 0, 1
-    for step in range(p):
+    nsteps = cfg.ring_steps(p)
+    for step in range(nsteps):
         owner = (ctx.rank + step) % p  # whose B stripe we now hold
         if cfg.execute:
             a_stripe = a_buf.as_array(cfg.dtype, count=ns * cfg.n).reshape(ns, cfg.n)
@@ -189,7 +208,8 @@ def cannon_mpi(ctx: RankContext, cfg: CannonConfig, mpi: MpiWorld) -> Dict[str, 
     mpi_coll.barrier(comm)
     t0 = ctx.sim.now
     cur, nxt = 0, 1
-    for step in range(p):
+    nsteps = cfg.ring_steps(p)
+    for step in range(nsteps):
         owner = (ctx.rank + step) % p
         requests = []
         if step < p - 1:

@@ -75,6 +75,15 @@ GATED_METRICS: Dict[str, MetricSpec] = {
     "engine.events": MetricSpec(0.02),
     "engine.events_per_sec": MetricSpec(0.90, better="higher"),
     "engine.wall_per_simsec": MetricSpec(4.0),
+    # 1024-rank scale sweeps (repro.bench.scale, analytic-rank mode).
+    # Event counts and modelled times are deterministic; the
+    # throughput figure is wall-clock and only guards against the
+    # engine collapsing back into a quadratic regime at scale.
+    "scale.1024.allreduce.256KiB": MetricSpec(0.02),
+    "scale.1024.allreduce.events": MetricSpec(0.02),
+    "scale.1024.allreduce.events_per_sec": MetricSpec(0.90, better="higher"),
+    "scale.1024.cannon.per_step": MetricSpec(0.02),
+    "scale.1024.cannon.events": MetricSpec(0.02),
 }
 
 
@@ -130,6 +139,12 @@ def collect() -> Dict[str, float]:
     out["engine.events"] = float(engine["events"])
     out["engine.events_per_sec"] = engine["events_per_sec"]
     out["engine.wall_per_simsec"] = engine["wall_per_simsec"]
+
+    # 1024-rank scale gate: analytic allreduce sweep plus truncated
+    # Cannon rotation (see repro.bench.scale).
+    from repro.bench.scale import scale_gate_metrics
+
+    out.update(scale_gate_metrics())
     return out
 
 
@@ -173,7 +188,8 @@ def write_snapshot(path: str, metrics: Dict[str, float], name: str) -> None:
         "name": name,
         "workload": (
             "diomp-p2p microbench + profiled cannon (n=128) + "
-            "fig6 allreduce algorithm ablation (64 MiB, 2 nodes)"
+            "fig6 allreduce algorithm ablation (64 MiB, 2 nodes) + "
+            "1024-rank analytic allreduce/cannon scale sweeps"
         ),
         "metrics": metrics,
     }

@@ -46,6 +46,9 @@ class SpmdConfig:
     faults: Optional[Any] = None
     #: telemetry collection knobs (:class:`TelemetryConfig`)
     telemetry: Optional[TelemetryConfig] = None
+    #: analytic-rank mode: force every allocation virtual for data-free
+    #: sweeps (see :meth:`~repro.cluster.world.World.enable_analytic`)
+    analytic: bool = False
 
 
 @dataclasses.dataclass
@@ -92,6 +95,8 @@ def run_spmd(
     """
     if config is not None and config.faults is not None:
         world.install_fault_plan(config.faults)
+    if config is not None and config.analytic:
+        world.enable_analytic()
     telemetry = (config.telemetry if config is not None else None) or TelemetryConfig()
     if telemetry.span_budget is not None:
         world.obs.set_span_budget(telemetry.span_budget)

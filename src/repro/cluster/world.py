@@ -77,6 +77,7 @@ class World:
         tracer: Optional[Tracer] = None,
         obs: Optional[Observability] = None,
         faults=None,
+        analytic: bool = False,
     ) -> None:
         if devices_per_rank <= 0:
             raise ConfigurationError("devices_per_rank must be positive")
@@ -130,6 +131,26 @@ class World:
         self.fault_plan = None
         if faults is not None:
             self.install_fault_plan(faults)
+        #: analytic-rank mode: allocations are timing-only (virtual)
+        self.analytic = False
+        if analytic:
+            self.enable_analytic()
+
+    def enable_analytic(self) -> None:
+        """Switch the world to analytic-rank mode.
+
+        Every device allocation — direct ``malloc`` or through the
+        DiOMP symmetric/asymmetric allocators — becomes *virtual*:
+        address-space bookkeeping and timing are exact, but no numpy
+        backing is materialized and collective/RMA data application is
+        skipped.  This is the data-free sweep mode for 1024-rank
+        scaling runs, where real buffers would cost gigabytes without
+        ever being inspected.  Idempotent; must be enabled before the
+        program allocates.
+        """
+        self.analytic = True
+        for dev in self.devices.values():
+            dev.analytic = True
 
     def install_fault_plan(self, plan) -> None:
         """Arm a :class:`~repro.faults.FaultPlan` on every injection

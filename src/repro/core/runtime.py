@@ -350,6 +350,7 @@ class Diomp:
             )
         seg = self.segment(device_num)
         offset = seg.sym_alloc(nbytes)
+        virtual = virtual or self.runtime.world.analytic
         local = seg.place(offset, nbytes, virtual, f"sym#{seq}")
         check = self.runtime.rendezvous(
             "sym-alloc-verify", seq, self.rank, offset, self.nranks
@@ -432,6 +433,9 @@ class Diomp:
         data = None
         data_addr = 0
         if nbytes > 0:
+            # The data block honors analytic mode; the pointer slot
+            # above stays real — remote dereferences read its value.
+            virtual = virtual or self.runtime.world.analytic
             data = seg.alloc_local(nbytes, virtual=virtual, label=f"asym#{seq}")
             data_addr = data.address
         # Publish the pointer value in the wrapper (what a remote

@@ -42,6 +42,9 @@ class Device:
         self.memory.device_id = device_id
         #: fault plan threaded into every stream (see World.install_fault_plan)
         self.faults = None
+        #: analytic-rank mode (set by World.enable_analytic): every
+        #: allocation is forced virtual — timing-only, no numpy backing
+        self.analytic = False
         self.default_stream = Stream(sim, device_name=str(device_id))
         self.kernels_launched = 0
 
@@ -49,7 +52,7 @@ class Device:
 
     def malloc(self, size: int, virtual: bool = False, label: str = "") -> DeviceBuffer:
         """Allocate device memory (``cuMemAlloc``)."""
-        buf = self.memory.allocate(size, virtual=virtual, label=label)
+        buf = self.memory.allocate(size, virtual=virtual or self.analytic, label=label)
         if self.tracer is not None:
             self.tracer.emit(
                 "device", "malloc", device=str(self.device_id), size=size, label=label

@@ -89,6 +89,11 @@ class Observability:
         self._rdv_seq: Dict[Any, int] = {}
         #: (kind, ident, seq) -> {rank: TraceContext} arrival registry
         self._rdv_ctxs: Dict[Any, Dict[int, TraceContext]] = {}
+        #: rendezvous groups up to this size cross-link all pairs
+        #: (exact dependency DAG); larger groups link each arrival to
+        #: its predecessor only — O(P) instead of O(P^2) links, with
+        #: the same transitive ordering (see :meth:`rendezvous`)
+        self.rendezvous_dense_limit: int = 64
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the virtual clock (done by the world at construction)."""
@@ -168,6 +173,14 @@ class Observability:
         spans — so the span DAG records that everyone's completion
         depended on the last arriver.  Sequence numbers are counted
         per rank, so the Nth barrier on a group pairs across ranks.
+
+        All-pairs linking is quadratic in the group size and dominated
+        1024-rank sweeps, so groups beyond
+        :attr:`rendezvous_dense_limit` arrivals fall back to *chain*
+        linking: each arrival pairs with its predecessor only.  The
+        dependency ordering is preserved transitively through the
+        chain (the critical-path walker follows links hop by hop), at
+        2 links per arrival instead of ``2(P-1)``.
         """
         mine = self.capture(track=f"rank{rank}")
         if mine is None:
@@ -176,7 +189,11 @@ class Observability:
         seq = self._rdv_seq.get(seq_key, 0)
         self._rdv_seq[seq_key] = seq + 1
         peers = self._rdv_ctxs.setdefault((kind, ident, seq), {})
-        for peer_rank, peer_ctx in peers.items():
+        if len(peers) < self.rendezvous_dense_limit:
+            pairs = peers.items()
+        else:
+            pairs = (next(reversed(peers.items())),)  # predecessor only
+        for peer_rank, peer_ctx in pairs:
             self.profiler.link(peer_ctx, track=f"rank{rank}")
             self.profiler.link_span(peer_ctx, mine, track=f"rank{peer_rank}")
         peers[rank] = mine

@@ -25,13 +25,27 @@ Control handoff protocol::
 Only the scheduler **or** the single running task ever touches
 simulator state, so no further locking is needed.
 
-Error handling: an exception escaping a task aborts the simulation —
-:meth:`Simulator.run` re-raises it after killing the remaining tasks so
-no threads leak (important when pytest runs thousands of simulations).
+Scalability (1024+ ranks): SPMD programs generate large bursts of
+events at identical timestamps — every barrier release, collective
+completion, and launch wave resumes the whole world at one instant.
+The event queue is therefore a *calendar* of per-timestamp FIFO
+buckets ordered by a heap of distinct times: a same-time burst costs
+one heap operation total instead of one ``heappush``/``heappop`` pair
+per member, and the scheduler drains a whole bucket back-to-back
+without re-consulting the heap.  Task threads start lazily on first
+resume, so building a world never pays OS-thread cost for ranks that
+a bounded run or an early abort never reaches.
+
+Error handling: an exception escaping a task is delivered to the
+tasks joining it at that moment (their ``join()`` raises it); if no
+live task is joining, it aborts the simulation — :meth:`Simulator.run`
+re-raises it after killing the remaining tasks so no threads leak
+(important when pytest runs thousands of simulations).
 """
 
 from __future__ import annotations
 
+import collections
 import enum
 import heapq
 import itertools
@@ -92,12 +106,19 @@ class Task:
         self._kill = False
         self._resume_evt = threading.Event()
         self._join_waiters: List[Any] = []  # Futures fired on completion
-        self._thread = threading.Thread(
-            target=self._thread_body, name=f"sim:{name}", daemon=True
-        )
-        self._thread.start()
+        #: True once the task's error was raised in at least one live
+        #: joiner — a delivered error is handled there, not by run()
+        self._error_delivered = False
+        #: created lazily on first resume (see Simulator._give_control)
+        self._thread: Optional[threading.Thread] = None
 
     # -- scheduler side ----------------------------------------------------
+
+    def _start_thread(self) -> None:
+        self._thread = threading.Thread(
+            target=self._thread_body, name=f"sim:{self.name}", daemon=True
+        )
+        self._thread.start()
 
     def _thread_body(self) -> None:
         # Park until the scheduler gives us control for the first time.
@@ -116,30 +137,74 @@ class Task:
             self.error = exc
             self.state = TaskState.FAILED
         finally:
-            if self.state in (TaskState.DONE, TaskState.FAILED):
-                for fut in self._join_waiters:
-                    fut.fire(self.result)
-                self._join_waiters.clear()
+            self._finish_waiters()
             sim._current = None
             sim._sched_evt.set()
+
+    def _finish_waiters(self) -> None:
+        """Complete the join futures according to the final state."""
+        waiters, self._join_waiters = self._join_waiters, []
+        if self.state is TaskState.DONE:
+            for fut in waiters:
+                fut.fire(self.result)
+        elif self.state is TaskState.FAILED:
+            for fut in waiters:
+                if any(not t.finished for t in fut._waiters):
+                    self._error_delivered = True
+                fut.fail(self.error)
+        elif self.state is TaskState.KILLED and not self.sim._closed:
+            # A killed task can never produce a result; joiners in a
+            # bounded run(until=...) session would otherwise hang
+            # forever.  (During close() every task dies anyway, so no
+            # wake-up is needed — or safe — there.)
+            err = SimulationError(f"cannot join {self.name}: task killed")
+            for fut in waiters:
+                if not fut.fired:
+                    fut.fail(err)
 
     # -- task side -----------------------------------------------------------
 
     def join(self) -> Any:
         """Block the *calling* task until this task completes.
 
-        Returns the task's result.  May only be called from inside a
-        simulated task.
+        Returns the task's result.  If the task failed, its error is
+        raised in the joining task; if it was killed, a
+        :class:`SimulationError` is raised.  May only be called from
+        inside a simulated task.
         """
         from repro.sim.sync import Future
 
         if self.state is TaskState.DONE:
             return self.result
-        if self.state in (TaskState.FAILED, TaskState.KILLED):
+        if self.state is TaskState.FAILED:
+            self._error_delivered = True
+            raise self.error
+        if self.state is TaskState.KILLED:
             raise SimulationError(f"cannot join {self.name}: task {self.state.value}")
         fut = Future(self.sim, description=f"join({self.name})")
         self._join_waiters.append(fut)
         return fut.wait()
+
+    def kill(self) -> None:
+        """Terminate this task at the current virtual time.
+
+        A running or blocked task is torn down at its next scheduling
+        point (deterministically ordered like any other resume); a task
+        that never started is finalized immediately.  Joiners see a
+        :class:`SimulationError`.  A task may not kill itself — raise
+        instead.
+        """
+        if self.finished:
+            return
+        if self is self.sim._current:
+            raise SimulationError(f"task {self.name} cannot kill itself")
+        self._kill = True
+        if self._thread is None:
+            # Never ran: no thread to unwind, finalize in place.
+            self.state = TaskState.KILLED
+            self._finish_waiters()
+            return
+        self.sim._push(self.sim.now, "resume", self)
 
     @property
     def finished(self) -> bool:
@@ -176,12 +241,21 @@ class Simulator:
             profiler, "enabled", True
         ) else None
         self._seq = itertools.count()
-        self._queue: list = []  # heap of (time, seq, kind, payload)
+        #: calendar queue: a heap of distinct timestamps plus one FIFO
+        #: bucket per timestamp.  Events within a bucket are already in
+        #: (time, seq) total order because sequence numbers increase
+        #: monotonically, so a same-time burst costs one heap operation
+        #: instead of one per event.
+        self._times: list = []  # heap of distinct pending timestamps
+        self._buckets: dict = {}  # time -> deque of (seq, kind, payload)
         self._tasks: List[Task] = []
         self._current: Optional[Task] = None
         self._sched_evt = threading.Event()
         self._in_run = False
         self._closed = False
+        #: double-completions suppressed by deferred Future fire/fail
+        #: (see :meth:`repro.sim.sync.Future.fire`)
+        self.suppressed_completions = 0
 
     # -- event queue ---------------------------------------------------------
 
@@ -190,7 +264,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past: {when} < now={self.now}"
             )
-        heapq.heappush(self._queue, (when, next(self._seq), kind, payload))
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            bucket = self._buckets[when] = collections.deque()
+            heapq.heappush(self._times, when)
+        bucket.append((next(self._seq), kind, payload))
 
     def call_later(self, delay: float, fn: Callable[[], Any]) -> None:
         """Run ``fn()`` on the scheduler at ``now + delay``.
@@ -267,9 +345,11 @@ class Simulator:
     def _give_control(self, task: Task) -> None:
         self._current = task
         self._sched_evt.clear()
+        if task._thread is None:
+            task._start_thread()
         task._resume_evt.set()
         self._sched_evt.wait()
-        if task.state is TaskState.FAILED:
+        if task.state is TaskState.FAILED and not task._error_delivered:
             err = task.error
             self.close()
             raise err
@@ -294,31 +374,40 @@ class Simulator:
         prof = self.profiler
         run_t0 = perf_counter() if prof is not None else 0.0
         try:
-            while self._queue:
-                when, _seq, kind, payload = self._queue[0]
+            while self._times:
+                when = self._times[0]
                 if until is not None and when > until:
                     self.now = until
                     return self.now
-                heapq.heappop(self._queue)
                 self.now = when
-                if kind == "resume":
-                    if payload.finished:
-                        continue  # task was killed/finished after scheduling
-                    if prof is None:
-                        self._give_control(payload)
-                    else:
-                        t0 = perf_counter()
-                        self._give_control(payload)
-                        prof.account_task(perf_counter() - t0)
-                elif kind == "call":
-                    if prof is None:
-                        payload()
-                    else:
-                        t0 = perf_counter()
-                        payload()
-                        prof.account_callback(perf_counter() - t0)
-                else:  # pragma: no cover - internal invariant
-                    raise SimulationError(f"unknown event kind {kind!r}")
+                # Drain the whole same-time bucket back-to-back: one
+                # heap consultation per distinct timestamp, not per
+                # event.  Same-time events pushed during the drain
+                # append to this bucket and run in this pass (matching
+                # the old (time, seq) heap order exactly).
+                bucket = self._buckets[when]
+                while bucket:
+                    _seq, kind, payload = bucket.popleft()
+                    if kind == "resume":
+                        if payload.finished:
+                            continue  # task was killed/finished after scheduling
+                        if prof is None:
+                            self._give_control(payload)
+                        else:
+                            t0 = perf_counter()
+                            self._give_control(payload)
+                            prof.account_task(perf_counter() - t0)
+                    elif kind == "call":
+                        if prof is None:
+                            payload()
+                        else:
+                            t0 = perf_counter()
+                            payload()
+                            prof.account_callback(perf_counter() - t0)
+                    else:  # pragma: no cover - internal invariant
+                        raise SimulationError(f"unknown event kind {kind!r}")
+                heapq.heappop(self._times)
+                del self._buckets[when]
             blocked = [t for t in self._tasks if t.state is TaskState.BLOCKED]
             if blocked:
                 detail = "; ".join(f"{t.name}: {t.wait_reason}" for t in blocked)
@@ -349,9 +438,15 @@ class Simulator:
             if task.finished:
                 continue
             task._kill = True
+            if task._thread is None:
+                # Lazily-started task that never got its first resume:
+                # there is no thread to unwind.
+                task.state = TaskState.KILLED
+                continue
             task._resume_evt.set()
         for task in self._tasks:
-            task._thread.join(timeout=5.0)
+            if task._thread is not None:
+                task._thread.join(timeout=5.0)
 
     def __enter__(self) -> "Simulator":
         return self

@@ -45,17 +45,25 @@ class Future:
         self._callbacks: List[Any] = []
 
     def fire(self, value: Any = None, delay: float = 0.0) -> None:
-        """Complete the future, waking all waiters after ``delay``."""
+        """Complete the future, waking all waiters after ``delay``.
+
+        A *delayed* completion that loses the race to another path
+        (e.g. a retry-timeout ``fail`` landing before a delayed success
+        ``fire``) is silently dropped and counted in
+        ``sim.suppressed_completions`` — only the first completion
+        wins.  An *immediate* double completion is still an error.
+        """
         if self.fired:
             raise SimulationError(f"{self.description}: fired twice")
         if delay > 0.0:
-            self.sim.call_later(delay, lambda: self.fire(value))
+            self.sim.call_later(delay, lambda: self._deferred(self.fire, value))
             return
         self.fired = True
         self.value = value
         waiters, self._waiters = self._waiters, []
         for task in waiters:
-            self.sim._wake(task, value)
+            if not task.finished:
+                self.sim._wake(task, value)
         self._run_callbacks()
 
     def fail(self, error: BaseException, delay: float = 0.0) -> None:
@@ -64,18 +72,30 @@ class Future:
         Waiters (current and future) raise ``error`` from ``wait()``;
         ``poll()`` reports completion so hybrid polling loops still
         converge — callers distinguish the outcome via :attr:`error`.
+        Delayed completions follow the same first-one-wins rule as
+        :meth:`fire`.
         """
         if self.fired:
             raise SimulationError(f"{self.description}: fired twice")
         if delay > 0.0:
-            self.sim.call_later(delay, lambda: self.fail(error))
+            self.sim.call_later(delay, lambda: self._deferred(self.fail, error))
             return
         self.fired = True
         self.error = error
         waiters, self._waiters = self._waiters, []
         for task in waiters:
-            self.sim._wake(task, None)
+            if not task.finished:
+                self.sim._wake(task, None)
         self._run_callbacks()
+
+    def _deferred(self, complete, payload) -> None:
+        """Scheduler callback for a delayed completion: re-check the
+        race before committing — the future may have completed through
+        another path while the delay elapsed."""
+        if self.fired:
+            self.sim.suppressed_completions += 1
+            return
+        complete(payload)
 
     def add_done_callback(self, fn) -> None:
         """Run ``fn(self)`` once the future completes (success or

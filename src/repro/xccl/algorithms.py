@@ -36,6 +36,8 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.util.errors import CommunicationError
 from repro.xccl.params import XcclParams
 from repro.xccl.topo import CommTopology
@@ -297,3 +299,66 @@ def select_algorithm(
         candidates.append("hier_ring")
     plans = [plan(c, op, nbytes, ctopo, params) for c in candidates]
     return min(plans, key=lambda s: (s.seconds, ALGORITHMS.index(s.algo)))
+
+
+# ---------------------------------------------------------------------------
+# Vectorized sweep pricing
+# ---------------------------------------------------------------------------
+#
+# Every phase's wire volume is linear in ``nbytes`` with zero
+# intercept, and the step/round counts depend only on the topology, so
+# one algorithm's modelled time is an affine function of the message
+# size: ``seconds(nbytes) = fixed + slope * nbytes``.  That lets a
+# whole size sweep — or an extrapolation to sizes too large to
+# simulate — be priced in a handful of numpy operations instead of one
+# ``plan()`` per (algorithm, size) pair.
+
+
+def linear_cost(
+    algo: str, op: str, ctopo: CommTopology, params: XcclParams
+) -> Tuple[float, float]:
+    """``(fixed_seconds, seconds_per_byte)`` of one algorithm.
+
+    ``plan(algo, op, n).seconds == fixed + slope * n`` for every size
+    ``n`` (up to floating-point association).  Raises if the algorithm
+    is structurally ineligible, exactly like :func:`plan`.
+    """
+    fixed = plan(algo, op, 0, ctopo, params).seconds
+    slope = plan(algo, op, 1, ctopo, params).seconds - fixed
+    return fixed, slope
+
+
+def price_sweep(
+    algo: str, op: str, sizes, ctopo: CommTopology, params: XcclParams
+) -> np.ndarray:
+    """Modelled seconds of one algorithm across a whole size sweep."""
+    fixed, slope = linear_cost(algo, op, ctopo, params)
+    return fixed + slope * np.asarray(sizes, dtype=np.float64)
+
+
+def select_sweep(
+    op: str, sizes, ctopo: CommTopology, params: XcclParams
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized auto-selection across a size sweep.
+
+    Returns ``(algos, seconds)`` — the algorithm name and modelled time
+    per size — applying the same policy gates and preference-order
+    tie-breaking as :func:`select_algorithm`, in O(#algorithms) numpy
+    operations regardless of how many sizes are priced.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    costs = np.full((len(ALGORITHMS), sizes.size), np.inf)
+    for i, algo in enumerate(ALGORITHMS):
+        if not eligible(algo, op, ctopo):
+            continue
+        priced = price_sweep(algo, op, sizes, ctopo, params)
+        if algo == "tree":
+            priced = np.where(sizes <= params.tree_max_bytes, priced, np.inf)
+        elif algo == "hier_ring":
+            priced = np.where(sizes >= params.hier_min_bytes, priced, np.inf)
+        costs[i] = priced
+    # argmin returns the first minimum, and ALGORITHMS is already in
+    # preference order — the same tie-break as select_algorithm.
+    winner = np.argmin(costs, axis=0)
+    picked = np.take_along_axis(costs, winner[None, :], axis=0)[0]
+    return np.asarray(ALGORITHMS, dtype=object)[winner], picked

@@ -43,15 +43,23 @@ from repro.xccl.uniqueid import UniqueId
 
 @dataclasses.dataclass
 class _PendingCollective:
-    """Rendezvous state for one in-flight collective."""
+    """Rendezvous state for one in-flight collective.
+
+    All members share one completion future — arrival bookkeeping is
+    O(1) per member (a dict insert and a shared-future wait), so the
+    whole rendezvous costs O(P) rather than O(P) future allocations
+    plus per-member scheduling state.
+    """
 
     op: str
     #: message size the first arriver declared (members must agree)
     nbytes: int
     #: forced algorithm of the first arriver (None = auto-select)
     algo: Optional[str]
+    #: completion future every member waits on (created by the first
+    #: arriver, fired once by the completion callback)
+    done: Future
     arrivals: Dict[int, dict] = dataclasses.field(default_factory=dict)
-    futures: Dict[int, Future] = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass
@@ -67,6 +75,11 @@ class _CommState:
     hop_latency: float = 0.0
     init_barrier_waiters: List[Future] = dataclasses.field(default_factory=list)
     pending: Dict[int, _PendingCollective] = dataclasses.field(default_factory=dict)
+    #: (op, nbytes, forced-algo) -> Selection.  The topology and params
+    #: are frozen after init, so pricing is a pure function of the key;
+    #: caching makes the per-member selection preview O(1) instead of
+    #: re-running the cost models for every launch of a repeated shape.
+    sel_cache: Dict[tuple, Selection] = dataclasses.field(default_factory=dict)
 
 
 class XcclContext:
@@ -169,7 +182,12 @@ class XcclComm:
         state = self._state
         if state.ctopo is None:
             raise CommunicationError("communicator is not initialized")
-        return select_algorithm(op, nbytes, state.ctopo, self.ctx.params, force=algo)
+        key = (op, nbytes, algo)
+        sel = state.sel_cache.get(key)
+        if sel is None:
+            sel = select_algorithm(op, nbytes, state.ctopo, self.ctx.params, force=algo)
+            state.sel_cache[key] = sel
+        return sel
 
     def _record_phases(self, sel: Selection, start: float) -> None:
         """Emit per-phase spans so traces attribute intra vs inter time."""
@@ -213,7 +231,12 @@ class XcclComm:
         self._op_seq += 1
         pending = state.pending.get(seq)
         if pending is None:
-            pending = _PendingCollective(op=op, nbytes=nbytes, algo=algo)
+            pending = _PendingCollective(
+                op=op,
+                nbytes=nbytes,
+                algo=algo,
+                done=Future(sim, description=f"xccl:{op}#{seq}"),
+            )
             state.pending[seq] = pending
         if pending.op != op:
             raise CommunicationError(
@@ -236,8 +259,7 @@ class XcclComm:
         if self.dev_rank in pending.arrivals:
             raise CommunicationError(f"device rank {self.dev_rank} arrived twice")
         pending.arrivals[self.dev_rank] = arrival
-        fut = Future(sim, description=f"xccl:{op}#{seq}")
-        pending.futures[self.dev_rank] = fut
+        fut = pending.done
         if self.ctx._m_launches is not None:
             self.ctx._m_launches.inc(
                 op=op, library=self.ctx.params.name, ndev=state.ndev
@@ -256,12 +278,11 @@ class XcclComm:
                 )
             self._record_phases(sel, sim.now)
             arrivals = pending.arrivals
-            futures = pending.futures
+            done = pending.done
 
             def complete() -> None:
                 apply_fn(arrivals)
-                for f in futures.values():
-                    f.fire()
+                done.fire()
 
             sim.call_later(duration, complete)
         fut.wait()

@@ -248,3 +248,206 @@ class TestBoundedRun:
             sim.spawn(lambda: sim.sleep(10.0))
             sim.run(until=1.0)
         # leaving the with-block kills the sleeper without error
+
+
+class TestJoinErrorPropagation:
+    def test_join_raises_child_error_in_joiner(self):
+        # Regression: join() on a task that fails *later* used to
+        # return None; the error now propagates to the joiner.
+        sim = Simulator()
+        caught = []
+
+        def child():
+            sim.sleep(1.0)
+            raise ValueError("boom")
+
+        def parent():
+            task = sim.spawn(child, name="child")
+            try:
+                task.join()
+            except ValueError as exc:
+                caught.append((sim.now, str(exc)))
+
+        sim.spawn(parent, name="parent")
+        sim.run()  # handled in the joiner: the run completes normally
+        assert caught == [(1.0, "boom")]
+
+    def test_unhandled_join_error_fails_joiner_too(self):
+        sim = Simulator()
+
+        def child():
+            raise ValueError("boom")
+
+        def parent():
+            sim.spawn(child).join()  # no except: re-raised here
+
+        sim.spawn(parent)
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_join_already_failed_task_raises(self):
+        sim = Simulator()
+        caught = []
+
+        def child():
+            sim.sleep(1.0)
+            raise ValueError("boom")
+
+        def supervisor(task):
+            try:
+                task.join()
+            except ValueError:
+                caught.append("supervisor")
+
+        def late_joiner(task):
+            sim.sleep(2.0)  # well after the failure
+            try:
+                task.join()
+            except ValueError:
+                caught.append("late")
+
+        def root():
+            task = sim.spawn(child)
+            sim.spawn(supervisor, task)
+            sim.spawn(late_joiner, task)
+
+        sim.spawn(root)
+        sim.run()
+        assert sorted(caught) == ["late", "supervisor"]
+
+    def test_unsupervised_failure_still_aborts_run(self):
+        sim = Simulator()
+        sim.spawn(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+
+class TestKill:
+    def test_kill_unblocks_joiners(self):
+        # Regression: join-waiters of a killed task never fired.
+        sim = Simulator()
+        caught = []
+
+        def victim():
+            sim.sleep(100.0)
+
+        def root():
+            task = sim.spawn(victim, name="victim")
+
+            def joiner():
+                try:
+                    task.join()
+                except SimulationError as exc:
+                    caught.append((sim.now, str(exc)))
+
+            sim.spawn(joiner)
+            sim.sleep(1.0)
+            task.kill()
+
+        sim.spawn(root)
+        sim.run()
+        assert len(caught) == 1
+        when, message = caught[0]
+        assert when == 1.0
+        assert "killed" in message
+
+    def test_kill_unblocks_joiner_in_bounded_run(self):
+        # The bounded-session variant of the hang: run(until=) used to
+        # park the joiner forever with no deadlock detection to save it.
+        sim = Simulator()
+        done = []
+
+        def victim():
+            sim.sleep(100.0)
+
+        def root():
+            task = sim.spawn(victim)
+
+            def joiner():
+                try:
+                    task.join()
+                except SimulationError:
+                    done.append(sim.now)
+
+            sim.spawn(joiner)
+            sim.sleep(1.0)
+            task.kill()
+
+        sim.spawn(root)
+        sim.run(until=5.0)
+        assert done == [1.0]
+        sim.close()
+
+    def test_kill_unstarted_task_never_runs(self):
+        sim = Simulator()
+        ran = []
+        task = sim.spawn(lambda: ran.append(1))
+        task.kill()
+        assert task.state is TaskState.KILLED
+        assert task._thread is None  # never needed a thread
+        sim.run()
+        assert ran == []
+
+    def test_kill_finished_task_is_noop(self):
+        sim = Simulator()
+        task = sim.spawn(lambda: 42)
+        sim.run()
+        task.kill()
+        assert task.state is TaskState.DONE
+        assert task.result == 42
+
+    def test_self_kill_rejected(self):
+        sim = Simulator()
+
+        def prog():
+            task.kill()
+
+        task = sim.spawn(prog)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestLazyThreads:
+    def test_threads_start_only_on_first_resume(self):
+        sim = Simulator()
+        tasks = [sim.spawn(sim.sleep, 1.0) for _ in range(4)]
+        assert all(t._thread is None for t in tasks)
+        sim.run()
+        assert all(t.state is TaskState.DONE for t in tasks)
+
+    def test_close_reaps_unstarted_tasks_without_threads(self):
+        import threading
+
+        sim = Simulator()
+        before = threading.active_count()
+        tasks = [sim.spawn(sim.sleep, 1.0) for _ in range(8)]
+        assert threading.active_count() == before  # spawn is thread-free
+        sim.close()
+        assert threading.active_count() == before
+        assert all(t.state is TaskState.KILLED for t in tasks)
+        assert all(t._thread is None for t in tasks)
+
+
+class TestSchedulerScaling:
+    def test_512_tasks_wall_bound(self):
+        # Smoke test for the calendar-queue scheduler: 512 tasks
+        # stepping in lockstep (every resume lands in a shared
+        # same-timestamp bucket) must stay comfortably interactive.
+        import time
+
+        sim = Simulator()
+        done = []
+
+        def worker(i):
+            for _ in range(4):
+                sim.sleep(1.0)
+            done.append(i)
+
+        t0 = time.perf_counter()
+        for i in range(512):
+            sim.spawn(worker, i)
+        sim.run()
+        assert time.perf_counter() - t0 < 30.0
+        assert len(done) == 512
+        assert done == sorted(done)  # batched resumes keep spawn order
+        assert sim.now == 4.0

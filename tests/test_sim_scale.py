@@ -1,0 +1,119 @@
+"""Scaling contracts: rank count must not change simulation semantics.
+
+Companions to the 1024-rank sweeps in :mod:`repro.bench.scale` and
+``benchmarks/bench_scale_1024.py``, kept small enough for tier-1:
+
+* the batched/calendar-queue scheduler produces *bit-identical*
+  reduction results at 8 and 512 ranks (integer-valued float64 data,
+  so the exact sum is order-independent and any dropped or duplicated
+  contribution shows up as a hard mismatch);
+* a 512-rank collective run stays comfortably under an interactive
+  wall-clock bound;
+* the truncated-Cannon extrapolation used by the 1024-rank sweep is
+  validated against a *full* small-scale rotation — the ring steps are
+  homogeneous (identical put/fence/barrier pattern), with only the
+  final step cheaper because it skips the forward put.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.cannon import CannonConfig, run_cannon
+from repro.cluster.spmd import run_spmd
+from repro.cluster.world import World
+from repro.core.runtime import DiompParams, DiompRuntime
+from repro.hardware.platforms import get_platform
+from repro.obs import Observability
+
+#: elements in the allreduce payload
+COUNT = 64
+
+#: generous wall-clock bound for the 512-rank run (measured ~0.5 s)
+WALL_BOUND = 30.0
+
+
+def _allreduce_sum(num_nodes):
+    """Run an 8-byte-aligned allreduce on ``4 * num_nodes`` ranks."""
+    spec = get_platform("A")
+    world = World(
+        spec, num_nodes=num_nodes, obs=Observability(max_series_per_metric=8192)
+    )
+    DiompRuntime(world, DiompParams(segment_size=1 << 20))
+
+    def prog(ctx):
+        send = ctx.diomp.alloc(COUNT * 8)
+        recv = ctx.diomp.alloc(COUNT * 8)
+        send.typed(np.float64)[:] = float(ctx.rank % 7 + 1)
+        ctx.diomp.barrier()
+        ctx.diomp.allreduce(send, recv)
+        return recv.typed(np.float64).copy()
+
+    res = run_spmd(world, prog)
+    return world.nranks, res.results
+
+
+class TestAllreduceScaling:
+    @pytest.mark.parametrize("num_nodes", [2, 128], ids=["8ranks", "512ranks"])
+    def test_allreduce_bit_identical(self, num_nodes):
+        # Integer-valued contributions are exact in float64 whatever
+        # the reduction order: the result must be *bit-identical* to
+        # the closed-form sum on every rank, at 8 and 512 ranks alike.
+        t0 = time.perf_counter()
+        nranks, results = _allreduce_sum(num_nodes)
+        wall = time.perf_counter() - t0
+        assert nranks == 4 * num_nodes
+        expected = np.full(COUNT, float(sum(r % 7 + 1 for r in range(nranks))))
+        for arr in results:
+            assert np.array_equal(arr, expected)
+        assert wall < WALL_BOUND
+
+
+class TestCannonExtrapolation:
+    def _elapsed(self, num_nodes, steps=None):
+        spec = get_platform("A")
+        world = World(spec, num_nodes=num_nodes)
+        cfg = CannonConfig(n=1024, execute=False, steps=steps)
+        res = run_cannon(world, cfg)
+        return world.nranks, max(r["elapsed"] for r in res.results)
+
+    def test_ring_steps_are_homogeneous(self):
+        # The scale sweep's justification: every step prices
+        # identically, so elapsed is exactly linear in the step count.
+        _, e1 = self._elapsed(4, steps=1)
+        _, e2 = self._elapsed(4, steps=2)
+        _, e3 = self._elapsed(4, steps=3)
+        assert e2 - e1 == pytest.approx(e1, rel=1e-9)
+        assert e3 - e2 == pytest.approx(e1, rel=1e-9)
+
+    def test_truncated_extrapolation_matches_full_run(self):
+        # predicted = per_step * P is a slight upper bound on the full
+        # rotation: the final step skips the forward put.  All P-1
+        # forwarding steps must match the truncated measurement
+        # exactly; the bound must hold and be tight at this scale.
+        p, full = self._elapsed(4)
+        _, e2 = self._elapsed(4, steps=2)
+        per_step = e2 / 2
+        _, all_but_last = self._elapsed(4, steps=p - 1)
+        assert all_but_last == pytest.approx(per_step * (p - 1), rel=1e-9)
+        assert full <= per_step * p * (1 + 1e-9)
+        assert full == pytest.approx(per_step * p, rel=0.10)
+
+    def test_truncated_requires_timing_only(self):
+        from repro.util.errors import ConfigurationError
+
+        spec = get_platform("A")
+        world = World(spec, num_nodes=1)
+        with pytest.raises(ConfigurationError):
+            run_cannon(world, CannonConfig(n=64, execute=True, steps=2))
+
+    def test_analytic_mode_preserves_timing(self):
+        # Analytic-rank mode drops the data plane only: modelled times
+        # are bit-identical to a real virtual-buffer run.
+        spec = get_platform("A")
+        _, timed = self._elapsed(1, steps=2)
+        world = World(spec, num_nodes=1, analytic=True)
+        res = run_cannon(world, CannonConfig(n=1024, execute=False, steps=2))
+        analytic = max(r["elapsed"] for r in res.results)
+        assert analytic == timed

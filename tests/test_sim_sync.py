@@ -331,3 +331,70 @@ class TestBarrier:
         sim = Simulator()
         with pytest.raises(SimulationError):
             Barrier(sim, 0)
+
+
+class TestDeferredCompletion:
+    def test_delayed_fire_suppressed_after_fail(self):
+        # Regression: a delayed fire landing on an already-failed
+        # future used to raise "fired twice" inside the scheduler.
+        sim = Simulator()
+        fut = Future(sim, description="rendezvous")
+        caught = []
+
+        def proposer():
+            fut.fire("late", delay=2.0)
+
+        def canceller():
+            sim.sleep(1.0)
+            fut.fail(RuntimeError("timeout"))
+
+        def waiter():
+            try:
+                fut.wait()
+            except RuntimeError as exc:
+                caught.append((sim.now, str(exc)))
+
+        sim.spawn(proposer)
+        sim.spawn(canceller)
+        sim.spawn(waiter)
+        sim.run()  # reaches t=2.0 without the double-completion error
+        assert caught == [(1.0, "timeout")]
+        assert sim.suppressed_completions == 1
+
+    def test_delayed_fail_suppressed_after_fire(self):
+        sim = Simulator()
+        fut = Future(sim)
+        seen = []
+
+        def watchdog():
+            fut.fail(RuntimeError("timeout"), delay=2.0)
+
+        def producer():
+            sim.sleep(1.0)
+            fut.fire("fast")
+
+        sim.spawn(watchdog)
+        sim.spawn(producer)
+        sim.spawn(lambda: seen.append(fut.wait()))
+        sim.run()
+        assert seen == ["fast"]
+        assert sim.suppressed_completions == 1
+
+    def test_slower_delayed_completion_suppressed(self):
+        sim = Simulator()
+        fut = Future(sim)
+        seen = []
+        fut.fire("first", delay=1.0)
+        fut.fail(RuntimeError("second"), delay=2.0)
+        sim.spawn(lambda: seen.append(fut.wait()))
+        sim.run()
+        assert seen == ["first"]
+        assert sim.suppressed_completions == 1
+
+    def test_immediate_double_completion_still_rejected(self):
+        sim = Simulator()
+        fut = Future(sim)
+        fut.fire(1)
+        with pytest.raises(SimulationError):
+            fut.fail(RuntimeError("late"))
+        assert sim.suppressed_completions == 0

@@ -481,3 +481,56 @@ class TestCollectiveValidation:
 
         run_spmd(w, prog)
         assert w.obs.value("xccl.algo", algo="hier_ring", op="all_reduce") == 1
+
+
+class TestVectorizedSweep:
+    def _ctopo(self, nodes=2):
+        w = World(platform_a(with_quirk=False), num_nodes=nodes)
+        return analyze(w.topology, build_ring(w.topology.all_gpus()), NCCL_PARAMS)
+
+    SIZES = [8, 1 * KiB, 8 * KiB, 128 * KiB, 2 * MiB, 16 * MiB, 64 * MiB]
+
+    @pytest.mark.parametrize("op", ["all_reduce", "broadcast"])
+    def test_linear_cost_reproduces_plan(self, op):
+        from repro.xccl.algorithms import linear_cost, plan
+
+        ct = self._ctopo()
+        for algo in ("ring", "tree", "hier_ring"):
+            fixed, slope = linear_cost(algo, op, ct, NCCL_PARAMS)
+            for size in self.SIZES:
+                exact = plan(algo, op, size, ct, NCCL_PARAMS).seconds
+                assert fixed + slope * size == pytest.approx(exact, rel=1e-12)
+
+    @pytest.mark.parametrize("op", ["all_reduce", "broadcast"])
+    def test_select_sweep_matches_scalar_selection(self, op):
+        from repro.xccl.algorithms import select_sweep
+
+        ct = self._ctopo()
+        algos, seconds = select_sweep(op, self.SIZES, ct, NCCL_PARAMS)
+        for size, algo, sec in zip(self.SIZES, algos, seconds):
+            sel = select_algorithm(op, size, ct, NCCL_PARAMS)
+            assert algo == sel.algo, f"{op} @ {size}"
+            assert sec == pytest.approx(sel.seconds, rel=1e-12)
+
+    def test_select_sweep_spans_all_regimes(self):
+        # The sweep must actually traverse tree -> ring -> hier so the
+        # parity test above exercises every policy gate.
+        from repro.xccl.algorithms import select_sweep
+
+        algos, _ = select_sweep("all_reduce", self.SIZES, self._ctopo(), NCCL_PARAMS)
+        assert {"tree", "ring", "hier_ring"} <= set(algos)
+
+    def test_select_sweep_single_node_keeps_ring(self):
+        from repro.xccl.algorithms import select_sweep
+
+        ct = self._ctopo(nodes=1)
+        algos, seconds = select_sweep("all_reduce", [64 * MiB], ct, NCCL_PARAMS)
+        assert list(algos) == ["ring"]
+        assert np.isfinite(seconds).all()
+
+    def test_linear_cost_ineligible_raises(self):
+        from repro.xccl.algorithms import linear_cost
+
+        ct = self._ctopo(nodes=1)
+        with pytest.raises(CommunicationError, match="not runnable"):
+            linear_cost("hier_ring", "all_reduce", ct, NCCL_PARAMS)
