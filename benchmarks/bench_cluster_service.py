@@ -1,0 +1,99 @@
+"""Multi-tenant service load sweep: throughput and p99 queue latency.
+
+Drives the :class:`~repro.cluster.service.ClusterService` with the
+seeded mixed job stream (Cannon / Minimod / allreduce gangs) at offered
+loads from idle to saturated, and reports both curves: completed jobs
+per virtual second, and the p99 admission-to-start wait.  The curves
+must have the canonical queueing shape — throughput tracking offered
+load below the knee then flattening at capacity, tail latency near
+zero below the knee then growing as the queue backs up and admission
+control sheds load.
+
+Also runnable standalone (the CI saturation step)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_service.py --out service_sweep.json
+
+which writes the sweep points as JSON and exits nonzero if the curve
+shape is violated.
+"""
+
+import json
+import sys
+
+from repro.bench import service as bench_service
+
+#: offered load must buy at least this much throughput growth between
+#: the idle and knee points (linear region sanity)
+MIN_LINEAR_GAIN = 1.5
+
+
+def _run_sweep():
+    return bench_service.service_load_sweep()
+
+
+def _check_sweep(points):
+    assert len(points) == len(bench_service.SWEEP_RATES)
+    idle, sat = points[0], points[-1]
+    # Linear region: throughput tracks offered load while unloaded.
+    assert sat["throughput"] > MIN_LINEAR_GAIN * idle["throughput"], (
+        f"throughput never rose above the idle point "
+        f"({idle['throughput']:.0f} -> {sat['throughput']:.0f} jobs/s)"
+    )
+    # Saturation: the tail wait is strictly worse than at idle, and
+    # admission control is shedding rather than queueing unboundedly.
+    assert sat["p99_queue_wait"] > idle["p99_queue_wait"], (
+        "p99 queue wait did not grow under saturation"
+    )
+    assert sat["rejected"] > 0, "saturated point shed no load"
+    # Every admitted job ran: this sweep injects no faults.
+    assert all(p["failed"] == 0 for p in points)
+    # Monotone tail latency in offered load (same stream, only the
+    # arrival spacing changes).
+    waits = [p["p99_queue_wait"] for p in points]
+    assert waits == sorted(waits), f"p99 wait not monotone in load: {waits}"
+
+
+def test_service_load_sweep(benchmark):
+    """Throughput + p99-wait curves over the offered-load sweep."""
+    from conftest import run_once
+
+    points = run_once(benchmark, _run_sweep)
+    print()
+    bench_service.print_sweep(points)
+    _check_sweep(points)
+
+
+def test_service_gate_point(benchmark):
+    """The regression-gated idle/saturated points reproduce exactly."""
+    from conftest import run_once
+
+    metrics = run_once(benchmark, bench_service.service_gate_metrics)
+    again = bench_service.service_gate_metrics()
+    assert metrics == again, "service gate metrics are not deterministic"
+    assert metrics["service.sat.rejected"] > 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the sweep points as JSON")
+    args = parser.parse_args(argv)
+    points = _run_sweep()
+    bench_service.print_sweep(points)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump({"points": points}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"sweep written to {args.out}")
+    try:
+        _check_sweep(points)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print("PASS: service curves have the expected queueing shape")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

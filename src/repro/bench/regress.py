@@ -84,6 +84,15 @@ GATED_METRICS: Dict[str, MetricSpec] = {
     "scale.1024.allreduce.events_per_sec": MetricSpec(0.90, better="higher"),
     "scale.1024.cannon.per_step": MetricSpec(0.02),
     "scale.1024.cannon.events": MetricSpec(0.02),
+    # Cluster-service points (repro.bench.service): seeded virtual-time
+    # throughput/latency of the multi-tenant scheduler at an unloaded
+    # and a saturated offered load.  Fully deterministic — drift means
+    # the scheduler's placement or queueing behaviour changed.
+    "service.idle.throughput": MetricSpec(0.02, better="higher"),
+    "service.sat.throughput": MetricSpec(0.02, better="higher"),
+    "service.sat.p99_queue_wait": MetricSpec(0.02),
+    "service.sat.completed": MetricSpec(0.0, better="higher"),
+    "service.sat.rejected": MetricSpec(0.0),
 }
 
 
@@ -145,6 +154,12 @@ def collect() -> Dict[str, float]:
     from repro.bench.scale import scale_gate_metrics
 
     out.update(scale_gate_metrics())
+
+    # Multi-tenant service gate: one unloaded and one saturated point
+    # of the seeded job-stream sweep (see repro.bench.service).
+    from repro.bench.service import service_gate_metrics
+
+    out.update(service_gate_metrics())
     return out
 
 
@@ -189,7 +204,8 @@ def write_snapshot(path: str, metrics: Dict[str, float], name: str) -> None:
         "workload": (
             "diomp-p2p microbench + profiled cannon (n=128) + "
             "fig6 allreduce algorithm ablation (64 MiB, 2 nodes) + "
-            "1024-rank analytic allreduce/cannon scale sweeps"
+            "1024-rank analytic allreduce/cannon scale sweeps + "
+            "multi-tenant service idle/saturated load points"
         ),
         "metrics": metrics,
     }

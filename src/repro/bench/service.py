@@ -1,0 +1,147 @@
+"""Cluster-service load sweeps: throughput and queue latency vs load.
+
+The service benchmark drives a seeded mixed job stream (Cannon /
+Minimod / allreduce gangs, exponential interarrivals) through a
+:class:`~repro.cluster.service.ClusterService` at a range of offered
+loads, and reports the two curves a capacity plan needs:
+
+* **throughput** — completed jobs per virtual second.  Rises linearly
+  with offered load until the node pool saturates, then flattens at
+  the service capacity.
+* **p99 queue wait** — the tail admission-to-start latency of admitted
+  jobs.  Near zero below the knee, then grows sharply as the queue
+  backs up and admission control starts shedding.
+
+Everything here is *virtual-time* and seeded, so every figure is
+exactly reproducible — ``service_gate_metrics`` feeds the regression
+gate with tight tolerances (any drift is a scheduler change, not
+noise).  Jobs run with ``execute=False`` (timing-only numerics), so a
+whole sweep costs well under a second of wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.jobs import poisson_jobs
+from repro.cluster.service import ClusterService, ServiceConfig
+from repro.cluster.world import World
+from repro.hardware.platforms import get_platform
+
+#: the benchmark cluster: platform A nodes, 2 ranks x 1 GPU per node
+SWEEP_NODES = 4
+SWEEP_RANKS_PER_NODE = 2
+
+#: jobs per run — enough for stable queueing behaviour, small enough
+#: that the full sweep stays fast
+SWEEP_JOBS = 24
+SWEEP_SEED = 42
+
+#: offered loads (jobs per virtual second) spanning idle to saturated;
+#: the mixed job stream's mean service demand puts the knee inside
+#: this range on the 4-node pool
+SWEEP_RATES = (500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0)
+
+#: the single saturated point the regression gate replays
+SATURATION_RATE = 16000.0
+
+
+def run_service_point(
+    rate: float,
+    num_nodes: int = SWEEP_NODES,
+    count: int = SWEEP_JOBS,
+    seed: int = SWEEP_SEED,
+    queue_limit: int = 8,
+    policy: str = "fifo",
+    platform_name: str = "A",
+) -> Dict[str, float]:
+    """One offered-load point: fresh world, fresh seeded stream.
+
+    The stream is identical across rates except for the arrival
+    timestamps (same seed, same kind/gang draws), so the sweep isolates
+    the effect of load.
+    """
+    world = World(
+        get_platform(platform_name),
+        num_nodes=num_nodes,
+        ranks_per_node=SWEEP_RANKS_PER_NODE,
+    )
+    jobs = poisson_jobs(
+        seed=seed,
+        count=count,
+        rate=rate,
+        execute=False,
+        node_choices=(1, 2),
+    )
+    service = ClusterService(
+        world, ServiceConfig(queue_limit=queue_limit, policy=policy)
+    )
+    result = service.run(jobs)
+    return {
+        "rate": rate,
+        "offered": count / jobs[-1].arrival if jobs[-1].arrival > 0 else 0.0,
+        "throughput": result.throughput,
+        "p50_queue_wait": result.queue_wait_percentile(0.50),
+        "p99_queue_wait": result.queue_wait_percentile(0.99),
+        "completed": float(len(result.completed)),
+        "rejected": float(len(result.rejected)),
+        "failed": float(len(result.failed)),
+        "elapsed": result.elapsed,
+    }
+
+
+def service_load_sweep(
+    rates: Sequence[float] = SWEEP_RATES,
+    num_nodes: int = SWEEP_NODES,
+    count: int = SWEEP_JOBS,
+    seed: int = SWEEP_SEED,
+    queue_limit: int = 8,
+    policy: str = "fifo",
+) -> List[Dict[str, float]]:
+    """The two curves: one point per offered load."""
+    return [
+        run_service_point(
+            rate,
+            num_nodes=num_nodes,
+            count=count,
+            seed=seed,
+            queue_limit=queue_limit,
+            policy=policy,
+        )
+        for rate in rates
+    ]
+
+
+def service_gate_metrics() -> Dict[str, float]:
+    """The ``service.*`` metrics for the regression gate.
+
+    One unloaded point (pure service capacity, no queueing) and one
+    saturated point (queue backs up, admission control sheds).  All
+    virtual-time and seeded — deterministic to the bit.
+    """
+    idle = run_service_point(SWEEP_RATES[0])
+    sat = run_service_point(SATURATION_RATE)
+    return {
+        "service.idle.throughput": idle["throughput"],
+        "service.idle.p99_queue_wait": idle["p99_queue_wait"],
+        "service.sat.throughput": sat["throughput"],
+        "service.sat.p99_queue_wait": sat["p99_queue_wait"],
+        "service.sat.completed": sat["completed"],
+        "service.sat.rejected": sat["rejected"],
+    }
+
+
+def print_sweep(points: Optional[List[Dict[str, float]]] = None) -> None:
+    """Render the sweep as an aligned table (CLI helper)."""
+    points = points if points is not None else service_load_sweep()
+    header = (
+        f"{'rate':>9} {'throughput':>11} {'p50 wait':>11} {'p99 wait':>11} "
+        f"{'done':>5} {'rej':>4}"
+    )
+    print(header)
+    for p in points:
+        print(
+            f"{p['rate']:>9.0f} {p['throughput']:>11.1f} "
+            f"{p['p50_queue_wait']:>11.2e} {p['p99_queue_wait']:>11.2e} "
+            f"{p['completed']:>5.0f} {p['rejected']:>4.0f}"
+        )

@@ -1,0 +1,187 @@
+"""Job requests and seeded job streams for the cluster service.
+
+A :class:`JobRequest` names one tenant's program — a Cannon ring
+multiply, a Minimod stencil propagation, or an OMPCCL allreduce loop —
+plus its gang shape (nodes x ranks-per-node x devices-per-rank),
+arrival time, priority, and an optional per-tenant
+:class:`~repro.faults.FaultPlan`.  :func:`build_job` turns a request
+into the ``(program, args, segment_size)`` triple the service launches
+on a :class:`~repro.cluster.service.TenantView`.
+
+:func:`poisson_jobs` generates the mixed workload every benchmark and
+test uses: seeded exponential interarrival times over a kind/tenant/
+gang-size mix.  The generator runs entirely *before* the simulation
+(one host-side ``random.Random(seed)``), so the same seed always
+yields the same stream — and, because the scheduler itself is
+deterministic, the same placement, queue order, and elapsed times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.world import RankContext
+from repro.util.errors import ConfigurationError
+from repro.util.units import KiB
+
+#: job kinds the service knows how to build
+JOB_KINDS: Tuple[str, ...] = ("cannon", "minimod", "allreduce")
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRequest:
+    """One tenant's job: what to run, when, and on how much hardware."""
+
+    job_id: int
+    tenant: str
+    #: one of :data:`JOB_KINDS`
+    kind: str
+    #: virtual arrival time (seconds since service start)
+    arrival: float = 0.0
+    #: gang shape: whole nodes, ranks per node, devices per rank
+    nodes: int = 1
+    ranks_per_node: int = 2
+    devices_per_rank: int = 1
+    #: higher runs first under the "priority" policy; ties are FIFO
+    priority: int = 0
+    #: problem scale: Cannon matrix N / Minimod nx / allreduce bytes
+    size: int = 0
+    #: time steps (Minimod) or collective rounds (allreduce)
+    steps: int = 2
+    #: real numerics (verifiable results) vs virtual timing-only
+    execute: bool = True
+    #: per-tenant fault plan, armed on this job's gang only
+    faults: Optional[Any] = None
+
+    @property
+    def nranks(self) -> int:
+        return self.nodes * self.ranks_per_node
+
+
+@dataclasses.dataclass(frozen=True)
+class AllreduceJobConfig:
+    """The collective job: ``rounds`` allreduces over one buffer."""
+
+    nbytes: int = 64 * KiB
+    rounds: int = 2
+    execute: bool = True
+    dtype: type = np.float32
+
+
+def allreduce_job(ctx: RankContext, cfg: AllreduceJobConfig) -> Dict[str, object]:
+    """Symmetric alloc + ``rounds`` OMPCCL allreduces + checksum."""
+    diomp = ctx.diomp
+    if diomp is None:
+        raise ConfigurationError("allreduce_job needs a DiompRuntime installed")
+    virtual = not cfg.execute
+    send = diomp.alloc(cfg.nbytes, virtual=virtual)
+    recv = diomp.alloc(cfg.nbytes, virtual=virtual)
+    if cfg.execute:
+        send.typed(cfg.dtype)[:] = float(ctx.rank + 1)
+    diomp.barrier()
+    t0 = ctx.sim.now
+    for _round in range(cfg.rounds):
+        diomp.allreduce(send, recv, dtype=cfg.dtype)
+    out: Dict[str, object] = {"elapsed": ctx.sim.now - t0, "rank": ctx.rank}
+    if cfg.execute:
+        # sum of (r + 1) over the gang — the cross-rank checksum.
+        out["sum"] = float(recv.typed(cfg.dtype)[0])
+    diomp.barrier()
+    return out
+
+
+def default_size(kind: str, nranks: int) -> int:
+    """A small valid problem size for ``kind`` on an ``nranks`` gang."""
+    if kind == "cannon":
+        return 4 * nranks  # N must divide by the gang size
+    if kind == "minimod":
+        return 4 * nranks  # local slab of 4 planes = the stencil radius
+    if kind == "allreduce":
+        return 64 * KiB
+    raise ConfigurationError(f"unknown job kind {kind!r} (one of {JOB_KINDS})")
+
+
+def build_job(
+    req: JobRequest, nranks: int
+) -> Tuple[Callable[..., Any], Tuple[Any, ...], int]:
+    """Resolve a request into ``(program, args, segment_size)``.
+
+    ``segment_size`` is the per-device global-segment reservation the
+    job's :class:`~repro.core.runtime.DiompRuntime` needs (same sizing
+    rule as the standalone app drivers).
+    """
+    size = req.size or default_size(req.kind, nranks)
+    if req.kind == "cannon":
+        from repro.apps.cannon import CannonConfig, cannon_diomp
+
+        cfg = CannonConfig(n=size, execute=req.execute)
+        stripe_bytes = cfg.stripe(nranks) * cfg.n * cfg.itemsize
+        return cannon_diomp, (cfg,), 6 * stripe_bytes + (1 << 20)
+    if req.kind == "minimod":
+        from repro.apps.minimod import MinimodConfig, _field_bytes, minimod_diomp
+
+        cfg = MinimodConfig(
+            nx=size, ny=8, nz=8, steps=req.steps, execute=req.execute
+        )
+        field = _field_bytes(cfg, cfg.local_nx(nranks))
+        return minimod_diomp, (cfg,), 6 * field + (1 << 20)
+    if req.kind == "allreduce":
+        cfg = AllreduceJobConfig(
+            nbytes=size, rounds=req.steps, execute=req.execute
+        )
+        return allreduce_job, (cfg,), 4 * size + (1 << 20)
+    raise ConfigurationError(f"unknown job kind {req.kind!r} (one of {JOB_KINDS})")
+
+
+def poisson_jobs(
+    seed: int,
+    count: int,
+    rate: float,
+    kinds: Sequence[str] = JOB_KINDS,
+    tenants: Sequence[str] = ("acme", "globex", "initech"),
+    node_choices: Sequence[int] = (1, 2),
+    ranks_per_node: int = 2,
+    devices_per_rank: int = 1,
+    priorities: Sequence[int] = (0,),
+    execute: bool = True,
+    steps: int = 2,
+) -> Tuple[JobRequest, ...]:
+    """A seeded Poisson job stream: ``count`` jobs at ``rate`` jobs/s.
+
+    Interarrival times are exponential; kind, gang width, and priority
+    are drawn uniformly; tenants rotate round-robin so every tenant
+    appears.  All randomness comes from one ``random.Random(seed)``
+    consumed *before* the simulation starts, so streams — and through
+    the deterministic scheduler, whole service runs — replay exactly.
+    """
+    if rate <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+    if count < 0:
+        raise ConfigurationError(f"job count must be >= 0, got {count}")
+    rng = random.Random(seed)
+    now = 0.0
+    jobs = []
+    for job_id in range(count):
+        now += rng.expovariate(rate)
+        kind = rng.choice(list(kinds))
+        nodes = rng.choice(list(node_choices))
+        jobs.append(
+            JobRequest(
+                job_id=job_id,
+                tenant=tenants[job_id % len(tenants)],
+                kind=kind,
+                arrival=now,
+                nodes=nodes,
+                ranks_per_node=ranks_per_node,
+                devices_per_rank=devices_per_rank,
+                priority=rng.choice(list(priorities)),
+                size=default_size(kind, nodes * ranks_per_node),
+                steps=steps,
+                execute=execute,
+            )
+        )
+    return tuple(jobs)

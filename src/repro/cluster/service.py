@@ -1,0 +1,625 @@
+"""Multi-tenant job scheduler over one shared simulated cluster.
+
+A :class:`World` is single-use: one SPMD program, one ``sim.run()``.
+The service layer lifts that to a *cluster*: a stream of
+:class:`~repro.cluster.jobs.JobRequest`\\ s from different tenants is
+admitted through a bounded queue, gang-placed onto free nodes, run as
+an isolated :class:`TenantView` of the shared world, and torn down so
+the nodes (and their device memory) go back into the pool.
+
+Isolation model
+===============
+
+Gangs are whole nodes, so two concurrent jobs never share a GPU, a
+NIC, or an intra-node link.  Each job gets:
+
+* fresh :class:`~repro.cluster.world.RankContext`\\ s with tenant-local
+  ranks ``0..k-1`` (the job's program is unchanged from standalone
+  ``run_spmd`` use),
+* its own conduit/runtime/collective state (a new
+  :class:`~repro.core.runtime.DiompRuntime` per job),
+* its own :class:`~repro.obs.Observability` per *tenant*, so one
+  tenant's metrics/spans never mix into another's registry — the
+  service's own ``service.*`` metrics live on the world registry with
+  a ``tenant`` label for cross-tenant rollups,
+* its own :class:`~repro.faults.FaultPlan` scope: the plan is armed on
+  the gang's devices and consulted by the gang's conduits/fabric
+  transfers only, so a chaos plan on tenant A cannot perturb tenant
+  B's results *or timing* (the isolation property the tests assert
+  bit-for-bit).
+
+Scheduling is deterministic: admission order is (arrival, job_id),
+placement takes the lowest free node indices, and the queue policy is
+strict — the head job (FIFO) or the highest-priority job (priority
+policy) blocks later jobs rather than being backfilled around.  With a
+seeded job stream the whole service run replays exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.jobs import JobRequest, build_job
+from repro.cluster.world import RankContext, World
+from repro.device import PeerAccessManager
+from repro.hardware.topology import DeviceId
+from repro.obs import Observability
+from repro.obs.rollup import exact_percentile
+from repro.sim import Barrier, Future
+from repro.util.errors import ConfigurationError
+from repro.util.units import MiB
+
+
+class _TenantFabric:
+    """The shared fabric, seen through one tenant's fault scope.
+
+    ``Fabric.transfer`` draws its fault plan at issue time and never
+    yields, so swapping the plan in around the call (and restoring it
+    before returning) confines injected faults to this tenant's
+    transfers without copying any fabric state.
+    """
+
+    def __init__(self, fabric, view: "TenantView") -> None:
+        self._fabric = fabric
+        self._view = view
+
+    def transfer(self, *args: Any, **kwargs: Any):
+        plan = self._view.fault_plan
+        if plan is None:
+            return self._fabric.transfer(*args, **kwargs)
+        saved = self._fabric.faults
+        self._fabric.faults = plan
+        try:
+            return self._fabric.transfer(*args, **kwargs)
+        finally:
+            self._fabric.faults = saved
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._fabric, name)
+
+
+class TenantView:
+    """One job's gang, duck-typing :class:`World` for the runtime stack.
+
+    Shares the world's simulator, topology, platform, tracer, and
+    device objects (hardware is real and shared); owns everything that
+    must not leak across tenants — rank contexts, observability, peer
+    access bookkeeping, the gang barrier, and the fault scope.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        nodes: Sequence[int],
+        ranks_per_node: int,
+        devices_per_rank: int = 1,
+        obs: Optional[Observability] = None,
+        tenant: str = "tenant",
+    ) -> None:
+        if not nodes:
+            raise ConfigurationError("a tenant view needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ConfigurationError(f"duplicate nodes in gang: {nodes}")
+        if ranks_per_node <= 0 or devices_per_rank <= 0:
+            raise ConfigurationError("gang shape values must be positive")
+        gpn = world.platform.gpus_per_node
+        if ranks_per_node * devices_per_rank > gpn:
+            raise ConfigurationError(
+                f"{ranks_per_node} ranks x {devices_per_rank} devices "
+                f"exceed {gpn} GPUs per node"
+            )
+        self.world = world
+        self.tenant = tenant
+        self.nodes = tuple(nodes)
+        # Shared hardware and clocks.
+        self.platform = world.platform
+        self.sim = world.sim
+        self.topology = world.topology
+        self.tracer = world.tracer
+        self.fabric = _TenantFabric(world.fabric, self)
+        # Tenant-owned state.
+        self.obs = obs if obs is not None else Observability()
+        if obs is None:
+            self.obs.bind_clock(lambda: self.sim.now)
+        self.peer_access = PeerAccessManager(world.topology)
+        self.ranks_per_node = ranks_per_node
+        self.devices_per_rank = devices_per_rank
+        self.devices: Dict[DeviceId, Any] = {}
+        self.ranks: List[RankContext] = []
+        for node in self.nodes:
+            for lr in range(ranks_per_node):
+                first = lr * devices_per_rank
+                bound = [
+                    world.devices[world.topology.gpu(node, first + d)]
+                    for d in range(devices_per_rank)
+                ]
+                for dev in bound:
+                    self.devices[dev.device_id] = dev
+                self.ranks.append(RankContext(self, len(self.ranks), node, bound))
+        self._device_owner: Dict[DeviceId, RankContext] = {
+            dev.device_id: ctx for ctx in self.ranks for dev in ctx.devices
+        }
+        self.global_barrier = Barrier(
+            self.sim, len(self.ranks), name=f"{tenant}-barrier"
+        )
+        #: this tenant's FaultPlan; conduits/streams/fabric consult it
+        self.fault_plan = None
+
+    # -- World duck-type surface -------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def analytic(self) -> bool:
+        return self.world.analytic
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        return self.ranks[rank_a].node == self.ranks[rank_b].node
+
+    def device_owner(self, dev_id: DeviceId) -> RankContext:
+        try:
+            return self._device_owner[dev_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"device {dev_id} is not bound to any rank of tenant "
+                f"{self.tenant!r}"
+            ) from None
+
+    # -- fault scoping -------------------------------------------------------
+
+    def install_fault_plan(self, plan) -> None:
+        """Arm ``plan`` on this gang only: the gang's devices (for the
+        ``stream.sync`` site) and — via :class:`_TenantFabric` and the
+        conduit's live ``fault_plan`` lookup — every transfer this
+        tenant issues.  The rest of the world stays on its own plan."""
+        plan.bind(self.obs)
+        self.fault_plan = plan
+        for dev in self.devices.values():
+            dev.faults = plan
+
+    def restore(self) -> None:
+        """Detach the tenant scope, handing devices back to the world's
+        plan (usually None).  Called at job teardown."""
+        self.fault_plan = None
+        for dev in self.devices.values():
+            dev.faults = self.world.fault_plan
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TenantView {self.tenant} nodes={self.nodes} "
+            f"ranks={self.nranks}>"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Scheduler knobs."""
+
+    #: max jobs waiting; arrivals beyond it are rejected (admission
+    #: control — the service degrades by shedding, not by unbounded
+    #: queue growth)
+    queue_limit: int = 16
+    #: "fifo" (strict arrival order) or "priority" (highest
+    #: :attr:`~repro.cluster.jobs.JobRequest.priority` first, FIFO ties)
+    policy: str = "fifo"
+    #: per-rank host segment for each job's runtime (jobs here use the
+    #: device-side path; keep the host arena small)
+    host_segment_size: int = 1 * MiB
+
+
+@dataclasses.dataclass
+class JobRecord:
+    """One job's life, as the service saw it (all times virtual)."""
+
+    job_id: int
+    tenant: str
+    kind: str
+    #: "completed" | "failed" | "rejected"
+    outcome: str
+    submitted: float
+    started: Optional[float]
+    finished: float
+    queue_wait: float
+    service_time: float
+    #: node indices the gang ran on (empty for rejections)
+    nodes: Tuple[int, ...]
+    #: per-rank program results ("completed" only)
+    results: Optional[List[Any]] = None
+    #: repr of the first rank error ("failed" only)
+    error: Optional[str] = None
+    #: why admission refused the job ("rejected" only)
+    reason: Optional[str] = None
+
+
+@dataclasses.dataclass
+class ServiceResult:
+    """Outcome of one service run over a job stream."""
+
+    #: records in event order (rejections at submit, others at teardown)
+    records: List[JobRecord]
+    #: virtual seconds from service start to the last event
+    elapsed: float
+    world: World
+    #: tenant -> that tenant's private Observability
+    tenant_obs: Dict[str, Observability]
+
+    def by_outcome(self, outcome: str) -> List[JobRecord]:
+        return [r for r in self.records if r.outcome == outcome]
+
+    @property
+    def completed(self) -> List[JobRecord]:
+        return self.by_outcome("completed")
+
+    @property
+    def failed(self) -> List[JobRecord]:
+        return self.by_outcome("failed")
+
+    @property
+    def rejected(self) -> List[JobRecord]:
+        return self.by_outcome("rejected")
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per virtual second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return len(self.completed) / self.elapsed
+
+    def queue_wait_percentile(self, q: float) -> float:
+        """Exact queue-wait percentile (``q`` in [0, 1]) over completed
+        and failed jobs — the latency an *admitted* job experienced."""
+        waits = [r.queue_wait for r in self.records if r.outcome != "rejected"]
+        return exact_percentile(waits, q)
+
+    def tenant_rollups(self) -> Dict[str, Any]:
+        """Cross-tenant rollups of the ``service.*`` metrics."""
+        return self.world.obs.rollup("tenant")
+
+    def record_of(self, job_id: int) -> JobRecord:
+        for r in self.records:
+            if r.job_id == job_id:
+                return r
+        raise KeyError(f"no record for job {job_id}")
+
+
+@dataclasses.dataclass
+class _Pending:
+    """A queued job plus its resolved program."""
+
+    req: JobRequest
+    submitted: float
+    #: admission sequence number — the FIFO/priority tiebreaker
+    seq: int
+    program: Any
+    args: Tuple[Any, ...]
+    segment_size: int
+
+
+class _RunningJob:
+    """Shared state between a job's rank tasks and its reaper."""
+
+    def __init__(self, pend: _Pending, view: TenantView, runtime, started: float) -> None:
+        self.pend = pend
+        self.view = view
+        self.runtime = runtime
+        self.started = started
+        self.queue_wait = started - pend.submitted
+        self.expected = view.nranks
+        self.results: Dict[int, Any] = {}
+        self.finished = 0
+        self.error: Optional[BaseException] = None
+        self.done = Future(view.sim, description=f"job{pend.req.job_id}-done")
+        self.tasks: List[Any] = []
+
+
+class ClusterService:
+    """Admission control + gang placement + per-tenant isolation.
+
+    Single-use like the world it drives: :meth:`run` consumes the
+    world's one simulation.  The scheduler is a simulated task; it
+    wakes on arrivals and completions (a pending-kick flag makes the
+    wakeup race-free under the one-runnable-task discipline) and
+    dispatches strictly in policy order — no backfilling, so placement
+    is a pure function of the admitted sequence.
+    """
+
+    def __init__(self, world: World, config: Optional[ServiceConfig] = None) -> None:
+        self.world = world
+        self.config = config or ServiceConfig()
+        if self.config.policy not in ("fifo", "priority"):
+            raise ConfigurationError(
+                f"unknown policy {self.config.policy!r} (fifo | priority)"
+            )
+        if self.config.queue_limit < 1:
+            raise ConfigurationError("queue_limit must be >= 1")
+        self._total_nodes = world.topology.num_nodes
+        self._free_nodes: List[int] = list(range(self._total_nodes))
+        self._queue: List[_Pending] = []
+        self._running: Dict[int, _RunningJob] = {}
+        self._records: List[JobRecord] = []
+        self._tenant_obs: Dict[str, Observability] = {}
+        self._arrivals_done = False
+        self._kick: Optional[Future] = None
+        self._kick_pending = False
+        self._seq = 0
+        self._used = False
+        obs = world.obs
+        self._c_jobs = obs.counter(
+            "service.jobs", "jobs by tenant/kind/outcome"
+        )
+        self._h_wait = obs.histogram(
+            "service.queue_wait_seconds", "admission-to-start wait"
+        )
+        self._h_service = obs.histogram(
+            "service.service_seconds", "start-to-teardown runtime"
+        )
+        self._g_depth = obs.gauge("service.queue_depth", "jobs waiting")
+        self._g_busy = obs.gauge("service.nodes_busy", "nodes placed")
+        self._c_leaked = obs.counter(
+            "service.leaked_bytes", "segment bytes leaked by failed jobs"
+        )
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self, jobs: Sequence[JobRequest]) -> ServiceResult:
+        """Run the job stream to completion and return the records."""
+        if self._used:
+            raise ConfigurationError("service is single-use (like its world)")
+        self._used = True
+        if self.world.sim.closed:
+            raise ConfigurationError(
+                "world is single-use and already consumed; build a fresh "
+                "World for each ClusterService"
+            )
+        stream = sorted(jobs, key=lambda r: (r.arrival, r.job_id))
+        self.world.sim.spawn(self._arrivals, tuple(stream), name="svc-arrivals")
+        self.world.sim.spawn(self._scheduler, name="svc-scheduler")
+        elapsed = self.world.sim.run()
+        return ServiceResult(
+            records=list(self._records),
+            elapsed=elapsed,
+            world=self.world,
+            tenant_obs=dict(self._tenant_obs),
+        )
+
+    # -- arrivals ------------------------------------------------------------
+
+    def _arrivals(self, stream: Tuple[JobRequest, ...]) -> None:
+        sim = self.world.sim
+        for req in stream:
+            if req.arrival > sim.now:
+                sim.sleep(req.arrival - sim.now)
+            self._submit(req)
+        self._arrivals_done = True
+        self._kick_scheduler()
+
+    def _reject(self, req: JobRequest, reason: str) -> None:
+        now = self.world.sim.now
+        self._c_jobs.inc(tenant=req.tenant, kind=req.kind, outcome="rejected")
+        self._records.append(
+            JobRecord(
+                job_id=req.job_id,
+                tenant=req.tenant,
+                kind=req.kind,
+                outcome="rejected",
+                submitted=now,
+                started=None,
+                finished=now,
+                queue_wait=0.0,
+                service_time=0.0,
+                nodes=(),
+                reason=reason,
+            )
+        )
+
+    def _submit(self, req: JobRequest) -> None:
+        if req.job_id in self._running or any(
+            p.req.job_id == req.job_id for p in self._queue
+        ):
+            self._reject(req, "duplicate job_id")
+            return
+        if req.nodes > self._total_nodes:
+            self._reject(req, "infeasible")
+            return
+        try:
+            # Validates gang shape and problem size up front, so a bad
+            # request bounces at admission instead of mid-placement.
+            TenantView(
+                self.world,
+                range(req.nodes),
+                req.ranks_per_node,
+                req.devices_per_rank,
+                obs=Observability(enabled=False),
+                tenant=req.tenant,
+            )
+            program, args, segment_size = build_job(req, req.nranks)
+        except ConfigurationError:
+            self._reject(req, "infeasible")
+            return
+        if len(self._queue) >= self.config.queue_limit:
+            self._reject(req, "queue_full")
+            return
+        self._queue.append(
+            _Pending(
+                req=req,
+                submitted=self.world.sim.now,
+                seq=self._seq,
+                program=program,
+                args=args,
+                segment_size=segment_size,
+            )
+        )
+        self._seq += 1
+        self._g_depth.set(len(self._queue))
+        self._kick_scheduler()
+
+    # -- scheduler -----------------------------------------------------------
+
+    def _kick_scheduler(self) -> None:
+        self._kick_pending = True
+        if self._kick is not None and not self._kick.fired:
+            self._kick.fire()
+
+    def _wait_kick(self) -> None:
+        # The pending flag closes the classic lost-wakeup window: a
+        # kick raised while the scheduler was dispatching (which can
+        # yield inside runtime setup) is consumed here instead of lost.
+        if self._kick_pending:
+            self._kick_pending = False
+            return
+        self._kick = Future(self.world.sim, description="svc-kick")
+        self._kick.wait()
+        self._kick = None
+        self._kick_pending = False
+
+    def _scheduler(self) -> None:
+        while True:
+            self._dispatch_all()
+            if self._arrivals_done and not self._queue and not self._running:
+                return
+            self._wait_kick()
+
+    def _pick(self) -> int:
+        if self.config.policy == "fifo":
+            return 0
+        return min(
+            range(len(self._queue)),
+            key=lambda i: (-self._queue[i].req.priority, self._queue[i].seq),
+        )
+
+    def _dispatch_all(self) -> None:
+        while self._queue:
+            index = self._pick()
+            pend = self._queue[index]
+            if pend.req.nodes > len(self._free_nodes):
+                # Strict policy order: the chosen job waits for nodes
+                # rather than being backfilled around, keeping
+                # placement a pure function of the admitted sequence.
+                break
+            self._queue.pop(index)
+            self._g_depth.set(len(self._queue))
+            self._launch(pend)
+
+    def _tenant_observability(self, tenant: str) -> Observability:
+        if tenant not in self._tenant_obs:
+            obs = Observability()
+            obs.bind_clock(lambda: self.world.sim.now)
+            self._tenant_obs[tenant] = obs
+        return self._tenant_obs[tenant]
+
+    def _launch(self, pend: _Pending) -> None:
+        from repro.core.runtime import DiompParams, DiompRuntime
+
+        req = pend.req
+        sim = self.world.sim
+        nodes = tuple(self._free_nodes[: req.nodes])
+        del self._free_nodes[: req.nodes]
+        self._g_busy.set(self._total_nodes - len(self._free_nodes))
+        view = TenantView(
+            self.world,
+            nodes,
+            req.ranks_per_node,
+            req.devices_per_rank,
+            obs=self._tenant_observability(req.tenant),
+            tenant=req.tenant,
+        )
+        if req.faults is not None:
+            view.install_fault_plan(req.faults)
+        runtime = DiompRuntime(
+            view,
+            DiompParams(
+                segment_size=pend.segment_size,
+                host_segment_size=self.config.host_segment_size,
+            ),
+        )
+        run = _RunningJob(pend, view, runtime, started=sim.now)
+        self._running[req.job_id] = run
+        self._h_wait.observe(run.queue_wait, tenant=req.tenant, kind=req.kind)
+        run.tasks = [
+            sim.spawn(
+                self._rank_body,
+                run,
+                ctx,
+                name=f"job{req.job_id}-{req.tenant}-r{ctx.rank}",
+            )
+            for ctx in view.ranks
+        ]
+        sim.spawn(self._reaper, run, name=f"job{req.job_id}-reaper")
+
+    # -- job lifecycle -------------------------------------------------------
+
+    def _rank_body(self, run: _RunningJob, ctx: RankContext) -> None:
+        try:
+            result = run.pend.program(ctx, *run.pend.args)
+        except Exception as exc:  # noqa: BLE001 - contained, job marked failed
+            # First error wins; the reaper kills the surviving gang
+            # tasks (a partial gang would deadlock on its barriers).
+            if run.error is None:
+                run.error = exc
+                if not run.done.fired:
+                    run.done.fire()
+            return
+        run.results[ctx.rank] = result
+        run.finished += 1
+        if run.finished == run.expected and not run.done.fired:
+            run.done.fire()
+
+    def _reaper(self, run: _RunningJob) -> None:
+        run.done.wait()
+        if run.error is not None:
+            for task in run.tasks:
+                if not task.finished:
+                    task.kill()
+        self._teardown(run)
+
+    def _teardown(self, run: _RunningJob) -> None:
+        req = run.pend.req
+        sim = self.world.sim
+        run.view.restore()
+        outcome = "completed" if run.error is None else "failed"
+        if run.error is None:
+            # Hand the gang's device memory back so the nodes are
+            # genuinely reusable (reservation release, not address
+            # recycling — see DeviceMemorySpace.release).
+            for seg in run.runtime.segments.values():
+                seg.release()
+        else:
+            # A killed gang may still have transfer completions in
+            # flight; leaking the segments keeps those landings on
+            # live (if freed-flagged) memory instead of corrupting a
+            # successor's reservation.  Leaks are metered, not hidden.
+            leaked = sum(
+                seg.size for seg in run.runtime.segments.values() if not seg.released
+            )
+            self._c_leaked.inc(leaked, tenant=req.tenant)
+        self._free_nodes.extend(run.view.nodes)
+        self._free_nodes.sort()
+        self._g_busy.set(self._total_nodes - len(self._free_nodes))
+        service_time = sim.now - run.started
+        self._h_service.observe(service_time, tenant=req.tenant, kind=req.kind)
+        self._c_jobs.inc(tenant=req.tenant, kind=req.kind, outcome=outcome)
+        self._records.append(
+            JobRecord(
+                job_id=req.job_id,
+                tenant=req.tenant,
+                kind=req.kind,
+                outcome=outcome,
+                submitted=run.pend.submitted,
+                started=run.started,
+                finished=sim.now,
+                queue_wait=run.queue_wait,
+                service_time=service_time,
+                nodes=run.view.nodes,
+                results=(
+                    [run.results.get(r) for r in range(run.expected)]
+                    if run.error is None
+                    else None
+                ),
+                error=repr(run.error) if run.error is not None else None,
+            )
+        )
+        del self._running[req.job_id]
+        self._kick_scheduler()

@@ -12,6 +12,7 @@ import dataclasses
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.cluster.world import World
+from repro.util.errors import ConfigurationError
 
 
 @dataclasses.dataclass
@@ -33,7 +34,8 @@ class TelemetryConfig:
     #: attach cross-rank metric rollups to the result
     rollups: bool = False
     #: run the anomaly rules and attach the report to the result;
-    #: a sequence of rules overrides the default rule set
+    #: True runs the default rule set, a sequence of rules (possibly
+    #: empty) overrides it, False/None disables detection
     anomalies: Any = False
 
 
@@ -93,6 +95,11 @@ def run_spmd(
     in any rank aborts the run and propagates to the caller.  The world
     is single-use (its simulator cannot restart).
     """
+    if world.sim.closed:
+        raise ConfigurationError(
+            "world is single-use; the service layer multiplexes jobs "
+            "(see repro.cluster.service.ClusterService)"
+        )
     if config is not None and config.faults is not None:
         world.install_fault_plan(config.faults)
     if config is not None and config.analytic:
@@ -110,7 +117,10 @@ def run_spmd(
         obs.publish_engine()
     rollups = obs.rollup() if telemetry.rollups else None
     anomalies = None
-    if telemetry.anomalies:
+    # Like the Tracer identity check in World.__init__: a truthiness
+    # test would silently disable detection for an explicit-but-empty
+    # rule sequence, so test against the sentinel values instead.
+    if telemetry.anomalies is not False and telemetry.anomalies is not None:
         rules = telemetry.anomalies if telemetry.anomalies is not True else None
         anomalies = obs.detect_anomalies(rules=rules)
     return SpmdResult(

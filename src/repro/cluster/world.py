@@ -125,6 +125,11 @@ class World:
                     for d in range(devices_per_rank)
                 ]
                 self.ranks.append(RankContext(self, len(self.ranks), node, bound))
+        #: device -> owning rank, built once (device_owner sits on the
+        #: IPC bookkeeping path; a linear scan there is O(ranks*devices))
+        self._device_owner: Dict[DeviceId, RankContext] = {
+            dev.device_id: ctx for ctx in self.ranks for dev in ctx.devices
+        }
         #: world-wide rendezvous used by runtimes for init/teardown
         self.global_barrier = Barrier(self.sim, len(self.ranks), name="world-barrier")
         #: the installed FaultPlan, or None (perfect hardware)
@@ -162,8 +167,9 @@ class World:
         self.fault_plan = plan
         self.fabric.faults = plan
         for dev in self.devices.values():
+            # Streams (default and created, past and future) read the
+            # device's plan live at draw time — see Stream.faults.
             dev.faults = plan
-            dev.default_stream.faults = plan
 
     @property
     def nranks(self) -> int:
@@ -171,10 +177,12 @@ class World:
 
     def device_owner(self, dev_id: DeviceId) -> RankContext:
         """The rank a GPU is bound to (for IPC-path bookkeeping)."""
-        for ctx in self.ranks:
-            if any(d.device_id == dev_id for d in ctx.devices):
-                return ctx
-        raise ConfigurationError(f"device {dev_id} is not bound to any rank")
+        try:
+            return self._device_owner[dev_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"device {dev_id} is not bound to any rank"
+            ) from None
 
     def same_node(self, rank_a: int, rank_b: int) -> bool:
         return self.ranks[rank_a].node == self.ranks[rank_b].node

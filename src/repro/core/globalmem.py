@@ -75,6 +75,8 @@ class GlobalSegment:
 
     def address_of(self, offset: int) -> int:
         """Device virtual address of a segment offset."""
+        if self.base is None:
+            raise AllocationError("global segment has been released")
         if not 0 <= offset < self.size:
             raise AllocationError(
                 f"offset {offset} outside global segment of {self.size} bytes"
@@ -128,6 +130,23 @@ class GlobalSegment:
         self.local_allocator.free(offset - self.symmetric_region)
         self._track_occupancy("local", self.local_allocator)
         self.device.memory.free(buffer)
+
+    def release(self) -> None:
+        """Tear the whole segment down, returning its device memory.
+
+        Idempotent.  Used by the cluster service when a job finishes:
+        the reservation (and any allocations still placed inside it)
+        is handed back to the device so the next job's segment fits.
+        """
+        if self.base is None:
+            return
+        self.device.memory.release(self.base)
+        self.base = None
+        self.conduit_segment = None
+
+    @property
+    def released(self) -> bool:
+        return self.base is None
 
     @property
     def free_bytes(self) -> int:

@@ -40,12 +40,14 @@ class Device:
         self.tracer = tracer
         self.memory = DeviceMemorySpace(spec.memory_bytes, device_name=str(device_id))
         self.memory.device_id = device_id
-        #: fault plan threaded into every stream (see World.install_fault_plan)
+        #: the device's current fault plan; streams read it live at
+        #: draw time (see Stream.faults), so installs and per-tenant
+        #: swaps reach streams created earlier
         self.faults = None
         #: analytic-rank mode (set by World.enable_analytic): every
         #: allocation is forced virtual — timing-only, no numpy backing
         self.analytic = False
-        self.default_stream = Stream(sim, device_name=str(device_id))
+        self.default_stream = Stream(sim, device_name=str(device_id), faults_source=self)
         self.kernels_launched = 0
 
     # -- memory ------------------------------------------------------------
@@ -67,7 +69,7 @@ class Device:
     # -- streams and events -------------------------------------------------
 
     def create_stream(self) -> Stream:
-        return Stream(self.sim, device_name=str(self.device_id), faults=self.faults)
+        return Stream(self.sim, device_name=str(self.device_id), faults_source=self)
 
     def create_event(self, name: str = "event") -> DeviceEvent:
         return DeviceEvent(self.sim, name=name)

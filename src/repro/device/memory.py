@@ -237,6 +237,31 @@ class DeviceMemorySpace:
         self._by_start[buf.address] = buf
         return buf
 
+    def release(self, base: int) -> None:
+        """Release a :meth:`reserve`-d range, returning its capacity.
+
+        Any allocations still *placed* inside the range are torn down
+        with it (they never charged capacity of their own).  This is
+        the ``cuMemAddressFree`` analogue the multi-tenant service
+        relies on: a finished job's global segment gives its device
+        memory back so later jobs on the same GPU can reserve it again.
+        """
+        for index, (rbase, rsize) in enumerate(self._reservations):
+            if rbase == base:
+                break
+        else:
+            raise AllocationError(
+                f"{self.device_name}: no reservation at {base:#x}"
+            )
+        del self._reservations[index]
+        end = rbase + rsize
+        for address in [a for a in self._starts if rbase <= a < end]:
+            buf = self._by_start[address]
+            buf.freed = True
+            del self._starts[bisect.bisect_left(self._starts, address)]
+            del self._by_start[address]
+        self.live_bytes -= rsize
+
     def free(self, buf: DeviceBuffer) -> None:
         """Release an allocation (double frees are rejected).
 

@@ -28,7 +28,13 @@ _stream_ids = itertools.count()
 class Stream:
     """An in-order device work queue."""
 
-    def __init__(self, sim: Simulator, device_name: str = "dev", faults=None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        device_name: str = "dev",
+        faults=None,
+        faults_source=None,
+    ) -> None:
         self.sim = sim
         self.device_name = device_name
         self.stream_id = next(_stream_ids)
@@ -36,9 +42,34 @@ class Stream:
         self.available_at = 0.0
         self.ops_enqueued = 0
         self.destroyed = False
-        #: fault plan consulted at the ``stream.sync`` site (or None)
-        self.faults = faults
+        #: live fault-plan source (the owning Device): the plan is read
+        #: off it at every draw, so installing or swapping a plan on a
+        #: device reaches streams created *before* the (re)install —
+        #: what per-tenant plan swaps on a long-lived world require
+        self._faults_source = faults_source
+        #: explicitly pinned plan; overrides the live source when set
+        self._faults = faults
         self._last_completion: Optional[Future] = None
+
+    @property
+    def faults(self):
+        """The fault plan consulted at the ``stream.sync`` site.
+
+        Resolved at draw time: a pinned plan wins, otherwise the owning
+        device's *current* plan (not a creation-time snapshot).
+        """
+        if self._faults is not None:
+            return self._faults
+        if self._faults_source is not None:
+            return self._faults_source.faults
+        return None
+
+    @faults.setter
+    def faults(self, plan) -> None:
+        """Pin an explicit plan, detaching the live device lookup."""
+        self._faults = plan
+        if plan is not None:
+            self._faults_source = None
 
     def enqueue(
         self,
@@ -82,8 +113,9 @@ class Stream:
         extra latency here (a jittery driver-level sync, the paper's
         motivation for hybrid polling over eager synchronization).
         """
-        if self.faults is not None:
-            action = self.faults.draw(
+        plan = self.faults
+        if plan is not None:
+            action = plan.draw(
                 "stream.sync", op=self.device_name
             )
             if action is not None and action.latency > 0:

@@ -293,6 +293,11 @@ class Simulator:
         return task
 
     @property
+    def closed(self) -> bool:
+        """True once the simulator can never run again (see :meth:`close`)."""
+        return self._closed
+
+    @property
     def current_task(self) -> Task:
         """The task currently executing (raises outside task context)."""
         if self._current is None:

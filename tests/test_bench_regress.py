@@ -36,13 +36,15 @@ class TestMetricSpec:
     def test_gated_metrics_have_sane_directions(self):
         for name, spec in GATED_METRICS.items():
             assert spec.better in ("lower", "higher")
-            # Bandwidth, throughput, and boolean selection indicators
-            # go up; times go down.
+            # Bandwidth, throughput, completion counts, and boolean
+            # selection indicators go up; times and shed load go down.
             expected = (
                 "higher"
                 if name.startswith("bandwidth")
                 or name.endswith("selected")
                 or name.endswith("per_sec")
+                or name.endswith("throughput")
+                or name.endswith("completed")
                 else "lower"
             )
             assert spec.better == expected

@@ -39,6 +39,12 @@ class TestWorldPlacement:
         dev = w.ranks[1].devices[1].device_id
         assert w.device_owner(dev) is w.ranks[1]
 
+    def test_device_owner_unbound_gpu(self):
+        # 2 ranks x 1 GPU on a 4-GPU node leaves GPUs 2 and 3 unbound.
+        w = World(platform_a(), num_nodes=1, ranks_per_node=2)
+        with pytest.raises(ConfigurationError, match="not bound"):
+            w.device_owner(w.topology.gpu(0, 3))
+
     def test_same_node(self):
         w = World(platform_a(), num_nodes=2)
         assert w.same_node(0, 3)
@@ -91,6 +97,37 @@ class TestRunSpmd:
 
         run_spmd(w, prog)
         assert times == [7.0] * 8
+
+    def test_world_is_single_use(self):
+        w = World(platform_a(), num_nodes=1)
+        run_spmd(w, lambda ctx: None)
+        with pytest.raises(ConfigurationError, match="single-use"):
+            run_spmd(w, lambda ctx: None)
+
+    def test_empty_anomaly_rule_sequence_still_runs_detection(self):
+        # Regression: `if telemetry.anomalies:` silently disabled
+        # detection for an explicit-but-empty rule override.
+        from repro.cluster.spmd import SpmdConfig, TelemetryConfig
+
+        w = World(platform_a(), num_nodes=1)
+        res = run_spmd(
+            w,
+            lambda ctx: None,
+            config=SpmdConfig(telemetry=TelemetryConfig(anomalies=())),
+        )
+        assert res.anomalies is not None
+        assert res.anomalies.ok
+
+    def test_anomalies_false_disables_detection(self):
+        from repro.cluster.spmd import SpmdConfig, TelemetryConfig
+
+        w = World(platform_a(), num_nodes=1)
+        res = run_spmd(
+            w,
+            lambda ctx: None,
+            config=SpmdConfig(telemetry=TelemetryConfig(anomalies=False)),
+        )
+        assert res.anomalies is None
 
 
 class TestMemRef:

@@ -90,6 +90,62 @@ class TestStream:
         assert log == [7.0]
 
 
+class TestStreamFaultScope:
+    """Streams resolve their fault plan via the owning device, live."""
+
+    def _latency_plan(self, latency=1.0):
+        from repro.faults import FaultPlan, FaultSpec
+
+        return FaultPlan(
+            [
+                FaultSpec(
+                    site="stream.sync",
+                    kind="latency",
+                    probability=1.0,
+                    latency=latency,
+                )
+            ],
+            seed=1,
+        )
+
+    def test_streams_read_device_plan_live(self):
+        # Regression: streams snapshotted device.faults at creation, so
+        # a plan installed afterwards never reached existing streams.
+        _, dev = make_device()
+        created_before = dev.create_stream()
+        plan = self._latency_plan()
+        dev.faults = plan
+        assert created_before.faults is plan
+        assert dev.default_stream.faults is plan
+        assert dev.create_stream().faults is plan
+
+    def test_sync_draws_plan_installed_after_creation(self):
+        sim, dev = make_device(None)
+        stream = dev.create_stream()
+        dev.faults = self._latency_plan(latency=2.0)
+        times = []
+
+        def prog():
+            stream.enqueue(1.0)
+            stream.synchronize()
+            times.append(sim.now)
+
+        sim.spawn(prog)
+        sim.run()
+        # Sync jitter overlaps the in-flight work: the injected 2.0
+        # dominates the 1.0 of queued work (without the plan: 1.0).
+        assert times == [2.0]
+
+    def test_pinned_plan_wins_and_detaches(self):
+        _, dev = make_device()
+        stream = dev.create_stream()
+        pinned = self._latency_plan()
+        stream.faults = pinned
+        dev.faults = self._latency_plan()
+        assert stream.faults is pinned
+        assert dev.default_stream.faults is dev.faults
+
+
 class TestDeviceEvent:
     def test_record_query_synchronize(self):
         sim = Simulator()
