@@ -1,4 +1,4 @@
-"""Multi-tenant service load sweep: throughput and p99 queue latency.
+"""Multi-tenant service load sweep: throughput, p99 wait, SLO alerts.
 
 Drives the :class:`~repro.cluster.service.ClusterService` with the
 seeded mixed job stream (Cannon / Minimod / allreduce gangs) at offered
@@ -9,15 +9,23 @@ load below the knee then flattening at capacity, tail latency near
 zero below the knee then growing as the queue backs up and admission
 control sheds load.
 
-Also runnable standalone (the CI saturation step)::
+The default SLOs ride along: the sweep must be alert-quiet below the
+knee and page at the saturated point (the burn-rate rules fire exactly
+where the queueing curves bend), and the saturated run's per-tenant
+chargeback rows must sum to the whole-service totals.
 
-    PYTHONPATH=src python benchmarks/bench_cluster_service.py --out service_sweep.json
+Also runnable standalone (the CI saturation + slo steps)::
 
-which writes the sweep points as JSON and exits nonzero if the curve
-shape is violated.
+    PYTHONPATH=src python benchmarks/bench_cluster_service.py \\
+        --out service_sweep.json --alerts alert-timeline.json
+
+which writes the sweep points as JSON, exports the saturated run for
+``python -m repro.obs slo`` replay, and exits nonzero if the curve
+shape or the alert calibration is violated.
 """
 
 import json
+import math
 import sys
 
 from repro.bench import service as bench_service
@@ -25,6 +33,10 @@ from repro.bench import service as bench_service
 #: offered load must buy at least this much throughput growth between
 #: the idle and knee points (linear region sanity)
 MIN_LINEAR_GAIN = 1.5
+
+#: rates at or below this must be alert-quiet (the knee of the default
+#: sweep sits between 4000 and 8000 jobs/s on the 4-node pool)
+QUIET_RATE = 4000.0
 
 
 def _run_sweep():
@@ -51,6 +63,56 @@ def _check_sweep(points):
     # arrival spacing changes).
     waits = [p["p99_queue_wait"] for p in points]
     assert waits == sorted(waits), f"p99 wait not monotone in load: {waits}"
+    # SLO calibration: quiet below the knee, paging at saturation.
+    for p in points:
+        if p["rate"] <= QUIET_RATE:
+            assert p["alerts"] == 0, (
+                f"burn-rate alert fired at unsaturated load "
+                f"{p['rate']:.0f} jobs/s"
+            )
+    assert sat["alerts"] > 0, "saturated point fired no burn-rate alert"
+    assert sat["budget_burn"] > 1.0, (
+        "saturated point did not overspend its error budget"
+    )
+
+
+def _check_saturated_run(result):
+    """The full-loop checks that need the ServiceResult itself."""
+    assert result.alerts, "no alerts on the saturated run"
+    # Every alert is sim-timestamped inside the run and resolved by
+    # the end (finish() closes still-breaching alerts at `elapsed`).
+    for alert in result.alerts:
+        assert 0.0 <= alert.fired_at <= result.elapsed
+        assert alert.resolved_at is not None
+    fires = [e for e in result.timeline if e["kind"] == "fire"]
+    assert len(fires) == len(result.alerts)
+    # Chargeback conservation: per-tenant rows sum to the totals row.
+    report = result.chargeback()
+    totals = report.total
+    for field in (
+        "jobs_completed",
+        "jobs_failed",
+        "jobs_rejected",
+        "gpu_seconds",
+        "network_bytes",
+        "queue_wait_seconds",
+        "leaked_bytes",
+    ):
+        summed = sum(getattr(row, field) for row in report.rows)
+        assert math.isclose(
+            summed, getattr(totals, field), rel_tol=1e-9, abs_tol=1e-9
+        ), f"chargeback {field}: tenant rows sum {summed} != total"
+    # Whole-service cross-check against the job records.
+    assert totals.jobs_completed == len(result.completed)
+    assert totals.jobs_rejected == len(result.rejected)
+    # Bounded memory: the windowed series retain at most
+    # history-per-ring windows regardless of run length.
+    snapshot = result.windows
+    spec = snapshot["spec"]
+    for groups in snapshot["families"].values():
+        for group in groups:
+            retained = [w for w in group["windows"] if w["count"] > 0]
+            assert len(retained) <= spec["history"]
 
 
 def test_service_load_sweep(benchmark):
@@ -71,6 +133,18 @@ def test_service_gate_point(benchmark):
     again = bench_service.service_gate_metrics()
     assert metrics == again, "service gate metrics are not deterministic"
     assert metrics["service.sat.rejected"] > 0
+    assert metrics["service.slo.idle.alerts"] == 0
+    assert metrics["service.slo.sat.alerts"] > 0
+
+
+def test_saturated_run_full_loop(benchmark):
+    """Alerts, incident timeline, chargeback conservation at saturation."""
+    from conftest import run_once
+
+    result = run_once(
+        benchmark, lambda: bench_service.run_service(bench_service.SATURATION_RATE)
+    )
+    _check_saturated_run(result)
 
 
 def main(argv=None) -> int:
@@ -78,20 +152,39 @@ def main(argv=None) -> int:
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", help="write the sweep points as JSON")
+    parser.add_argument(
+        "--alerts",
+        help="export the saturated run (records + alerts + chargeback) "
+        "for `python -m repro.obs slo` replay",
+    )
     args = parser.parse_args(argv)
     points = _run_sweep()
     bench_service.print_sweep(points)
+    sat_result = bench_service.run_service(bench_service.SATURATION_RATE)
+    print()
+    from repro.obs.slo import render_slo
+
+    print(render_slo(sat_result.slo_report, sat_result.timeline))
+    print()
+    print(sat_result.chargeback().render())
     if args.out:
         with open(args.out, "w") as fh:
             json.dump({"points": points}, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"sweep written to {args.out}")
+    if args.alerts:
+        sat_result.export(args.alerts)
+        print(f"saturated-run export written to {args.alerts}")
     try:
         _check_sweep(points)
+        _check_saturated_run(sat_result)
     except AssertionError as exc:
         print(f"FAIL: {exc}")
         return 1
-    print("PASS: service curves have the expected queueing shape")
+    print(
+        "PASS: service curves have the expected queueing shape and the "
+        "SLO loop closes (quiet at idle, paging at saturation)"
+    )
     return 0
 
 

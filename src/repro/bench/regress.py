@@ -93,6 +93,13 @@ GATED_METRICS: Dict[str, MetricSpec] = {
     "service.sat.p99_queue_wait": MetricSpec(0.02),
     "service.sat.completed": MetricSpec(0.0, better="higher"),
     "service.sat.rejected": MetricSpec(0.0),
+    # SLO burn-rate calibration (deterministic like the points above).
+    # The idle sweep must stay silent — any alert at an unloaded rate
+    # is a calibration regression; the saturated point must keep
+    # paging, and its worst error-budget burn must not drift.
+    "service.slo.idle.alerts": MetricSpec(0.0),
+    "service.slo.sat.alerts": MetricSpec(0.0, better="higher"),
+    "service.slo.sat.budget_burn": MetricSpec(0.02),
 }
 
 
@@ -205,7 +212,8 @@ def write_snapshot(path: str, metrics: Dict[str, float], name: str) -> None:
             "diomp-p2p microbench + profiled cannon (n=128) + "
             "fig6 allreduce algorithm ablation (64 MiB, 2 nodes) + "
             "1024-rank analytic allreduce/cannon scale sweeps + "
-            "multi-tenant service idle/saturated load points"
+            "multi-tenant service idle/saturated load points with "
+            "SLO burn-rate alert calibration"
         ),
         "metrics": metrics,
     }

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.jobs import poisson_jobs
-from repro.cluster.service import ClusterService, ServiceConfig
+from repro.cluster.service import ClusterService, ServiceConfig, ServiceResult
 from repro.cluster.world import World
 from repro.hardware.platforms import get_platform
 
@@ -46,7 +46,7 @@ SWEEP_RATES = (500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0)
 SATURATION_RATE = 16000.0
 
 
-def run_service_point(
+def run_service(
     rate: float,
     num_nodes: int = SWEEP_NODES,
     count: int = SWEEP_JOBS,
@@ -54,8 +54,10 @@ def run_service_point(
     queue_limit: int = 8,
     policy: str = "fifo",
     platform_name: str = "A",
-) -> Dict[str, float]:
-    """One offered-load point: fresh world, fresh seeded stream.
+) -> ServiceResult:
+    """One offered-load run (fresh world, fresh seeded stream),
+    returning the full :class:`ServiceResult` — alerts, incident
+    timeline, chargeback, and windowed series included.
 
     The stream is identical across rates except for the arrival
     timestamps (same seed, same kind/gang draws), so the sweep isolates
@@ -76,10 +78,21 @@ def run_service_point(
     service = ClusterService(
         world, ServiceConfig(queue_limit=queue_limit, policy=policy)
     )
-    result = service.run(jobs)
+    return service.run(jobs)
+
+
+def point_metrics(rate: float, result: ServiceResult, count: int) -> Dict[str, float]:
+    """The sweep-table figures for one finished run."""
+    arrivals = [r.submitted for r in result.records]
+    last_arrival = max(arrivals) if arrivals else 0.0
+    burns = [
+        s.budget_consumed
+        for s in result.slo_report
+        if s.budget_consumed is not None
+    ]
     return {
         "rate": rate,
-        "offered": count / jobs[-1].arrival if jobs[-1].arrival > 0 else 0.0,
+        "offered": count / last_arrival if last_arrival > 0 else 0.0,
         "throughput": result.throughput,
         "p50_queue_wait": result.queue_wait_percentile(0.50),
         "p99_queue_wait": result.queue_wait_percentile(0.99),
@@ -87,7 +100,32 @@ def run_service_point(
         "rejected": float(len(result.rejected)),
         "failed": float(len(result.failed)),
         "elapsed": result.elapsed,
+        "alerts": float(len(result.alerts)),
+        "budget_burn": max(burns) if burns else 0.0,
     }
+
+
+def run_service_point(
+    rate: float,
+    num_nodes: int = SWEEP_NODES,
+    count: int = SWEEP_JOBS,
+    seed: int = SWEEP_SEED,
+    queue_limit: int = 8,
+    policy: str = "fifo",
+    platform_name: str = "A",
+) -> Dict[str, float]:
+    """One offered-load point: the figures only (see :func:`run_service`
+    for the full result)."""
+    result = run_service(
+        rate,
+        num_nodes=num_nodes,
+        count=count,
+        seed=seed,
+        queue_limit=queue_limit,
+        policy=policy,
+        platform_name=platform_name,
+    )
+    return point_metrics(rate, result, count)
 
 
 def service_load_sweep(
@@ -128,6 +166,12 @@ def service_gate_metrics() -> Dict[str, float]:
         "service.sat.p99_queue_wait": sat["p99_queue_wait"],
         "service.sat.completed": sat["completed"],
         "service.sat.rejected": sat["rejected"],
+        # SLO loop closure: an unsaturated service must never page, and
+        # the saturated point must keep paging (losing either side is a
+        # burn-rate calibration regression).
+        "service.slo.idle.alerts": idle["alerts"],
+        "service.slo.sat.alerts": sat["alerts"],
+        "service.slo.sat.budget_burn": sat["budget_burn"],
     }
 
 
@@ -136,12 +180,13 @@ def print_sweep(points: Optional[List[Dict[str, float]]] = None) -> None:
     points = points if points is not None else service_load_sweep()
     header = (
         f"{'rate':>9} {'throughput':>11} {'p50 wait':>11} {'p99 wait':>11} "
-        f"{'done':>5} {'rej':>4}"
+        f"{'done':>5} {'rej':>4} {'alerts':>7}"
     )
     print(header)
     for p in points:
         print(
             f"{p['rate']:>9.0f} {p['throughput']:>11.1f} "
             f"{p['p50_queue_wait']:>11.2e} {p['p99_queue_wait']:>11.2e} "
-            f"{p['completed']:>5.0f} {p['rejected']:>4.0f}"
+            f"{p['completed']:>5.0f} {p['rejected']:>4.0f} "
+            f"{p.get('alerts', 0.0):>7.0f}"
         )

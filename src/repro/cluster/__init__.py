@@ -28,6 +28,7 @@ from repro.cluster.service import (
     ServiceConfig,
     ServiceResult,
     TenantView,
+    default_service_slos,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "ServiceConfig",
     "ServiceResult",
     "TenantView",
+    "default_service_slos",
 ]

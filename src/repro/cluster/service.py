@@ -38,6 +38,7 @@ seeded job stream the whole service run replays exactly.
 from __future__ import annotations
 
 import dataclasses
+import json
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.jobs import JobRequest, build_job
@@ -45,10 +46,63 @@ from repro.cluster.world import RankContext, World
 from repro.device import PeerAccessManager
 from repro.hardware.topology import DeviceId
 from repro.obs import Observability
+from repro.obs.accounting import ChargebackReport, CostRates, chargeback_report
 from repro.obs.rollup import exact_percentile
+from repro.obs.slo import (
+    SLO,
+    Alert,
+    BurnRateRule,
+    SloStatus,
+    SloTracker,
+    availability_slo,
+    incident_timeline,
+    latency_slo,
+)
+from repro.obs.timeseries import TimeSeries, WindowSpec
 from repro.sim import Barrier, Future
 from repro.util.errors import ConfigurationError
 from repro.util.units import MiB
+
+
+def default_service_slos() -> Tuple[SLO, ...]:
+    """The stock service objectives (see ``docs/SLO.md``).
+
+    Thresholds are calibrated to the saturation benchmark's offered-load
+    sweep: an unsaturated service (every gang places immediately) emits
+    zero alerts, while the saturated point breaches both objectives —
+    queue waits blow through the latency budget and admission control
+    starts shedding, burning the availability budget.
+    """
+    return (
+        latency_slo(
+            "queue-wait-p90",
+            "service.queue_wait_seconds",
+            threshold=250e-6,
+            target=0.90,
+            window=2e-3,
+            rules=(
+                BurnRateRule(
+                    long_window=2e-3, short_window=5e-4, factor=2.0, severity="page"
+                ),
+            ),
+            min_events=4,
+            description="90% of admitted jobs wait < 250 us for placement",
+        ),
+        availability_slo(
+            "job-success",
+            "service.jobs",
+            good={"outcome": "completed"},
+            target=0.999,
+            window=2e-3,
+            rules=(
+                BurnRateRule(
+                    long_window=2e-3, short_window=5e-4, factor=10.0, severity="page"
+                ),
+            ),
+            min_events=4,
+            description="99.9% of submitted jobs complete (not rejected/failed)",
+        ),
+    )
 
 
 class _TenantFabric:
@@ -208,6 +262,14 @@ class ServiceConfig:
     #: per-rank host segment for each job's runtime (jobs here use the
     #: device-side path; keep the host arena small)
     host_segment_size: int = 1 * MiB
+    #: service-level objectives evaluated live while the service runs.
+    #: ``None`` (the default) installs :func:`default_service_slos`;
+    #: pass an empty tuple to disable SLO tracking entirely.
+    slos: Optional[Tuple[SLO, ...]] = None
+    #: windowing for the live ``service.*`` time series backing the
+    #: SLO burn-rate math; ``None`` uses 100 us tumbling windows with a
+    #: 64-deep ring (bounded memory regardless of run length)
+    windows: Optional[WindowSpec] = None
 
 
 @dataclasses.dataclass
@@ -245,6 +307,17 @@ class ServiceResult:
     world: World
     #: tenant -> that tenant's private Observability
     tenant_obs: Dict[str, Observability]
+    #: the objectives that were live during the run (empty if disabled)
+    slos: Tuple[SLO, ...] = ()
+    #: every burn-rate alert that fired, in fire order (all resolved by
+    #: end of run — an alert still breaching resolves at ``elapsed``)
+    alerts: List[Alert] = dataclasses.field(default_factory=list)
+    #: raw fire/resolve events, sim-timestamped, in event order
+    timeline: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    #: end-of-run error-budget accounting per SLO
+    slo_report: List[SloStatus] = dataclasses.field(default_factory=list)
+    #: bounded windowed-series snapshot (``TimeSeries.snapshot()``)
+    windows: Optional[Dict[str, Any]] = None
 
     def by_outcome(self, outcome: str) -> List[JobRecord]:
         return [r for r in self.records if r.outcome == outcome]
@@ -263,15 +336,29 @@ class ServiceResult:
 
     @property
     def throughput(self) -> float:
-        """Completed jobs per virtual second."""
+        """Completed jobs per virtual second.
+
+        A zero-duration run (every job rejected at t=0, or an empty
+        stream) has no meaningful rate: returns 0.0 rather than
+        dividing by zero.
+        """
         if self.elapsed <= 0:
             return 0.0
         return len(self.completed) / self.elapsed
 
     def queue_wait_percentile(self, q: float) -> float:
         """Exact queue-wait percentile (``q`` in [0, 1]) over completed
-        and failed jobs — the latency an *admitted* job experienced."""
+        and failed jobs — the latency an *admitted* job experienced.
+
+        Raises :class:`ValueError` when ``q`` is outside [0, 1].
+        Returns 0.0 (by definition, not by measurement) when no job was
+        admitted — an all-rejected or empty run has no wait samples.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be in [0, 1], got {q}")
         waits = [r.queue_wait for r in self.records if r.outcome != "rejected"]
+        if not waits:
+            return 0.0
         return exact_percentile(waits, q)
 
     def tenant_rollups(self) -> Dict[str, Any]:
@@ -283,6 +370,72 @@ class ServiceResult:
             if r.job_id == job_id:
                 return r
         raise KeyError(f"no record for job {job_id}")
+
+    # -- SLO / chargeback surface -------------------------------------------
+
+    def incidents(self, findings: Optional[Sequence[Any]] = None) -> List[Dict[str, Any]]:
+        """The incident timeline: burn-rate fire/resolve events merged
+        with anomaly findings (``findings=None`` runs the stock anomaly
+        rules over the world's spans and metrics)."""
+        if findings is None:
+            findings = self.world.obs.detect_anomalies().findings
+        return incident_timeline(self.timeline, findings, end=self.elapsed)
+
+    def chargeback(self, rates: Optional[CostRates] = None) -> ChargebackReport:
+        """Per-tenant cost table from the metered ``service.*`` usage
+        counters; rows sum to the whole-service totals row."""
+        return chargeback_report(self.world.obs.registry, rates)
+
+    def dashboard(
+        self,
+        title: str = "Cluster service dashboard",
+        with_anomalies: bool = False,
+        rates: Optional[CostRates] = None,
+    ) -> str:
+        """The world dashboard plus the service-level sections: live
+        window summary, SLO error budgets with the incident timeline,
+        and the per-tenant chargeback table."""
+        from repro.obs.export import render_dashboard
+        from repro.obs.slo import render_slo
+
+        return render_dashboard(
+            self.world.obs.registry,
+            title,
+            anomalies=self.world.obs.detect_anomalies() if with_anomalies else None,
+            windows=self.windows,
+            slo=render_slo(self.slo_report, self.timeline) if self.slos else None,
+            chargeback=self.chargeback(rates),
+        )
+
+    def export(self, path: str, rates: Optional[CostRates] = None) -> Dict[str, Any]:
+        """Write a JSON export that ``python -m repro.obs slo`` can
+        replay offline; returns the exported document."""
+        doc = {
+            "elapsed": self.elapsed,
+            "records": [
+                {
+                    "job_id": r.job_id,
+                    "tenant": r.tenant,
+                    "kind": r.kind,
+                    "outcome": r.outcome,
+                    "submitted": r.submitted,
+                    "started": r.started,
+                    "finished": r.finished,
+                    "queue_wait": r.queue_wait,
+                    "service_time": r.service_time,
+                }
+                for r in self.records
+            ],
+            "slos": [s.to_dict() for s in self.slos],
+            "alerts": [a.to_dict() for a in self.alerts],
+            "timeline": list(self.timeline),
+            "slo_report": [s.to_dict() for s in self.slo_report],
+            "chargeback": self.chargeback(rates).to_dict(),
+            "windows": self.windows,
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+        return doc
 
 
 @dataclasses.dataclass
@@ -361,6 +514,35 @@ class ClusterService:
         self._c_leaked = obs.counter(
             "service.leaked_bytes", "segment bytes leaked by failed jobs"
         )
+        self._c_gpu = obs.counter(
+            "service.gpu_seconds", "device-seconds held per tenant/kind"
+        )
+        self._c_net = obs.counter(
+            "service.net_bytes", "fabric bytes moved per tenant"
+        )
+        #: last seen cumulative rma.bytes per tenant registry, so each
+        #: teardown meters only the delta since the tenant's previous
+        #: teardown (tenant totals stay exact even with concurrent
+        #: same-tenant gangs sharing one tenant registry)
+        self._net_baseline: Dict[str, float] = {}
+        slos = self.config.slos
+        self.slos: Tuple[SLO, ...] = (
+            default_service_slos() if slos is None else tuple(slos)
+        )
+        self._timeseries: Optional[TimeSeries] = None
+        self._tracker: Optional[SloTracker] = None
+        if self.slos:
+            label_keys = {"tenant"}
+            for slo in self.slos:
+                label_keys.update(slo.required_labels())
+            self._timeseries = TimeSeries(
+                clock=lambda: world.sim.now,
+                spec=self.config.windows or WindowSpec(width=100e-6, history=64),
+                group_by=tuple(sorted(label_keys)),
+                metrics=("service.",),
+            )
+            self._timeseries.attach(obs.registry)
+            self._tracker = SloTracker(self.slos, self._timeseries)
 
     # -- entry point ---------------------------------------------------------
 
@@ -378,11 +560,27 @@ class ClusterService:
         self.world.sim.spawn(self._arrivals, tuple(stream), name="svc-arrivals")
         self.world.sim.spawn(self._scheduler, name="svc-scheduler")
         elapsed = self.world.sim.run()
+        alerts: List[Alert] = []
+        timeline: List[Dict[str, Any]] = []
+        slo_report: List[SloStatus] = []
+        windows: Optional[Dict[str, Any]] = None
+        if self._tracker is not None:
+            self._tracker.finish(elapsed)
+            alerts = list(self._tracker.alerts)
+            timeline = list(self._tracker.timeline)
+            slo_report = self._tracker.report(elapsed)
+            windows = self._timeseries.snapshot()
+            self._timeseries.detach(self.world.obs.registry)
         return ServiceResult(
             records=list(self._records),
             elapsed=elapsed,
             world=self.world,
             tenant_obs=dict(self._tenant_obs),
+            slos=self.slos,
+            alerts=alerts,
+            timeline=timeline,
+            slo_report=slo_report,
+            windows=windows,
         )
 
     # -- arrivals ------------------------------------------------------------
@@ -414,6 +612,7 @@ class ClusterService:
                 reason=reason,
             )
         )
+        self._evaluate_slos()
 
     def _submit(self, req: JobRequest) -> None:
         if req.job_id in self._running or any(
@@ -455,6 +654,16 @@ class ClusterService:
         self._seq += 1
         self._g_depth.set(len(self._queue))
         self._kick_scheduler()
+
+    # -- live SLO evaluation -------------------------------------------------
+
+    def _evaluate_slos(self) -> None:
+        """Poke the burn-rate tracker at the current sim time.  Pure
+        computation on the window ring — no simulated events are
+        created, so enabling SLOs never perturbs scheduling or timing
+        (the regress gate holds bit-identical with SLOs on or off)."""
+        if self._tracker is not None:
+            self._tracker.evaluate(self.world.sim.now)
 
     # -- scheduler -----------------------------------------------------------
 
@@ -538,6 +747,7 @@ class ClusterService:
         run = _RunningJob(pend, view, runtime, started=sim.now)
         self._running[req.job_id] = run
         self._h_wait.observe(run.queue_wait, tenant=req.tenant, kind=req.kind)
+        self._evaluate_slos()
         run.tasks = [
             sim.spawn(
                 self._rank_body,
@@ -601,6 +811,19 @@ class ClusterService:
         service_time = sim.now - run.started
         self._h_service.observe(service_time, tenant=req.tenant, kind=req.kind)
         self._c_jobs.inc(tenant=req.tenant, kind=req.kind, outcome=outcome)
+        # Chargeback metering: the gang held its devices for the whole
+        # service time (success or failure), and the tenant registry's
+        # cumulative fabric-byte counter advanced by this job's traffic
+        # (delta since the tenant's previous teardown).
+        self._c_gpu.inc(
+            len(run.view.devices) * service_time, tenant=req.tenant, kind=req.kind
+        )
+        tenant_bytes = run.view.obs.value("rma.bytes")
+        prev_bytes = self._net_baseline.get(req.tenant, 0.0)
+        if tenant_bytes > prev_bytes:
+            self._c_net.inc(tenant_bytes - prev_bytes, tenant=req.tenant)
+            self._net_baseline[req.tenant] = tenant_bytes
+        self._evaluate_slos()
         self._records.append(
             JobRecord(
                 job_id=req.job_id,

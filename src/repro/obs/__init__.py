@@ -21,6 +21,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Sequence
 
+from repro.obs.accounting import (
+    ChargebackReport,
+    CostRates,
+    TenantUsage,
+    chargeback_report,
+)
 from repro.obs.anomaly import (
     AnomalyReport,
     AnomalyRule,
@@ -41,6 +47,7 @@ from repro.obs.export import (
     health_table,
     iter_chrome_trace_events,
     render_dashboard,
+    windows_table,
     write_chrome_trace,
     write_events_jsonl,
     write_metrics_snapshot,
@@ -60,7 +67,19 @@ from repro.obs.rollup import (
 )
 from repro.obs.sampling import SpanBudget, SpanStore, SpanStoreStats, read_spill
 from repro.obs.selfprof import EngineProfiler
+from repro.obs.slo import (
+    SLO,
+    Alert,
+    BurnRateRule,
+    SloStatus,
+    SloTracker,
+    availability_slo,
+    incident_timeline,
+    latency_slo,
+    slo_from_dict,
+)
 from repro.obs.spans import SpanProfiler, SpanRecord, TraceContext
+from repro.obs.timeseries import TimeSeries, WindowedSeries, WindowSpec, WindowStats
 
 
 class Observability:
@@ -296,4 +315,22 @@ __all__ = [
     "render_dashboard",
     "dashboard_tables",
     "health_table",
+    "windows_table",
+    "TimeSeries",
+    "WindowSpec",
+    "WindowStats",
+    "WindowedSeries",
+    "SLO",
+    "Alert",
+    "BurnRateRule",
+    "SloStatus",
+    "SloTracker",
+    "latency_slo",
+    "availability_slo",
+    "slo_from_dict",
+    "incident_timeline",
+    "CostRates",
+    "TenantUsage",
+    "ChargebackReport",
+    "chargeback_report",
 ]

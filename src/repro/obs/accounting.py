@@ -1,0 +1,214 @@
+"""Per-tenant chargeback: metered usage priced into a cost table.
+
+The cluster service meters four resources per tenant as it runs
+(counters on the shared world registry, so they survive into any
+snapshot/export):
+
+* ``service.gpu_seconds``   — device-seconds held, gang size × service
+  time, metered at teardown;
+* ``service.net_bytes``     — fabric bytes moved (delta of the tenant
+  view's ``rma.bytes`` across the job's lifetime);
+* ``service.queue_wait_seconds`` — admission-queue wait (histogram,
+  already metered at launch);
+* ``service.leaked_bytes``  — device memory abandoned by failed jobs.
+
+:func:`chargeback_report` turns a metrics snapshot plus a
+:class:`CostRates` price sheet into a :class:`ChargebackReport` whose
+per-tenant rows sum to the whole-service totals row — the invariant
+the saturation benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from repro.util.errors import ConfigurationError
+
+GiB = float(1 << 30)
+
+
+@dataclasses.dataclass(frozen=True)
+class CostRates:
+    """Price sheet, in abstract cost units (defaults chosen so each
+    resource contributes a visible share for the simulated job mix)."""
+
+    #: per GPU-device-second held
+    gpu_second: float = 1.0
+    #: per GiB moved over the fabric
+    network_gib: float = 0.05
+    #: per job-second spent waiting in the admission queue (an
+    #: internal SLA charge back to the *service*, still attributed
+    #: per tenant so the table shows who queued)
+    queue_second: float = 0.1
+    #: per GiB of device memory leaked by failed jobs (penalty rate —
+    #: leaks hold capacity until reaped)
+    leaked_gib: float = 2.0
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) < 0:
+                raise ConfigurationError(f"negative rate for {field.name}")
+
+
+@dataclasses.dataclass
+class TenantUsage:
+    """Metered resource consumption for one tenant."""
+
+    tenant: str
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_rejected: int = 0
+    gpu_seconds: float = 0.0
+    network_bytes: float = 0.0
+    queue_wait_seconds: float = 0.0
+    leaked_bytes: float = 0.0
+
+    def cost(self, rates: CostRates) -> float:
+        return (
+            self.gpu_seconds * rates.gpu_second
+            + self.network_bytes / GiB * rates.network_gib
+            + self.queue_wait_seconds * rates.queue_second
+            + self.leaked_bytes / GiB * rates.leaked_gib
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def usage_from_dict(doc: Dict[str, Any]) -> TenantUsage:
+    return TenantUsage(**doc)
+
+
+@dataclasses.dataclass
+class ChargebackReport:
+    """Per-tenant usage rows plus the price sheet that values them."""
+
+    rows: List[TenantUsage]
+    rates: CostRates
+
+    def __post_init__(self) -> None:
+        self.rows = sorted(self.rows, key=lambda r: r.tenant)
+
+    @property
+    def total(self) -> TenantUsage:
+        """Whole-service totals (sum of every tenant row)."""
+        total = TenantUsage(tenant="TOTAL")
+        for row in self.rows:
+            total.jobs_completed += row.jobs_completed
+            total.jobs_failed += row.jobs_failed
+            total.jobs_rejected += row.jobs_rejected
+            total.gpu_seconds += row.gpu_seconds
+            total.network_bytes += row.network_bytes
+            total.queue_wait_seconds += row.queue_wait_seconds
+            total.leaked_bytes += row.leaked_bytes
+        return total
+
+    def row_for(self, tenant: str) -> Optional[TenantUsage]:
+        for row in self.rows:
+            if row.tenant == tenant:
+                return row
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rates": dataclasses.asdict(self.rates),
+            "tenants": [r.to_dict() for r in self.rows],
+            "total": self.total.to_dict(),
+            "total_cost": self.total.cost(self.rates),
+        }
+
+    def render(self) -> str:
+        from repro.bench.report import Table
+
+        t = Table(
+            "Per-tenant chargeback",
+            [
+                "tenant",
+                "done",
+                "fail",
+                "rej",
+                "gpu-s",
+                "net KiB",
+                "queue ms",
+                "leaked KiB",
+                "cost",
+            ],
+        )
+        for row in self.rows + [self.total]:
+            t.add_row(
+                row.tenant,
+                row.jobs_completed,
+                row.jobs_failed,
+                row.jobs_rejected,
+                f"{row.gpu_seconds:.6f}",
+                f"{row.network_bytes / 1024:.1f}",
+                f"{row.queue_wait_seconds * 1e3:.3f}",
+                f"{row.leaked_bytes / 1024:.1f}",
+                f"{row.cost(self.rates):.6f}",
+            )
+        return t.render()
+
+
+def report_from_dict(doc: Dict[str, Any]) -> ChargebackReport:
+    """Rebuild a :class:`ChargebackReport` from :meth:`ChargebackReport.
+    to_dict` output (the offline-replay path; the totals row is
+    recomputed from the tenant rows, so a tampered export shows a
+    mismatch instead of being trusted)."""
+    return ChargebackReport(
+        rows=[usage_from_dict(r) for r in doc.get("tenants", ())],
+        rates=CostRates(**doc.get("rates", {})),
+    )
+
+
+def chargeback_report(
+    registry: Any,
+    rates: Optional[CostRates] = None,
+) -> ChargebackReport:
+    """Build the chargeback table from the service's world
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    Tenants are discovered from ``service.jobs`` label sets, so a
+    tenant whose every job was rejected still gets a row (zero usage,
+    nonzero rejected count) — absence from the table would misread as
+    "never asked for anything".
+    """
+    rates = rates or CostRates()
+    jobs = registry.counter("service.jobs", "jobs by tenant/kind/outcome")
+    tenants = sorted(
+        {
+            str(dict(key).get("tenant"))
+            for key in jobs.label_keys()
+            if dict(key).get("tenant") is not None
+        }
+    )
+    gpu = registry.counter("service.gpu_seconds", "device-seconds held per tenant")
+    net = registry.counter("service.net_bytes", "fabric bytes moved per tenant")
+    leaked = registry.counter("service.leaked_bytes", "bytes leaked by failed jobs")
+    waits = registry.histogram("service.queue_wait_seconds", "admission queue wait")
+    rows = []
+    for tenant in tenants:
+        rows.append(
+            TenantUsage(
+                tenant=tenant,
+                jobs_completed=int(jobs.value(tenant=tenant, outcome="completed")),
+                jobs_failed=int(jobs.value(tenant=tenant, outcome="failed")),
+                jobs_rejected=int(jobs.value(tenant=tenant, outcome="rejected")),
+                gpu_seconds=gpu.value(tenant=tenant),
+                network_bytes=net.value(tenant=tenant),
+                queue_wait_seconds=waits.stats(tenant=tenant).total,
+                leaked_bytes=leaked.value(tenant=tenant),
+            )
+        )
+    return ChargebackReport(rows=rows, rates=rates)
+
+
+__all__ = [
+    "GiB",
+    "CostRates",
+    "TenantUsage",
+    "usage_from_dict",
+    "ChargebackReport",
+    "report_from_dict",
+    "chargeback_report",
+]

@@ -436,11 +436,47 @@ def health_table(registry: MetricsRegistry):
     return t
 
 
+def windows_table(snapshot: Dict[str, Any]):
+    """Summarize a :meth:`~repro.obs.timeseries.TimeSeries.snapshot`
+    doc: one row per (family, group) series with its latest window's
+    count and p99 — the at-a-glance "what is happening *now*" view the
+    end-of-run metric catalog cannot give.
+    """
+    from repro.bench.report import Table
+
+    spec = snapshot.get("spec", {})
+    width = spec.get("width", 0.0)
+    t = Table(
+        f"Windowed time series ({width * 1e6:.0f} us windows)",
+        ["family", "labels", "total n", "windows", "last n", "last p99"],
+    )
+    for name, groups in sorted(snapshot.get("families", {}).items()):
+        for group in groups:
+            wins = group.get("windows", ())
+            last = wins[-1] if wins else None
+            labels = ",".join(f"{k}={v}" for k, v in sorted(group["labels"].items()))
+            t.add_row(
+                name,
+                labels,
+                _fmt(group.get("count", 0)),
+                len(wins),
+                _fmt(last["count"]) if last else "-",
+                f"{last['p99']:.3g}" if last and last["count"] else "-",
+            )
+    dropped = snapshot.get("dropped", 0)
+    if dropped:
+        t.add_row("(dropped)", "over max_series cap", _fmt(dropped), "", "", "")
+    return t
+
+
 def render_dashboard(
     registry: MetricsRegistry,
     title: str = "Observability dashboard",
     spans: Optional[Sequence[SpanRecord]] = None,
     anomalies: Optional[Any] = None,
+    windows: Optional[Dict[str, Any]] = None,
+    slo: Optional[Any] = None,
+    chargeback: Optional[Any] = None,
 ) -> str:
     """The full dashboard as one printable string.
 
@@ -449,10 +485,20 @@ def render_dashboard(
     :mod:`repro.obs.critical_path`).  ``anomalies`` may be an
     :class:`~repro.obs.anomaly.AnomalyReport` (rendered as a findings
     section) or ``True`` to run the default detection rules over the
-    given spans and registry here.
+    given spans and registry here.  ``windows`` (a
+    ``TimeSeries.snapshot()`` doc), ``slo`` (a pre-rendered section
+    string or anything with ``.render()``), and ``chargeback`` (a
+    :class:`~repro.obs.accounting.ChargebackReport`) append the
+    service-level sections.
     """
     parts = [title, "#" * len(title)]
     parts.extend(t.render() for t in dashboard_tables(registry))
+    if windows:
+        parts.append(windows_table(windows).render())
+    if slo is not None:
+        parts.append(slo if isinstance(slo, str) else slo.render())
+    if chargeback is not None:
+        parts.append(chargeback.render())
     if spans:
         from repro.obs.critical_path import critical_path
 

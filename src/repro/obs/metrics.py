@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import warnings
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.util.errors import ConfigurationError
 
@@ -199,6 +199,8 @@ class Counter(Metric):
         if not self._admit(self._series, key):
             return
         self._series[key] = self._series.get(key, 0.0) + amount
+        if self.registry._hooks:
+            self.registry._notify(self, float(amount), labels)
 
     def value(self, **labels: Any) -> float:
         """Sum over every series matching the given label subset."""
@@ -233,6 +235,8 @@ class Gauge(Metric):
         self._series[key] = value
         if value > self._high.get(key, float("-inf")):
             self._high[key] = value
+        if self.registry._hooks:
+            self.registry._notify(self, float(value), labels)
 
     def add(self, delta: float, **labels: Any) -> None:
         if not self.registry.enabled:
@@ -290,6 +294,8 @@ class Histogram(Metric):
                 return
             stats = self._series[key] = HistogramStats()
         stats.observe(value, self.bounds)
+        if self.registry._hooks:
+            self.registry._notify(self, float(value), labels)
 
     def stats(self, **labels: Any) -> HistogramStats:
         """Aggregate stats over every series matching the label subset."""
@@ -347,6 +353,31 @@ class MetricsRegistry:
         #: total writes dropped by the cardinality guard (all families)
         self.dropped_series = 0
         self._metrics: Dict[str, Metric] = {}
+        #: write hooks: ``fn(metric, value, labels)`` called on every
+        #: admitted counter inc / gauge set / histogram observe.  This
+        #: is what feeds the windowed time-series layer
+        #: (:mod:`repro.obs.timeseries`) without touching call sites.
+        self._hooks: List[Callable[[Metric, float, Dict[str, Any]], None]] = []
+
+    def add_write_hook(
+        self, hook: Callable[[Metric, float, Dict[str, Any]], None]
+    ) -> None:
+        """Subscribe ``hook(metric, value, labels)`` to every admitted
+        write.  Hooks must not write metrics themselves (no re-entry
+        guard is taken; a writing hook would recurse)."""
+        if hook not in self._hooks:
+            self._hooks.append(hook)
+
+    def remove_write_hook(
+        self, hook: Callable[[Metric, float, Dict[str, Any]], None]
+    ) -> None:
+        """Unsubscribe a hook added with :meth:`add_write_hook`."""
+        if hook in self._hooks:
+            self._hooks.remove(hook)
+
+    def _notify(self, metric: Metric, value: float, labels: Dict[str, Any]) -> None:
+        for hook in self._hooks:
+            hook(metric, value, labels)
 
     def _get(self, name: str, factory, kind: str) -> Metric:
         metric = self._metrics.get(name)

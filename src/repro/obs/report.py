@@ -1,9 +1,9 @@
-"""``python -m repro.obs report`` — offline anomaly reports.
+"""``python -m repro.obs`` — offline telemetry reports.
 
-Runs the :mod:`repro.obs.anomaly` rules over telemetry *files* — an
-exported Chrome trace (plus, optionally, a metrics snapshot and a span
-spill) — so straggler detection works after the fact, in CI, or on a
-trace somebody mailed you::
+``report`` runs the :mod:`repro.obs.anomaly` rules over telemetry
+*files* — an exported Chrome trace (plus, optionally, a metrics
+snapshot and a span spill) — so straggler detection works after the
+fact, in CI, or on a trace somebody mailed you::
 
     python -m repro.obs report TRACE.json --metrics METRICS.json
     python -m repro.obs report --spill SPANS.jsonl --json report.json
@@ -11,8 +11,24 @@ trace somebody mailed you::
 
 ``--demo`` runs a built-in put-ring workload (optionally with a
 fault-stalled rank) and reports on it directly — the quickest way to
-see the detector fire.  Exit status is 0 unless ``--strict`` is given
-and findings at warning severity or above exist.
+see the detector fire.
+
+``slo`` replays a cluster-service run exported by
+:meth:`~repro.cluster.service.ServiceResult.export` through the SLO
+burn-rate machinery and prints the error-budget report, the incident
+timeline, and the per-tenant chargeback table::
+
+    python -m repro.obs slo RUN.json
+    python -m repro.obs slo RUN.json --json timeline.json --strict
+
+The replay recomputes alerts from the job records alone and
+cross-checks them against the timeline recorded live, so a stale or
+edited export is flagged instead of trusted.
+
+Exit codes (both subcommands): **0** — clean; **1** — ``--strict`` and
+findings at warning severity or above exist (``report``) / alerts
+fired or the replay disagrees with the export (``slo``); **2** — usage
+error (no input given, or the export lacks the needed sections).
 """
 
 from __future__ import annotations
@@ -139,6 +155,150 @@ def run_demo(
     return run_spmd(world, straggler_workload, iters, config=config)
 
 
+def replay_service_export(doc: Dict[str, Any]):
+    """Re-run the SLO burn-rate evaluation from an exported service run.
+
+    Rebuilds the SLOs and the windowed time series from the export's
+    own declarations, replays each job record's metric writes at their
+    recorded sim times (queue-wait sample at launch, outcome count at
+    finish, rejection count at submit), and evaluates the burn rules
+    after every event — the same write-then-evaluate sequence the live
+    service performed.  Returns the finished
+    :class:`~repro.obs.slo.SloTracker`.
+    """
+    from repro.obs.slo import SloTracker, slo_from_dict
+    from repro.obs.timeseries import TimeSeries, WindowSpec
+
+    slos = [slo_from_dict(s) for s in doc.get("slos", ())]
+    windows = doc.get("windows") or {}
+    spec_doc = windows.get("spec") or {}
+    spec = WindowSpec(
+        width=spec_doc.get("width", 100e-6),
+        slide=spec_doc.get("slide"),
+        history=spec_doc.get("history", 64),
+        max_samples=spec_doc.get("max_samples", 256),
+    )
+    group_by = tuple(windows.get("group_by") or ("kind", "outcome", "tenant"))
+    clock = [0.0]
+    series = TimeSeries(
+        clock=lambda: clock[0],
+        spec=spec,
+        group_by=group_by,
+        metrics=("service.",),
+    )
+    tracker = SloTracker(slos, series)
+    events = []
+    for seq, rec in enumerate(doc.get("records", ())):
+        labels = {"tenant": rec["tenant"], "kind": rec["kind"]}
+        if rec["outcome"] == "rejected":
+            events.append(
+                (
+                    rec["finished"],
+                    seq,
+                    "service.jobs",
+                    1.0,
+                    {**labels, "outcome": "rejected"},
+                )
+            )
+        else:
+            events.append(
+                (
+                    rec["started"],
+                    seq,
+                    "service.queue_wait_seconds",
+                    rec["queue_wait"],
+                    labels,
+                )
+            )
+            events.append(
+                (
+                    rec["finished"],
+                    seq,
+                    "service.jobs",
+                    1.0,
+                    {**labels, "outcome": rec["outcome"]},
+                )
+            )
+    events.sort(key=lambda e: (e[0], e[1]))
+    for when, _seq, name, value, labels in events:
+        clock[0] = when
+        series.observe(name, value, labels, when=when)
+        tracker.evaluate(when)
+    tracker.finish(doc.get("elapsed", clock[0]))
+    return tracker
+
+
+def _timeline_key(entries) -> List[tuple]:
+    """Comparable view of a timeline: (time, kind, slo) triples of the
+    fire/resolve events (anomaly entries and burn magnitudes excluded —
+    same-timestamp write ordering may legitimately differ offline)."""
+    return [
+        (round(e["time"], 12), e["kind"], e["slo"])
+        for e in entries
+        if e.get("kind") in ("fire", "resolve")
+    ]
+
+
+def run_slo_replay(
+    path: str, json_out: Optional[str] = None, strict: bool = False
+) -> int:
+    """The ``slo`` subcommand body (returns the process exit code)."""
+    from repro.obs.accounting import report_from_dict
+    from repro.obs.slo import incident_timeline
+
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read export {path!r}: {exc}")
+        return 2
+    if not doc.get("slos"):
+        print(f"error: {path!r} has no SLO declarations (run exported "
+              "with ServiceConfig(slos=())?)")
+        return 2
+    tracker = replay_service_export(doc)
+    elapsed = doc.get("elapsed", 0.0)
+    print(
+        f"replayed {len(doc.get('records', ()))} job record(s), "
+        f"elapsed {elapsed * 1e6:.1f} us, "
+        f"{len(tracker.alerts)} alert(s)"
+    )
+    print()
+    print(tracker.render(elapsed))
+    chargeback = doc.get("chargeback")
+    if chargeback:
+        print()
+        print(report_from_dict(chargeback).render())
+    recorded = _timeline_key(doc.get("timeline", ()))
+    replayed = _timeline_key(tracker.timeline)
+    matches = recorded == replayed
+    print()
+    if matches:
+        print(f"replay matches the recorded timeline ({len(replayed)} event(s))")
+    else:
+        print(
+            f"WARNING: replay disagrees with the recorded timeline "
+            f"(recorded {len(recorded)} event(s), replayed {len(replayed)})"
+        )
+    if json_out:
+        with open(json_out, "w") as fh:
+            json.dump(
+                {
+                    "elapsed": elapsed,
+                    "alerts": [a.to_dict() for a in tracker.alerts],
+                    "timeline": incident_timeline(tracker.timeline, end=elapsed),
+                    "slo_report": [s.to_dict() for s in tracker.report(elapsed)],
+                    "matches_export": matches,
+                },
+                fh,
+                indent=1,
+            )
+        print(f"wrote {json_out}")
+    if strict and (tracker.alerts or not matches):
+        return 1
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -178,11 +338,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="demo: stall this rank so the detector fires",
     )
     rep.add_argument("--iters", type=int, default=4, help="demo: put-ring rounds")
+    slo = sub.add_parser(
+        "slo",
+        help="replay an exported service run's SLO alerts and chargeback",
+    )
+    slo.add_argument("export", help="JSON written by ServiceResult.export()")
+    slo.add_argument(
+        "--json", dest="json_out", help="also write the replayed timeline as JSON"
+    )
+    slo.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when alerts fired or the replay disagrees with the export",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "slo":
+        return run_slo_replay(args.export, json_out=args.json_out, strict=args.strict)
     from repro.obs.anomaly import detect
 
     if args.demo:
@@ -230,5 +405,7 @@ __all__ = [
     "load_metrics",
     "straggler_workload",
     "run_demo",
+    "replay_service_export",
+    "run_slo_replay",
     "main",
 ]

@@ -100,16 +100,20 @@ def rollup_metric(metric, label: str = "rank") -> List[Dict[str, Any]]:
 
 
 def rollup_registry(
-    registry: MetricsRegistry, label: str = "rank"
+    registry: MetricsRegistry, label: str = "rank", include_empty: bool = True
 ) -> Dict[str, Any]:
     """Every family's rollup groups: ``{name: {kind, groups}}``.
 
-    Families with no rank-labeled series are omitted.
+    A registered family with no ``label``-bearing series contributes an
+    explicit ``{"kind": ..., "groups": []}`` entry rather than silently
+    vanishing: downstream availability math must see "no data", which
+    is *not* the same thing as "100% good".  Pass
+    ``include_empty=False`` for the old omit-empty document shape.
     """
     out: Dict[str, Any] = {}
     for metric in registry:
         groups = rollup_metric(metric, label)
-        if groups:
+        if groups or include_empty:
             out[metric.name] = {"kind": metric.kind, "groups": groups}
     return out
 

@@ -1,0 +1,533 @@
+"""Service-level objectives, error budgets, and burn-rate alerts.
+
+An :class:`SLO` declares what "good" means for one metric family over
+a compliance window — a latency objective ("99% of job queue waits
+under 250 µs") or an availability objective ("99.9% of jobs reach
+``outcome=completed``").  The error *budget* is the allowed bad
+fraction, ``1 - target``; the *burn rate* over a lookback window is
+the measured bad fraction divided by the budget — burn 1.0 spends the
+budget exactly at the sustainable pace, burn 10 exhausts a
+window-sized budget ten times over.
+
+Alerting follows the Google-SRE multi-window pattern: a
+:class:`BurnRateRule` fires only when the burn rate exceeds its factor
+over **both** a long window (sustained damage, not a blip) and a short
+window (still happening *now*, so the alert resolves promptly when the
+condition clears).  :class:`SloTracker` evaluates the rules against
+the windowed time series (:mod:`repro.obs.timeseries`) every time it
+is poked, maintains active-alert state, and appends fire/resolve
+events to an incident timeline stamped in simulated time.
+
+No data is never treated as 100 % good: a lookback holding fewer than
+:attr:`SLO.min_events` total events abstains instead of evaluating
+(see ``bad_fraction`` returning ``None``).
+
+:func:`incident_timeline` merges the alert events with end-of-run
+:mod:`repro.obs.anomaly` findings into one ordered incident record —
+what the ``python -m repro.obs slo`` replay prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.timeseries import TimeSeries
+from repro.util.errors import ConfigurationError
+
+#: alert severities, most urgent first (page = wake a human,
+#: ticket = fix within the budget window)
+ALERT_SEVERITIES: Tuple[str, ...] = ("page", "ticket")
+
+
+@dataclasses.dataclass(frozen=True)
+class BurnRateRule:
+    """One multi-window burn-rate alert condition."""
+
+    #: sustained-damage lookback (seconds of sim time)
+    long_window: float
+    #: still-happening-now lookback; must not exceed the long window
+    short_window: float
+    #: burn-rate threshold both lookbacks must exceed
+    factor: float
+    severity: str = "page"
+
+    def __post_init__(self) -> None:
+        if self.long_window <= 0 or self.short_window <= 0:
+            raise ConfigurationError("burn-rate windows must be positive")
+        if self.short_window > self.long_window:
+            raise ConfigurationError(
+                f"short window {self.short_window} exceeds long window "
+                f"{self.long_window}"
+            )
+        if self.factor <= 0:
+            raise ConfigurationError(f"burn factor must be > 0, got {self.factor}")
+        if self.severity not in ALERT_SEVERITIES:
+            raise ConfigurationError(
+                f"unknown severity {self.severity!r} (one of {ALERT_SEVERITIES})"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class SLO:
+    """One objective over one metric family.
+
+    Two kinds, selected by which fields are set:
+
+    * **latency** — ``threshold`` is set: every observation of
+      ``metric`` (a histogram/gauge family, e.g. queue-wait seconds)
+      at or under the threshold is a good event.  ``target`` is the
+      required good fraction (0.99 ≙ "p99 under the threshold").
+    * **availability** — ``good`` is set: events are counter
+      increments of ``metric``; those whose labels match ``good``
+      (e.g. ``{"outcome": "completed"}``) are good, those matching
+      ``total`` (default: all) are the denominator.
+    """
+
+    name: str
+    metric: str
+    #: required good-event fraction in [0, 1), e.g. 0.999
+    target: float
+    #: compliance window the budget is defined over (seconds; the
+    #: whole-run budget report also uses it as its unit)
+    window: float
+    #: latency objective: good  ≙  observation <= threshold
+    threshold: Optional[float] = None
+    #: availability objective: label subset selecting good events
+    good: Optional[Tuple[Tuple[str, str], ...]] = None
+    #: availability objective: label subset selecting the denominator
+    total: Tuple[Tuple[str, str], ...] = ()
+    #: burn-rate alert conditions
+    rules: Tuple[BurnRateRule, ...] = ()
+    #: lookbacks holding fewer total events than this abstain
+    min_events: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.target < 1.0):
+            raise ConfigurationError(
+                f"SLO {self.name}: target must be in (0, 1), got {self.target}"
+            )
+        if self.window <= 0:
+            raise ConfigurationError(f"SLO {self.name}: window must be positive")
+        if (self.threshold is None) == (self.good is None):
+            raise ConfigurationError(
+                f"SLO {self.name}: set exactly one of threshold (latency) "
+                "or good (availability)"
+            )
+        if self.min_events < 1:
+            raise ConfigurationError(f"SLO {self.name}: min_events must be >= 1")
+
+    @property
+    def kind(self) -> str:
+        return "latency" if self.threshold is not None else "availability"
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the allowed bad fraction."""
+        return 1.0 - self.target
+
+    def required_labels(self) -> Tuple[str, ...]:
+        """Label keys the time series must group by for this SLO."""
+        keys = set()
+        for pair in (self.good or ()) + self.total:
+            keys.add(pair[0])
+        return tuple(sorted(keys))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "kind": self.kind,
+            "target": self.target,
+            "window": self.window,
+            "threshold": self.threshold,
+            "good": dict(self.good) if self.good is not None else None,
+            "total": dict(self.total),
+            "min_events": self.min_events,
+            "rules": [dataclasses.asdict(r) for r in self.rules],
+            "description": self.description,
+        }
+
+
+def latency_slo(
+    name: str,
+    metric: str,
+    threshold: float,
+    target: float = 0.99,
+    window: float = 1e-3,
+    rules: Sequence[BurnRateRule] = (),
+    min_events: int = 1,
+    description: str = "",
+) -> SLO:
+    """Convenience constructor for a latency-quantile objective."""
+    return SLO(
+        name=name,
+        metric=metric,
+        target=target,
+        window=window,
+        threshold=threshold,
+        rules=tuple(rules),
+        min_events=min_events,
+        description=description,
+    )
+
+
+def availability_slo(
+    name: str,
+    metric: str,
+    good: Dict[str, str],
+    total: Optional[Dict[str, str]] = None,
+    target: float = 0.999,
+    window: float = 1e-3,
+    rules: Sequence[BurnRateRule] = (),
+    min_events: int = 1,
+    description: str = "",
+) -> SLO:
+    """Convenience constructor for an availability-ratio objective."""
+    return SLO(
+        name=name,
+        metric=metric,
+        target=target,
+        window=window,
+        good=tuple(sorted((k, str(v)) for k, v in good.items())),
+        total=tuple(sorted((k, str(v)) for k, v in (total or {}).items())),
+        rules=tuple(rules),
+        min_events=min_events,
+        description=description,
+    )
+
+
+def slo_from_dict(doc: Dict[str, Any]) -> SLO:
+    """Rebuild an :class:`SLO` from :meth:`SLO.to_dict` output (the
+    offline-replay path)."""
+    rules = tuple(
+        BurnRateRule(
+            long_window=r["long_window"],
+            short_window=r["short_window"],
+            factor=r["factor"],
+            severity=r.get("severity", "page"),
+        )
+        for r in doc.get("rules", ())
+    )
+    good = doc.get("good")
+    return SLO(
+        name=doc["name"],
+        metric=doc["metric"],
+        target=doc["target"],
+        window=doc["window"],
+        threshold=doc.get("threshold"),
+        good=tuple(sorted((k, str(v)) for k, v in good.items()))
+        if good is not None
+        else None,
+        total=tuple(sorted((k, str(v)) for k, v in doc.get("total", {}).items())),
+        rules=rules,
+        min_events=doc.get("min_events", 1),
+        description=doc.get("description", ""),
+    )
+
+
+@dataclasses.dataclass
+class Alert:
+    """One burn-rate alert's life (fired, possibly resolved)."""
+
+    slo: str
+    severity: str
+    fired_at: float
+    resolved_at: Optional[float]
+    #: burn rates measured when the alert fired
+    burn_long: float
+    burn_short: float
+    factor: float
+    long_window: float
+    short_window: float
+    message: str
+
+    @property
+    def active(self) -> bool:
+        return self.resolved_at is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def alert_from_dict(doc: Dict[str, Any]) -> Alert:
+    return Alert(**doc)
+
+
+@dataclasses.dataclass(frozen=True)
+class SloStatus:
+    """End-of-run error-budget accounting for one SLO."""
+
+    slo: str
+    kind: str
+    target: float
+    #: total events observed over the whole run
+    events: float
+    #: measured bad fraction over the whole run (None: no data)
+    bad_fraction: Optional[float]
+    #: fraction of the error budget consumed (bad_fraction / budget;
+    #: None when there was no data — explicitly *not* 0.0)
+    budget_consumed: Optional[float]
+    alerts: int
+
+    @property
+    def met(self) -> Optional[bool]:
+        """True/False when measurable, None when there was no data."""
+        if self.bad_fraction is None:
+            return None
+        return self.bad_fraction <= (1.0 - self.target)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = dataclasses.asdict(self)
+        doc["met"] = self.met
+        return doc
+
+
+class SloTracker:
+    """Evaluates SLO burn-rate rules against live windowed series.
+
+    Poke :meth:`evaluate` whenever the underlying metrics may have
+    changed (the cluster service does so at every admission, launch,
+    and teardown); each call is pure computation on the window ring —
+    no simulated time passes.  Fire/resolve transitions accumulate in
+    :attr:`timeline`; currently-active and historical alerts in
+    :attr:`alerts`.
+    """
+
+    def __init__(self, slos: Sequence[SLO], series: TimeSeries) -> None:
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate SLO names: {names}")
+        self.slos = tuple(slos)
+        self.series = series
+        self.alerts: List[Alert] = []
+        #: ordered fire/resolve events: dicts with time/kind/slo/...
+        self.timeline: List[Dict[str, Any]] = []
+        self._active: Dict[Tuple[str, int], Alert] = {}
+
+    # -- measurement -------------------------------------------------------
+
+    def counts(self, slo: SLO, since: float, until: float) -> Tuple[float, float]:
+        """(good, total) event counts over ``[since, until)``."""
+        good = 0.0
+        total = 0.0
+        if slo.kind == "latency":
+            for series in self.series.matching(slo.metric):
+                for w in series.range(since, until):
+                    total += w.count
+                    good += w.count - w.count_above(slo.threshold)
+        else:
+            for series in self.series.matching(slo.metric, **dict(slo.total)):
+                for w in series.range(since, until):
+                    total += w.count
+            for series in self.series.matching(slo.metric, **dict(slo.good)):
+                for w in series.range(since, until):
+                    good += w.count
+        return good, total
+
+    def bad_fraction(
+        self, slo: SLO, since: float, until: float
+    ) -> Optional[float]:
+        """Measured bad fraction, or ``None`` when the lookback holds
+        fewer than ``slo.min_events`` events (no data ≠ all good)."""
+        good, total = self.counts(slo, since, until)
+        if total < slo.min_events:
+            return None
+        return max(0.0, min(1.0, 1.0 - good / total))
+
+    def burn_rate(self, slo: SLO, since: float, until: float) -> Optional[float]:
+        """Bad fraction over the lookback, in error-budget units."""
+        bad = self.bad_fraction(slo, since, until)
+        if bad is None:
+            return None
+        return bad / slo.budget
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, now: float) -> List[Alert]:
+        """Evaluate every rule at sim time ``now``; returns newly fired
+        alerts (resolves are recorded on the timeline)."""
+        fired: List[Alert] = []
+        for slo in self.slos:
+            for index, rule in enumerate(slo.rules):
+                burn_long = self.burn_rate(slo, now - rule.long_window, now)
+                burn_short = self.burn_rate(slo, now - rule.short_window, now)
+                breaching = (
+                    burn_long is not None
+                    and burn_short is not None
+                    and burn_long > rule.factor
+                    and burn_short > rule.factor
+                )
+                key = (slo.name, index)
+                active = self._active.get(key)
+                if breaching and active is None:
+                    alert = Alert(
+                        slo=slo.name,
+                        severity=rule.severity,
+                        fired_at=now,
+                        resolved_at=None,
+                        burn_long=burn_long,
+                        burn_short=burn_short,
+                        factor=rule.factor,
+                        long_window=rule.long_window,
+                        short_window=rule.short_window,
+                        message=(
+                            f"{slo.name}: burn rate {burn_long:.1f}x budget "
+                            f"over {rule.long_window * 1e3:.2f} ms "
+                            f"(and {burn_short:.1f}x over "
+                            f"{rule.short_window * 1e3:.2f} ms), "
+                            f"threshold {rule.factor:.1f}x"
+                        ),
+                    )
+                    self._active[key] = alert
+                    self.alerts.append(alert)
+                    fired.append(alert)
+                    self.timeline.append(
+                        {
+                            "time": now,
+                            "kind": "fire",
+                            "slo": slo.name,
+                            "severity": rule.severity,
+                            "burn_long": burn_long,
+                            "burn_short": burn_short,
+                            "factor": rule.factor,
+                            "message": alert.message,
+                        }
+                    )
+                elif not breaching and active is not None:
+                    # The short window clearing is what resolves —
+                    # that's the point of the multi-window pattern.
+                    active.resolved_at = now
+                    del self._active[key]
+                    self.timeline.append(
+                        {
+                            "time": now,
+                            "kind": "resolve",
+                            "slo": slo.name,
+                            "severity": rule.severity,
+                            "message": f"{slo.name}: burn back under "
+                            f"{rule.factor:.1f}x budget",
+                        }
+                    )
+        return fired
+
+    def finish(self, now: float) -> None:
+        """End-of-run: resolve anything still active at ``now``."""
+        for key in list(self._active):
+            alert = self._active.pop(key)
+            alert.resolved_at = now
+            self.timeline.append(
+                {
+                    "time": now,
+                    "kind": "resolve",
+                    "slo": alert.slo,
+                    "severity": alert.severity,
+                    "message": f"{alert.slo}: run ended with alert active",
+                }
+            )
+
+    # -- reporting ---------------------------------------------------------
+
+    def status(self, slo: SLO, until: float) -> SloStatus:
+        bad = self.bad_fraction(slo, 0.0, until)
+        _good, total = self.counts(slo, 0.0, until)
+        return SloStatus(
+            slo=slo.name,
+            kind=slo.kind,
+            target=slo.target,
+            events=total,
+            bad_fraction=bad,
+            budget_consumed=None if bad is None else bad / slo.budget,
+            alerts=sum(1 for a in self.alerts if a.slo == slo.name),
+        )
+
+    def report(self, until: float) -> List[SloStatus]:
+        return [self.status(slo, until) for slo in self.slos]
+
+    def render(self, until: float) -> str:
+        """The SLO / burn-rate dashboard section."""
+        return render_slo(self.report(until), self.timeline)
+
+
+def render_slo(
+    report: Sequence[SloStatus], timeline: Sequence[Dict[str, Any]] = ()
+) -> str:
+    """Render the error-budget table and incident timeline — works on a
+    live tracker's output or on fields recovered from an export."""
+    from repro.bench.report import Table
+
+    t = Table(
+        "SLO error budgets",
+        ["slo", "kind", "target", "events", "bad", "budget burned", "alerts", "met"],
+    )
+    for status in report:
+        no_data = status.bad_fraction is None
+        t.add_row(
+            status.slo,
+            status.kind,
+            f"{status.target:.3%}",
+            f"{status.events:.0f}",
+            "no data" if no_data else f"{status.bad_fraction:.2%}",
+            "no data" if no_data else f"{status.budget_consumed:.2f}x",
+            status.alerts,
+            {True: "yes", False: "NO", None: "no data"}[status.met],
+        )
+    parts = [t.render()]
+    if timeline:
+        tl = Table(
+            "Incident timeline", ["time (us)", "event", "severity", "slo", "detail"]
+        )
+        for entry in timeline:
+            tl.add_row(
+                f"{entry['time'] * 1e6:.1f}",
+                entry["kind"],
+                entry.get("severity", ""),
+                entry["slo"],
+                entry["message"],
+            )
+        parts.append(tl.render())
+    return "\n\n".join(parts)
+
+
+def incident_timeline(
+    alerts_timeline: Sequence[Dict[str, Any]],
+    findings: Sequence[Any] = (),
+    end: float = 0.0,
+) -> List[Dict[str, Any]]:
+    """Merge burn-rate alert events with anomaly findings into one
+    time-ordered incident record.
+
+    Anomaly findings (:class:`repro.obs.anomaly.Finding`) come from an
+    end-of-run detection pass, so they are stamped at ``end`` — the
+    correlation is "this run also showed these", not a mid-run time.
+    """
+    merged = [dict(entry) for entry in alerts_timeline]
+    for f in findings:
+        merged.append(
+            {
+                "time": end,
+                "kind": "anomaly",
+                "slo": getattr(f, "rule", "anomaly"),
+                "severity": getattr(f, "severity", "info"),
+                "message": getattr(f, "message", str(f)),
+            }
+        )
+    merged.sort(key=lambda e: (e["time"], e["kind"] != "fire", e.get("slo", "")))
+    return merged
+
+
+__all__ = [
+    "ALERT_SEVERITIES",
+    "BurnRateRule",
+    "SLO",
+    "latency_slo",
+    "availability_slo",
+    "slo_from_dict",
+    "Alert",
+    "alert_from_dict",
+    "SloStatus",
+    "SloTracker",
+    "render_slo",
+    "incident_timeline",
+]

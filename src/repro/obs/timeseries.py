@@ -1,0 +1,392 @@
+"""Windowed time series over the virtual clock.
+
+End-of-run registry snapshots answer *how much*; they cannot answer
+*when*.  This module adds continuous, bounded-memory time series on
+top of the existing :class:`~repro.obs.metrics.MetricsRegistry`
+families: every admitted counter increment, gauge set, and histogram
+observation is also folded — via the registry's write hook, so no
+instrumentation call site changes — into tumbling or sliding windows
+over *simulated* time.
+
+Memory is bounded twice over, which is what lets a 1024-rank service
+run carry live windowing:
+
+* each series keeps a **fixed ring** of at most
+  :attr:`WindowSpec.history` windows; older windows are evicted as
+  the clock advances,
+* each window retains at most :attr:`WindowSpec.max_samples` raw
+  values for its quantiles, decimated deterministically (keep every
+  2^k-th observation) when a window overflows — count/sum/min/max
+  stay exact, p50/p99 become systematic-sample estimates.
+
+Per-rank label explosion is avoided by construction: windows are keyed
+by the metric family plus only the labels named in ``group_by`` (for
+the cluster service, ``tenant``/``kind``/``outcome``), never by
+``rank``.
+
+The SLO layer (:mod:`repro.obs.slo`) reads trailing ranges of these
+windows to compute error-budget burn rates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rollup import exact_percentile
+from repro.util.errors import ConfigurationError
+
+#: label storage for one windowed series: sorted ((key, value), ...)
+GroupKey = Tuple[Tuple[str, str], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowSpec:
+    """Shape of one windowed view: width, overlap, and retention."""
+
+    #: window width in simulated seconds
+    width: float
+    #: window start spacing; ``None`` (or ``== width``) is tumbling,
+    #: smaller values produce overlapping sliding windows
+    slide: Optional[float] = None
+    #: ring capacity — windows kept per series (fixed memory bound)
+    history: int = 64
+    #: raw values retained per window for quantiles (decimated beyond)
+    max_samples: int = 256
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ConfigurationError(f"window width must be > 0, got {self.width}")
+        if self.slide is not None and not (0 < self.slide <= self.width):
+            raise ConfigurationError(
+                f"window slide must be in (0, width], got {self.slide}"
+            )
+        if self.history < 1:
+            raise ConfigurationError(f"history must be >= 1, got {self.history}")
+        if self.max_samples < 2:
+            raise ConfigurationError(
+                f"max_samples must be >= 2, got {self.max_samples}"
+            )
+
+    @property
+    def step(self) -> float:
+        """The effective slide (width for tumbling windows)."""
+        return self.slide if self.slide is not None else self.width
+
+    @property
+    def overlap(self) -> int:
+        """How many windows one sample lands in (1 for tumbling)."""
+        return int(math.ceil(self.width / self.step))
+
+
+class WindowStats:
+    """One window's aggregate: exact moments, sampled quantiles."""
+
+    __slots__ = ("start", "end", "count", "total", "minimum", "maximum",
+                 "_samples", "_stride", "_seen", "_max")
+
+    def __init__(self, start: float, end: float, max_samples: int) -> None:
+        self.start = start
+        self.end = end
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._samples: List[float] = []
+        #: keep every ``_stride``-th observation (doubles on overflow)
+        self._stride = 1
+        self._seen = 0
+        self._max = max_samples
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        # Deterministic systematic sampling: admit every _stride-th
+        # observation; on overflow drop every other retained sample and
+        # double the stride.  No RNG, so replays are bit-identical.
+        if self._seen % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > self._max:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+        self._seen += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """``q``-quantile over the retained samples (exact until the
+        window overflows ``max_samples``, systematic-sample estimate
+        after)."""
+        return exact_percentile(self._samples, q)
+
+    def fraction_above(self, threshold: float) -> float:
+        """Estimated fraction of observations strictly above
+        ``threshold`` (0.0 for an empty window)."""
+        if not self._samples:
+            return 0.0
+        over = sum(1 for v in self._samples if v > threshold)
+        return over / len(self._samples)
+
+    def count_above(self, threshold: float) -> float:
+        """Estimated number of observations above ``threshold``."""
+        return self.fraction_above(threshold) * self.count
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+        }
+
+
+def _empty_window(start: float, end: float) -> Dict[str, float]:
+    """An explicit zero-sample window entry — emitted for gaps so that
+    downstream consumers see "no data", never a silently missing
+    interval (the SLO availability math depends on the distinction)."""
+    return {
+        "start": start, "end": end, "count": 0, "sum": 0.0,
+        "min": 0.0, "max": 0.0, "p50": 0.0, "p99": 0.0,
+    }
+
+
+class WindowedSeries:
+    """The fixed ring of windows for one (family, group) series."""
+
+    def __init__(self, spec: WindowSpec) -> None:
+        self.spec = spec
+        #: window index (start // step) -> stats; bounded to history
+        self._ring: Dict[int, WindowStats] = {}
+        self.count = 0
+        self.total = 0.0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def observe(self, when: float, value: float) -> None:
+        """Fold one observation at sim time ``when`` into every window
+        covering it, evicting the oldest windows past the ring bound."""
+        step = self.spec.step
+        hi = int(math.floor(when / step + 1e-12))
+        lo = max(0, hi - self.spec.overlap + 1)
+        for index in range(lo, hi + 1):
+            start = index * step
+            if when >= start + self.spec.width:
+                continue
+            window = self._ring.get(index)
+            if window is None:
+                window = self._ring[index] = WindowStats(
+                    start, start + self.spec.width, self.spec.max_samples
+                )
+                while len(self._ring) > self.spec.history:
+                    del self._ring[min(self._ring)]
+            window.observe(value)
+        self.count += 1
+        self.total += value
+
+    def windows(self) -> List[WindowStats]:
+        """Retained windows, oldest first."""
+        return [self._ring[i] for i in sorted(self._ring)]
+
+    def latest(self) -> Optional[WindowStats]:
+        return self._ring[max(self._ring)] if self._ring else None
+
+    def window_at(self, when: float) -> Optional[WindowStats]:
+        """The (tumbling-aligned) retained window whose start covers
+        ``when``, or None when evicted/never written."""
+        return self._ring.get(int(math.floor(when / self.spec.step + 1e-12)))
+
+    def range(self, since: float, until: float) -> List[WindowStats]:
+        """Retained windows overlapping ``[since, until)``."""
+        return [
+            w for w in self.windows() if w.end > since and w.start < until
+        ]
+
+    def series(self, fill_gaps: bool = True) -> List[Dict[str, float]]:
+        """The ring as dicts, oldest first.  With ``fill_gaps`` (the
+        default), intervals between retained windows that received no
+        samples appear as explicit zero-count entries."""
+        out: List[Dict[str, float]] = []
+        prev_index: Optional[int] = None
+        step = self.spec.step
+        for index in sorted(self._ring):
+            if fill_gaps and prev_index is not None:
+                for gap in range(prev_index + 1, index):
+                    out.append(
+                        _empty_window(gap * step, gap * step + self.spec.width)
+                    )
+            out.append(self._ring[index].to_dict())
+            prev_index = index
+        return out
+
+
+class TimeSeries:
+    """Windowed views over a registry, fed by its write hook.
+
+    Attach to a live registry and every subsequent metric write is
+    mirrored into windows::
+
+        ts = TimeSeries(clock=lambda: sim.now, spec=WindowSpec(100e-6))
+        ts.attach(obs.registry)
+        ...
+        ts.series("service.queue_wait_seconds").windows()
+
+    ``group_by`` names the labels that key separate series (everything
+    else — notably ``rank`` — is aggregated away); ``metrics`` is an
+    optional name/prefix allowlist (a trailing ``.`` matches the
+    prefix).  Series count is capped at ``max_series``; writes beyond
+    the cap are counted in :attr:`dropped`, mirroring the registry's
+    own cardinality guard.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        spec: Optional[WindowSpec] = None,
+        group_by: Sequence[str] = (),
+        metrics: Optional[Sequence[str]] = None,
+        max_series: int = 256,
+    ) -> None:
+        if max_series < 1:
+            raise ConfigurationError(f"max_series must be >= 1, got {max_series}")
+        self.clock = clock
+        self.spec = spec if spec is not None else WindowSpec(width=100e-6)
+        self.group_by = tuple(group_by)
+        self.filters = tuple(metrics) if metrics is not None else None
+        self.max_series = max_series
+        #: writes dropped by the series cap
+        self.dropped = 0
+        self._series: Dict[Tuple[str, GroupKey], WindowedSeries] = {}
+        self._attached: List[MetricsRegistry] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, registry: MetricsRegistry) -> "TimeSeries":
+        registry.add_write_hook(self._on_write)
+        self._attached.append(registry)
+        return self
+
+    def detach(self, registry: Optional[MetricsRegistry] = None) -> None:
+        targets = [registry] if registry is not None else list(self._attached)
+        for reg in targets:
+            reg.remove_write_hook(self._on_write)
+            if reg in self._attached:
+                self._attached.remove(reg)
+
+    def _wanted(self, name: str) -> bool:
+        if self.filters is None:
+            return True
+        return any(
+            name == f or (f.endswith(".") and name.startswith(f))
+            for f in self.filters
+        )
+
+    def _on_write(self, metric: Any, value: float, labels: Dict[str, Any]) -> None:
+        if not self._wanted(metric.name):
+            return
+        self.observe(metric.name, value, labels)
+
+    # -- feeding -----------------------------------------------------------
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Dict[str, Any]] = None,
+        when: Optional[float] = None,
+    ) -> None:
+        """Fold one sample directly (the hook path, and what offline
+        replay uses with an explicit ``when``)."""
+        group: GroupKey = ()
+        if labels and self.group_by:
+            group = tuple(
+                sorted(
+                    (k, str(labels[k])) for k in self.group_by if k in labels
+                )
+            )
+        key = (name, group)
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.max_series:
+                self.dropped += 1
+                return
+            series = self._series[key] = WindowedSeries(self.spec)
+        series.observe(self.clock() if when is None else when, value)
+
+    # -- reading -----------------------------------------------------------
+
+    def series(self, name: str, **labels: Any) -> Optional[WindowedSeries]:
+        """The windowed series for ``name`` under the given group
+        labels (which must match the configured ``group_by`` subset)."""
+        group = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        return self._series.get((name, group))
+
+    def matching(self, name: str, **labels: Any) -> List[WindowedSeries]:
+        """Every series of family ``name`` whose group labels include
+        the given subset (e.g. all outcomes of one tenant)."""
+        query = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        out = []
+        for (fam, group), series in sorted(self._series.items()):
+            if fam != name:
+                continue
+            entries = dict(group)
+            if all(entries.get(k) == v for k, v in query):
+                out.append(series)
+        return out
+
+    def names(self) -> List[str]:
+        return sorted({name for name, _ in self._series})
+
+    def total_windows(self) -> int:
+        """Retained windows across every series (the memory bound the
+        scale test asserts)."""
+        return sum(len(s) for s in self._series.values())
+
+    def snapshot(self, fill_gaps: bool = True) -> Dict[str, Any]:
+        """JSON-able dump: family -> list of {labels, count, windows}.
+
+        Families and groups that received zero samples inside a
+        retained-but-gap interval carry explicit zero-count window
+        entries (``fill_gaps``) — "no data" is visible, not absent.
+        """
+        out: Dict[str, Any] = {
+            "spec": {
+                "width": self.spec.width,
+                "slide": self.spec.step,
+                "history": self.spec.history,
+                "max_samples": self.spec.max_samples,
+            },
+            "group_by": list(self.group_by),
+            "dropped": self.dropped,
+            "families": {},
+        }
+        for (name, group), series in sorted(self._series.items()):
+            out["families"].setdefault(name, []).append(
+                {
+                    "labels": dict(group),
+                    "count": series.count,
+                    "sum": series.total,
+                    "windows": series.series(fill_gaps=fill_gaps),
+                }
+            )
+        return out
+
+
+__all__ = [
+    "WindowSpec",
+    "WindowStats",
+    "WindowedSeries",
+    "TimeSeries",
+]

@@ -38,6 +38,8 @@ class TestMetricSpec:
             assert spec.better in ("lower", "higher")
             # Bandwidth, throughput, completion counts, and boolean
             # selection indicators go up; times and shed load go down.
+            # The saturated point's alert count also goes up: losing
+            # the burn-rate page at saturation is the regression.
             expected = (
                 "higher"
                 if name.startswith("bandwidth")
@@ -45,6 +47,7 @@ class TestMetricSpec:
                 or name.endswith("per_sec")
                 or name.endswith("throughput")
                 or name.endswith("completed")
+                or name.endswith("sat.alerts")
                 else "lower"
             )
             assert spec.better == expected

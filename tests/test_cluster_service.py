@@ -358,6 +358,221 @@ class TestTelemetry:
             res.record_of(999)
 
 
+class TestResultEdges:
+    def test_percentile_validates_q(self):
+        res = ClusterService(make_world()).run([job(0)])
+        for bad_q in (-0.01, 1.5, 2.0):
+            with pytest.raises(ValueError, match=r"\[0, 1\]"):
+                res.queue_wait_percentile(bad_q)
+
+    def test_all_rejected_run_has_defined_edges(self):
+        # Every job infeasible: no waits, no completions, zero elapsed.
+        res = ClusterService(make_world()).run(
+            [job(0, nodes=5), job(1, nodes=5)]
+        )
+        assert len(res.rejected) == 2
+        assert res.queue_wait_percentile(0.99) == 0.0
+        assert res.throughput == 0.0
+
+    def test_empty_stream(self):
+        res = ClusterService(make_world()).run([])
+        assert res.records == []
+        assert res.throughput == 0.0
+        assert res.queue_wait_percentile(0.5) == 0.0
+
+
+class TestChargeback:
+    def test_zero_job_tenant_gets_explicit_zero_row(self):
+        # A tenant whose only submission is shed still appears in the
+        # chargeback with an all-zero usage row — billing shows the
+        # tenant existed, not silence.
+        res = ClusterService(make_world()).run(
+            [job(0, tenant="busy"), job(1, tenant="idle", nodes=5)]
+        )
+        report = res.chargeback()
+        idle = report.row_for("idle")
+        assert idle is not None
+        assert idle.jobs_rejected == 1 and idle.jobs_completed == 0
+        assert idle.gpu_seconds == 0.0
+        assert idle.network_bytes == 0.0
+        assert idle.queue_wait_seconds == 0.0
+        assert idle.cost(report.rates) == 0.0
+        busy = report.row_for("busy")
+        assert busy.jobs_completed == 1 and busy.gpu_seconds > 0.0
+
+    def test_all_failed_tenant_attribution(self, monkeypatch):
+        # A tenant whose every job crashes is still billed: the leaked
+        # bytes and the GPU time burned before the crash land on *their*
+        # row, and nothing bleeds onto other tenants.
+        import repro.cluster.service as service_mod
+
+        def crashing_build(req, nranks):
+            def program(ctx):
+                ctx.diomp.barrier()
+                if ctx.rank == 1:
+                    raise RuntimeError("boom at rank 1")
+                ctx.world.global_barrier.wait()
+
+            return program, (), 1 << 20
+
+        monkeypatch.setattr(service_mod, "build_job", crashing_build)
+        w = World(platform_a(), num_nodes=1, ranks_per_node=2)
+        jobs = [
+            job(0, kind="cannon", tenant="chaotic"),
+            job(1, kind="cannon", tenant="chaotic", arrival=1e-4),
+        ]
+        res = ClusterService(w).run(jobs)
+        assert len(res.failed) == 2
+        report = res.chargeback()
+        row = report.row_for("chaotic")
+        assert row.jobs_failed == 2 and row.jobs_completed == 0
+        assert row.leaked_bytes > 0
+        assert row.gpu_seconds > 0
+        # Sole tenant: their row carries the whole-service totals.
+        assert row.leaked_bytes == report.total.leaked_bytes
+        assert row.cost(report.rates) == pytest.approx(
+            report.total.cost(report.rates)
+        )
+
+    def test_rows_sum_to_totals(self):
+        w = World(platform_a(), num_nodes=4, ranks_per_node=2)
+        jobs = poisson_jobs(seed=21, count=12, rate=4000.0, execute=False)
+        res = ClusterService(w, ServiceConfig(queue_limit=8)).run(jobs)
+        report = res.chargeback()
+        total = report.total
+        for field in ("jobs_completed", "gpu_seconds", "queue_wait_seconds"):
+            assert sum(getattr(r, field) for r in report.rows) == pytest.approx(
+                getattr(total, field)
+            )
+        assert total.jobs_completed == len(res.completed)
+
+
+class TestServiceSlo:
+    def stream(self, rate=16000.0):
+        return poisson_jobs(seed=7, count=16, rate=rate, execute=False)
+
+    def test_slos_do_not_perturb_the_schedule(self):
+        # Burn-rate evaluation is pure computation on the window ring:
+        # disabling it must not move a single timestamp.
+        on = ClusterService(
+            make_world(4), ServiceConfig(queue_limit=8)
+        ).run(self.stream())
+        off = ClusterService(
+            make_world(4), ServiceConfig(queue_limit=8, slos=())
+        ).run(self.stream())
+
+        def fp(res):
+            return [
+                (r.job_id, r.outcome, r.started, r.finished)
+                for r in res.records
+            ]
+
+        assert fp(on) == fp(off)
+        assert off.slos == () and off.alerts == []
+        assert off.windows is None
+
+    def test_default_slos_installed(self):
+        res = ClusterService(make_world()).run([job(0)])
+        assert {s.name for s in res.slos} == {"queue-wait-p90", "job-success"}
+        assert res.windows is not None
+        assert res.slo_report  # evaluated even on a tiny clean run
+
+    def test_custom_slo_fires_and_reports(self):
+        from repro.obs.slo import BurnRateRule, availability_slo
+
+        # 100% success required with a hair-trigger rule: the rejected
+        # jobs of a saturated run must page.
+        strict = availability_slo(
+            "all-or-nothing",
+            "service.jobs",
+            good={"outcome": "completed"},
+            target=0.5,
+            window=1e-3,
+            rules=(
+                BurnRateRule(
+                    long_window=2e-3, short_window=2e-3, factor=0.1
+                ),
+            ),
+            min_events=1,
+        )
+        w = World(platform_a(), num_nodes=1, ranks_per_node=2)
+        res = ClusterService(
+            w, ServiceConfig(queue_limit=1, slos=(strict,))
+        ).run([job(i) for i in range(6)])
+        assert len(res.rejected) == 5
+        assert res.alerts and res.alerts[0].slo == "all-or-nothing"
+        (status,) = res.slo_report
+        assert status.bad_fraction > 0.5
+
+    def test_alerts_are_sim_timestamped(self):
+        res = ClusterService(
+            make_world(4), ServiceConfig(queue_limit=8)
+        ).run(self.stream())
+        for alert in res.alerts:
+            assert 0.0 <= alert.fired_at <= res.elapsed
+            assert alert.resolved_at is not None  # finish() closed it
+        times = [e["time"] for e in res.timeline]
+        assert times == sorted(times)
+
+    def test_incidents_merge_anomaly_findings(self):
+        res = ClusterService(make_world()).run([job(0)])
+        merged = res.incidents(findings=[])
+        assert all(e["kind"] != "anomaly" for e in merged)
+
+    def test_export_replay_roundtrip(self, tmp_path):
+        from repro.obs.report import _timeline_key, replay_service_export
+
+        res = ClusterService(
+            make_world(4), ServiceConfig(queue_limit=8)
+        ).run(self.stream())
+        path = tmp_path / "run.json"
+        doc = res.export(str(path))
+        import json
+
+        on_disk = json.loads(path.read_text())
+        tracker = replay_service_export(on_disk)
+        assert _timeline_key(tracker.timeline) == _timeline_key(doc["timeline"])
+
+    def test_slo_cli_replay(self, tmp_path, capsys):
+        from repro.obs.report import main as obs_main
+
+        res = ClusterService(
+            make_world(4), ServiceConfig(queue_limit=8)
+        ).run(self.stream())
+        path = tmp_path / "run.json"
+        res.export(str(path))
+        out_json = tmp_path / "timeline.json"
+        code = obs_main(["slo", str(path), "--json", str(out_json)])
+        assert code == 0
+        assert "replay matches the recorded timeline" in capsys.readouterr().out
+        import json
+
+        replayed = json.loads(out_json.read_text())
+        assert replayed["matches_export"] is True
+        # strict mode: nonzero exit when the run paged.
+        expected = 1 if res.alerts else 0
+        assert obs_main(["slo", str(path), "--strict"]) == expected
+
+    def test_slo_cli_rejects_sloless_export(self, tmp_path):
+        from repro.obs.report import main as obs_main
+
+        res = ClusterService(
+            make_world(), ServiceConfig(slos=())
+        ).run([job(0)])
+        path = tmp_path / "bare.json"
+        res.export(str(path))
+        assert obs_main(["slo", str(path)]) == 2
+
+    def test_dashboard_has_service_sections(self):
+        res = ClusterService(
+            make_world(4), ServiceConfig(queue_limit=8)
+        ).run(self.stream())
+        text = res.dashboard()
+        assert "SLO error budgets" in text
+        assert "Windowed time series" in text
+        assert "chargeback" in text.lower()
+
+
 class TestJobStream:
     def test_poisson_stream_is_seeded(self):
         a = poisson_jobs(seed=3, count=10, rate=100.0)

@@ -1,0 +1,123 @@
+"""Per-tenant chargeback: usage rows, cost rates, report totals."""
+
+import pytest
+
+from repro.obs.accounting import (
+    GiB,
+    ChargebackReport,
+    CostRates,
+    TenantUsage,
+    chargeback_report,
+    report_from_dict,
+    usage_from_dict,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.util.errors import ConfigurationError
+
+
+def usage(tenant="acme", **kw):
+    defaults = dict(
+        jobs_completed=3,
+        jobs_failed=1,
+        jobs_rejected=2,
+        gpu_seconds=10.0,
+        network_bytes=2.0 * GiB,
+        queue_wait_seconds=5.0,
+        leaked_bytes=0.5 * GiB,
+    )
+    defaults.update(kw)
+    return TenantUsage(tenant=tenant, **defaults)
+
+
+class TestCostRates:
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostRates(gpu_second=-1.0)
+        with pytest.raises(ConfigurationError):
+            CostRates(leaked_gib=-0.1)
+
+    def test_cost_math(self):
+        rates = CostRates(
+            gpu_second=2.0, network_gib=0.1, queue_second=0.5, leaked_gib=4.0
+        )
+        # 10 gpu-s * 2 + 2 GiB * 0.1 + 5 s * 0.5 + 0.5 GiB * 4
+        assert usage().cost(rates) == pytest.approx(20.0 + 0.2 + 2.5 + 2.0)
+
+    def test_free_tier(self):
+        assert usage().cost(CostRates(0.0, 0.0, 0.0, 0.0)) == 0.0
+
+
+class TestReport:
+    def test_rows_sorted_and_totals(self):
+        report = ChargebackReport(
+            rows=(usage("zeta"), usage("acme", jobs_completed=5)), rates=CostRates()
+        )
+        assert [r.tenant for r in report.rows] == ["acme", "zeta"]
+        total = report.total
+        assert total.tenant == "TOTAL"
+        assert total.jobs_completed == 8
+        assert total.gpu_seconds == pytest.approx(20.0)
+        assert total.cost(report.rates) == pytest.approx(
+            sum(r.cost(report.rates) for r in report.rows)
+        )
+
+    def test_row_lookup_and_render(self):
+        report = ChargebackReport(rows=(usage(),), rates=CostRates())
+        assert report.row_for("acme").jobs_rejected == 2
+        assert report.row_for("ghost") is None
+        text = report.render()
+        assert "acme" in text and "TOTAL" in text
+
+    def test_roundtrip_through_dict(self):
+        report = ChargebackReport(
+            rows=(usage(), usage("globex", leaked_bytes=0.0)),
+            rates=CostRates(gpu_second=3.0),
+        )
+        rebuilt = report_from_dict(report.to_dict())
+        assert rebuilt.rows == report.rows
+        assert rebuilt.rates == report.rates
+        assert usage_from_dict(usage().to_dict()) == usage()
+
+
+class TestFromRegistry:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        jobs = reg.counter("service.jobs")
+        gpu = reg.counter("service.gpu_seconds")
+        net = reg.counter("service.net_bytes")
+        waits = reg.histogram("service.queue_wait_seconds")
+        leaked = reg.counter("service.leaked_bytes")
+        jobs.inc(2, tenant="acme", outcome="completed")
+        jobs.inc(1, tenant="acme", outcome="rejected")
+        jobs.inc(1, tenant="globex", outcome="failed")
+        gpu.inc(4.0, tenant="acme", kind="cannon")
+        gpu.inc(1.5, tenant="globex", kind="minimod")
+        net.inc(1024.0, tenant="acme")
+        waits.observe(2e-3, tenant="acme")
+        waits.observe(3e-3, tenant="acme")
+        leaked.inc(512.0, tenant="globex")
+        return reg
+
+    def test_reads_live_counters(self):
+        report = chargeback_report(self.make_registry())
+        acme = report.row_for("acme")
+        assert acme.jobs_completed == 2
+        assert acme.jobs_rejected == 1
+        assert acme.gpu_seconds == pytest.approx(4.0)
+        assert acme.network_bytes == pytest.approx(1024.0)
+        assert acme.queue_wait_seconds == pytest.approx(5e-3)
+        assert acme.leaked_bytes == 0.0
+        globex = report.row_for("globex")
+        assert globex.jobs_failed == 1
+        assert globex.leaked_bytes == pytest.approx(512.0)
+        assert globex.queue_wait_seconds == 0.0
+
+    def test_custom_rates_flow_through(self):
+        rates = CostRates(gpu_second=10.0, network_gib=0.0, queue_second=0.0, leaked_gib=0.0)
+        report = chargeback_report(self.make_registry(), rates)
+        assert report.row_for("acme").cost(rates) == pytest.approx(40.0)
+
+    def test_empty_registry_is_empty_report(self):
+        report = chargeback_report(MetricsRegistry())
+        assert len(report.rows) == 0
+        assert report.total.jobs_completed == 0

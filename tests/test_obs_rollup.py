@@ -80,11 +80,22 @@ class TestRollupRegistry:
     def test_families_and_flat_cardinality(self):
         reg = make_registry(16)
         doc = rollup_registry(reg)
-        assert set(doc) == {"rma.ops", "mem.used", "lat"}  # no cluster.total
+        assert set(doc) == {"rma.ops", "mem.used", "lat", "cluster.total"}
         assert doc["rma.ops"]["kind"] == "counter"
         # Cardinality is label-combinations, not ranks.
         assert len(doc["rma.ops"]["groups"]) == 2
         assert len(doc["mem.used"]["groups"]) == 1
+
+    def test_empty_family_contributes_explicit_entry(self):
+        # "No data" must be visible: a registered family with zero
+        # rank-labeled series appears with empty groups, so downstream
+        # SLO math can tell "never measured" from "measured 100% good".
+        reg = make_registry(2)
+        doc = rollup_registry(reg)
+        assert doc["cluster.total"] == {"kind": "counter", "groups": []}
+        # The legacy shape is still available on request.
+        legacy = rollup_registry(reg, include_empty=False)
+        assert "cluster.total" not in legacy
 
     def test_size_flat_in_rank_count(self):
         import json

@@ -1,0 +1,225 @@
+"""SLOs, error budgets, burn-rate alerts, and the incident timeline."""
+
+import pytest
+
+from repro.obs.anomaly import Finding
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SLO,
+    BurnRateRule,
+    SloTracker,
+    alert_from_dict,
+    availability_slo,
+    incident_timeline,
+    latency_slo,
+    render_slo,
+    slo_from_dict,
+)
+from repro.obs.timeseries import TimeSeries, WindowSpec
+from repro.util.errors import ConfigurationError
+
+
+def make_stack(slos, width=100e-6, history=64):
+    now = [0.0]
+    reg = MetricsRegistry()
+    ts = TimeSeries(
+        clock=lambda: now[0],
+        spec=WindowSpec(width=width, history=history),
+        group_by=("tenant", "outcome"),
+        metrics=("service.",),
+    ).attach(reg)
+    return now, reg, ts, SloTracker(slos, ts)
+
+
+LAT_RULE = BurnRateRule(long_window=2e-3, short_window=5e-4, factor=2.0)
+
+
+def lat_slo(**kw):
+    defaults = dict(
+        threshold=250e-6, target=0.90, window=1e-3, rules=(LAT_RULE,), min_events=4
+    )
+    defaults.update(kw)
+    return latency_slo("queue-wait", "service.queue_wait_seconds", **defaults)
+
+
+class TestDeclarations:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lat_slo(target=1.0)  # target must be < 1
+        with pytest.raises(ConfigurationError):
+            lat_slo(window=0.0)
+        with pytest.raises(ConfigurationError):
+            SLO(name="x", metric="m", target=0.9, window=1.0)  # neither kind
+        with pytest.raises(ConfigurationError):
+            BurnRateRule(long_window=1e-3, short_window=2e-3, factor=1.0)
+        with pytest.raises(ConfigurationError):
+            BurnRateRule(long_window=1e-3, short_window=1e-4, factor=1.0, severity="sms")
+
+    def test_budget_and_kind(self):
+        slo = lat_slo(target=0.99)
+        assert slo.kind == "latency"
+        assert slo.budget == pytest.approx(0.01)
+        avail = availability_slo(
+            "ok", "service.jobs", good={"outcome": "completed"}, target=0.999
+        )
+        assert avail.kind == "availability"
+        assert avail.required_labels() == ("outcome",)
+
+    def test_roundtrip_through_dict(self):
+        for slo in (
+            lat_slo(),
+            availability_slo(
+                "ok",
+                "service.jobs",
+                good={"outcome": "completed"},
+                target=0.999,
+                rules=(LAT_RULE,),
+            ),
+        ):
+            assert slo_from_dict(slo.to_dict()) == slo
+
+    def test_duplicate_names_rejected(self):
+        _, _, ts, _ = make_stack([lat_slo()])
+        with pytest.raises(ConfigurationError):
+            SloTracker([lat_slo(), lat_slo()], ts)
+
+
+class TestBurnRate:
+    def test_no_data_is_not_all_good(self):
+        now, reg, ts, tracker = make_stack([lat_slo()])
+        slo = tracker.slos[0]
+        # Nothing observed: abstain (None), never 0.0-bad.
+        assert tracker.bad_fraction(slo, 0.0, 1e-3) is None
+        assert tracker.burn_rate(slo, 0.0, 1e-3) is None
+        # Below min_events: still abstaining.
+        reg.histogram("service.queue_wait_seconds").observe(1.0, tenant="a")
+        assert tracker.bad_fraction(slo, 0.0, 1e-3) is None
+
+    def test_latency_bad_fraction(self):
+        now, reg, ts, tracker = make_stack([lat_slo()])
+        h = reg.histogram("service.queue_wait_seconds")
+        for wait in (0.0, 0.0, 500e-6, 500e-6):
+            h.observe(wait, tenant="a")
+        slo = tracker.slos[0]
+        assert tracker.bad_fraction(slo, 0.0, 1e-3) == pytest.approx(0.5)
+        # budget = 0.10 -> burn 5x
+        assert tracker.burn_rate(slo, 0.0, 1e-3) == pytest.approx(5.0)
+
+    def test_availability_counts_by_label(self):
+        avail = availability_slo(
+            "ok",
+            "service.jobs",
+            good={"outcome": "completed"},
+            target=0.9,
+            rules=(),
+            min_events=1,
+        )
+        now, reg, ts, tracker = make_stack([avail])
+        jobs = reg.counter("service.jobs")
+        for _ in range(3):
+            jobs.inc(tenant="a", outcome="completed")
+        jobs.inc(tenant="a", outcome="rejected")
+        assert tracker.bad_fraction(avail, 0.0, 1e-3) == pytest.approx(0.25)
+
+
+class TestAlertLifecycle:
+    def test_fire_requires_both_windows(self):
+        now, reg, ts, tracker = make_stack([lat_slo()])
+        h = reg.histogram("service.queue_wait_seconds")
+        # Old badness outside the short window must not page.
+        for i in range(8):
+            now[0] = i * 50e-6
+            h.observe(1e-3, tenant="a")
+        now[0] = 1.2e-3  # short window [0.7ms, 1.2ms) holds nothing
+        assert tracker.evaluate(now[0]) == []
+
+    def test_fire_resolve_and_finish(self):
+        now, reg, ts, tracker = make_stack([lat_slo()])
+        h = reg.histogram("service.queue_wait_seconds")
+        for i in range(8):
+            now[0] = i * 50e-6
+            h.observe(1e-3, tenant="a")
+            tracker.evaluate(now[0])
+        assert len(tracker.alerts) == 1
+        alert = tracker.alerts[0]
+        assert alert.active and alert.severity == "page"
+        assert alert.burn_long > 2.0 and alert.burn_short > 2.0
+        # Good samples push the short window back under the factor.
+        for i in range(8, 40):
+            now[0] = i * 50e-6
+            h.observe(0.0, tenant="a")
+            tracker.evaluate(now[0])
+        assert not alert.active
+        assert alert.resolved_at is not None
+        kinds = [e["kind"] for e in tracker.timeline]
+        assert kinds == ["fire", "resolve"]
+        # finish() with nothing active is a no-op.
+        tracker.finish(now[0])
+        assert len(tracker.timeline) == 2
+
+    def test_finish_resolves_active_alerts(self):
+        now, reg, ts, tracker = make_stack([lat_slo()])
+        h = reg.histogram("service.queue_wait_seconds")
+        for i in range(8):
+            now[0] = i * 50e-6
+            h.observe(1e-3, tenant="a")
+            tracker.evaluate(now[0])
+        (alert,) = tracker.alerts
+        tracker.finish(2e-3)
+        assert alert.resolved_at == 2e-3
+        assert tracker.timeline[-1]["kind"] == "resolve"
+
+    def test_alert_roundtrip(self):
+        now, reg, ts, tracker = make_stack([lat_slo()])
+        h = reg.histogram("service.queue_wait_seconds")
+        for i in range(8):
+            now[0] = i * 50e-6
+            h.observe(1e-3, tenant="a")
+            tracker.evaluate(now[0])
+        (alert,) = tracker.alerts
+        assert alert_from_dict(alert.to_dict()) == alert
+
+
+class TestReporting:
+    def test_status_and_render(self):
+        now, reg, ts, tracker = make_stack([lat_slo()])
+        h = reg.histogram("service.queue_wait_seconds")
+        for wait in (0.0, 0.0, 0.0, 500e-6):
+            h.observe(wait, tenant="a")
+        (status,) = tracker.report(1e-4)
+        assert status.events == 4
+        assert status.bad_fraction == pytest.approx(0.25)
+        assert status.budget_consumed == pytest.approx(2.5)
+        assert status.met is False
+        text = render_slo(tracker.report(1e-4), tracker.timeline)
+        assert "queue-wait" in text and "2.50x" in text
+
+    def test_no_data_status(self):
+        _, _, _, tracker = make_stack([lat_slo()])
+        (status,) = tracker.report(1e-3)
+        assert status.bad_fraction is None
+        assert status.budget_consumed is None
+        assert status.met is None
+        assert "no data" in render_slo([status])
+
+
+class TestIncidentTimeline:
+    def test_merges_and_orders(self):
+        alerts = [
+            {"time": 2e-3, "kind": "resolve", "slo": "a", "message": "ok"},
+            {"time": 1e-3, "kind": "fire", "slo": "a", "message": "bad"},
+        ]
+        findings = [
+            Finding(
+                rule="barrier_skew",
+                severity="warning",
+                subject="rank3",
+                message="rank3 late",
+                value=3.5,
+                threshold=3.0,
+            )
+        ]
+        merged = incident_timeline(alerts, findings, end=3e-3)
+        assert [e["kind"] for e in merged] == ["fire", "resolve", "anomaly"]
+        assert merged[-1]["time"] == 3e-3
+        assert merged[-1]["slo"] == "barrier_skew"

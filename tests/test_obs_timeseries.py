@@ -1,0 +1,206 @@
+"""Windowed time series: tumbling/sliding windows, bounded memory."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeries, WindowSpec, WindowStats, WindowedSeries
+from repro.util.errors import ConfigurationError
+
+
+class TestWindowSpec:
+    def test_tumbling_default(self):
+        spec = WindowSpec(width=100e-6)
+        assert spec.step == pytest.approx(100e-6)
+        assert spec.overlap == 1
+
+    def test_sliding(self):
+        spec = WindowSpec(width=100e-6, slide=25e-6)
+        assert spec.step == pytest.approx(25e-6)
+        assert spec.overlap == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WindowSpec(width=0.0)
+        with pytest.raises(ConfigurationError):
+            WindowSpec(width=1.0, slide=2.0)  # slide > width
+        with pytest.raises(ConfigurationError):
+            WindowSpec(width=1.0, history=0)
+        with pytest.raises(ConfigurationError):
+            WindowSpec(width=1.0, max_samples=1)
+
+
+class TestWindowStats:
+    def test_exact_aggregates(self):
+        w = WindowStats(0.0, 1.0, max_samples=256)
+        for v in (3.0, 1.0, 2.0):
+            w.observe(v)
+        assert w.count == 3
+        assert w.total == pytest.approx(6.0)
+        assert w.minimum == 1.0 and w.maximum == 3.0
+        assert w.mean == pytest.approx(2.0)
+        assert w.percentile(0.5) == pytest.approx(2.0)
+
+    def test_fraction_above(self):
+        w = WindowStats(0.0, 1.0, max_samples=256)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            w.observe(v)
+        assert w.fraction_above(2.5) == pytest.approx(0.5)
+        assert w.count_above(2.5) == pytest.approx(2.0)
+        empty = WindowStats(0.0, 1.0, max_samples=256)
+        assert empty.fraction_above(0.0) == 0.0
+
+    def test_systematic_sampling_bounds_memory(self):
+        w = WindowStats(0.0, 1.0, max_samples=8)
+        for i in range(10_000):
+            w.observe(float(i))
+        # Exact aggregates survive decimation...
+        assert w.count == 10_000
+        assert w.maximum == 9999.0
+        # ...while the retained sample set stays bounded.
+        assert len(w._samples) <= 8
+
+    def test_sampling_is_deterministic(self):
+        def run():
+            w = WindowStats(0.0, 1.0, max_samples=16)
+            for i in range(5_000):
+                w.observe(float(i % 97))
+            return w.percentile(0.99), w._samples
+
+        assert run() == run()
+
+
+class TestWindowedSeries:
+    def test_tumbling_fold(self):
+        s = WindowedSeries(WindowSpec(width=100e-6))
+        s.observe(10e-6, 1.0)
+        s.observe(50e-6, 2.0)
+        s.observe(150e-6, 3.0)
+        assert len(s) == 2
+        first, second = s.windows()
+        assert first.count == 2 and first.total == pytest.approx(3.0)
+        assert second.count == 1
+
+    def test_sliding_fold_covers_overlap(self):
+        s = WindowedSeries(WindowSpec(width=100e-6, slide=50e-6))
+        s.observe(120e-6, 1.0)
+        # The sample lands in the windows starting at 50us and 100us.
+        covered = [w.start for w in s.windows() if w.count]
+        assert covered == [pytest.approx(50e-6), pytest.approx(100e-6)]
+
+    def test_ring_eviction(self):
+        s = WindowedSeries(WindowSpec(width=10e-6, history=4))
+        for i in range(100):
+            s.observe(i * 10e-6, 1.0)
+        assert len(s) == 4
+        # Series-level totals survive eviction.
+        assert s.count == 100
+
+    def test_range_query(self):
+        s = WindowedSeries(WindowSpec(width=10e-6, history=64))
+        for i in range(10):
+            s.observe(i * 10e-6, float(i))
+        picked = s.range(25e-6, 55e-6)
+        assert [w.start for w in picked] == [
+            pytest.approx(20e-6),
+            pytest.approx(30e-6),
+            pytest.approx(40e-6),
+            pytest.approx(50e-6),
+        ]
+
+    def test_gap_filling_makes_no_data_visible(self):
+        s = WindowedSeries(WindowSpec(width=10e-6, history=64))
+        s.observe(5e-6, 1.0)
+        s.observe(45e-6, 1.0)
+        entries = s.series(fill_gaps=True)
+        assert len(entries) == 5
+        assert [e["count"] for e in entries] == [1, 0, 0, 0, 1]
+
+
+class TestTimeSeries:
+    def test_registry_hook_feeds_windows(self):
+        now = [0.0]
+        reg = MetricsRegistry()
+        ts = TimeSeries(clock=lambda: now[0], spec=WindowSpec(width=100e-6))
+        ts.attach(reg)
+        c = reg.counter("svc.jobs")
+        h = reg.histogram("svc.wait")
+        g = reg.gauge("svc.depth")
+        c.inc(2.0)
+        now[0] = 50e-6
+        h.observe(1e-3)
+        g.set(7.0)
+        assert ts.series("svc.jobs").count == 1
+        assert ts.series("svc.jobs").windows()[0].total == pytest.approx(2.0)
+        assert ts.series("svc.wait").windows()[0].maximum == pytest.approx(1e-3)
+        assert ts.series("svc.depth").count == 1
+        ts.detach(reg)
+        c.inc()
+        assert ts.series("svc.jobs").count == 1  # detached: no more feed
+
+    def test_metric_name_filters(self):
+        reg = MetricsRegistry()
+        ts = TimeSeries(clock=lambda: 0.0, metrics=("service.",)).attach(reg)
+        reg.counter("service.jobs").inc()
+        reg.counter("rma.ops").inc()
+        assert ts.names() == ["service.jobs"]
+
+    def test_group_by_labels(self):
+        reg = MetricsRegistry()
+        ts = TimeSeries(
+            clock=lambda: 0.0, group_by=("tenant", "outcome")
+        ).attach(reg)
+        c = reg.counter("jobs")
+        c.inc(tenant="acme", outcome="completed", kind="cannon")
+        c.inc(tenant="acme", outcome="rejected", kind="cannon")
+        c.inc(tenant="globex", outcome="completed", kind="minimod")
+        # kind is not in group_by, so it does not split series.
+        assert len(ts.matching("jobs")) == 3
+        assert len(ts.matching("jobs", tenant="acme")) == 2
+        only = ts.series("jobs", tenant="acme", outcome="rejected")
+        assert only is not None and only.count == 1
+
+    def test_series_cap_counts_drops(self):
+        reg = MetricsRegistry()
+        ts = TimeSeries(
+            clock=lambda: 0.0, group_by=("tenant",), max_series=2
+        ).attach(reg)
+        c = reg.counter("jobs")
+        for tenant in ("a", "b", "c", "d"):
+            c.inc(tenant=tenant)
+        assert len(ts.matching("jobs")) == 2
+        assert ts.dropped == 2
+
+    def test_total_windows_bounded(self):
+        # The memory-bound invariant at scale: ring x series, never
+        # proportional to the number of observations.
+        now = [0.0]
+        reg = MetricsRegistry()
+        spec = WindowSpec(width=10e-6, history=8)
+        ts = TimeSeries(clock=lambda: now[0], spec=spec).attach(reg)
+        c = reg.counter("events")
+        for i in range(50_000):
+            now[0] = i * 1e-6
+            c.inc()
+        assert ts.total_windows() <= spec.history
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        ts = TimeSeries(
+            clock=lambda: 0.0,
+            spec=WindowSpec(width=100e-6, history=4),
+            group_by=("tenant",),
+        ).attach(reg)
+        reg.counter("jobs").inc(tenant="acme")
+        doc = ts.snapshot()
+        assert doc["spec"]["history"] == 4
+        assert doc["group_by"] == ["tenant"]
+        (entry,) = doc["families"]["jobs"]
+        assert entry["labels"] == {"tenant": "acme"}
+        assert entry["count"] == 1
+        assert entry["windows"][0]["count"] == 1
+
+    def test_explicit_when_for_offline_replay(self):
+        ts = TimeSeries(clock=lambda: 0.0, spec=WindowSpec(width=10e-6))
+        ts.observe("x", 1.0, when=35e-6)
+        (w,) = [w for w in ts.series("x").windows() if w.count]
+        assert w.start == pytest.approx(30e-6)
