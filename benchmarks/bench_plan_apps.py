@@ -1,0 +1,106 @@
+"""Plan-lowered vs hand-written applications at figure scale.
+
+The tentpole bound, asserted directly: on the Fig. 7/8 problem sizes
+the optimized communication plan must *match or beat* the hand-written
+loops.  Because the optimizer derives the hand-tuned overlap schedule
+mechanically, "match" is exact — the plan-lowered Cannon equals the
+hand DiOMP Cannon to the last digit, and the plan-lowered Minimod
+equals the hand overlap loop while beating the naive loop.
+
+Also runnable standalone (the CI plan step)::
+
+    PYTHONPATH=src python benchmarks/bench_plan_apps.py --out plan_profile.json
+
+which prints the comparison, writes it as JSON, and exits nonzero if
+any bound is violated.
+"""
+
+import json
+import sys
+
+from repro.bench import planbench
+
+
+def _check_cannon(cannon):
+    assert cannon["plan"] > 0
+    assert cannon["plan"] <= cannon["hand"], (
+        f"optimized Cannon plan ({cannon['plan']:.6g}s) slower than the "
+        f"hand-written loop ({cannon['hand']:.6g}s)"
+    )
+
+
+def _check_minimod(minimod):
+    assert minimod["plan"] > 0
+    assert minimod["plan"] <= minimod["hand"], (
+        f"optimized Minimod plan ({minimod['plan']:.6g}s) slower than the "
+        f"hand-written overlap loop ({minimod['hand']:.6g}s)"
+    )
+    assert minimod["plan"] < minimod["naive"], (
+        f"optimized Minimod plan ({minimod['plan']:.6g}s) does not beat "
+        f"the naive hand loop ({minimod['naive']:.6g}s)"
+    )
+
+
+def _check_counts(counts):
+    # Structural pipeline statistics for the Fig. 8 Minimod plan
+    # (radius-4 halo on 4 ranks): any drift is a pass change.
+    assert counts["halo_expanded"] == 8
+    assert counts["ops_coalesced"] == 6
+    assert counts["computes_overlapped"] == 3
+
+
+def test_plan_cannon_matches_hand(benchmark):
+    from conftest import run_once
+
+    cannon = run_once(benchmark, planbench.cannon_compare)
+    print(
+        f"\ncannon n={planbench.CANNON_N}: hand {cannon['hand']:.6g}s, "
+        f"plan {cannon['plan']:.6g}s (ratio {cannon['plan'] / cannon['hand']:.4f})"
+    )
+    _check_cannon(cannon)
+
+
+def test_plan_minimod_matches_hand_beats_naive(benchmark):
+    from conftest import run_once
+
+    minimod = run_once(benchmark, planbench.minimod_compare)
+    print(
+        f"\nminimod {planbench.MINIMOD_GRID}^3: naive {minimod['naive']:.6g}s, "
+        f"hand overlap {minimod['hand']:.6g}s, plan {minimod['plan']:.6g}s "
+        f"(vs naive {minimod['plan'] / minimod['naive']:.4f})"
+    )
+    _check_minimod(minimod)
+    _check_counts(planbench.minimod_pass_counts())
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the comparison as JSON")
+    args = parser.parse_args(argv)
+    cannon = planbench.cannon_compare()
+    minimod = planbench.minimod_compare()
+    counts = planbench.minimod_pass_counts()
+    print(
+        f"cannon : hand {cannon['hand']:.6g}s, plan {cannon['plan']:.6g}s "
+        f"(ratio {cannon['plan'] / cannon['hand']:.4f})\n"
+        f"minimod: naive {minimod['naive']:.6g}s, hand {minimod['hand']:.6g}s, "
+        f"plan {minimod['plan']:.6g}s "
+        f"(vs naive {minimod['plan'] / minimod['naive']:.4f})\n"
+        f"passes : {', '.join(f'{k}={v}' for k, v in sorted(counts.items()) if v)}"
+    )
+    if args.out:
+        doc = {"cannon": cannon, "minimod": minimod, "pass_counts": counts}
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    _check_cannon(cannon)
+    _check_minimod(minimod)
+    _check_counts(counts)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

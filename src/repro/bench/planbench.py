@@ -1,0 +1,87 @@
+"""Plan-vs-hand application comparison (the ``plan.*`` gate metrics).
+
+The tentpole acceptance criterion made measurable: at the Fig. 7/8
+problem sizes, the optimized plan-lowered Cannon and Minimod must
+match or beat the hand-written loops.  The simulator is deterministic,
+so the ratios are exact: the optimizer derives the very schedule the
+hand-written overlap loop encodes, giving ``vs_hand == 1.0`` bit for
+bit, and the Minimod overlap beats the naive hand loop
+(``vs_naive < 1``) at figure scale.
+
+``plan_gate_metrics`` feeds ``python -m repro.bench regress``;
+``benchmarks/bench_plan_apps.py`` asserts the bounds directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.cannon import CannonConfig, run_cannon
+from repro.apps.minimod import MinimodConfig, run_minimod
+from repro.bench.appbench import CANNON_N, MINIMOD_GRID, app_platform
+from repro.cluster.world import World
+from repro.plan import minimod_plan, optimize_plan, run_cannon_plan, run_minimod_plan
+
+#: single platform-A node (4 ranks) — the Fig. 7/8 intra-node point
+PLAN_NODES = 1
+
+#: short measured window, like the Fig. 8 fast mode
+PLAN_MINIMOD_STEPS = 4
+
+
+def _world() -> World:
+    return World(app_platform("A"), num_nodes=PLAN_NODES)
+
+
+def _elapsed(result) -> float:
+    return max(r["elapsed"] for r in result.results)
+
+
+def cannon_compare(n: int = CANNON_N) -> Dict[str, float]:
+    """Hand-written vs optimized-plan Cannon wall-clock (analytic)."""
+    gpus = _world().nranks
+    size = n - (n % gpus) if n % gpus else n
+    cfg = CannonConfig(n=size, execute=False)
+    hand = _elapsed(run_cannon(_world(), cfg, impl="diomp"))
+    planned = _elapsed(run_cannon_plan(_world(), cfg, backend="gasnet"))
+    return {"hand": hand, "plan": planned}
+
+
+def minimod_compare(
+    grid: int = MINIMOD_GRID, steps: int = PLAN_MINIMOD_STEPS
+) -> Dict[str, float]:
+    """Hand naive / hand overlap / optimized plan Minimod wall-clock."""
+    gpus = _world().nranks
+    nx = grid - (grid % gpus) if grid % gpus else grid
+    cfg = MinimodConfig(nx=nx, ny=grid, nz=grid, steps=steps, execute=False)
+    naive = _elapsed(run_minimod(_world(), cfg, impl="diomp"))
+    overlap = _elapsed(run_minimod(_world(), cfg, impl="diomp-overlap"))
+    planned = _elapsed(run_minimod_plan(_world(), cfg, backend="gasnet"))
+    return {"naive": naive, "hand": overlap, "plan": planned}
+
+
+def minimod_pass_counts(
+    grid: int = MINIMOD_GRID, steps: int = PLAN_MINIMOD_STEPS
+) -> Dict[str, int]:
+    """The deterministic pass statistics for the Fig. 8 Minimod plan."""
+    gpus = _world().nranks
+    nx = grid - (grid % gpus) if grid % gpus else grid
+    cfg = MinimodConfig(nx=nx, ny=grid, nz=grid, steps=steps, execute=False)
+    _plan, stats = optimize_plan(minimod_plan(cfg, gpus))
+    return stats
+
+
+def plan_gate_metrics() -> Dict[str, float]:
+    """The ``plan.*`` metrics for the regression gate."""
+    cannon = cannon_compare()
+    minimod = minimod_compare()
+    counts = minimod_pass_counts()
+    return {
+        "plan.cannon.elapsed": cannon["plan"],
+        "plan.cannon.vs_hand": cannon["plan"] / cannon["hand"],
+        "plan.minimod.elapsed": minimod["plan"],
+        "plan.minimod.vs_hand": minimod["plan"] / minimod["hand"],
+        "plan.minimod.vs_naive": minimod["plan"] / minimod["naive"],
+        "plan.minimod.ops_coalesced": float(counts["ops_coalesced"]),
+        "plan.minimod.computes_overlapped": float(counts["computes_overlapped"]),
+    }

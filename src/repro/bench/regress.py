@@ -100,6 +100,18 @@ GATED_METRICS: Dict[str, MetricSpec] = {
     "service.slo.idle.alerts": MetricSpec(0.0),
     "service.slo.sat.alerts": MetricSpec(0.0, better="higher"),
     "service.slo.sat.budget_burn": MetricSpec(0.02),
+    # Plan-vs-hand application gate (repro.bench.planbench): optimized
+    # plan-lowered Cannon/Minimod at the Fig. 7/8 problem sizes.  The
+    # vs_hand ratios are exactly 1.0 (the optimizer derives the hand
+    # schedule) and the pass counts are structural — zero tolerance,
+    # any drift is a pipeline change.
+    "plan.cannon.elapsed": MetricSpec(0.02),
+    "plan.cannon.vs_hand": MetricSpec(0.0),
+    "plan.minimod.elapsed": MetricSpec(0.02),
+    "plan.minimod.vs_hand": MetricSpec(0.0),
+    "plan.minimod.vs_naive": MetricSpec(0.02),
+    "plan.minimod.ops_coalesced": MetricSpec(0.0, better="higher"),
+    "plan.minimod.computes_overlapped": MetricSpec(0.0, better="higher"),
 }
 
 
@@ -167,6 +179,13 @@ def collect() -> Dict[str, float]:
     from repro.bench.service import service_gate_metrics
 
     out.update(service_gate_metrics())
+
+    # Plan-vs-hand gate: optimized plan-lowered Cannon and Minimod at
+    # figure scale must match the hand-written loops exactly (see
+    # repro.bench.planbench and docs/PLAN.md).
+    from repro.bench.planbench import plan_gate_metrics
+
+    out.update(plan_gate_metrics())
     return out
 
 
@@ -213,7 +232,8 @@ def write_snapshot(path: str, metrics: Dict[str, float], name: str) -> None:
             "fig6 allreduce algorithm ablation (64 MiB, 2 nodes) + "
             "1024-rank analytic allreduce/cannon scale sweeps + "
             "multi-tenant service idle/saturated load points with "
-            "SLO burn-rate alert calibration"
+            "SLO burn-rate alert calibration + plan-vs-hand "
+            "Cannon/Minimod comparison at figure scale"
         ),
         "metrics": metrics,
     }

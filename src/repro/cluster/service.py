@@ -60,7 +60,7 @@ from repro.obs.slo import (
 )
 from repro.obs.timeseries import TimeSeries, WindowSpec
 from repro.sim import Barrier, Future
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, PercentileError
 from repro.util.units import MiB
 
 
@@ -319,8 +319,33 @@ class ServiceResult:
     #: bounded windowed-series snapshot (``TimeSeries.snapshot()``)
     windows: Optional[Dict[str, Any]] = None
 
+    def __post_init__(self) -> None:
+        # Build the job-id and outcome indexes once: ``record_of`` and
+        # ``by_outcome`` were O(n) scans per call.  A duplicate id
+        # between *admitted* records is bookkeeping corruption and
+        # fails loudly at construction (it used to silently resolve to
+        # whichever record came first); a rejection record may share
+        # the id of an admitted job — that is the admission layer
+        # refusing a duplicate submission — and ``record_of`` then
+        # resolves to the admitted record.
+        self._by_id: Dict[int, JobRecord] = {}
+        self._by_outcome: Dict[str, List[JobRecord]] = {}
+        for r in self.records:
+            held = self._by_id.get(r.job_id)
+            if held is None:
+                self._by_id[r.job_id] = r
+            elif r.outcome != "rejected":
+                if held.outcome != "rejected":
+                    raise ConfigurationError(
+                        f"duplicate job id {r.job_id} in service records: "
+                        f"{held.outcome!r} and {r.outcome!r} records both "
+                        "claim it"
+                    )
+                self._by_id[r.job_id] = r
+            self._by_outcome.setdefault(r.outcome, []).append(r)
+
     def by_outcome(self, outcome: str) -> List[JobRecord]:
-        return [r for r in self.records if r.outcome == outcome]
+        return list(self._by_outcome.get(outcome, ()))
 
     @property
     def completed(self) -> List[JobRecord]:
@@ -350,12 +375,16 @@ class ServiceResult:
         """Exact queue-wait percentile (``q`` in [0, 1]) over completed
         and failed jobs — the latency an *admitted* job experienced.
 
-        Raises :class:`ValueError` when ``q`` is outside [0, 1].
-        Returns 0.0 (by definition, not by measurement) when no job was
-        admitted — an all-rejected or empty run has no wait samples.
+        Raises :class:`~repro.util.errors.PercentileError` (a subclass
+        of both :class:`ConfigurationError` and :class:`ValueError` —
+        the unified taxonomy shared with
+        :func:`repro.obs.rollup.exact_percentile`) when ``q`` is
+        outside [0, 1].  Returns 0.0 (by definition, not by
+        measurement) when no job was admitted — an all-rejected or
+        empty run has no wait samples.
         """
         if not 0.0 <= q <= 1.0:
-            raise ValueError(f"percentile q must be in [0, 1], got {q}")
+            raise PercentileError(f"percentile q must be in [0, 1], got {q}")
         waits = [r.queue_wait for r in self.records if r.outcome != "rejected"]
         if not waits:
             return 0.0
@@ -366,10 +395,13 @@ class ServiceResult:
         return self.world.obs.rollup("tenant")
 
     def record_of(self, job_id: int) -> JobRecord:
-        for r in self.records:
-            if r.job_id == job_id:
-                return r
-        raise KeyError(f"no record for job {job_id}")
+        """The record for ``job_id`` (O(1) via the construction-time
+        index).  When a duplicate submission was rejected, resolves to
+        the admitted record, not the rejection stub."""
+        try:
+            return self._by_id[job_id]
+        except KeyError:
+            raise KeyError(f"no record for job {job_id}") from None
 
     # -- SLO / chargeback surface -------------------------------------------
 

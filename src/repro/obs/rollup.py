@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import Histogram, MetricsRegistry
-from repro.util.errors import ConfigurationError
+from repro.util.errors import PercentileError
 
 
 def exact_percentile(values: Sequence[float], q: float) -> float:
@@ -34,9 +34,14 @@ def exact_percentile(values: Sequence[float], q: float) -> float:
 
     ``q`` in [0, 1]; empty input returns 0.0, a single value returns
     itself.  This matches ``numpy.percentile(..., method="linear")``.
+
+    Raises :class:`~repro.util.errors.PercentileError` — a subclass of
+    both :class:`ConfigurationError` and :class:`ValueError`, the one
+    taxonomy every percentile surface shares (see also
+    ``ServiceResult.queue_wait_percentile``).
     """
     if not (0.0 <= q <= 1.0):
-        raise ConfigurationError(f"percentile q must be in [0, 1], got {q}")
+        raise PercentileError(f"percentile q must be in [0, 1], got {q}")
     if not values:
         return 0.0
     ordered = sorted(values)

@@ -1,0 +1,87 @@
+"""Communication-plan IR, optimization passes, and multi-backend lowering.
+
+See ``docs/PLAN.md`` for concepts and the pass pipeline; the CLI lives
+in ``python -m repro.plan`` (dump / verify / explain).
+"""
+
+from repro.plan.apps import (
+    build_plan,
+    cannon_plan,
+    default_config,
+    minimod_plan,
+    run_cannon_plan,
+    run_minimod_plan,
+)
+from repro.plan.ir import (
+    ALWAYS,
+    GUARDS,
+    NOT_FIRST_RANK,
+    NOT_LAST_RANK,
+    NOT_LAST_STEP,
+    OP_KINDS,
+    Access,
+    BufDecl,
+    BufRef,
+    CollSpec,
+    CommPlan,
+    HaloSide,
+    HaloSpec,
+    Peer,
+    PlanOp,
+    accesses_conflict,
+    guard_holds,
+)
+from repro.plan.lower import BACKENDS, BufMap, LoweredProgram, lower_plan
+from repro.plan.passes import (
+    STAT_KEYS,
+    coalesce_messages,
+    expand_halo,
+    explain_pipeline,
+    insert_prefetch,
+    optimize_plan,
+    overlap_schedule,
+    pass_stats,
+    preselect_collectives,
+)
+from repro.plan.verify import check_plan, verify_plan
+
+__all__ = [
+    "ALWAYS",
+    "BACKENDS",
+    "GUARDS",
+    "NOT_FIRST_RANK",
+    "NOT_LAST_RANK",
+    "NOT_LAST_STEP",
+    "OP_KINDS",
+    "STAT_KEYS",
+    "Access",
+    "BufDecl",
+    "BufMap",
+    "BufRef",
+    "CollSpec",
+    "CommPlan",
+    "HaloSide",
+    "HaloSpec",
+    "LoweredProgram",
+    "Peer",
+    "PlanOp",
+    "accesses_conflict",
+    "build_plan",
+    "cannon_plan",
+    "check_plan",
+    "coalesce_messages",
+    "default_config",
+    "expand_halo",
+    "explain_pipeline",
+    "guard_holds",
+    "insert_prefetch",
+    "lower_plan",
+    "minimod_plan",
+    "optimize_plan",
+    "overlap_schedule",
+    "pass_stats",
+    "preselect_collectives",
+    "run_cannon_plan",
+    "run_minimod_plan",
+    "verify_plan",
+]

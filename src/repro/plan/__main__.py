@@ -1,0 +1,65 @@
+"""``python -m repro.plan`` — dump, verify, or explain application plans.
+
+Exit codes: 0 success, 1 verification failure, 2 usage error (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.plan.apps import build_plan, default_config
+from repro.plan.passes import explain_pipeline, optimize_plan
+from repro.plan.verify import verify_plan
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.plan",
+        description="Inspect and verify communication plans.",
+    )
+    parser.add_argument("verb", choices=("dump", "verify", "explain"))
+    parser.add_argument("app", choices=("cannon", "minimod"))
+    parser.add_argument(
+        "--nranks", type=int, default=4, help="world size to build/verify for"
+    )
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the optimization pipeline before dump/verify",
+    )
+    args = parser.parse_args(argv)
+
+    plan = build_plan(args.app, default_config(args.app), args.nranks)
+
+    if args.verb == "explain":
+        print(explain_pipeline(plan))
+        return 0
+
+    if args.optimize:
+        plan, _stats = optimize_plan(plan)
+
+    if args.verb == "dump":
+        print(plan.dump())
+        return 0
+
+    issues = verify_plan(plan, args.nranks)
+    if issues:
+        print(f"plan {plan.name!r} FAILED verification ({len(issues)} issue(s)):")
+        for issue in issues:
+            print(f"  - {issue}")
+        return 1
+    print(
+        f"plan {plan.name!r} OK for {args.nranks} rank(s): "
+        f"{plan.op_count()} op(s), {len(plan.buffers)} buffer(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        sys.stderr.close()
+        sys.exit(0)

@@ -1,0 +1,430 @@
+"""The communication-plan IR: declarative RMA/collective patterns.
+
+A :class:`CommPlan` captures an application's per-rank communication
+and compute pattern *symbolically*: one plan describes every rank of
+an SPMD program.  Rank asymmetry is expressed with :class:`Peer`
+(a relative rank expression) and guards (predicates over ``(rank,
+nranks, step, steps)``), never with literal rank numbers — which is
+what lets a single plan be verified for any world size and lowered to
+any backend (GASNet-EX, GPI-2, or the MPI baseline; see
+:mod:`repro.plan.lower`).
+
+The op set mirrors the DiOMP API surface plus two conveniences:
+
+``put`` / ``get``
+    One-sided RMA against a peer's symmetric buffer; completes at the
+    next ``fence`` (exactly the ``ompx_put``/``ompx_get`` contract).
+``notify``
+    A lightweight control-plane signal to a peer (``gaspi_notify`` on
+    GPI-2, an active message on GASNet-EX, a tagged 8-byte message on
+    MPI).
+``allreduce``
+    A device-side collective; the ``algo`` slot is filled in by the
+    pre-selection pass (:func:`repro.plan.passes.preselect_collectives`).
+``halo``
+    A macro op: a per-plane halo exchange, expanded by the
+    canonicalization pass into guarded puts (which the coalescing pass
+    then merges back into one contiguous put per neighbour — the
+    compile-time generalization of the runtime RMA aggregation).
+``compute``
+    A kernel launch with declared byte-range effects (``reads`` /
+    ``writes``); the overlap pass uses the effects to hoist independent
+    kernels above communication and run them asynchronously.
+``wait`` / ``fence`` / ``barrier`` / ``prefetch``
+    Synchronization and the second-level-pointer prefetch marker.
+
+Ops carry explicit ``after`` dependency edges (true data/sync
+dependencies only — *not* schedule order); the list order of
+``prologue`` / ``body`` / ``epilogue`` is the schedule.  Optimization
+passes may reorder the schedule freely as long as the dependency edges
+and the declared effects stay satisfied; the verifier
+(:mod:`repro.plan.verify`) checks both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.util.errors import ConfigurationError
+
+# -- guards -----------------------------------------------------------------
+
+#: guard names: predicates over (rank, nranks, step, steps)
+ALWAYS = "always"
+NOT_FIRST_RANK = "not_first_rank"
+NOT_LAST_RANK = "not_last_rank"
+NOT_LAST_STEP = "not_last_step"
+
+GUARDS = (ALWAYS, NOT_FIRST_RANK, NOT_LAST_RANK, NOT_LAST_STEP)
+
+
+def guard_holds(guard: str, rank: int, nranks: int, step: int, steps: int) -> bool:
+    """Evaluate ``guard`` for one rank at one step."""
+    if guard == ALWAYS:
+        return True
+    if guard == NOT_FIRST_RANK:
+        return rank != 0
+    if guard == NOT_LAST_RANK:
+        return rank != nranks - 1
+    if guard == NOT_LAST_STEP:
+        return step < steps - 1
+    raise ConfigurationError(f"unknown guard {guard!r} (known: {GUARDS})")
+
+
+# -- symbolic ranks ---------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Peer:
+    """A relative rank expression: ``rank + shift`` (wrapped or not)."""
+
+    shift: int
+    wrap: bool = True
+
+    def resolve(self, rank: int, nranks: int) -> Optional[int]:
+        """The concrete peer of ``rank``, or None if it falls off the
+        edge of a non-wrapping topology."""
+        target = rank + self.shift
+        if self.wrap:
+            return target % nranks
+        return target if 0 <= target < nranks else None
+
+    def source(self, rank: int, nranks: int) -> Optional[int]:
+        """The inverse: which rank's op lands *on* ``rank``."""
+        src = rank - self.shift
+        if self.wrap:
+            return src % nranks
+        return src if 0 <= src < nranks else None
+
+    def __str__(self) -> str:
+        sign = f"{self.shift:+d}"
+        return f"peer({sign}{'' if self.wrap else ', nowrap'})"
+
+
+# -- buffers ----------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class BufDecl:
+    """One logical buffer, allocated identically on every rank.
+
+    ``count > 1`` declares a ring of instances (double buffering);
+    with ``rotating=True`` references advance one instance per step,
+    which is how time-level swaps (``cur, nxt = nxt, cur``) are
+    expressed without mutable state.
+    """
+
+    name: str
+    nbytes: int
+    #: "symmetric" (remotely addressable), "local" (rank-private
+    #: device memory), or "asymmetric" (second-level-pointer scheme)
+    kind: str = "symmetric"
+    count: int = 1
+    rotating: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("symmetric", "local", "asymmetric"):
+            raise ConfigurationError(f"unknown buffer kind {self.kind!r}")
+        if self.nbytes <= 0 or self.count <= 0:
+            raise ConfigurationError(
+                f"buffer {self.name!r} needs positive size and count"
+            )
+
+    def instance(self, rot: int, step: int) -> int:
+        """Which ring instance a ``rot`` reference denotes at ``step``."""
+        if self.rotating:
+            return (step + rot) % self.count
+        return rot % self.count
+
+
+@dataclasses.dataclass(frozen=True)
+class BufRef:
+    """A reference to one ring instance of a declared buffer.
+
+    ``rot`` is the rotation offset: with a rotating 2-ring, ``rot=0``
+    is "the current time level" and ``rot=1`` "the next/previous one".
+    """
+
+    name: str
+    rot: int = 0
+
+    def __str__(self) -> str:
+        return f"%{self.name}" + (f"@{self.rot}" if self.rot else "")
+
+
+@dataclasses.dataclass(frozen=True)
+class Access:
+    """A byte range of one buffer instance."""
+
+    buf: BufRef
+    offset: int
+    nbytes: int
+
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+    def __str__(self) -> str:
+        return f"{self.buf}[{self.offset}:+{self.nbytes}]"
+
+
+def accesses_conflict(
+    decls: Dict[str, BufDecl], a: Access, b: Access
+) -> bool:
+    """Do two same-step accesses touch overlapping bytes of the same
+    buffer instance?  (Rotation offsets are compared modulo the ring
+    size, so ``rot=0`` vs ``rot=1`` of a 2-ring never conflict within
+    a step.)"""
+    if a.buf.name != b.buf.name:
+        return False
+    decl = decls[a.buf.name]
+    if (a.buf.rot - b.buf.rot) % decl.count != 0:
+        return False
+    return a.offset < b.end() and b.offset < a.end()
+
+
+# -- ops --------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class HaloSide:
+    """One direction of a halo exchange macro."""
+
+    peer: Peer
+    guard: str
+    src_offset: int
+    dst_offset: int
+
+
+@dataclasses.dataclass(frozen=True)
+class HaloSpec:
+    """A per-plane halo exchange over ``buf``: ``nplanes`` planes of
+    ``plane_bytes`` each, pushed to every side's peer."""
+
+    buf: BufRef
+    nplanes: int
+    plane_bytes: int
+    sides: Tuple[HaloSide, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class CollSpec:
+    """A collective call: reduce ``send`` into every rank's ``recv``."""
+
+    send: Access
+    recv: Access
+    dtype: Any
+    op: str = "sum"
+
+
+#: op kinds understood by verifier, passes, and lowering
+OP_KINDS = (
+    "put",
+    "get",
+    "notify",
+    "allreduce",
+    "halo",
+    "compute",
+    "wait",
+    "fence",
+    "barrier",
+    "prefetch",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanOp:
+    """One node of the plan graph.
+
+    Only the fields relevant to ``kind`` are populated; the verifier
+    rejects malformed combinations.  Ops are immutable — passes build
+    rewritten plans with :func:`dataclasses.replace`.
+    """
+
+    op_id: str
+    kind: str
+    guard: str = ALWAYS
+    #: explicit dependency edges (op ids that must run before this op)
+    after: Tuple[str, ...] = ()
+    # RMA (put/get/notify)
+    peer: Optional[Peer] = None
+    src: Optional[Access] = None
+    dst: Optional[Access] = None
+    #: notification id (notify)
+    token: int = 0
+    # halo macro
+    halo: Optional[HaloSpec] = None
+    # collective
+    coll: Optional[CollSpec] = None
+    #: collective algorithm, filled in by the pre-selection pass
+    algo: Optional[str] = None
+    # compute
+    kernel: Optional[Any] = None
+    #: (ctx, bufs, step) -> launch args; only called in execute mode
+    args_fn: Optional[Callable] = None
+    reads: Tuple[Access, ...] = ()
+    writes: Tuple[Access, ...] = ()
+    #: synchronous launch (wait inline) vs async (explicit wait op)
+    sync: bool = True
+    #: "default" launch stream or the plan's dedicated "aux" stream
+    stream: str = "default"
+    # wait
+    waits_for: Optional[str] = None
+    #: prefetch target buffer name
+    prefetch_buf: Optional[str] = None
+
+    def local_reads(self) -> Tuple[Access, ...]:
+        """Byte ranges this op reads on the *issuing* rank."""
+        if self.kind == "put":
+            return (self.src,) if self.src else ()
+        if self.kind == "compute":
+            return self.reads
+        if self.kind == "allreduce" and self.coll:
+            return (self.coll.send,)
+        return ()
+
+    def local_writes(self) -> Tuple[Access, ...]:
+        """Byte ranges this op writes on the *issuing* rank."""
+        if self.kind == "get":
+            return (self.dst,) if self.dst else ()
+        if self.kind == "compute":
+            return self.writes
+        if self.kind == "allreduce" and self.coll:
+            return (self.coll.recv,)
+        return ()
+
+    def incoming_writes(self) -> Tuple[Access, ...]:
+        """Byte ranges a *peer's* symmetric instance of this op writes
+        on the local rank (SPMD mirror of a put's target)."""
+        if self.kind == "put" and self.dst is not None:
+            return (self.dst,)
+        return ()
+
+    def incoming_reads(self) -> Tuple[Access, ...]:
+        """Mirror ranges a peer's instance of this op reads locally
+        (the source range of a remote get aimed at us)."""
+        if self.kind == "get" and self.src is not None:
+            return (self.src,)
+        return ()
+
+    def describe(self) -> str:
+        """One dump line (without the id prefix)."""
+        g = "" if self.guard == ALWAYS else f" if {self.guard}"
+        dep = f" after({', '.join('%' + a for a in self.after)})" if self.after else ""
+        if self.kind == "put":
+            return f"put {self.src} -> {self.peer}.{self.dst}{g}{dep}"
+        if self.kind == "get":
+            return f"get {self.peer}.{self.src} -> {self.dst}{g}{dep}"
+        if self.kind == "notify":
+            return f"notify {self.peer} token={self.token}{g}{dep}"
+        if self.kind == "allreduce":
+            algo = self.algo or "auto"
+            return (
+                f"allreduce[{algo}] {self.coll.send} -> {self.coll.recv}{g}{dep}"
+            )
+        if self.kind == "halo":
+            sides = ", ".join(
+                f"{s.peer} if {s.guard}" for s in self.halo.sides
+            )
+            return (
+                f"halo {self.halo.buf} {self.halo.nplanes}x"
+                f"{self.halo.plane_bytes}B -> [{sides}]{dep}"
+            )
+        if self.kind == "compute":
+            mode = "sync" if self.sync else f"async:{self.stream}"
+            name = getattr(self.kernel, "name", "kernel")
+            w = ", ".join(str(a) for a in self.writes)
+            return f"compute<{name}> ({mode}) writes {w or '-'}{g}{dep}"
+        if self.kind == "wait":
+            return f"wait %{self.waits_for}{g}{dep}"
+        if self.kind == "prefetch":
+            return f"prefetch %{self.prefetch_buf}{dep}"
+        return f"{self.kind}{g}{dep}"
+
+
+# -- the plan ---------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CommPlan:
+    """A complete SPMD communication plan.
+
+    ``prologue`` runs once before the timed region, ``body`` runs
+    ``steps`` times, ``epilogue`` runs once after.  The timer starts
+    after the prologue (mirroring the hand-written apps' post-barrier
+    ``t0``).  ``init_fn(ctx, bufs)`` loads initial data before the
+    prologue; ``finish_fn(ctx, bufs, elapsed)`` builds the per-rank
+    result dict.
+    """
+
+    name: str
+    steps: int
+    buffers: Tuple[BufDecl, ...]
+    prologue: Tuple[PlanOp, ...] = ()
+    body: Tuple[PlanOp, ...] = ()
+    epilogue: Tuple[PlanOp, ...] = ()
+    init_fn: Optional[Callable] = None
+    finish_fn: Optional[Callable] = None
+    #: free-form app metadata: "execute", "pointer_prefetch",
+    #: "pass_stats", problem dimensions for ``dump`` ...
+    meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    # -- lookups ----------------------------------------------------------
+
+    def decls(self) -> Dict[str, BufDecl]:
+        return {b.name: b for b in self.buffers}
+
+    def all_ops(self) -> Iterable[Tuple[str, PlanOp]]:
+        for section, ops in (
+            ("prologue", self.prologue),
+            ("body", self.body),
+            ("epilogue", self.epilogue),
+        ):
+            for op in ops:
+                yield section, op
+
+    def op_count(self) -> int:
+        return len(self.prologue) + len(self.body) + len(self.epilogue)
+
+    def replace(self, **changes) -> "CommPlan":
+        return dataclasses.replace(self, **changes)
+
+    # -- rendering --------------------------------------------------------
+
+    def dump(self) -> str:
+        """The textual form shown by ``python -m repro.plan dump``."""
+        lines: List[str] = [f"plan {self.name} steps={self.steps} {{"]
+        for b in self.buffers:
+            ring = f" x{b.count}" + (", rotating" if b.rotating else "") if b.count > 1 else ""
+            lines.append(f"  buffer %{b.name} : {b.kind}[{b.nbytes} B{ring}]")
+        for section, ops in (
+            ("prologue", self.prologue),
+            ("body", self.body),
+            ("epilogue", self.epilogue),
+        ):
+            if not ops:
+                continue
+            label = f"body (x{self.steps})" if section == "body" else section
+            lines.append(f"  {label}:")
+            for op in ops:
+                lines.append(f"    %{op.op_id}: {op.describe()}")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def rewrite_deps(
+    ops: Tuple[PlanOp, ...], mapping: Dict[str, Tuple[str, ...]]
+) -> Tuple[PlanOp, ...]:
+    """Rewrite ``after`` edges through ``mapping`` (old id -> new ids),
+    deduplicating while preserving order."""
+    out: List[PlanOp] = []
+    for op in ops:
+        new_after: List[str] = []
+        for dep in op.after:
+            for repl in mapping.get(dep, (dep,)):
+                if repl not in new_after and repl != op.op_id:
+                    new_after.append(repl)
+        if tuple(new_after) != op.after:
+            op = dataclasses.replace(op, after=tuple(new_after))
+        out.append(op)
+    return tuple(out)

@@ -1,0 +1,421 @@
+"""Optimization passes over communication plans.
+
+Every pass is a pure function ``plan -> (plan', stats_delta)`` and is
+idempotent: running the pipeline twice yields the same plan and an
+all-zero second stats delta (tested).  The pipeline, in order:
+
+1. :func:`expand_halo` — canonicalization: halo macros become guarded
+   per-plane puts (the form every later pass and every backend
+   understands).
+2. :func:`coalesce_messages` — adjacent puts to the same peer whose
+   source *and* destination ranges are contiguous merge into one
+   transfer: the compile-time generalization of the runtime
+   small-message aggregation (PR 3), with zero per-op queueing cost.
+3. :func:`overlap_schedule` — schedule reordering for
+   compute/communication overlap: synchronous kernels whose declared
+   effects are independent of the surrounding communication are
+   hoisted to their earliest legal slot, launched asynchronously on
+   the plan's dedicated stream, and awaited at the latest legal point
+   (first conflicting op, else the step's terminal barrier) — the
+   machine derivation of the hand-written overlap loop.
+4. :func:`insert_prefetch` — second-level pointer prefetch: plans
+   whose RMA touches asymmetric buffers get a prologue prefetch op per
+   such buffer and the runtime's bulk allocation-time prefetch enabled.
+5. :func:`preselect_collectives` — collective algorithm pre-selection:
+   every un-pinned collective op gets its algorithm chosen at compile
+   time via :func:`repro.xccl.algorithms.select_sweep`, so the runtime
+   pays no per-launch selection and every rank provably agrees.
+
+``optimize_plan`` runs all five and records the accumulated statistics
+in ``plan.meta["pass_stats"]`` (exported to the metrics registry as
+``plan.pass.rewrites`` when the lowered program runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.plan.ir import (
+    Access,
+    CommPlan,
+    PlanOp,
+    accesses_conflict,
+    rewrite_deps,
+)
+
+#: stats keys every pass may contribute to
+STAT_KEYS = (
+    "halo_expanded",
+    "ops_coalesced",
+    "computes_overlapped",
+    "prefetches_inserted",
+    "collectives_preselected",
+)
+
+
+def _zero_stats() -> Dict[str, int]:
+    return {k: 0 for k in STAT_KEYS}
+
+
+# -- 1. halo expansion ------------------------------------------------------
+
+
+def expand_halo(plan: CommPlan) -> Tuple[CommPlan, Dict[str, int]]:
+    """Expand halo macro ops into guarded per-plane puts."""
+    stats = _zero_stats()
+
+    def expand(ops: Tuple[PlanOp, ...]) -> Tuple[PlanOp, ...]:
+        mapping: Dict[str, Tuple[str, ...]] = {}
+        out: List[PlanOp] = []
+        for op in ops:
+            if op.kind != "halo":
+                out.append(op)
+                continue
+            spec = op.halo
+            new_ids: List[str] = []
+            for s, side in enumerate(spec.sides):
+                for i in range(spec.nplanes):
+                    put_id = f"{op.op_id}.s{s}p{i}"
+                    new_ids.append(put_id)
+                    out.append(
+                        PlanOp(
+                            op_id=put_id,
+                            kind="put",
+                            guard=side.guard,
+                            after=op.after,
+                            peer=side.peer,
+                            src=Access(
+                                spec.buf,
+                                side.src_offset + i * spec.plane_bytes,
+                                spec.plane_bytes,
+                            ),
+                            dst=Access(
+                                spec.buf,
+                                side.dst_offset + i * spec.plane_bytes,
+                                spec.plane_bytes,
+                            ),
+                        )
+                    )
+                    stats["halo_expanded"] += 1
+            mapping[op.op_id] = tuple(new_ids)
+        return rewrite_deps(tuple(out), mapping)
+
+    return (
+        plan.replace(
+            prologue=expand(plan.prologue),
+            body=expand(plan.body),
+            epilogue=expand(plan.epilogue),
+        ),
+        stats,
+    )
+
+
+# -- 2. message coalescing --------------------------------------------------
+
+
+def _mergeable(a: PlanOp, b: PlanOp) -> bool:
+    """Can put ``b`` be appended to put ``a`` as one transfer?"""
+    return (
+        a.kind == "put"
+        and b.kind == "put"
+        and a.peer == b.peer
+        and a.guard == b.guard
+        and a.src.buf == b.src.buf
+        and a.dst.buf == b.dst.buf
+        and b.src.offset == a.src.end()
+        and b.dst.offset == a.dst.end()
+        and set(b.after) <= set(a.after) | {a.op_id}
+    )
+
+
+def coalesce_messages(plan: CommPlan) -> Tuple[CommPlan, Dict[str, int]]:
+    """Merge adjacent contiguous puts into single transfers."""
+    stats = _zero_stats()
+
+    def coalesce(ops: Tuple[PlanOp, ...]) -> Tuple[PlanOp, ...]:
+        mapping: Dict[str, Tuple[str, ...]] = {}
+        out: List[PlanOp] = []
+        for op in ops:
+            if out and _mergeable(out[-1], op):
+                head = out[-1]
+                out[-1] = dataclasses.replace(
+                    head,
+                    src=Access(
+                        head.src.buf, head.src.offset, head.src.nbytes + op.src.nbytes
+                    ),
+                    dst=Access(
+                        head.dst.buf, head.dst.offset, head.dst.nbytes + op.dst.nbytes
+                    ),
+                )
+                mapping[op.op_id] = (head.op_id,)
+                stats["ops_coalesced"] += 1
+            else:
+                out.append(op)
+        return rewrite_deps(tuple(out), mapping)
+
+    return (
+        plan.replace(
+            prologue=coalesce(plan.prologue),
+            body=coalesce(plan.body),
+            epilogue=coalesce(plan.epilogue),
+        ),
+        stats,
+    )
+
+
+# -- 3. overlap scheduling --------------------------------------------------
+
+
+def _op_effects(op: PlanOp) -> Tuple[Tuple[Access, ...], Tuple[Access, ...]]:
+    """(reads, writes) an op performs on the local rank, including the
+    SPMD mirror of incoming one-sided traffic."""
+    reads = op.local_reads() + op.incoming_reads()
+    writes = op.local_writes() + op.incoming_writes()
+    return reads, writes
+
+
+def _conflicts(decls, a: PlanOp, b: PlanOp) -> bool:
+    """Do two ops have a data hazard (RAW/WAR/WAW) on this rank?"""
+    a_reads, a_writes = _op_effects(a)
+    b_reads, b_writes = _op_effects(b)
+    for aw in a_writes:
+        for acc in b_reads + b_writes:
+            if accesses_conflict(decls, aw, acc):
+                return True
+    for bw in b_writes:
+        for acc in a_reads:
+            if accesses_conflict(decls, bw, acc):
+                return True
+    return False
+
+
+def _touches_incoming(decls, op: PlanOp, ops: List[PlanOp]) -> bool:
+    """Does ``op`` touch bytes that any put's incoming mirror writes?"""
+    for other in ops:
+        for incoming in other.incoming_writes():
+            for acc in op.local_reads() + op.local_writes():
+                if accesses_conflict(decls, incoming, acc):
+                    return True
+    return False
+
+
+def overlap_schedule(plan: CommPlan) -> Tuple[CommPlan, Dict[str, int]]:
+    """Hoist independent kernels above communication and make them
+    asynchronous, inserting waits at the latest legal point."""
+    stats = _zero_stats()
+    decls = plan.decls()
+
+    def schedule(ops_in: Tuple[PlanOp, ...]) -> Tuple[PlanOp, ...]:
+        ops = list(ops_in)
+        for op in list(ops):
+            if op.kind != "compute" or not op.sync:
+                continue
+            pinned = _touches_incoming(decls, op, ops)
+            i = next(k for k, o in enumerate(ops) if o.op_id == op.op_id)
+
+            def can_cross(prev: PlanOp) -> bool:
+                if prev.op_id in op.after:
+                    return False
+                if prev.kind in ("barrier", "fence"):
+                    # Crossing a sync point is only sound for kernels
+                    # whose bytes no incoming one-sided write touches.
+                    return not pinned
+                if prev.kind in ("put", "get", "notify", "prefetch"):
+                    return not _conflicts(decls, op, prev)
+                # Keep kernels, waits and collectives in program order.
+                return False
+
+            j = i
+            while j > 0 and can_cross(ops[j - 1]):
+                j -= 1
+            if j != i:
+                ops.insert(j, ops.pop(i))
+                i = j
+            # Latest legal wait point: before the first later op that
+            # conflicts with this kernel's effects, else before the
+            # section's final barrier (or at the very end).
+            deadline = len(ops)
+            for k in range(i + 1, len(ops)):
+                later = ops[k]
+                if later.kind in ("fence", "wait"):
+                    continue
+                if later.kind == "barrier":
+                    if k == len(ops) - 1:
+                        deadline = k
+                        break
+                    continue
+                if _conflicts(decls, op, later):
+                    deadline = k
+                    break
+            if deadline <= i + 1:
+                continue  # nothing to overlap with
+            made_async = dataclasses.replace(op, sync=False, stream="aux")
+            ops[i] = made_async
+            ops.insert(
+                deadline,
+                PlanOp(
+                    op_id=f"{op.op_id}.wait",
+                    kind="wait",
+                    guard=op.guard,
+                    after=(op.op_id,),
+                    waits_for=op.op_id,
+                ),
+            )
+            stats["computes_overlapped"] += 1
+        return tuple(ops)
+
+    return (
+        plan.replace(
+            prologue=schedule(plan.prologue),
+            body=schedule(plan.body),
+            epilogue=schedule(plan.epilogue),
+        ),
+        stats,
+    )
+
+
+# -- 4. pointer-prefetch insertion ------------------------------------------
+
+
+def insert_prefetch(plan: CommPlan) -> Tuple[CommPlan, Dict[str, int]]:
+    """Insert prologue prefetch ops for asymmetric buffers used by RMA
+    and enable the runtime's bulk allocation-time pointer prefetch."""
+    stats = _zero_stats()
+    decls = plan.decls()
+    already = {
+        op.prefetch_buf for _, op in plan.all_ops() if op.kind == "prefetch"
+    }
+    rma_bufs = set()
+    for _, op in plan.all_ops():
+        if op.kind in ("put", "get") and op.src is not None and op.dst is not None:
+            rma_bufs.add(op.src.buf.name)
+            rma_bufs.add(op.dst.buf.name)
+    targets = sorted(
+        name
+        for name in rma_bufs
+        if decls.get(name) is not None
+        and decls[name].kind == "asymmetric"
+        and name not in already
+    )
+    if not targets:
+        return plan, stats
+    new_ops = tuple(
+        PlanOp(op_id=f"prefetch.{name}", kind="prefetch", prefetch_buf=name)
+        for name in targets
+    )
+    stats["prefetches_inserted"] = len(new_ops)
+    meta = dict(plan.meta)
+    meta["pointer_prefetch"] = True
+    return plan.replace(prologue=new_ops + plan.prologue, meta=meta), stats
+
+
+# -- 5. collective pre-selection --------------------------------------------
+
+
+def preselect_collectives(
+    plan: CommPlan, world=None
+) -> Tuple[CommPlan, Dict[str, int]]:
+    """Pin every un-selected collective's algorithm at compile time.
+
+    Uses :func:`repro.xccl.algorithms.select_sweep` over the world's
+    communicator topology — the same policy gates and tie-breaking the
+    runtime selector applies, so the pre-selected algorithm provably
+    matches what ``select_algorithm`` would have picked per launch
+    (:func:`~repro.xccl.algorithms.linear_cost` now verifies the
+    affine-cost assumption both share).
+    """
+    stats = _zero_stats()
+    has_coll = any(
+        op.kind == "allreduce" and op.algo is None for _, op in plan.all_ops()
+    )
+    if not has_coll or world is None:
+        return plan, stats
+
+    from repro.xccl import params_for
+    from repro.xccl.algorithms import select_sweep
+    from repro.xccl.topo import analyze, build_ring
+
+    params = params_for(world.platform.ccl)
+    ring = build_ring([ctx.devices[0].device_id for ctx in world.ranks])
+    ctopo = analyze(world.topology, ring, params)
+
+    def select(ops: Tuple[PlanOp, ...]) -> Tuple[PlanOp, ...]:
+        out: List[PlanOp] = []
+        for op in ops:
+            if op.kind == "allreduce" and op.algo is None:
+                algos, _seconds = select_sweep(
+                    "all_reduce", [op.coll.send.nbytes], ctopo, params
+                )
+                op = dataclasses.replace(op, algo=str(algos[0]))
+                stats["collectives_preselected"] += 1
+            out.append(op)
+        return tuple(out)
+
+    return (
+        plan.replace(
+            prologue=select(plan.prologue),
+            body=select(plan.body),
+            epilogue=select(plan.epilogue),
+        ),
+        stats,
+    )
+
+
+# -- the pipeline -----------------------------------------------------------
+
+
+def optimize_plan(
+    plan: CommPlan, world=None
+) -> Tuple[CommPlan, Dict[str, int]]:
+    """Run the full pass pipeline; stats accumulate in
+    ``plan.meta["pass_stats"]`` (merged with any previous run's)."""
+    total = _zero_stats()
+    for prior_key, prior_val in plan.meta.get("pass_stats", {}).items():
+        total[prior_key] = total.get(prior_key, 0) + prior_val
+    plan, s = expand_halo(plan)
+    for k, v in s.items():
+        total[k] += v
+    plan, s = coalesce_messages(plan)
+    for k, v in s.items():
+        total[k] += v
+    plan, s = overlap_schedule(plan)
+    for k, v in s.items():
+        total[k] += v
+    plan, s = insert_prefetch(plan)
+    for k, v in s.items():
+        total[k] += v
+    plan, s = preselect_collectives(plan, world=world)
+    for k, v in s.items():
+        total[k] += v
+    meta = dict(plan.meta)
+    meta["pass_stats"] = total
+    return plan.replace(meta=meta), total
+
+
+def explain_pipeline(plan: CommPlan, world=None) -> str:
+    """Human-readable pass-by-pass account (the ``explain`` CLI verb)."""
+    lines: List[str] = [f"plan {plan.name}: {plan.op_count()} op(s) before passes"]
+    passes = [
+        ("expand_halo", lambda p: expand_halo(p)),
+        ("coalesce_messages", lambda p: coalesce_messages(p)),
+        ("overlap_schedule", lambda p: overlap_schedule(p)),
+        ("insert_prefetch", lambda p: insert_prefetch(p)),
+        ("preselect_collectives", lambda p: preselect_collectives(p, world=world)),
+    ]
+    for name, fn in passes:
+        plan, stats = fn(plan)
+        moved = {k: v for k, v in stats.items() if v}
+        detail = (
+            ", ".join(f"{k}={v}" for k, v in sorted(moved.items()))
+            if moved
+            else "no rewrites"
+        )
+        lines.append(f"  {name:<24} -> {plan.op_count()} op(s) ({detail})")
+    lines.append(plan.dump())
+    return "\n".join(lines)
+
+
+def pass_stats(plan: CommPlan) -> Optional[Dict[str, int]]:
+    """The accumulated pipeline statistics, if the plan was optimized."""
+    return plan.meta.get("pass_stats")

@@ -85,6 +85,28 @@ class ConfigurationError(ReproError):
     """Raised when a platform/cluster/runtime configuration is invalid."""
 
 
+class PercentileError(ConfigurationError, ValueError):
+    """An invalid percentile rank ``q`` (outside ``[0, 1]``).
+
+    The unified taxonomy for every percentile surface: historically
+    :func:`repro.obs.rollup.exact_percentile` raised
+    :class:`ConfigurationError` while
+    ``ServiceResult.queue_wait_percentile`` raised :class:`ValueError`
+    for the same misuse.  Both now raise this class, which inherits
+    from *both* bases so existing ``except`` clauses keep working.
+    """
+
+
+class PlanVerificationError(ConfigurationError):
+    """A communication plan failed verification (see :mod:`repro.plan`).
+
+    The message lists every issue the verifier found — dangling buffer
+    references, cyclic or unknown dependencies, out-of-range accesses,
+    cross-rank peer mismatches, unfenced RMA, or one-sided visibility
+    hazards.
+    """
+
+
 class DeviceError(ReproError):
     """Raised by the simulated device runtime.
 

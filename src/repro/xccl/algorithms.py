@@ -314,6 +314,14 @@ def select_algorithm(
 # ``plan()`` per (algorithm, size) pair.
 
 
+#: third probe size for the affinity check: far from the 0/1-byte fit
+#: points, so curvature in a phase model cannot hide between them
+_AFFINE_PROBE_BYTES = 1 << 20
+
+#: relative tolerance for the affine check (float association slack)
+_AFFINE_RTOL = 1e-6
+
+
 def linear_cost(
     algo: str, op: str, ctopo: CommTopology, params: XcclParams
 ) -> Tuple[float, float]:
@@ -322,9 +330,27 @@ def linear_cost(
     ``plan(algo, op, n).seconds == fixed + slope * n`` for every size
     ``n`` (up to floating-point association).  Raises if the algorithm
     is structurally ineligible, exactly like :func:`plan`.
+
+    The affine assumption is *verified*, not trusted: a third size is
+    probed and :class:`~repro.util.errors.CommunicationError` is raised
+    when the phase model is not affine in ``nbytes`` — otherwise a
+    future cost-model change could make the sweep/extrapolation path
+    (:func:`select_sweep`, and the plan IR's collective pre-selection
+    pass built on it) silently disagree with the per-launch
+    :func:`select_algorithm`.
     """
     fixed = plan(algo, op, 0, ctopo, params).seconds
     slope = plan(algo, op, 1, ctopo, params).seconds - fixed
+    probe = plan(algo, op, _AFFINE_PROBE_BYTES, ctopo, params).seconds
+    predicted = fixed + slope * _AFFINE_PROBE_BYTES
+    if abs(probe - predicted) > _AFFINE_RTOL * max(abs(probe), abs(predicted), 1e-30):
+        raise CommunicationError(
+            f"algorithm {algo!r} ({op}) has a non-affine cost model: "
+            f"fit from 0/1 bytes predicts {predicted:.6e} s at "
+            f"{_AFFINE_PROBE_BYTES} bytes but plan() gives {probe:.6e} s; "
+            "linear_cost/select_sweep can no longer stand in for "
+            "select_algorithm"
+        )
     return fixed, slope
 
 

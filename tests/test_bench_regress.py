@@ -40,6 +40,8 @@ class TestMetricSpec:
             # selection indicators go up; times and shed load go down.
             # The saturated point's alert count also goes up: losing
             # the burn-rate page at saturation is the regression.
+            # Plan pass-rewrite counts go up too: coalescing or
+            # overlapping fewer ops means the optimizer weakened.
             expected = (
                 "higher"
                 if name.startswith("bandwidth")
@@ -48,6 +50,8 @@ class TestMetricSpec:
                 or name.endswith("throughput")
                 or name.endswith("completed")
                 or name.endswith("sat.alerts")
+                or name.endswith("coalesced")
+                or name.endswith("overlapped")
                 else "lower"
             )
             assert spec.better == expected

@@ -1,0 +1,393 @@
+"""Communication-plan IR: verifier rejections and pass behavior."""
+
+import pytest
+
+from repro.plan import (
+    ALWAYS,
+    NOT_FIRST_RANK,
+    NOT_LAST_RANK,
+    NOT_LAST_STEP,
+    Access,
+    BufDecl,
+    BufRef,
+    CollSpec,
+    CommPlan,
+    HaloSide,
+    HaloSpec,
+    Peer,
+    PlanOp,
+    accesses_conflict,
+    cannon_plan,
+    check_plan,
+    coalesce_messages,
+    expand_halo,
+    explain_pipeline,
+    guard_holds,
+    insert_prefetch,
+    minimod_plan,
+    optimize_plan,
+    overlap_schedule,
+    pass_stats,
+    preselect_collectives,
+    verify_plan,
+)
+from repro.apps import CannonConfig, MinimodConfig
+from repro.device.kernel import Kernel
+from repro.util.errors import ConfigurationError, PlanVerificationError
+
+
+def kern(name="k"):
+    return Kernel(name=name, cost=lambda *_a: 1e-6, host_fn=None)
+
+
+def plan_of(body, buffers=(BufDecl("X", 1024),), steps=1, **kw):
+    return CommPlan(name="t", steps=steps, buffers=tuple(buffers), body=tuple(body), **kw)
+
+
+def put(op_id="p", guard=ALWAYS, peer=Peer(-1), src=None, dst=None, **kw):
+    return PlanOp(
+        op_id=op_id,
+        kind="put",
+        guard=guard,
+        peer=peer,
+        src=src or Access(BufRef("X"), 0, 512),
+        dst=dst or Access(BufRef("X"), 512, 512),
+        **kw,
+    )
+
+
+BAR = PlanOp(op_id="bar", kind="barrier")
+FENCE = PlanOp(op_id="fence", kind="fence")
+
+
+class TestSymbols:
+    def test_guards(self):
+        assert guard_holds(ALWAYS, 0, 4, 0, 4)
+        assert not guard_holds(NOT_FIRST_RANK, 0, 4, 0, 4)
+        assert guard_holds(NOT_FIRST_RANK, 1, 4, 0, 4)
+        assert not guard_holds(NOT_LAST_RANK, 3, 4, 0, 4)
+        assert guard_holds(NOT_LAST_STEP, 0, 4, 2, 4)
+        assert not guard_holds(NOT_LAST_STEP, 0, 4, 3, 4)
+        with pytest.raises(ConfigurationError, match="unknown guard"):
+            guard_holds("sometimes", 0, 4, 0, 4)
+
+    def test_peer_resolution(self):
+        assert Peer(-1).resolve(0, 4) == 3  # wraps
+        assert Peer(-1, wrap=False).resolve(0, 4) is None
+        assert Peer(+1, wrap=False).resolve(3, 4) is None
+        assert Peer(+1, wrap=False).source(2, 4) == 1
+        assert Peer(-1).source(3, 4) == 0
+
+    def test_accesses_conflict_respects_rotation(self):
+        decls = {"X": BufDecl("X", 1024, count=2, rotating=True)}
+        a = Access(BufRef("X", 0), 0, 512)
+        b = Access(BufRef("X", 1), 0, 512)
+        assert not accesses_conflict(decls, a, b)
+        assert accesses_conflict(decls, a, Access(BufRef("X", 0), 256, 16))
+        assert not accesses_conflict(decls, a, Access(BufRef("X", 0), 512, 16))
+
+    def test_buffer_validation(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            BufDecl("X", 1024, kind="shared")
+        with pytest.raises(ConfigurationError, match="positive"):
+            BufDecl("X", 0)
+        ring = BufDecl("X", 8, count=2, rotating=True)
+        assert ring.instance(1, 3) == 0
+        assert BufDecl("Y", 8, count=2).instance(1, 3) == 1
+
+
+class TestVerifierRejections:
+    def assert_issue(self, plan, fragment, nranks=4):
+        issues = verify_plan(plan, nranks)
+        assert any(fragment in i for i in issues), issues
+
+    def test_sound_plan_is_clean(self):
+        p = plan_of([put(), FENCE, BAR])
+        assert verify_plan(p, 4) == []
+        check_plan(p, 4)  # no raise
+
+    def test_dangling_buffer(self):
+        p = plan_of([put(src=Access(BufRef("GHOST"), 0, 8)), FENCE, BAR])
+        self.assert_issue(p, "dangling")
+
+    def test_rotation_outside_ring(self):
+        p = plan_of([put(src=Access(BufRef("X", 2), 0, 8)), FENCE, BAR])
+        self.assert_issue(p, "rotation")
+
+    def test_access_out_of_bounds(self):
+        p = plan_of([put(dst=Access(BufRef("X"), 1000, 512)), FENCE, BAR])
+        self.assert_issue(p, "outside buffer")
+
+    def test_rma_against_local_buffer(self):
+        p = plan_of(
+            [put(), FENCE, BAR], buffers=(BufDecl("X", 1024, kind="local"),)
+        )
+        self.assert_issue(p, "rank-local")
+
+    def test_unknown_dependency(self):
+        p = plan_of([put(after=("nope",)), FENCE, BAR])
+        self.assert_issue(p, "unknown op")
+
+    def test_schedule_violates_edge(self):
+        p = plan_of([put("a", after=("fence",)), FENCE, BAR])
+        self.assert_issue(p, "scheduled before")
+
+    def test_cyclic_dependencies(self):
+        k1 = PlanOp(op_id="c1", kind="compute", kernel=kern(), after=("c2",))
+        k2 = PlanOp(op_id="c2", kind="compute", kernel=kern(), after=("c1",))
+        self.assert_issue(plan_of([k1, k2, BAR]), "cyclic")
+
+    def test_cross_rank_mismatch(self):
+        # A non-wrapping peer with an ALWAYS guard falls off the rank
+        # line at the edge: the MPI pairing would not be total.
+        p = plan_of([put(peer=Peer(-1, wrap=False)), FENCE, BAR])
+        self.assert_issue(p, "cross-rank mismatch")
+        guarded = plan_of(
+            [put(peer=Peer(-1, wrap=False), guard=NOT_FIRST_RANK), FENCE, BAR]
+        )
+        assert verify_plan(guarded, 4) == []
+
+    def test_unfenced_put(self):
+        self.assert_issue(plan_of([put()]), "no fence")
+
+    def test_async_compute_without_wait(self):
+        k = PlanOp(op_id="c", kind="compute", kernel=kern(), sync=False)
+        self.assert_issue(plan_of([k, BAR]), "never waited")
+
+    def test_wait_targets_non_async(self):
+        k = PlanOp(op_id="c", kind="compute", kernel=kern())
+        w = PlanOp(op_id="w", kind="wait", waits_for="c")
+        self.assert_issue(plan_of([k, w, BAR]), "not an async compute")
+
+    def test_multi_step_body_needs_terminal_barrier(self):
+        k = PlanOp(op_id="c", kind="compute", kernel=kern())
+        self.assert_issue(plan_of([k], steps=3), "end with a barrier")
+
+    def test_one_sided_visibility_hazard(self):
+        # A kernel reading the incoming-put range with no barrier in
+        # between is the classic stencil race.
+        k = PlanOp(
+            op_id="c",
+            kind="compute",
+            kernel=kern(),
+            reads=(Access(BufRef("X"), 512, 512),),
+        )
+        self.assert_issue(plan_of([put(), FENCE, k, BAR]), "visibility hazard")
+        safe = plan_of([put(), FENCE, BAR, k, PlanOp(op_id="bar2", kind="barrier")])
+        assert verify_plan(safe, 4) == []
+
+    def test_prefetch_needs_asymmetric(self):
+        pf = PlanOp(op_id="pf", kind="prefetch", prefetch_buf="X")
+        self.assert_issue(plan_of([pf]), "asymmetric")
+
+    def test_duplicates_and_malformed(self):
+        dup_buf = CommPlan(
+            name="t", steps=1, buffers=(BufDecl("X", 8), BufDecl("X", 8))
+        )
+        assert any("duplicate buffer" in i for i in verify_plan(dup_buf, 2))
+        dup_op = plan_of([BAR, BAR])
+        assert any("duplicate op id" in i for i in verify_plan(dup_op, 2))
+        missing = plan_of([PlanOp(op_id="p", kind="put"), FENCE, BAR])
+        assert any("needs peer" in i for i in verify_plan(missing, 2))
+        bad_kind = plan_of([PlanOp(op_id="z", kind="scan")])
+        assert any("unknown kind" in i for i in verify_plan(bad_kind, 2))
+
+    def test_check_plan_raises_listing_everything(self):
+        p = plan_of([put(src=Access(BufRef("GHOST"), 0, 8))])
+        with pytest.raises(PlanVerificationError, match="dangling"):
+            check_plan(p, 4)
+        assert issubclass(PlanVerificationError, ConfigurationError)
+
+
+class TestPasses:
+    def halo_plan(self):
+        spec = HaloSpec(
+            buf=BufRef("X"),
+            nplanes=3,
+            plane_bytes=64,
+            sides=(
+                HaloSide(Peer(-1, wrap=False), NOT_FIRST_RANK, 256, 768),
+                HaloSide(Peer(+1, wrap=False), NOT_LAST_RANK, 512, 0),
+            ),
+        )
+        return plan_of(
+            [
+                PlanOp(op_id="halo", kind="halo", halo=spec),
+                PlanOp(op_id="fence", kind="fence", after=("halo",)),
+                BAR,
+            ]
+        )
+
+    def test_expand_then_coalesce_round_trip(self):
+        expanded, stats = expand_halo(self.halo_plan())
+        assert stats["halo_expanded"] == 6
+        puts = [op for op in expanded.body if op.kind == "put"]
+        assert len(puts) == 6
+        fence = next(op for op in expanded.body if op.kind == "fence")
+        assert set(fence.after) == {op.op_id for op in puts}
+        assert verify_plan(expanded, 4) == []
+
+        merged, stats = coalesce_messages(expanded)
+        assert stats["ops_coalesced"] == 4  # 3 planes -> 1 put, per side
+        puts = [op for op in merged.body if op.kind == "put"]
+        assert [(p.src.offset, p.src.nbytes) for p in puts] == [(256, 192), (512, 192)]
+        fence = next(op for op in merged.body if op.kind == "fence")
+        assert set(fence.after) == {p.op_id for p in puts}
+        assert verify_plan(merged, 4) == []
+
+    def test_coalesce_requires_contiguity(self):
+        gap = plan_of(
+            [
+                put("a", src=Access(BufRef("X"), 0, 64), dst=Access(BufRef("X"), 512, 64)),
+                put("b", src=Access(BufRef("X"), 128, 64), dst=Access(BufRef("X"), 576, 64)),
+                FENCE,
+                BAR,
+            ]
+        )
+        merged, stats = coalesce_messages(gap)
+        assert stats["ops_coalesced"] == 0
+        assert len([op for op in merged.body if op.kind == "put"]) == 2
+
+    def test_overlap_hoists_independent_kernel(self):
+        decl = BufDecl("X", 1024, count=2, rotating=True)
+        k = PlanOp(
+            op_id="c",
+            kind="compute",
+            kernel=kern(),
+            reads=(Access(BufRef("X", 0), 0, 1024),),
+            writes=(),
+        )
+        p = plan_of(
+            [
+                put(src=Access(BufRef("X", 0), 0, 512), dst=Access(BufRef("X", 1), 0, 512)),
+                FENCE,
+                k,
+                BAR,
+            ],
+            buffers=(decl,),
+            steps=2,
+        )
+        out, stats = overlap_schedule(p)
+        assert stats["computes_overlapped"] == 1
+        ids = [op.op_id for op in out.body]
+        assert ids == ["c", "p", "fence", "c.wait", "bar"]
+        hoisted = out.body[0]
+        assert not hoisted.sync and hoisted.stream == "aux"
+        assert verify_plan(out, 4) == []
+
+    def test_overlap_pins_kernels_touching_incoming_halo(self):
+        # Reads the incoming range -> must not cross the barrier.
+        k = PlanOp(
+            op_id="c",
+            kind="compute",
+            kernel=kern(),
+            reads=(Access(BufRef("X"), 512, 512),),
+        )
+        p = plan_of([put(), FENCE, BAR, k, PlanOp(op_id="bar2", kind="barrier")])
+        out, _stats = overlap_schedule(p)
+        ids = [op.op_id for op in out.body]
+        assert ids.index("c") > ids.index("bar")
+
+    def test_insert_prefetch_targets_asymmetric_rma(self):
+        p = plan_of(
+            [put(), FENCE, BAR],
+            buffers=(BufDecl("X", 1024, kind="asymmetric"),),
+        )
+        out, stats = insert_prefetch(p)
+        assert stats["prefetches_inserted"] == 1
+        assert out.prologue[0].kind == "prefetch"
+        assert out.meta["pointer_prefetch"] is True
+        assert verify_plan(out, 4) == []
+        again, stats2 = insert_prefetch(out)
+        assert stats2["prefetches_inserted"] == 0
+
+    def test_pipeline_idempotent(self):
+        for build in (
+            lambda: cannon_plan(CannonConfig(n=32, execute=False), 4),
+            lambda: minimod_plan(MinimodConfig(nx=48, ny=8, nz=8, steps=5), 4),
+            self.halo_plan,
+        ):
+            once, stats1 = optimize_plan(build())
+            twice, stats2 = optimize_plan(once)
+            assert twice.dump() == once.dump()
+            assert pass_stats(twice) == pass_stats(once)
+            # The second run performed no new rewrites.
+            assert stats2 == stats1
+
+    def test_optimized_app_plans_verify(self):
+        cp, _ = optimize_plan(cannon_plan(CannonConfig(n=32), 4))
+        assert verify_plan(cp, 4) == []
+        ids = [op.op_id for op in cp.body]
+        assert ids == ["gemm", "fwd", "fence", "gemm.wait", "bar"]
+        mp, stats = optimize_plan(minimod_plan(MinimodConfig(nx=48, ny=8, nz=8, steps=5), 4))
+        assert verify_plan(mp, 4) == []
+        assert stats["halo_expanded"] == 8
+        assert stats["ops_coalesced"] == 6
+        assert stats["computes_overlapped"] == 3
+        body_ids = [op.op_id for op in mp.body]
+        assert body_ids[0] == "interior"  # hoisted above the puts
+        assert body_ids[-1] == "bar"
+
+    def test_explain_and_dump_render(self):
+        text = explain_pipeline(minimod_plan(MinimodConfig(nx=48, ny=8, nz=8, steps=5), 4))
+        assert "coalesce_messages" in text and "ops_coalesced=6" in text
+        dump = cannon_plan(CannonConfig(n=32), 4).dump()
+        assert "buffer %B : symmetric" in dump and "put %B" in dump
+
+
+class TestCollectivePreselection:
+    def coll_plan(self):
+        return CommPlan(
+            name="coll",
+            steps=1,
+            buffers=(BufDecl("S", 1024), BufDecl("R", 1024)),
+            body=(
+                PlanOp(
+                    op_id="ar",
+                    kind="allreduce",
+                    coll=CollSpec(
+                        send=Access(BufRef("S"), 0, 1024),
+                        recv=Access(BufRef("R"), 0, 1024),
+                        dtype="float64",
+                    ),
+                ),
+                BAR,
+            ),
+        )
+
+    def test_preselection_pins_algorithm(self):
+        from repro.cluster import World
+        from repro.hardware import platform_a
+        from repro.xccl import params_for
+        from repro.xccl.algorithms import select_sweep
+        from repro.xccl.topo import analyze, build_ring
+
+        world = World(platform_a(with_quirk=False), num_nodes=1)
+        out, stats = preselect_collectives(self.coll_plan(), world=world)
+        assert stats["collectives_preselected"] == 1
+        algo = next(op for op in out.body if op.kind == "allreduce").algo
+        params = params_for(world.platform.ccl)
+        ring = build_ring([ctx.devices[0].device_id for ctx in world.ranks])
+        ctopo = analyze(world.topology, ring, params)
+        algos, _ = select_sweep("all_reduce", [1024], ctopo, params)
+        assert algo == str(algos[0])
+
+    def test_no_world_leaves_plan_unchanged(self):
+        out, stats = preselect_collectives(self.coll_plan(), world=None)
+        assert stats["collectives_preselected"] == 0
+        assert next(op for op in out.body if op.kind == "allreduce").algo is None
+
+
+class TestCli:
+    def test_verbs_and_exit_codes(self, capsys):
+        from repro.plan.__main__ import main
+
+        assert main(["dump", "cannon", "--optimize"]) == 0
+        assert "plan cannon" in capsys.readouterr().out
+        assert main(["verify", "minimod", "--optimize", "--nranks", "4"]) == 0
+        assert "OK" in capsys.readouterr().out
+        assert main(["explain", "minimod"]) == 0
+        assert "expand_halo" in capsys.readouterr().out
+        with pytest.raises(SystemExit) as exc:
+            main(["optimize", "cannon"])  # unknown verb -> usage error
+        assert exc.value.code == 2
